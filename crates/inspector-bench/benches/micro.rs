@@ -1,0 +1,179 @@
+//! Micro-benchmarks (ablations) for the individual substrates: the cost of
+//! the mechanisms DESIGN.md calls out — vector-clock maintenance, the
+//! page-fault path, byte-level diff/commit, PT packet encoding/decoding, LZ
+//! compression, and CPG construction.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use inspector_core::clock::VectorClock;
+use inspector_core::event::{AccessKind, SyncKind};
+use inspector_core::graph::CpgBuilder;
+use inspector_core::ids::{PageId, SyncObjectId, ThreadId};
+use inspector_core::recorder::{SyncClockRegistry, ThreadRecorder};
+use inspector_mem::shared::SharedImage;
+use inspector_mem::thread_mem::{ThreadMemory, TrackingMode};
+use inspector_perf::compress::lz_compress;
+use inspector_pt::branch::BranchEvent;
+use inspector_pt::decode::PacketDecoder;
+use inspector_pt::encode::PacketEncoder;
+
+fn bench_vector_clocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_clock");
+    for threads in [4u32, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("join", threads), &threads, |b, &n| {
+            let mut a = VectorClock::new();
+            let mut other = VectorClock::new();
+            for i in 0..n {
+                a.set(ThreadId::new(i), i as u64);
+                other.set(ThreadId::new(i), (i * 7) as u64);
+            }
+            b.iter(|| {
+                let mut x = a.clone();
+                x.join(&other);
+                x
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("happens_before", threads),
+            &threads,
+            |b, &n| {
+                let mut a = VectorClock::new();
+                let mut z = VectorClock::new();
+                for i in 0..n {
+                    a.set(ThreadId::new(i), i as u64);
+                    z.set(ThreadId::new(i), (i + 1) as u64);
+                }
+                b.iter(|| a.happens_before(&z));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fault_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("tracked_first_touch_write", |b| {
+        let image = SharedImage::shared(4096);
+        let region = image.map_region("bench", 1 << 30);
+        let mut mem = ThreadMemory::new(Arc::clone(&image), TrackingMode::Tracked);
+        let mut page = 0u64;
+        b.iter(|| {
+            // Always a fresh page: measures the full fault + twin-copy path.
+            mem.write_u64(region.base().add(page * 4096), page);
+            page += 1;
+            if page % 1024 == 0 {
+                mem.commit();
+            }
+        });
+    });
+    group.bench_function("tracked_warm_write", |b| {
+        let image = SharedImage::shared(4096);
+        let region = image.map_region("bench", 4096);
+        let mut mem = ThreadMemory::new(Arc::clone(&image), TrackingMode::Tracked);
+        mem.write_u64(region.base(), 0);
+        b.iter(|| mem.write_u64(region.base(), 1));
+    });
+    group.bench_function("native_write", |b| {
+        let image = SharedImage::shared(4096);
+        let region = image.map_region("bench", 4096);
+        let mut mem = ThreadMemory::new(Arc::clone(&image), TrackingMode::Native);
+        b.iter(|| mem.write_u64(region.base(), 1));
+    });
+    group.bench_function("commit_dirty_page", |b| {
+        let image = SharedImage::shared(4096);
+        let region = image.map_region("bench", 4096 * 64);
+        let mut mem = ThreadMemory::new(Arc::clone(&image), TrackingMode::Tracked);
+        b.iter(|| {
+            for p in 0..16u64 {
+                mem.write_u64(region.base().add(p * 4096), p);
+            }
+            mem.commit()
+        });
+    });
+    group.finish();
+}
+
+fn bench_pt_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pt");
+    let events: Vec<BranchEvent> = (0..10_000u64)
+        .map(|i| {
+            if i % 16 == 0 {
+                BranchEvent::Indirect {
+                    target: 0x40_0000 + (i % 64) * 16,
+                }
+            } else {
+                BranchEvent::Conditional { taken: i % 3 == 0 }
+            }
+        })
+        .collect();
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("encode_10k_branches", |b| {
+        b.iter(|| {
+            let mut enc = PacketEncoder::new();
+            for e in &events {
+                enc.branch(e);
+            }
+            enc.finish()
+        });
+    });
+    let mut enc = PacketEncoder::new();
+    for e in &events {
+        enc.branch(e);
+    }
+    let bytes = enc.finish();
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("decode_10k_branches", |b| {
+        b.iter(|| PacketDecoder::new(&bytes).decode_events().unwrap());
+    });
+    group.bench_function("lz_compress_trace", |b| {
+        b.iter(|| lz_compress(&bytes));
+    });
+    group.finish();
+}
+
+fn bench_cpg_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpg");
+    for threads in [2usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("build_lock_heavy", threads),
+            &threads,
+            |b, &n| {
+                // Pre-record a lock-heavy execution, then measure graph
+                // construction only.
+                let registry = SyncClockRegistry::shared();
+                let lock = SyncObjectId::new(1);
+                let sequences: Vec<_> = (0..n)
+                    .map(|t| {
+                        let mut rec =
+                            ThreadRecorder::new(ThreadId::new(t as u32), Arc::clone(&registry));
+                        for i in 0..200u64 {
+                            rec.on_synchronization(lock, SyncKind::Acquire);
+                            rec.on_memory_access(PageId::new(i % 32), AccessKind::Read);
+                            rec.on_memory_access(PageId::new(i % 16), AccessKind::Write);
+                            rec.on_synchronization(lock, SyncKind::Release);
+                        }
+                        rec.finish()
+                    })
+                    .collect();
+                b.iter(|| {
+                    let mut builder = CpgBuilder::new();
+                    for seq in &sequences {
+                        builder.add_thread(seq.clone());
+                    }
+                    builder.build()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_vector_clocks, bench_fault_path, bench_pt_codec, bench_cpg_build
+}
+criterion_main!(micro);

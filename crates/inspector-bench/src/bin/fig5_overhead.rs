@@ -1,0 +1,22 @@
+//! Regenerates Figure 5: provenance overhead w.r.t. native execution with
+//! increasing thread counts, for all twelve workloads.
+//!
+//! Environment knobs: `INSPECTOR_BENCH_SIZE` (tiny/small/medium/large,
+//! default medium), `INSPECTOR_BENCH_THREADS` (comma separated, default
+//! `2,4,8,16`), `INSPECTOR_BENCH_REPEATS` (default 1).
+
+use inspector_bench::figures::{figure5, print_figure5, FIGURE5_THREADS};
+use inspector_bench::harness::{size_from_env, threads_from_env};
+use inspector_workloads::InputSize;
+
+fn main() {
+    let size = size_from_env(InputSize::Medium);
+    let threads = threads_from_env(&FIGURE5_THREADS);
+    let repeats: usize = std::env::var("INSPECTOR_BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    eprintln!("running figure 5 (size={size:?}, threads={threads:?}, repeats={repeats}) ...");
+    let rows = figure5(size, &threads, repeats);
+    print_figure5(&rows, &threads);
+}

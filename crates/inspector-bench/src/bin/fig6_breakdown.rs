@@ -1,0 +1,18 @@
+//! Regenerates Figure 6: breakdown of the provenance overhead into the
+//! threading-library and Intel-PT shares at 16 threads.
+
+use inspector_bench::figures::{figure6, print_figure6, BREAKDOWN_THREADS};
+use inspector_bench::harness::{size_from_env, threads_from_env};
+use inspector_workloads::InputSize;
+
+fn main() {
+    let size = size_from_env(InputSize::Medium);
+    let threads = threads_from_env(&[BREAKDOWN_THREADS])[0];
+    let repeats: usize = std::env::var("INSPECTOR_BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    eprintln!("running figure 6 (size={size:?}, threads={threads}, repeats={repeats}) ...");
+    let rows = figure6(size, threads, repeats);
+    print_figure6(&rows);
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 8: overhead scalability with input size (S/M/L) for
+//! histogram, linear_regression, string_match and word_count.
+
+use inspector_bench::figures::{figure8, print_figure8, BREAKDOWN_THREADS};
+use inspector_bench::harness::threads_from_env;
+
+fn main() {
+    let threads = threads_from_env(&[BREAKDOWN_THREADS])[0];
+    let repeats: usize = std::env::var("INSPECTOR_BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    eprintln!("running figure 8 (threads={threads}, repeats={repeats}) ...");
+    let rows = figure8(threads, repeats);
+    print_figure8(&rows);
+}

@@ -1,0 +1,165 @@
+//! Measurement plumbing shared by all figure generators.
+
+use std::time::Duration;
+
+use inspector_runtime::report::{PhaseBreakdown, RunReport};
+use inspector_runtime::SessionConfig;
+use inspector_workloads::{InputSize, Workload};
+
+/// One (workload, thread-count, input-size) measurement: a native run and an
+/// INSPECTOR run of the same code.
+#[derive(Debug, Clone)]
+pub struct OverheadMeasurement {
+    /// Workload name as used in the paper's figures.
+    pub name: &'static str,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Input size class.
+    pub size: InputSize,
+    /// Wall time of the native (pthreads-baseline) run.
+    pub native_time: Duration,
+    /// Wall time of the INSPECTOR run.
+    pub inspector_time: Duration,
+    /// Full report of the INSPECTOR run.
+    pub report: RunReport,
+}
+
+impl OverheadMeasurement {
+    /// Overhead ratio (`inspector / native`), the Y axis of Figures 5, 6, 8.
+    pub fn overhead(&self) -> f64 {
+        self.inspector_time.as_secs_f64() / self.native_time.as_secs_f64().max(1e-9)
+    }
+
+    /// Breakdown of the overhead into threading-library and PT shares
+    /// (Figure 6).
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        PhaseBreakdown::split(self.overhead(), &self.report.stats)
+    }
+}
+
+/// Runs `workload` once natively and once under INSPECTOR and returns the
+/// paired measurement. `repeats` > 1 applies a truncated mean (drop min and
+/// max) to the wall times, mirroring the paper's measurement protocol.
+pub fn measure_overhead(
+    workload: &dyn Workload,
+    threads: usize,
+    size: InputSize,
+    repeats: usize,
+) -> OverheadMeasurement {
+    let repeats = repeats.max(1);
+    let mut native_times = Vec::with_capacity(repeats);
+    let mut inspector_times = Vec::with_capacity(repeats);
+    let mut last_report = None;
+    for _ in 0..repeats {
+        let native = workload.execute(SessionConfig::native(), threads, size);
+        native_times.push(native.report.stats.wall_time);
+        let tracked = workload.execute(SessionConfig::inspector(), threads, size);
+        inspector_times.push(tracked.report.stats.wall_time);
+        last_report = Some(tracked.report);
+    }
+    OverheadMeasurement {
+        name: workload.name(),
+        threads,
+        size,
+        native_time: truncated_mean(&native_times),
+        inspector_time: truncated_mean(&inspector_times),
+        report: last_report.expect("at least one repeat"),
+    }
+}
+
+/// Truncated mean of a set of durations: drops the minimum and maximum when
+/// at least three samples are available (the paper's protocol), otherwise a
+/// plain mean.
+pub fn truncated_mean(samples: &[Duration]) -> Duration {
+    assert!(!samples.is_empty(), "no samples");
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let trimmed: &[Duration] = if sorted.len() >= 3 {
+        &sorted[1..sorted.len() - 1]
+    } else {
+        &sorted
+    };
+    let total: Duration = trimmed.iter().sum();
+    total / trimmed.len() as u32
+}
+
+/// Reads an environment variable used to shrink experiments for smoke tests
+/// (`INSPECTOR_BENCH_SIZE=tiny|small|medium|large`).
+pub fn size_from_env(default: InputSize) -> InputSize {
+    match std::env::var("INSPECTOR_BENCH_SIZE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
+        "tiny" => InputSize::Tiny,
+        "small" => InputSize::Small,
+        "medium" => InputSize::Medium,
+        "large" => InputSize::Large,
+        _ => default,
+    }
+}
+
+/// Reads the thread counts to sweep from `INSPECTOR_BENCH_THREADS`
+/// (comma-separated), defaulting to the paper's 2/4/8/16.
+pub fn threads_from_env(default: &[usize]) -> Vec<usize> {
+    let parsed: Vec<usize> = std::env::var("INSPECTOR_BENCH_THREADS")
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect()
+        })
+        .unwrap_or_default();
+    if parsed.is_empty() {
+        default.to_vec()
+    } else {
+        parsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inspector_workloads::workload_by_name;
+
+    #[test]
+    fn truncated_mean_drops_extremes() {
+        let samples = [
+            Duration::from_millis(1),
+            Duration::from_millis(10),
+            Duration::from_millis(11),
+            Duration::from_millis(12),
+            Duration::from_millis(500),
+        ];
+        let m = truncated_mean(&samples);
+        assert_eq!(m, Duration::from_millis(11));
+    }
+
+    #[test]
+    fn truncated_mean_small_sample_is_plain_mean() {
+        let samples = [Duration::from_millis(2), Duration::from_millis(4)];
+        assert_eq!(truncated_mean(&samples), Duration::from_millis(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn truncated_mean_rejects_empty() {
+        truncated_mean(&[]);
+    }
+
+    #[test]
+    fn measurement_produces_positive_overhead() {
+        let w = workload_by_name("histogram").unwrap();
+        let m = measure_overhead(w.as_ref(), 2, InputSize::Tiny, 1);
+        assert!(m.overhead() > 0.0);
+        assert!(m.report.cpg.node_count() > 0);
+        let b = m.breakdown();
+        assert!(b.total_overhead > 0.0);
+    }
+
+    #[test]
+    fn env_parsers_fall_back_to_defaults() {
+        assert_eq!(size_from_env(InputSize::Small), InputSize::Small);
+        assert_eq!(threads_from_env(&[2, 4]), vec![2, 4]);
+    }
+}

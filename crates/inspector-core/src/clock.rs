@@ -1,0 +1,277 @@
+//! Vector clocks and the happens-before partial order.
+//!
+//! INSPECTOR derives control and synchronization edges by happens-before
+//! ordering of sub-computations (paper §IV-B). Each thread, each
+//! synchronization object, and each sub-computation carries a vector clock;
+//! the clock of a synchronization object acts as the propagation medium from
+//! the releasing thread to the acquiring thread.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::ThreadId;
+
+/// A grow-on-demand vector clock.
+///
+/// Entries are indexed by [`ThreadId`]; missing entries are implicitly zero,
+/// which lets the clock work with programs that create threads dynamically
+/// (e.g. the `kmeans` workload creates several hundred threads).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    entries: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Creates an all-zero clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// Creates an all-zero clock with space reserved for `threads` entries.
+    pub fn with_capacity(threads: usize) -> Self {
+        VectorClock {
+            entries: Vec::with_capacity(threads),
+        }
+    }
+
+    /// Returns the component for `thread` (zero if never set).
+    pub fn get(&self, thread: ThreadId) -> u64 {
+        self.entries.get(thread.index()).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for `thread` to `value`.
+    pub fn set(&mut self, thread: ThreadId, value: u64) {
+        let idx = thread.index();
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, 0);
+        }
+        self.entries[idx] = value;
+    }
+
+    /// Increments the component for `thread` by one and returns the new value.
+    pub fn tick(&mut self, thread: ThreadId) -> u64 {
+        let next = self.get(thread) + 1;
+        self.set(thread, next);
+        next
+    }
+
+    /// Merges `other` into `self`, taking the component-wise maximum.
+    ///
+    /// This is the `C[i] ← max(C[i], C'[i])` step used both on release (thread
+    /// clock into synchronization clock) and on acquire (synchronization clock
+    /// into thread clock).
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.entries.len() > self.entries.len() {
+            self.entries.resize(other.entries.len(), 0);
+        }
+        for (i, &v) in other.entries.iter().enumerate() {
+            if v > self.entries[i] {
+                self.entries[i] = v;
+            }
+        }
+    }
+
+    /// Returns a new clock that is the component-wise maximum of `self` and
+    /// `other` without mutating either.
+    pub fn joined(&self, other: &VectorClock) -> VectorClock {
+        let mut out = self.clone();
+        out.join(other);
+        out
+    }
+
+    /// Number of non-trailing-zero components stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if every stored component is zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|&v| v == 0)
+    }
+
+    /// Compares two clocks under the happens-before partial order.
+    ///
+    /// Returns `Some(Ordering::Less)` when `self` happens-before `other`,
+    /// `Some(Ordering::Greater)` for the converse, `Some(Ordering::Equal)` for
+    /// identical clocks and `None` when the clocks are concurrent.
+    pub fn partial_cmp_hb(&self, other: &VectorClock) -> Option<Ordering> {
+        let mut less = false;
+        let mut greater = false;
+        let n = self.entries.len().max(other.entries.len());
+        for i in 0..n {
+            let a = self.entries.get(i).copied().unwrap_or(0);
+            let b = other.entries.get(i).copied().unwrap_or(0);
+            match a.cmp(&b) {
+                Ordering::Less => less = true,
+                Ordering::Greater => greater = true,
+                Ordering::Equal => {}
+            }
+            if less && greater {
+                return None;
+            }
+        }
+        match (less, greater) {
+            (false, false) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (true, true) => None,
+        }
+    }
+
+    /// Returns `true` if `self` strictly happens-before `other`.
+    pub fn happens_before(&self, other: &VectorClock) -> bool {
+        matches!(self.partial_cmp_hb(other), Some(Ordering::Less))
+    }
+
+    /// Returns `true` if the two clocks are concurrent (neither ordered).
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        self.partial_cmp_hb(other).is_none()
+    }
+
+    /// Iterates over `(ThreadId, value)` pairs with non-zero values.
+    pub fn iter(&self) -> impl Iterator<Item = (ThreadId, u64)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(i, &v)| (ThreadId::new(i as u32), v))
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl FromIterator<(ThreadId, u64)> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = (ThreadId, u64)>>(iter: I) -> Self {
+        let mut clock = VectorClock::new();
+        for (t, v) in iter {
+            clock.set(t, v);
+        }
+        clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn new_clock_is_zero() {
+        let c = VectorClock::new();
+        assert!(c.is_empty());
+        assert_eq!(c.get(t(5)), 0);
+    }
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.tick(t(2)), 1);
+        assert_eq!(c.tick(t(2)), 2);
+        assert_eq!(c.get(t(2)), 2);
+        assert_eq!(c.get(t(0)), 0);
+    }
+
+    #[test]
+    fn join_takes_componentwise_maximum() {
+        let mut a = VectorClock::new();
+        a.set(t(0), 3);
+        a.set(t(1), 1);
+        let mut b = VectorClock::new();
+        b.set(t(1), 5);
+        b.set(t(2), 2);
+        a.join(&b);
+        assert_eq!(a.get(t(0)), 3);
+        assert_eq!(a.get(t(1)), 5);
+        assert_eq!(a.get(t(2)), 2);
+    }
+
+    #[test]
+    fn happens_before_is_strict() {
+        let mut a = VectorClock::new();
+        a.set(t(0), 1);
+        let mut b = a.clone();
+        b.set(t(1), 1);
+        assert!(a.happens_before(&b));
+        assert!(!b.happens_before(&a));
+        assert!(!a.happens_before(&a));
+        assert_eq!(a.partial_cmp_hb(&a), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn concurrent_clocks_are_unordered() {
+        let mut a = VectorClock::new();
+        a.set(t(0), 1);
+        let mut b = VectorClock::new();
+        b.set(t(1), 1);
+        assert!(a.concurrent_with(&b));
+        assert!(b.concurrent_with(&a));
+        assert_eq!(a.partial_cmp_hb(&b), None);
+    }
+
+    #[test]
+    fn release_acquire_transfers_causality() {
+        // Thread 0 releases S, thread 1 acquires S: afterwards thread 0's
+        // pre-release sub-computations happen-before thread 1's post-acquire
+        // sub-computations (paper Algorithm 2, onSynchronization).
+        let mut c0 = VectorClock::new();
+        c0.set(t(0), 4);
+        let sub_before_release = c0.clone();
+
+        let mut s = VectorClock::new();
+        s.join(&c0); // release(S)
+
+        let mut c1 = VectorClock::new();
+        c1.set(t(1), 7);
+        c1.join(&s); // acquire(S)
+        c1.set(t(1), 8); // next sub-computation on thread 1
+
+        assert!(sub_before_release.happens_before(&c1));
+    }
+
+    #[test]
+    fn display_and_iter() {
+        let mut c = VectorClock::new();
+        c.set(t(0), 1);
+        c.set(t(2), 3);
+        assert_eq!(c.to_string(), "⟨1,0,3⟩");
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs, vec![(t(0), 1), (t(2), 3)]);
+    }
+
+    #[test]
+    fn from_iterator_builds_clock() {
+        let c: VectorClock = vec![(t(1), 2), (t(3), 4)].into_iter().collect();
+        assert_eq!(c.get(t(1)), 2);
+        assert_eq!(c.get(t(3)), 4);
+        assert_eq!(c.get(t(0)), 0);
+    }
+
+    #[test]
+    fn joined_does_not_mutate_inputs() {
+        let mut a = VectorClock::new();
+        a.set(t(0), 1);
+        let mut b = VectorClock::new();
+        b.set(t(1), 2);
+        let j = a.joined(&b);
+        assert_eq!(j.get(t(0)), 1);
+        assert_eq!(j.get(t(1)), 2);
+        assert_eq!(a.get(t(1)), 0);
+        assert_eq!(b.get(t(0)), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Trace events consumed by the provenance recorder.
+//!
+//! The threading library and the PT decoder translate raw observations
+//! (page faults, decoded branch packets, synchronization calls) into
+//! [`TraceEvent`]s; the recorder folds them into sub-computations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{PageId, SyncObjectId, ThreadId};
+
+/// Kind of memory access observed by the MMU-assisted tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load instruction touched the page for the first time in the current
+    /// sub-computation.
+    Read,
+    /// A store instruction touched the page for the first time in the current
+    /// sub-computation.
+    Write,
+}
+
+/// Kind of branch observed by the (simulated) Intel PT decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// Conditional branch, taken (a TNT `1` bit).
+    ConditionalTaken,
+    /// Conditional branch, not taken (a TNT `0` bit).
+    ConditionalNotTaken,
+    /// Indirect branch or call; the target instruction pointer is carried by a
+    /// TIP packet.
+    Indirect,
+    /// Function return; also reported via TIP packets.
+    Return,
+}
+
+impl BranchKind {
+    /// Whether this branch kind is encoded as a single TNT bit.
+    pub fn is_conditional(self) -> bool {
+        matches!(
+            self,
+            BranchKind::ConditionalTaken | BranchKind::ConditionalNotTaken
+        )
+    }
+}
+
+/// Role a thread plays in a synchronization operation.
+///
+/// All pthreads primitives are modelled as acquire/release pairs (paper
+/// §IV-A): `unlock`, `barrier` entry, `cond_signal`, `sem_post` and thread
+/// creation *release* a synchronization object, while `lock`, barrier exit,
+/// `cond_wait` return, `sem_wait` and thread join *acquire* it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncKind {
+    /// The thread released the synchronization object (made its updates
+    /// visible to the next acquirer).
+    Release,
+    /// The thread acquired the synchronization object (becomes ordered after
+    /// the most recent releaser).
+    Acquire,
+    /// A combined release-then-acquire on the same object, used for barriers
+    /// where every participant both publishes its updates and observes
+    /// everyone else's.
+    ReleaseAcquire,
+}
+
+/// A single event in the per-thread execution trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// First access to a page in the current sub-computation.
+    MemoryAccess {
+        /// The accessing thread.
+        thread: ThreadId,
+        /// The page that was touched.
+        page: PageId,
+        /// Whether it was a load or a store.
+        kind: AccessKind,
+    },
+    /// A branch retired on the thread (from the PT trace).
+    Branch {
+        /// The executing thread.
+        thread: ThreadId,
+        /// The kind of branch.
+        kind: BranchKind,
+        /// Instruction pointer of the branch (or its target for indirect
+        /// branches), used to label thunks.
+        ip: u64,
+    },
+    /// A synchronization operation; terminates the current sub-computation.
+    Synchronization {
+        /// The synchronizing thread.
+        thread: ThreadId,
+        /// The object being synchronized on.
+        object: SyncObjectId,
+        /// Acquire/release role of the thread.
+        kind: SyncKind,
+    },
+    /// The thread terminated; terminates its last sub-computation.
+    ThreadExit {
+        /// The exiting thread.
+        thread: ThreadId,
+    },
+}
+
+impl TraceEvent {
+    /// The thread this event belongs to.
+    pub fn thread(&self) -> ThreadId {
+        match *self {
+            TraceEvent::MemoryAccess { thread, .. }
+            | TraceEvent::Branch { thread, .. }
+            | TraceEvent::Synchronization { thread, .. }
+            | TraceEvent::ThreadExit { thread } => thread,
+        }
+    }
+
+    /// Whether this event ends the currently executing sub-computation.
+    pub fn ends_subcomputation(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::Synchronization { .. } | TraceEvent::ThreadExit { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_kind_classification() {
+        assert!(BranchKind::ConditionalTaken.is_conditional());
+        assert!(BranchKind::ConditionalNotTaken.is_conditional());
+        assert!(!BranchKind::Indirect.is_conditional());
+        assert!(!BranchKind::Return.is_conditional());
+    }
+
+    #[test]
+    fn event_thread_extraction() {
+        let t = ThreadId::new(3);
+        let e = TraceEvent::MemoryAccess {
+            thread: t,
+            page: PageId::new(1),
+            kind: AccessKind::Read,
+        };
+        assert_eq!(e.thread(), t);
+        assert!(!e.ends_subcomputation());
+
+        let s = TraceEvent::Synchronization {
+            thread: t,
+            object: SyncObjectId::new(9),
+            kind: SyncKind::Acquire,
+        };
+        assert!(s.ends_subcomputation());
+
+        let x = TraceEvent::ThreadExit { thread: t };
+        assert!(x.ends_subcomputation());
+        assert_eq!(x.thread(), t);
+    }
+}

@@ -1,0 +1,53 @@
+//! # inspector-core
+//!
+//! Core data model for INSPECTOR-style data provenance: the **Concurrent
+//! Provenance Graph (CPG)** and the parallel provenance-recording algorithm
+//! from *Thalheim, Bhatotia, Fetzer — "INSPECTOR: Data Provenance using Intel
+//! Processor Trace (PT)", ICDCS 2016*.
+//!
+//! The CPG records three kinds of dependencies for a shared-memory
+//! multithreaded execution:
+//!
+//! * **control edges** — the intra-thread order of sub-computations plus the
+//!   control path (thunks) taken inside each sub-computation,
+//! * **synchronization edges** — the inter-thread happens-before order derived
+//!   from acquire/release operations on synchronization objects, and
+//! * **data-dependence edges** — read-after-write relations between
+//!   sub-computations derived from page-granularity read/write sets and the
+//!   recorded partial order.
+//!
+//! The crate is deliberately independent of *how* the underlying trace is
+//! obtained: the threading library ([`inspector-runtime`]) feeds events into a
+//! [`recorder::ThreadRecorder`] per thread, and the per-thread logs are merged
+//! into a [`graph::Cpg`] by [`graph::CpgBuilder`].
+//!
+//! ```
+//! use inspector_core::clock::VectorClock;
+//! use inspector_core::ids::ThreadId;
+//!
+//! let mut a = VectorClock::new();
+//! a.tick(ThreadId::new(0));
+//! let mut b = VectorClock::new();
+//! b.join(&a);
+//! b.tick(ThreadId::new(1));
+//! assert!(a.happens_before(&b));
+//! ```
+
+pub mod clock;
+pub mod event;
+pub mod graph;
+pub mod ids;
+pub mod query;
+pub mod recorder;
+pub mod snapshot;
+pub mod subcomputation;
+pub mod taint;
+pub mod thunk;
+
+pub use clock::VectorClock;
+pub use event::{AccessKind, BranchKind, SyncKind, TraceEvent};
+pub use graph::{Cpg, CpgBuilder, DependenceEdge, EdgeKind};
+pub use ids::{PageId, SubId, SyncObjectId, ThreadId, ThunkId};
+pub use recorder::{SyncClockRegistry, ThreadRecorder};
+pub use subcomputation::SubComputation;
+pub use thunk::Thunk;

@@ -1,0 +1,437 @@
+//! The parallel provenance-recording algorithm (paper Algorithms 1 and 2).
+//!
+//! Each application thread owns a [`ThreadRecorder`]; synchronization-object
+//! clocks live in a shared [`SyncClockRegistry`]. The recorder is driven by
+//! [`TraceEvent`]s: memory accesses extend the read/write sets, branches
+//! extend the thunk list, and synchronization operations terminate the
+//! current sub-computation and exchange vector clocks through the registry.
+//!
+//! The design is completely decentralized: threads only interact through the
+//! per-object synchronization clocks, exactly as in the paper, so recording
+//! does not serialize the application.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::clock::VectorClock;
+use crate::event::{AccessKind, BranchKind, SyncKind, TraceEvent};
+use crate::ids::{PageId, SubId, SyncObjectId, ThreadId, ThunkId};
+use crate::subcomputation::{SubComputation, SyncPoint};
+use crate::thunk::Thunk;
+
+/// Shared registry of synchronization-object vector clocks (`C_S`).
+///
+/// The registry is the only point of inter-thread communication during
+/// recording. Each entry is touched exactly when the owning synchronization
+/// object is acquired or released, so contention mirrors the application's
+/// own synchronization pattern.
+#[derive(Debug, Default)]
+pub struct SyncClockRegistry {
+    clocks: Mutex<HashMap<SyncObjectId, VectorClock>>,
+}
+
+impl SyncClockRegistry {
+    /// Creates an empty registry (all synchronization clocks are zero).
+    pub fn new() -> Self {
+        SyncClockRegistry::default()
+    }
+
+    /// Creates a reference-counted registry, the form used by the runtime.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// `release(S)`: merge the releasing thread's clock into `C_S`.
+    pub fn release(&self, object: SyncObjectId, thread_clock: &VectorClock) {
+        let mut clocks = self.clocks.lock();
+        clocks
+            .entry(object)
+            .or_insert_with(VectorClock::new)
+            .join(thread_clock);
+    }
+
+    /// `acquire(S)`: merge `C_S` into the acquiring thread's clock.
+    pub fn acquire(&self, object: SyncObjectId, thread_clock: &mut VectorClock) {
+        let clocks = self.clocks.lock();
+        if let Some(c) = clocks.get(&object) {
+            thread_clock.join(c);
+        }
+    }
+
+    /// Returns a copy of the clock currently stored for `object`.
+    pub fn clock_of(&self, object: SyncObjectId) -> VectorClock {
+        self.clocks
+            .lock()
+            .get(&object)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Number of synchronization objects seen so far.
+    pub fn len(&self) -> usize {
+        self.clocks.lock().len()
+    }
+
+    /// Returns `true` if no synchronization object has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.lock().is_empty()
+    }
+}
+
+/// Counters accumulated while recording one thread, used by the evaluation
+/// harness (page-fault rates, branch counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecorderStats {
+    /// First-touch page read events recorded.
+    pub page_reads: u64,
+    /// First-touch page write events recorded.
+    pub page_writes: u64,
+    /// Branch events recorded (all kinds).
+    pub branches: u64,
+    /// Sub-computations completed.
+    pub subcomputations: u64,
+    /// Synchronization operations performed.
+    pub sync_ops: u64,
+}
+
+/// Per-thread provenance recorder implementing Algorithm 1.
+#[derive(Debug)]
+pub struct ThreadRecorder {
+    thread: ThreadId,
+    /// Thread clock `C_t`.
+    clock: VectorClock,
+    /// Sub-computation counter `α`.
+    alpha: u64,
+    /// Thunk counter `β` within the current sub-computation.
+    beta: u64,
+    /// The sub-computation currently being executed.
+    current: SubComputation,
+    /// Completed sub-computations, in execution order (`L_t`).
+    completed: Vec<SubComputation>,
+    stats: RecorderStats,
+    registry: Arc<SyncClockRegistry>,
+    finished: bool,
+}
+
+impl ThreadRecorder {
+    /// `initThread(t)`: creates the recorder for thread `t` with all clocks
+    /// zero and an open first sub-computation `L_t[0]`.
+    pub fn new(thread: ThreadId, registry: Arc<SyncClockRegistry>) -> Self {
+        let mut clock = VectorClock::new();
+        // The thread's own component counts *started* sub-computations
+        // (α + 1) so that the very first sub-computation does not carry an
+        // all-zero clock, which would make it spuriously ordered before
+        // every other thread's work.
+        clock.set(thread, 1);
+        let current = SubComputation::new(SubId::new(thread, 0), clock.clone());
+        ThreadRecorder {
+            thread,
+            clock,
+            alpha: 0,
+            beta: 0,
+            current,
+            completed: Vec::new(),
+            stats: RecorderStats::default(),
+            registry,
+            finished: false,
+        }
+    }
+
+    /// Creates a recorder whose clock is seeded from a parent thread's clock,
+    /// modelling the implicit release/acquire pair of `pthread_create`.
+    pub fn with_parent_clock(
+        thread: ThreadId,
+        registry: Arc<SyncClockRegistry>,
+        parent_clock: &VectorClock,
+    ) -> Self {
+        let mut rec = Self::new(thread, registry);
+        rec.clock.join(parent_clock);
+        rec.current.clock = rec.clock.clone();
+        rec
+    }
+
+    /// The thread this recorder belongs to.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The identifier of the sub-computation currently being recorded.
+    pub fn current_sub(&self) -> SubId {
+        self.current.id
+    }
+
+    /// A copy of the thread clock `C_t`.
+    pub fn clock(&self) -> VectorClock {
+        self.clock.clone()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> RecorderStats {
+        self.stats
+    }
+
+    /// `onMemoryAccess`: records a first-touch page access.
+    pub fn on_memory_access(&mut self, page: PageId, kind: AccessKind) {
+        debug_assert!(!self.finished, "recorder used after thread exit");
+        match kind {
+            AccessKind::Read => {
+                if self.current.record_read(page) {
+                    self.stats.page_reads += 1;
+                }
+            }
+            AccessKind::Write => {
+                if self.current.record_write(page) {
+                    self.stats.page_writes += 1;
+                }
+            }
+        }
+    }
+
+    /// `onBranchAccess`: closes the current thunk with the branch and opens
+    /// the next one.
+    pub fn on_branch(&mut self, kind: BranchKind, ip: u64) {
+        debug_assert!(!self.finished, "recorder used after thread exit");
+        self.stats.branches += 1;
+        if self.current.thunks.is_empty() {
+            self.current
+                .thunks
+                .push(Thunk::open(ThunkId::new(self.current.id, 0), 0));
+        }
+        if let Some(last) = self.current.thunks.last_mut() {
+            last.close(kind, ip);
+        }
+        self.beta += 1;
+        self.current
+            .thunks
+            .push(Thunk::open(ThunkId::new(self.current.id, self.beta), ip));
+    }
+
+    /// `onSynchronization`: ends the current sub-computation, performs the
+    /// vector-clock exchange for the acquire/release operation and starts the
+    /// next sub-computation.
+    ///
+    /// The caller performs the *actual* blocking synchronization; the
+    /// convention (matching the paper) is:
+    /// * for a **release**, call this *before* the real operation,
+    /// * for an **acquire**, call this *after* the real operation has
+    ///   returned, so that the releasing thread's clock is already stored in
+    ///   the registry.
+    pub fn on_synchronization(&mut self, object: SyncObjectId, kind: SyncKind) -> SubId {
+        debug_assert!(!self.finished, "recorder used after thread exit");
+        self.stats.sync_ops += 1;
+        self.finish_current(Some(SyncPoint { object, kind }));
+        match kind {
+            SyncKind::Release => {
+                self.registry.release(object, &self.clock);
+            }
+            SyncKind::Acquire => {
+                self.registry.acquire(object, &mut self.clock);
+            }
+            SyncKind::ReleaseAcquire => {
+                self.registry.release(object, &self.clock);
+                self.registry.acquire(object, &mut self.clock);
+            }
+        }
+        self.start_next();
+        self.current.id
+    }
+
+    /// Marks the thread as terminated, closing the last sub-computation.
+    pub fn on_thread_exit(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finish_current(None);
+        self.finished = true;
+    }
+
+    /// Drives the recorder from a generic [`TraceEvent`].
+    ///
+    /// Events belonging to other threads are ignored (the recorder is
+    /// strictly per-thread), which makes it convenient to replay a merged
+    /// trace against a set of recorders.
+    pub fn on_event(&mut self, event: &TraceEvent) {
+        if event.thread() != self.thread {
+            return;
+        }
+        match *event {
+            TraceEvent::MemoryAccess { page, kind, .. } => self.on_memory_access(page, kind),
+            TraceEvent::Branch { kind, ip, .. } => self.on_branch(kind, ip),
+            TraceEvent::Synchronization { object, kind, .. } => {
+                self.on_synchronization(object, kind);
+            }
+            TraceEvent::ThreadExit { .. } => self.on_thread_exit(),
+        }
+    }
+
+    /// Consumes the recorder and returns the thread's execution sequence
+    /// `L_t` (all completed sub-computations in order).
+    pub fn finish(mut self) -> Vec<SubComputation> {
+        self.on_thread_exit();
+        self.completed
+    }
+
+    /// Completed sub-computations recorded so far (not including the one in
+    /// progress). Used by the live-snapshot facility.
+    pub fn completed(&self) -> &[SubComputation] {
+        &self.completed
+    }
+
+    fn finish_current(&mut self, terminator: Option<SyncPoint>) {
+        self.current.terminator = terminator;
+        self.stats.subcomputations += 1;
+        let finished = std::mem::replace(
+            &mut self.current,
+            SubComputation::new(SubId::new(self.thread, self.alpha + 1), VectorClock::new()),
+        );
+        self.completed.push(finished);
+    }
+
+    /// `startSub-computation`: bumps α, refreshes `C_t[t]` and stamps the new
+    /// sub-computation's clock.
+    fn start_next(&mut self) {
+        self.alpha += 1;
+        self.beta = 0;
+        self.clock.set(self.thread, self.alpha + 1);
+        self.current = SubComputation::new(SubId::new(self.thread, self.alpha), self.clock.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn memory_accesses_build_read_write_sets() {
+        let reg = SyncClockRegistry::shared();
+        let mut r = ThreadRecorder::new(t(0), reg);
+        r.on_memory_access(PageId::new(1), AccessKind::Read);
+        r.on_memory_access(PageId::new(1), AccessKind::Read);
+        r.on_memory_access(PageId::new(2), AccessKind::Write);
+        let subs = r.finish();
+        assert_eq!(subs.len(), 1);
+        assert!(subs[0].reads(PageId::new(1)));
+        assert!(subs[0].writes(PageId::new(2)));
+    }
+
+    #[test]
+    fn stats_count_first_touch_only() {
+        let reg = SyncClockRegistry::shared();
+        let mut r = ThreadRecorder::new(t(0), reg);
+        r.on_memory_access(PageId::new(1), AccessKind::Read);
+        r.on_memory_access(PageId::new(1), AccessKind::Read);
+        assert_eq!(r.stats().page_reads, 1);
+    }
+
+    #[test]
+    fn synchronization_splits_subcomputations() {
+        let reg = SyncClockRegistry::shared();
+        let mut r = ThreadRecorder::new(t(0), reg);
+        r.on_memory_access(PageId::new(1), AccessKind::Write);
+        let s = SyncObjectId::new(1);
+        let next = r.on_synchronization(s, SyncKind::Release);
+        assert_eq!(next.alpha, 1);
+        r.on_memory_access(PageId::new(2), AccessKind::Write);
+        let subs = r.finish();
+        assert_eq!(subs.len(), 2);
+        assert!(subs[0].writes(PageId::new(1)));
+        assert!(subs[1].writes(PageId::new(2)));
+        assert_eq!(subs[0].terminator.unwrap().kind, SyncKind::Release);
+        assert!(subs[1].terminator.is_none());
+    }
+
+    #[test]
+    fn release_acquire_orders_cross_thread_subcomputations() {
+        let reg = SyncClockRegistry::shared();
+        let s = SyncObjectId::new(42);
+
+        // Thread 0 writes page 1 and releases S.
+        let mut r0 = ThreadRecorder::new(t(0), Arc::clone(&reg));
+        r0.on_memory_access(PageId::new(1), AccessKind::Write);
+        r0.on_synchronization(s, SyncKind::Release);
+        let l0 = r0.finish();
+
+        // Thread 1 acquires S and reads page 1.
+        let mut r1 = ThreadRecorder::new(t(1), Arc::clone(&reg));
+        r1.on_synchronization(s, SyncKind::Acquire);
+        r1.on_memory_access(PageId::new(1), AccessKind::Read);
+        let l1 = r1.finish();
+
+        // T0.0 (the writer) must happen-before T1.1 (the reader after
+        // acquire).
+        assert!(l0[0].happens_before(&l1[1]));
+        // ... but not before T1.0 (before the acquire).
+        assert!(!l0[0].happens_before(&l1[0]));
+    }
+
+    #[test]
+    fn branches_create_thunks() {
+        let reg = SyncClockRegistry::shared();
+        let mut r = ThreadRecorder::new(t(0), reg);
+        r.on_branch(BranchKind::ConditionalTaken, 0x10);
+        r.on_branch(BranchKind::ConditionalNotTaken, 0x20);
+        r.on_branch(BranchKind::Return, 0x30);
+        let subs = r.finish();
+        // 3 closed thunks + 1 trailing open thunk.
+        assert_eq!(subs[0].thunks.len(), 4);
+        assert_eq!(subs[0].thunks.branches(), 3);
+        assert_eq!(subs[0].thunks.conditional_branches(), 2);
+    }
+
+    #[test]
+    fn parent_clock_orders_spawn() {
+        let reg = SyncClockRegistry::shared();
+        let mut parent = ThreadRecorder::new(t(0), Arc::clone(&reg));
+        parent.on_memory_access(PageId::new(9), AccessKind::Write);
+        parent.on_synchronization(SyncObjectId::new(7), SyncKind::Release);
+        let parent_clock = parent.clock();
+
+        let mut child = ThreadRecorder::with_parent_clock(t(1), reg, &parent_clock);
+        child.on_memory_access(PageId::new(9), AccessKind::Read);
+        let child_subs = child.finish();
+        let parent_subs = parent.finish();
+        assert!(parent_subs[0].happens_before(&child_subs[0]));
+    }
+
+    #[test]
+    fn on_event_ignores_other_threads() {
+        let reg = SyncClockRegistry::shared();
+        let mut r = ThreadRecorder::new(t(0), reg);
+        r.on_event(&TraceEvent::MemoryAccess {
+            thread: t(1),
+            page: PageId::new(1),
+            kind: AccessKind::Read,
+        });
+        assert_eq!(r.stats().page_reads, 0);
+        r.on_event(&TraceEvent::MemoryAccess {
+            thread: t(0),
+            page: PageId::new(1),
+            kind: AccessKind::Read,
+        });
+        assert_eq!(r.stats().page_reads, 1);
+    }
+
+    #[test]
+    fn thread_exit_is_idempotent() {
+        let reg = SyncClockRegistry::shared();
+        let mut r = ThreadRecorder::new(t(0), reg);
+        r.on_thread_exit();
+        r.on_thread_exit();
+        assert_eq!(r.completed().len(), 1);
+    }
+
+    #[test]
+    fn registry_clock_of_unknown_object_is_zero() {
+        let reg = SyncClockRegistry::new();
+        assert!(reg.clock_of(SyncObjectId::new(5)).is_empty());
+        assert!(reg.is_empty());
+        assert_eq!(reg.len(), 0);
+    }
+}

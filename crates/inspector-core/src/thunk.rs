@@ -1,0 +1,166 @@
+//! Thunks: the control-path records inside a sub-computation.
+//!
+//! A thunk is the sequence of instructions executed between two successive
+//! branches (`L_t[α].Δ[β]` in the paper). INSPECTOR reconstructs thunks from
+//! the decoded Intel PT branch stream: every retired branch starts a new
+//! thunk, and the branch's kind/target labels the edge between them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::BranchKind;
+use crate::ids::ThunkId;
+
+/// One thunk: the branch that terminated it plus a few bookkeeping counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Thunk {
+    /// Identifier (sub-computation + position β).
+    pub id: ThunkId,
+    /// Instruction pointer of the branch that *started* this thunk (the
+    /// target of the previous branch), `0` for the first thunk of a
+    /// sub-computation.
+    pub entry_ip: u64,
+    /// The branch that terminated the thunk, `None` while the thunk is still
+    /// open (or if the sub-computation ended at a synchronization point).
+    pub terminator: Option<BranchRecord>,
+}
+
+/// A retired branch as recorded in the control-flow trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchRecord {
+    /// Branch kind (conditional taken / not-taken, indirect, return).
+    pub kind: BranchKind,
+    /// Instruction pointer associated with the branch. For conditional
+    /// branches this is the branch instruction itself; for indirect branches
+    /// and returns it is the target reported by the TIP packet.
+    pub ip: u64,
+}
+
+impl Thunk {
+    /// Creates an open thunk starting at `entry_ip`.
+    pub fn open(id: ThunkId, entry_ip: u64) -> Self {
+        Thunk {
+            id,
+            entry_ip,
+            terminator: None,
+        }
+    }
+
+    /// Closes the thunk with the branch that terminated it.
+    pub fn close(&mut self, kind: BranchKind, ip: u64) {
+        self.terminator = Some(BranchRecord { kind, ip });
+    }
+
+    /// Whether the thunk has been terminated by a branch.
+    pub fn is_closed(&self) -> bool {
+        self.terminator.is_some()
+    }
+}
+
+/// The ordered list of thunks of one sub-computation.
+///
+/// The list is append-only and always contains at least one (possibly still
+/// open) thunk once the sub-computation has started executing.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThunkList {
+    thunks: Vec<Thunk>,
+}
+
+impl ThunkList {
+    /// Creates an empty thunk list.
+    pub fn new() -> Self {
+        ThunkList::default()
+    }
+
+    /// Number of thunks recorded so far.
+    pub fn len(&self) -> usize {
+        self.thunks.len()
+    }
+
+    /// Returns `true` if no thunk has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.thunks.is_empty()
+    }
+
+    /// Appends a thunk.
+    pub fn push(&mut self, thunk: Thunk) {
+        self.thunks.push(thunk);
+    }
+
+    /// The last (most recent) thunk, if any.
+    pub fn last_mut(&mut self) -> Option<&mut Thunk> {
+        self.thunks.last_mut()
+    }
+
+    /// Iterates over the recorded thunks in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = &Thunk> {
+        self.thunks.iter()
+    }
+
+    /// Number of conditional branches recorded in this list.
+    pub fn conditional_branches(&self) -> usize {
+        self.thunks
+            .iter()
+            .filter_map(|t| t.terminator)
+            .filter(|b| b.kind.is_conditional())
+            .count()
+    }
+
+    /// Number of branches of any kind recorded in this list.
+    pub fn branches(&self) -> usize {
+        self.thunks.iter().filter(|t| t.is_closed()).count()
+    }
+}
+
+impl<'a> IntoIterator for &'a ThunkList {
+    type Item = &'a Thunk;
+    type IntoIter = std::slice::Iter<'a, Thunk>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.thunks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{SubId, ThreadId};
+
+    fn tid(beta: u64) -> ThunkId {
+        ThunkId::new(SubId::new(ThreadId::new(0), 0), beta)
+    }
+
+    #[test]
+    fn open_then_close_thunk() {
+        let mut t = Thunk::open(tid(0), 0x400000);
+        assert!(!t.is_closed());
+        t.close(BranchKind::ConditionalTaken, 0x400010);
+        assert!(t.is_closed());
+        assert_eq!(t.terminator.unwrap().ip, 0x400010);
+    }
+
+    #[test]
+    fn thunk_list_counts_branches() {
+        let mut list = ThunkList::new();
+        let mut a = Thunk::open(tid(0), 0);
+        a.close(BranchKind::ConditionalTaken, 1);
+        let mut b = Thunk::open(tid(1), 1);
+        b.close(BranchKind::Indirect, 2);
+        let c = Thunk::open(tid(2), 2);
+        list.push(a);
+        list.push(b);
+        list.push(c);
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.branches(), 2);
+        assert_eq!(list.conditional_branches(), 1);
+        assert!(!list.is_empty());
+        assert_eq!(list.iter().count(), 3);
+    }
+
+    #[test]
+    fn last_mut_returns_most_recent() {
+        let mut list = ThunkList::new();
+        list.push(Thunk::open(tid(0), 0));
+        list.push(Thunk::open(tid(1), 7));
+        assert_eq!(list.last_mut().unwrap().entry_ip, 7);
+    }
+}

@@ -1,0 +1,212 @@
+//! Byte-level diffing and the last-writer-wins shared-memory commit.
+//!
+//! At every synchronization point a tracked thread compares each dirty
+//! private page against its *twin* (the copy taken when the page was first
+//! written in the current interval) and applies only the changed bytes to the
+//! shared image. Overlapping writes by different threads to the *same byte*
+//! are resolved last-writer-wins, exactly as in the paper (and in TreadMarks
+//! / Munin / Dthreads before it). Writes by different threads to different
+//! bytes of the same page merge cleanly, which is what makes the
+//! threads-as-processes design immune to false sharing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::shared::SharedPage;
+
+/// A contiguous run of changed bytes within one page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiffRun {
+    /// Byte offset of the run within the page.
+    pub offset: usize,
+    /// The new bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// The set of changed byte runs of one dirty page.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageDiff {
+    /// Changed runs, in increasing offset order, non-adjacent.
+    pub runs: Vec<DiffRun>,
+}
+
+impl PageDiff {
+    /// Returns `true` if nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total number of changed bytes.
+    pub fn changed_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.bytes.len()).sum()
+    }
+}
+
+/// Computes the byte-level diff between a twin (the page as it was when the
+/// thread first copied it) and the thread's working copy.
+///
+/// # Panics
+///
+/// Panics if the two buffers have different lengths.
+pub fn diff_page(twin: &[u8], working: &[u8]) -> PageDiff {
+    assert_eq!(twin.len(), working.len(), "twin/working size mismatch");
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < twin.len() {
+        if twin[i] == working[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < twin.len() && twin[i] != working[i] {
+            i += 1;
+        }
+        runs.push(DiffRun {
+            offset: start,
+            bytes: working[start..i].to_vec(),
+        });
+    }
+    PageDiff { runs }
+}
+
+/// Applies a diff to the shared page (last-writer-wins for overlapping
+/// bytes — whichever thread commits later overwrites).
+pub fn apply_diff(shared: &SharedPage, diff: &PageDiff) {
+    for run in &diff.runs {
+        shared.write(run.offset, &run.bytes);
+    }
+}
+
+/// Statistics of a single commit operation, consumed by the runtime's
+/// overhead accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitOutcome {
+    /// Dirty pages examined.
+    pub pages_examined: usize,
+    /// Pages that actually contained changes.
+    pub pages_changed: usize,
+    /// Total changed bytes written to the shared image.
+    pub bytes_written: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_pages_produce_empty_diff() {
+        let a = vec![7u8; 128];
+        let d = diff_page(&a, &a);
+        assert!(d.is_empty());
+        assert_eq!(d.changed_bytes(), 0);
+    }
+
+    #[test]
+    fn diff_finds_contiguous_runs() {
+        let twin = vec![0u8; 16];
+        let mut work = twin.clone();
+        work[2] = 1;
+        work[3] = 2;
+        work[10] = 3;
+        let d = diff_page(&twin, &work);
+        assert_eq!(d.runs.len(), 2);
+        assert_eq!(d.runs[0].offset, 2);
+        assert_eq!(d.runs[0].bytes, vec![1, 2]);
+        assert_eq!(d.runs[1].offset, 10);
+        assert_eq!(d.changed_bytes(), 3);
+    }
+
+    #[test]
+    fn apply_diff_writes_only_changed_bytes() {
+        let shared = SharedPage::zeroed(16);
+        shared.write(0, &[9u8; 16]);
+        let twin = vec![0u8; 16];
+        let mut work = twin.clone();
+        work[5] = 42;
+        let d = diff_page(&twin, &work);
+        apply_diff(&shared, &d);
+        // Only byte 5 is overwritten; the 9s elsewhere survive.
+        assert_eq!(shared.read_byte(5), 42);
+        assert_eq!(shared.read_byte(4), 9);
+        assert_eq!(shared.read_byte(6), 9);
+    }
+
+    #[test]
+    fn disjoint_commits_merge_without_interference() {
+        // Two "threads" modify different halves of the same page: both
+        // changes must survive (false-sharing-free commit).
+        let shared = SharedPage::zeroed(32);
+        let base = shared.snapshot();
+
+        let mut work_a = base.clone();
+        work_a[0] = 1;
+        let mut work_b = base.clone();
+        work_b[31] = 2;
+
+        apply_diff(&shared, &diff_page(&base, &work_a));
+        apply_diff(&shared, &diff_page(&base, &work_b));
+
+        assert_eq!(shared.read_byte(0), 1);
+        assert_eq!(shared.read_byte(31), 2);
+    }
+
+    #[test]
+    fn overlapping_commits_are_last_writer_wins() {
+        let shared = SharedPage::zeroed(8);
+        let base = shared.snapshot();
+        let mut work_a = base.clone();
+        work_a[3] = 10;
+        let mut work_b = base.clone();
+        work_b[3] = 20;
+        apply_diff(&shared, &diff_page(&base, &work_a));
+        apply_diff(&shared, &diff_page(&base, &work_b));
+        assert_eq!(shared.read_byte(3), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_sizes_panic() {
+        diff_page(&[0u8; 4], &[0u8; 8]);
+    }
+
+    proptest! {
+        /// Applying the diff of (twin, working) to a page holding the twin
+        /// contents always reproduces the working copy exactly.
+        #[test]
+        fn prop_diff_apply_roundtrip(twin in proptest::collection::vec(any::<u8>(), 64),
+                                     working in proptest::collection::vec(any::<u8>(), 64)) {
+            let shared = SharedPage::zeroed(64);
+            shared.write(0, &twin);
+            let d = diff_page(&twin, &working);
+            apply_diff(&shared, &d);
+            prop_assert_eq!(shared.snapshot(), working);
+        }
+
+        /// The number of changed bytes reported by the diff equals the true
+        /// Hamming distance between twin and working copy.
+        #[test]
+        fn prop_changed_bytes_is_hamming_distance(
+            twin in proptest::collection::vec(any::<u8>(), 64),
+            working in proptest::collection::vec(any::<u8>(), 64),
+        ) {
+            let d = diff_page(&twin, &working);
+            let hamming = twin.iter().zip(&working).filter(|(a, b)| a != b).count();
+            prop_assert_eq!(d.changed_bytes(), hamming);
+        }
+
+        /// Runs never touch bytes that did not change.
+        #[test]
+        fn prop_runs_only_cover_changes(
+            twin in proptest::collection::vec(any::<u8>(), 32),
+            working in proptest::collection::vec(any::<u8>(), 32),
+        ) {
+            let d = diff_page(&twin, &working);
+            for run in &d.runs {
+                for (i, &b) in run.bytes.iter().enumerate() {
+                    prop_assert_eq!(b, working[run.offset + i]);
+                    prop_assert_ne!(b, twin[run.offset + i]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # inspector-mem
+//!
+//! The memory substrate that INSPECTOR's threading library is built on
+//! (paper §V-A). The real system relies on three OS/hardware facilities:
+//!
+//! 1. **MMU-assisted memory tracking** — `mprotect(PROT_NONE)` at the start
+//!    of every sub-computation plus a SIGSEGV handler derives page-granular
+//!    read and write sets from the first access to each page;
+//! 2. **threads as processes** — every thread runs in its own process so the
+//!    page protections (and private copies) of different threads are
+//!    independent;
+//! 3. **shared-memory commit** — the globals and the heap are backed by a
+//!    memory-mapped file; each thread writes to private copy-on-write pages
+//!    and publishes a byte-level diff at synchronization points
+//!    (last-writer-wins), which implements Release Consistency.
+//!
+//! None of those facilities are portable (or available to a pure-Rust
+//! library), so this crate provides software equivalents with the same
+//! observable behaviour: a [`shared::SharedImage`] plays the role of the
+//! memory-mapped file, a [`thread_mem::ThreadMemory`] plays the role of one
+//! thread's private address space (protection bits, fault accounting,
+//! copy-on-write twins), and [`commit`] implements the byte-level diff and
+//! last-writer-wins merge.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use inspector_mem::shared::SharedImage;
+//! use inspector_mem::thread_mem::{ThreadMemory, TrackingMode};
+//!
+//! let image = SharedImage::shared(4096);
+//! let region = image.map_region("heap", 4096 * 4);
+//! let mut mem = ThreadMemory::new(Arc::clone(&image), TrackingMode::Tracked);
+//! mem.write_u64(region.base(), 42);
+//! assert_eq!(mem.read_u64(region.base()), 42);
+//! // Nothing is visible in the shared image until the thread commits.
+//! assert_eq!(image.read_u64_direct(region.base()), 0);
+//! mem.commit();
+//! assert_eq!(image.read_u64_direct(region.base()), 42);
+//! ```
+
+pub mod addr;
+pub mod alloc;
+pub mod commit;
+pub mod region;
+pub mod shared;
+pub mod stats;
+pub mod thread_mem;
+
+pub use addr::{PageId, VirtAddr, DEFAULT_PAGE_SIZE};
+pub use alloc::HeapAllocator;
+pub use region::Region;
+pub use shared::SharedImage;
+pub use stats::MemStats;
+pub use thread_mem::{AccessRecord, ThreadMemory, TrackingMode};

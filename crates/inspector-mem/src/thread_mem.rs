@@ -1,0 +1,464 @@
+//! One thread's private view of the shared address space.
+//!
+//! This is the software analogue of what a thread-as-process sees in the real
+//! INSPECTOR: a private page table whose protection bits are reset at the
+//! start of every sub-computation, private copy-on-write copies of the pages
+//! it writes, and a commit operation that publishes byte-level diffs to the
+//! shared image at synchronization points.
+//!
+//! The important behavioural properties preserved from the paper:
+//!
+//! * the **first** read or write of a page in a tracking interval "faults"
+//!   (is recorded and counted); subsequent accesses are free;
+//! * writes are invisible to other threads until [`ThreadMemory::commit`];
+//! * reads return the thread's own uncommitted writes (read-your-writes) and
+//!   otherwise the shared image as of the first access;
+//! * in [`TrackingMode::Native`] none of this happens — accesses go straight
+//!   to the shared image, which is the pthreads baseline the evaluation
+//!   compares against.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::addr::{split_by_page, PageId, VirtAddr};
+use crate::commit::{apply_diff, diff_page, CommitOutcome};
+use crate::shared::SharedImage;
+use crate::stats::MemStats;
+
+/// Whether accesses are tracked (INSPECTOR mode) or direct (native pthreads
+/// baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum TrackingMode {
+    /// Full provenance tracking: protection faults, COW twins, commit diffs.
+    #[default]
+    Tracked,
+    /// Native baseline: direct access to the shared image, no tracking.
+    Native,
+}
+
+use serde::{Deserialize, Serialize};
+
+/// A first-touch access recorded during the current tracking interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessRecord {
+    /// The page that was touched.
+    pub page: PageId,
+    /// `true` if the first touch was (or later became) a write.
+    pub write: bool,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct PageProtection {
+    readable: bool,
+    writable: bool,
+}
+
+#[derive(Debug)]
+struct PrivatePage {
+    /// Contents of the shared page when this thread first wrote it.
+    twin: Vec<u8>,
+    /// The thread's working copy (twin + this thread's writes).
+    working: Vec<u8>,
+}
+
+/// A thread's private, protection-tracked view of the shared image.
+#[derive(Debug)]
+pub struct ThreadMemory {
+    image: Arc<SharedImage>,
+    mode: TrackingMode,
+    page_size: usize,
+    protections: HashMap<PageId, PageProtection>,
+    private: HashMap<PageId, PrivatePage>,
+    /// First-touch log of the current tracking interval, drained by the
+    /// runtime at synchronization points.
+    access_log: Vec<AccessRecord>,
+    stats: MemStats,
+}
+
+impl ThreadMemory {
+    /// Creates a thread view over `image`.
+    pub fn new(image: Arc<SharedImage>, mode: TrackingMode) -> Self {
+        let page_size = image.page_size();
+        ThreadMemory {
+            image,
+            mode,
+            page_size,
+            protections: HashMap::new(),
+            private: HashMap::new(),
+            access_log: Vec::new(),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The tracking mode this view was created with.
+    pub fn mode(&self) -> TrackingMode {
+        self.mode
+    }
+
+    /// The shared image backing this view.
+    pub fn image(&self) -> &Arc<SharedImage> {
+        &self.image
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Drains the first-touch access log of the current interval.
+    ///
+    /// The runtime calls this at every synchronization point and feeds the
+    /// records into the provenance recorder as the read/write set of the
+    /// finished sub-computation.
+    pub fn take_access_log(&mut self) -> Vec<AccessRecord> {
+        std::mem::take(&mut self.access_log)
+    }
+
+    /// Starts a new tracking interval: equivalent to `mprotect(PROT_NONE)`
+    /// over the whole shared mapping — every page will fault again on first
+    /// access.
+    pub fn protect_all(&mut self) {
+        if self.mode == TrackingMode::Native {
+            return;
+        }
+        self.protections.clear();
+    }
+
+    /// Number of private (copy-on-write) pages currently held.
+    pub fn private_pages(&self) -> usize {
+        self.private.len()
+    }
+
+    // ----- raw byte access -------------------------------------------------
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&mut self, addr: VirtAddr, buf: &mut [u8]) {
+        if self.mode == TrackingMode::Native {
+            self.image.read_direct(addr, buf);
+            return;
+        }
+        let mut cursor = 0;
+        for (page, offset, len) in split_by_page(addr, buf.len(), self.page_size) {
+            self.fault_on_read(page);
+            let dst = &mut buf[cursor..cursor + len];
+            if let Some(p) = self.private.get(&page) {
+                dst.copy_from_slice(&p.working[offset..offset + len]);
+            } else {
+                self.image.page(page).read(offset, dst);
+            }
+            cursor += len;
+        }
+    }
+
+    /// Writes `data` starting at `addr` (buffered until the next commit).
+    pub fn write_bytes(&mut self, addr: VirtAddr, data: &[u8]) {
+        if self.mode == TrackingMode::Native {
+            self.image.write_direct(addr, data);
+            return;
+        }
+        let mut cursor = 0;
+        for (page, offset, len) in split_by_page(addr, data.len(), self.page_size) {
+            self.fault_on_write(page);
+            let p = self
+                .private
+                .get_mut(&page)
+                .expect("write fault must create the private copy");
+            p.working[offset..offset + len].copy_from_slice(&data[cursor..cursor + len]);
+            cursor += len;
+        }
+    }
+
+    // ----- typed helpers ---------------------------------------------------
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self, addr: VirtAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: VirtAddr, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self, addr: VirtAddr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: VirtAddr, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads an `i64`.
+    pub fn read_i64(&mut self, addr: VirtAddr) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    /// Writes an `i64`.
+    pub fn write_i64(&mut self, addr: VirtAddr, value: i64) {
+        self.write_u64(addr, value as u64);
+    }
+
+    /// Reads an `f64`.
+    pub fn read_f64(&mut self, addr: VirtAddr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64`.
+    pub fn write_f64(&mut self, addr: VirtAddr, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Reads a single byte.
+    pub fn read_u8(&mut self, addr: VirtAddr) -> u8 {
+        let mut b = [0u8; 1];
+        self.read_bytes(addr, &mut b);
+        b[0]
+    }
+
+    /// Writes a single byte.
+    pub fn write_u8(&mut self, addr: VirtAddr, value: u8) {
+        self.write_bytes(addr, &[value]);
+    }
+
+    // ----- commit ----------------------------------------------------------
+
+    /// Publishes the thread's buffered writes to the shared image
+    /// (byte-level diff against the twin, last-writer-wins), drops the
+    /// private copies and re-protects every page.
+    ///
+    /// In native mode this is a no-op (writes were already direct).
+    pub fn commit(&mut self) -> CommitOutcome {
+        if self.mode == TrackingMode::Native {
+            return CommitOutcome::default();
+        }
+        let start = Instant::now();
+        let mut outcome = CommitOutcome::default();
+        for (page, p) in self.private.drain() {
+            outcome.pages_examined += 1;
+            let diff = diff_page(&p.twin, &p.working);
+            if !diff.is_empty() {
+                outcome.pages_changed += 1;
+                outcome.bytes_written += diff.changed_bytes();
+                apply_diff(&self.image.page(page), &diff);
+            }
+        }
+        self.protections.clear();
+        self.stats.commits += 1;
+        self.stats.pages_examined += outcome.pages_examined as u64;
+        self.stats.pages_committed += outcome.pages_changed as u64;
+        self.stats.bytes_committed += outcome.bytes_written as u64;
+        self.stats.commit_time += start.elapsed();
+        outcome
+    }
+
+    /// Discards buffered writes without publishing them (used when a thread
+    /// aborts). Private copies and protections are dropped.
+    pub fn discard(&mut self) {
+        self.private.clear();
+        self.protections.clear();
+        self.access_log.clear();
+    }
+
+    // ----- fault path ------------------------------------------------------
+
+    fn fault_on_read(&mut self, page: PageId) {
+        let prot = self.protections.entry(page).or_default();
+        if prot.readable {
+            return;
+        }
+        let start = Instant::now();
+        prot.readable = true;
+        self.stats.read_faults += 1;
+        self.access_log.push(AccessRecord { page, write: false });
+        self.stats.fault_time += start.elapsed();
+    }
+
+    fn fault_on_write(&mut self, page: PageId) {
+        let needs_fault = !self
+            .protections
+            .get(&page)
+            .map(|p| p.writable)
+            .unwrap_or(false);
+        if needs_fault {
+            let start = Instant::now();
+            let prot = self.protections.entry(page).or_default();
+            prot.writable = true;
+            prot.readable = true;
+            self.stats.write_faults += 1;
+            self.access_log.push(AccessRecord { page, write: true });
+            if !self.private.contains_key(&page) {
+                let twin = self.image.page(page).snapshot();
+                self.private.insert(
+                    page,
+                    PrivatePage {
+                        working: twin.clone(),
+                        twin,
+                    },
+                );
+                self.stats.pages_copied += 1;
+            }
+            self.stats.fault_time += start.elapsed();
+        } else if !self.private.contains_key(&page) {
+            // Can only happen if protections survived a commit, which clears
+            // private pages; recreate the copy defensively.
+            let twin = self.image.page(page).snapshot();
+            self.private.insert(
+                page,
+                PrivatePage {
+                    working: twin.clone(),
+                    twin,
+                },
+            );
+            self.stats.pages_copied += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(mode: TrackingMode) -> (Arc<SharedImage>, ThreadMemory, VirtAddr) {
+        let image = SharedImage::shared(4096);
+        let region = image.map_region("heap", 4096 * 8);
+        let mem = ThreadMemory::new(Arc::clone(&image), mode);
+        (image, mem, region.base())
+    }
+
+    #[test]
+    fn tracked_writes_are_buffered_until_commit() {
+        let (image, mut mem, base) = setup(TrackingMode::Tracked);
+        mem.write_u64(base, 99);
+        assert_eq!(mem.read_u64(base), 99, "read-your-writes");
+        assert_eq!(image.read_u64_direct(base), 0, "not yet visible");
+        mem.commit();
+        assert_eq!(image.read_u64_direct(base), 99);
+        assert_eq!(mem.private_pages(), 0, "private copies dropped at commit");
+    }
+
+    #[test]
+    fn native_writes_are_immediate() {
+        let (image, mut mem, base) = setup(TrackingMode::Native);
+        mem.write_u64(base, 7);
+        assert_eq!(image.read_u64_direct(base), 7);
+        assert_eq!(mem.stats().total_faults(), 0);
+        assert!(mem.take_access_log().is_empty());
+    }
+
+    #[test]
+    fn first_touch_faults_once_per_interval() {
+        let (_image, mut mem, base) = setup(TrackingMode::Tracked);
+        mem.read_u64(base);
+        mem.read_u64(base.add(8)); // same page
+        assert_eq!(mem.stats().read_faults, 1);
+        mem.write_u64(base, 1);
+        mem.write_u64(base.add(16), 2);
+        assert_eq!(mem.stats().write_faults, 1);
+
+        // New interval: protections reset, faults happen again.
+        mem.commit();
+        mem.protect_all();
+        mem.read_u64(base);
+        assert_eq!(mem.stats().read_faults, 2);
+    }
+
+    #[test]
+    fn access_log_records_first_touches() {
+        let (_image, mut mem, base) = setup(TrackingMode::Tracked);
+        mem.read_u64(base);
+        mem.write_u64(base.add(4096), 1);
+        let log = mem.take_access_log();
+        assert_eq!(log.len(), 2);
+        assert!(!log[0].write);
+        assert!(log[1].write);
+        assert!(mem.take_access_log().is_empty(), "log is drained");
+    }
+
+    #[test]
+    fn updates_from_other_threads_visible_after_reprotect() {
+        let (image, mut mem, base) = setup(TrackingMode::Tracked);
+        assert_eq!(mem.read_u64(base), 0);
+        // Another thread commits a new value directly.
+        image.write_u64_direct(base, 123);
+        // Still the old interval: our view has no private copy of the page
+        // (we only read it), so a fresh read sees the update only after the
+        // protections are reset — which is fine under RC since visibility is
+        // only guaranteed after a synchronization point anyway.
+        mem.protect_all();
+        assert_eq!(mem.read_u64(base), 123);
+    }
+
+    #[test]
+    fn private_copy_isolates_from_concurrent_commits() {
+        let (image, mut mem, base) = setup(TrackingMode::Tracked);
+        mem.write_u64(base, 5); // creates twin + working copy
+        image.write_u64_direct(base.add(8), 77); // concurrent write by other thread
+        // Our working copy was taken before the concurrent write, so we do
+        // not see it until the next interval.
+        assert_eq!(mem.read_u64(base.add(8)), 0);
+        mem.commit();
+        mem.protect_all();
+        assert_eq!(mem.read_u64(base.add(8)), 77);
+    }
+
+    #[test]
+    fn commit_preserves_other_threads_disjoint_bytes() {
+        let (image, mut mem, base) = setup(TrackingMode::Tracked);
+        mem.write_u64(base, 1); // our write at offset 0
+        image.write_u64_direct(base.add(8), 2); // concurrent write at offset 8
+        mem.commit();
+        // Both survive because the commit only writes changed bytes.
+        assert_eq!(image.read_u64_direct(base), 1);
+        assert_eq!(image.read_u64_direct(base.add(8)), 2);
+    }
+
+    #[test]
+    fn commit_outcome_counts_changes() {
+        let (_image, mut mem, base) = setup(TrackingMode::Tracked);
+        mem.write_u64(base, 1);
+        mem.write_u64(base.add(4096), 2);
+        let outcome = mem.commit();
+        assert_eq!(outcome.pages_examined, 2);
+        assert_eq!(outcome.pages_changed, 2);
+        assert_eq!(outcome.bytes_written, 2, "one non-zero byte per u64");
+        assert_eq!(mem.stats().commits, 1);
+    }
+
+    #[test]
+    fn discard_throws_away_buffered_writes() {
+        let (image, mut mem, base) = setup(TrackingMode::Tracked);
+        mem.write_u64(base, 42);
+        mem.discard();
+        mem.commit();
+        assert_eq!(image.read_u64_direct(base), 0);
+    }
+
+    #[test]
+    fn reads_crossing_page_boundary_fault_both_pages() {
+        let (_image, mut mem, base) = setup(TrackingMode::Tracked);
+        let boundary = base.add(4096 - 4);
+        mem.read_u64(boundary);
+        assert_eq!(mem.stats().read_faults, 2);
+    }
+
+    #[test]
+    fn typed_helpers_roundtrip() {
+        let (_image, mut mem, base) = setup(TrackingMode::Tracked);
+        mem.write_u32(base, 0xaabb);
+        assert_eq!(mem.read_u32(base), 0xaabb);
+        mem.write_i64(base.add(8), -5);
+        assert_eq!(mem.read_i64(base.add(8)), -5);
+        mem.write_f64(base.add(16), 2.25);
+        assert_eq!(mem.read_f64(base.add(16)), 2.25);
+        mem.write_u8(base.add(24), 9);
+        assert_eq!(mem.read_u8(base.add(24)), 9);
+    }
+}

@@ -1,0 +1,93 @@
+//! Space and bandwidth accounting for the provenance log (Figure 9).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::compress::{compression_ratio, lz_compress};
+
+/// Space-overhead report for one application run: the columns of the paper's
+/// Figure 9 table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpaceReport {
+    /// Raw provenance log size in bytes (PT packets + threading-library
+    /// records + perf framing).
+    pub log_bytes: u64,
+    /// Size after LZ compression.
+    pub compressed_bytes: u64,
+    /// `log_bytes / compressed_bytes`.
+    pub compression_ratio: f64,
+    /// Log production bandwidth in bytes per second of traced execution.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Branch instructions traced per second of traced execution.
+    pub branches_per_sec: f64,
+    /// Total branch instructions traced.
+    pub branches: u64,
+}
+
+impl SpaceReport {
+    /// Builds a report by compressing `log` and relating it to the traced
+    /// execution time.
+    pub fn from_log(log: &[u8], branches: u64, elapsed: Duration) -> Self {
+        let compressed = lz_compress(log);
+        Self::from_sizes(log.len() as u64, compressed.len() as u64, branches, elapsed)
+    }
+
+    /// Builds a report from already-known sizes (used when the log is too
+    /// large to keep in memory and was compressed incrementally).
+    pub fn from_sizes(
+        log_bytes: u64,
+        compressed_bytes: u64,
+        branches: u64,
+        elapsed: Duration,
+    ) -> Self {
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        SpaceReport {
+            log_bytes,
+            compressed_bytes,
+            compression_ratio: compression_ratio(log_bytes as usize, compressed_bytes as usize),
+            bandwidth_bytes_per_sec: log_bytes as f64 / secs,
+            branches_per_sec: branches as f64 / secs,
+            branches,
+        }
+    }
+
+    /// Log size in mebibytes.
+    pub fn log_megabytes(&self) -> f64 {
+        self.log_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Compressed size in mebibytes.
+    pub fn compressed_megabytes(&self) -> f64 {
+        self.compressed_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Bandwidth in MB/s.
+    pub fn bandwidth_mb_per_sec(&self) -> f64 {
+        self.bandwidth_bytes_per_sec / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_from_log_computes_ratio_and_bandwidth() {
+        let log: Vec<u8> = std::iter::repeat_n(0xAAu8, 1 << 20).collect();
+        let report = SpaceReport::from_log(&log, 500_000, Duration::from_secs(2));
+        assert_eq!(report.log_bytes, 1 << 20);
+        assert!(report.compression_ratio > 10.0, "constant data compresses");
+        assert!((report.log_megabytes() - 1.0).abs() < 1e-9);
+        assert!((report.bandwidth_mb_per_sec() - 0.5).abs() < 1e-9);
+        assert!((report.branches_per_sec - 250_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_elapsed_does_not_divide_by_zero() {
+        let report = SpaceReport::from_sizes(100, 50, 10, Duration::ZERO);
+        assert!(report.bandwidth_bytes_per_sec.is_finite());
+        assert_eq!(report.compression_ratio, 2.0);
+        assert!(report.compressed_megabytes() > 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! perf event records.
+//!
+//! A small subset of the `perf_event` record types, enough to reconstruct
+//! what `perf record` would have written for an INSPECTOR run: process
+//! lifecycle events (needed to follow the cgroup), `mmap` events (needed by
+//! the PT decoder to map trace IPs back onto binaries), and AUX records
+//! carrying the PT packet payloads.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cgroup::ProcessId;
+
+/// One perf event record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PerfEvent {
+    /// A new process entered the system (fork/clone).
+    Fork {
+        /// Parent process.
+        parent: ProcessId,
+        /// Child process.
+        child: ProcessId,
+    },
+    /// A process exited.
+    Exit {
+        /// The exiting process.
+        pid: ProcessId,
+    },
+    /// A process mapped an executable region (the decoder uses these to map
+    /// IPs back onto loadables).
+    Mmap {
+        /// The mapping process.
+        pid: ProcessId,
+        /// Start of the mapping.
+        addr: u64,
+        /// Length of the mapping.
+        len: u64,
+        /// Path of the mapped file.
+        filename: String,
+    },
+    /// A chunk of AUX (Intel PT) data became available for a process.
+    Aux {
+        /// The traced process.
+        pid: ProcessId,
+        /// The PT packet bytes.
+        data: Vec<u8>,
+    },
+    /// AUX data was lost (the consumer could not keep up).
+    Lost {
+        /// The traced process.
+        pid: ProcessId,
+        /// Number of bytes lost.
+        bytes: u64,
+    },
+    /// A generic counter sample (unused by provenance, present for
+    /// completeness of the interface).
+    Sample {
+        /// The sampled process.
+        pid: ProcessId,
+        /// Instruction pointer of the sample.
+        ip: u64,
+    },
+}
+
+impl PerfEvent {
+    /// The process this event belongs to (the child for fork events).
+    pub fn pid(&self) -> ProcessId {
+        match *self {
+            PerfEvent::Fork { child, .. } => child,
+            PerfEvent::Exit { pid }
+            | PerfEvent::Mmap { pid, .. }
+            | PerfEvent::Aux { pid, .. }
+            | PerfEvent::Lost { pid, .. }
+            | PerfEvent::Sample { pid, .. } => pid,
+        }
+    }
+
+    /// Approximate on-disk size of the record in bytes (header + payload),
+    /// used for log-size accounting.
+    pub fn encoded_size(&self) -> usize {
+        const HEADER: usize = 8;
+        HEADER
+            + match self {
+                PerfEvent::Fork { .. } => 16,
+                PerfEvent::Exit { .. } => 8,
+                PerfEvent::Mmap { filename, .. } => 24 + filename.len(),
+                PerfEvent::Aux { data, .. } => 16 + data.len(),
+                PerfEvent::Lost { .. } => 16,
+                PerfEvent::Sample { .. } => 16,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_extraction() {
+        assert_eq!(
+            PerfEvent::Fork {
+                parent: ProcessId(1),
+                child: ProcessId(2)
+            }
+            .pid(),
+            ProcessId(2)
+        );
+        assert_eq!(PerfEvent::Exit { pid: ProcessId(3) }.pid(), ProcessId(3));
+    }
+
+    #[test]
+    fn encoded_size_scales_with_payload() {
+        let small = PerfEvent::Aux {
+            pid: ProcessId(1),
+            data: vec![0; 10],
+        };
+        let big = PerfEvent::Aux {
+            pid: ProcessId(1),
+            data: vec![0; 1000],
+        };
+        assert!(big.encoded_size() > small.encoded_size());
+        let mmap = PerfEvent::Mmap {
+            pid: ProcessId(1),
+            addr: 0,
+            len: 0,
+            filename: "libinspector.so".into(),
+        };
+        assert!(mmap.encoded_size() > 24);
+    }
+}

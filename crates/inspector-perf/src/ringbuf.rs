@@ -1,0 +1,178 @@
+//! Fixed-size slot ring for the snapshot facility.
+//!
+//! The paper's snapshot mechanism (§VI) stores snapshots of the provenance
+//! log in a simple ring buffer "with a configurable number of slots (each
+//! slot size is set to 4 MB)"; once the user has consumed a snapshot its slot
+//! is reused. This module is that ring: a bounded queue of byte blobs with
+//! overwrite-oldest semantics and occupancy accounting.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// Default slot size (4 MiB), matching the paper.
+pub const DEFAULT_SLOT_BYTES: usize = 4 << 20;
+
+/// Statistics of a slot ring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotRingStats {
+    /// Snapshots stored.
+    pub stored: u64,
+    /// Snapshots dropped because the ring was full (oldest overwritten).
+    pub overwritten: u64,
+    /// Snapshots consumed by the user.
+    pub consumed: u64,
+    /// Snapshots rejected because they exceeded the slot size.
+    pub oversized: u64,
+}
+
+/// A bounded ring of equally-sized snapshot slots.
+#[derive(Debug)]
+pub struct SlotRing {
+    slot_bytes: usize,
+    slots: usize,
+    queue: VecDeque<Vec<u8>>,
+    stats: SlotRingStats,
+}
+
+impl SlotRing {
+    /// Creates a ring of `slots` slots of `slot_bytes` bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` or `slot_bytes` is zero.
+    pub fn new(slots: usize, slot_bytes: usize) -> Self {
+        assert!(slots > 0, "slot ring needs at least one slot");
+        assert!(slot_bytes > 0, "slot size must be non-zero");
+        SlotRing {
+            slot_bytes,
+            slots,
+            queue: VecDeque::with_capacity(slots),
+            stats: SlotRingStats::default(),
+        }
+    }
+
+    /// Creates a ring with the paper's default 4 MB slots.
+    pub fn with_default_slot_size(slots: usize) -> Self {
+        Self::new(slots, DEFAULT_SLOT_BYTES)
+    }
+
+    /// Slot size in bytes.
+    pub fn slot_bytes(&self) -> usize {
+        self.slot_bytes
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of snapshots currently stored.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if no snapshot is stored.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SlotRingStats {
+        self.stats
+    }
+
+    /// Stores a snapshot. If it does not fit in a slot it is rejected and
+    /// `false` is returned; if the ring is full the oldest snapshot is
+    /// overwritten.
+    pub fn store(&mut self, snapshot: Vec<u8>) -> bool {
+        if snapshot.len() > self.slot_bytes {
+            self.stats.oversized += 1;
+            return false;
+        }
+        if self.queue.len() == self.slots {
+            self.queue.pop_front();
+            self.stats.overwritten += 1;
+        }
+        self.queue.push_back(snapshot);
+        self.stats.stored += 1;
+        true
+    }
+
+    /// Consumes the oldest stored snapshot, freeing its slot.
+    pub fn consume(&mut self) -> Option<Vec<u8>> {
+        let s = self.queue.pop_front();
+        if s.is_some() {
+            self.stats.consumed += 1;
+        }
+        s
+    }
+
+    /// Total bytes currently resident in the ring.
+    pub fn resident_bytes(&self) -> usize {
+        self.queue.iter().map(|s| s.len()).sum()
+    }
+
+    /// Upper bound of space the ring can ever occupy.
+    pub fn max_bytes(&self) -> usize {
+        self.slots * self.slot_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_and_consume_fifo() {
+        let mut ring = SlotRing::new(2, 16);
+        assert!(ring.store(vec![1]));
+        assert!(ring.store(vec![2]));
+        assert_eq!(ring.consume(), Some(vec![1]));
+        assert_eq!(ring.consume(), Some(vec![2]));
+        assert_eq!(ring.consume(), None);
+        assert_eq!(ring.stats().consumed, 2);
+    }
+
+    #[test]
+    fn full_ring_overwrites_oldest() {
+        let mut ring = SlotRing::new(2, 16);
+        ring.store(vec![1]);
+        ring.store(vec![2]);
+        ring.store(vec![3]);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.stats().overwritten, 1);
+        assert_eq!(ring.consume(), Some(vec![2]));
+    }
+
+    #[test]
+    fn oversized_snapshots_are_rejected() {
+        let mut ring = SlotRing::new(1, 4);
+        assert!(!ring.store(vec![0; 5]));
+        assert!(ring.is_empty());
+        assert_eq!(ring.stats().oversized, 1);
+    }
+
+    #[test]
+    fn space_accounting() {
+        let mut ring = SlotRing::new(3, 100);
+        ring.store(vec![0; 10]);
+        ring.store(vec![0; 20]);
+        assert_eq!(ring.resident_bytes(), 30);
+        assert_eq!(ring.max_bytes(), 300);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.slot_bytes(), 100);
+    }
+
+    #[test]
+    fn default_slot_size_matches_paper() {
+        let ring = SlotRing::with_default_slot_size(2);
+        assert_eq!(ring.slot_bytes(), 4 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        SlotRing::new(0, 16);
+    }
+}

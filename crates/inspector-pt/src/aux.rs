@@ -1,0 +1,217 @@
+//! The AUX area ring buffer.
+//!
+//! Intel PT writes its packet stream into the perf "AUX area", a ring buffer
+//! shared with user space. Two modes matter for INSPECTOR (paper §V-B and
+//! §VI):
+//!
+//! * **full-trace mode** — the kernel never overwrites data user space has
+//!   not collected; if the consumer is too slow the *producer* drops packets
+//!   and the trace has gaps (an OVF packet marks the spot);
+//! * **snapshot mode** — old data is constantly overwritten so the buffer
+//!   always holds the most recent window; a snapshot is grabbed around an
+//!   event of interest (`SIGUSR2` in perf).
+
+use serde::{Deserialize, Serialize};
+
+use crate::packet::{OPC_ESCAPE, OPC_OVF};
+
+/// AUX buffer operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuxMode {
+    /// Never overwrite uncollected data; drop (and mark) when full.
+    FullTrace,
+    /// Constantly overwrite the oldest data (snapshot mode).
+    Snapshot,
+}
+
+/// Statistics of one AUX buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuxStats {
+    /// Bytes offered by the producer.
+    pub bytes_produced: u64,
+    /// Bytes accepted into the buffer.
+    pub bytes_written: u64,
+    /// Bytes dropped because the buffer was full (full-trace mode only).
+    pub bytes_lost: u64,
+    /// Bytes overwritten before collection (snapshot mode only).
+    pub bytes_overwritten: u64,
+    /// Number of distinct gaps (overflow episodes).
+    pub gaps: u64,
+}
+
+/// A bounded ring buffer carrying the PT packet stream.
+#[derive(Debug)]
+pub struct AuxBuffer {
+    mode: AuxMode,
+    capacity: usize,
+    data: Vec<u8>,
+    stats: AuxStats,
+    in_overflow: bool,
+}
+
+impl AuxBuffer {
+    /// Creates a buffer of `capacity` bytes in the given mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(mode: AuxMode, capacity: usize) -> Self {
+        assert!(capacity > 0, "AUX buffer capacity must be non-zero");
+        AuxBuffer {
+            mode,
+            capacity,
+            data: Vec::with_capacity(capacity.min(1 << 20)),
+            stats: AuxStats::default(),
+            in_overflow: false,
+        }
+    }
+
+    /// The operating mode.
+    pub fn mode(&self) -> AuxMode {
+        self.mode
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> AuxStats {
+        self.stats
+    }
+
+    /// Offers packet bytes to the buffer (the producer side).
+    pub fn produce(&mut self, bytes: &[u8]) {
+        self.stats.bytes_produced += bytes.len() as u64;
+        match self.mode {
+            AuxMode::FullTrace => {
+                let free = self.capacity - self.data.len();
+                if bytes.len() <= free {
+                    if self.in_overflow {
+                        // Mark the gap before resuming, like the hardware
+                        // emitting OVF when it recovers.
+                        if self.capacity - self.data.len() >= 2 {
+                            self.data.push(OPC_ESCAPE);
+                            self.data.push(OPC_OVF);
+                            self.stats.bytes_written += 2;
+                        }
+                        self.in_overflow = false;
+                    }
+                    self.data.extend_from_slice(bytes);
+                    self.stats.bytes_written += bytes.len() as u64;
+                } else {
+                    if !self.in_overflow {
+                        self.stats.gaps += 1;
+                        self.in_overflow = true;
+                    }
+                    self.stats.bytes_lost += bytes.len() as u64;
+                }
+            }
+            AuxMode::Snapshot => {
+                self.data.extend_from_slice(bytes);
+                self.stats.bytes_written += bytes.len() as u64;
+                if self.data.len() > self.capacity {
+                    let excess = self.data.len() - self.capacity;
+                    self.data.drain(..excess);
+                    self.stats.bytes_overwritten += excess as u64;
+                }
+            }
+        }
+    }
+
+    /// Collects (drains) everything currently buffered — the consumer side,
+    /// equivalent to `perf record` copying the AUX area to disk.
+    pub fn collect(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.data)
+    }
+
+    /// Peeks at the buffered bytes without draining them (snapshot grab).
+    pub fn peek(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_trace_accepts_until_capacity() {
+        let mut aux = AuxBuffer::new(AuxMode::FullTrace, 8);
+        aux.produce(&[1, 2, 3, 4]);
+        aux.produce(&[5, 6, 7, 8]);
+        assert_eq!(aux.len(), 8);
+        assert_eq!(aux.stats().bytes_lost, 0);
+    }
+
+    #[test]
+    fn full_trace_drops_and_marks_gap_when_full() {
+        let mut aux = AuxBuffer::new(AuxMode::FullTrace, 4);
+        aux.produce(&[1, 2, 3, 4]);
+        aux.produce(&[5, 6]); // dropped
+        assert_eq!(aux.stats().bytes_lost, 2);
+        assert_eq!(aux.stats().gaps, 1);
+        // Consumer drains, producer resumes: an OVF marker precedes new data.
+        let first = aux.collect();
+        assert_eq!(first, vec![1, 2, 3, 4]);
+        aux.produce(&[7]);
+        let second = aux.collect();
+        assert_eq!(second, vec![OPC_ESCAPE, OPC_OVF, 7]);
+    }
+
+    #[test]
+    fn consecutive_drops_count_as_one_gap() {
+        let mut aux = AuxBuffer::new(AuxMode::FullTrace, 2);
+        aux.produce(&[1, 2]);
+        aux.produce(&[3]);
+        aux.produce(&[4]);
+        assert_eq!(aux.stats().gaps, 1);
+        assert_eq!(aux.stats().bytes_lost, 2);
+    }
+
+    #[test]
+    fn snapshot_mode_keeps_most_recent_window() {
+        let mut aux = AuxBuffer::new(AuxMode::Snapshot, 4);
+        aux.produce(&[1, 2, 3]);
+        aux.produce(&[4, 5, 6]);
+        assert_eq!(aux.peek(), &[3, 4, 5, 6]);
+        assert_eq!(aux.stats().bytes_overwritten, 2);
+        assert_eq!(aux.stats().gaps, 0);
+    }
+
+    #[test]
+    fn collect_drains_buffer() {
+        let mut aux = AuxBuffer::new(AuxMode::Snapshot, 16);
+        aux.produce(&[1, 2, 3]);
+        assert_eq!(aux.collect(), vec![1, 2, 3]);
+        assert!(aux.is_empty());
+        assert_eq!(aux.capacity(), 16);
+        assert_eq!(aux.mode(), AuxMode::Snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        AuxBuffer::new(AuxMode::FullTrace, 0);
+    }
+
+    #[test]
+    fn produced_accounting_includes_lost_bytes() {
+        let mut aux = AuxBuffer::new(AuxMode::FullTrace, 2);
+        aux.produce(&[1, 2, 3, 4]);
+        assert_eq!(aux.stats().bytes_produced, 4);
+        assert_eq!(aux.stats().bytes_written, 0);
+        assert_eq!(aux.stats().bytes_lost, 4);
+    }
+}

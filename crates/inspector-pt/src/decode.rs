@@ -1,0 +1,387 @@
+//! The packet decoder: the software half integrated into `perf` (the Intel
+//! Processor Trace Decoder Library in the paper).
+
+use std::fmt;
+
+use crate::branch::BranchEvent;
+use crate::packet::{
+    ip_decompress, Packet, FUP_BASE, IP_BYTES_BY_CODE, OPC_ESCAPE, OPC_LONG_TNT, OPC_MODE,
+    OPC_OVF, OPC_PAD, OPC_PSB, OPC_PSBEND, TIP_BASE, TIP_PGD_BASE, TIP_PGE_BASE,
+};
+
+/// A malformed or truncated packet stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended in the middle of a packet.
+    Truncated {
+        /// Offset at which the truncated packet started.
+        offset: usize,
+    },
+    /// An unknown header byte was encountered.
+    UnknownPacket {
+        /// Offset of the bad byte.
+        offset: usize,
+        /// The byte value.
+        byte: u8,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { offset } => {
+                write!(f, "packet stream truncated at offset {offset}")
+            }
+            DecodeError::UnknownPacket { offset, byte } => {
+                write!(f, "unknown packet header {byte:#04x} at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes PT packet bytes back into packets and branch events.
+#[derive(Debug)]
+pub struct PacketDecoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+    last_ip: u64,
+}
+
+impl<'a> PacketDecoder<'a> {
+    /// Creates a decoder over a captured byte stream.
+    pub fn new(data: &'a [u8]) -> Self {
+        PacketDecoder {
+            data,
+            pos: 0,
+            last_ip: 0,
+        }
+    }
+
+    /// Current byte offset into the stream.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Skips forward to the next PSB packet (used to start decoding in the
+    /// middle of a wrapped snapshot buffer). Returns `true` if a PSB was
+    /// found.
+    pub fn sync_to_psb(&mut self) -> bool {
+        while self.pos + 4 <= self.data.len() {
+            if self.data[self.pos] == OPC_ESCAPE
+                && self.data[self.pos + 1] == OPC_PSB
+                && self.data[self.pos + 2] == OPC_ESCAPE
+                && self.data[self.pos + 3] == OPC_PSB
+            {
+                return true;
+            }
+            self.pos += 1;
+        }
+        false
+    }
+
+    /// Decodes the next packet, or `None` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation or unknown headers.
+    pub fn next_packet(&mut self) -> Result<Option<Packet>, DecodeError> {
+        if self.pos >= self.data.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let byte = self.data[self.pos];
+
+        if byte == OPC_PAD {
+            self.pos += 1;
+            return Ok(Some(Packet::Pad));
+        }
+        if byte == OPC_ESCAPE {
+            let second = *self
+                .data
+                .get(self.pos + 1)
+                .ok_or(DecodeError::Truncated { offset: start })?;
+            match second {
+                OPC_PSB => {
+                    // A PSB is eight 0x02 0x82 pairs; consume as many pairs
+                    // as are present (at least this one).
+                    let mut consumed = 0;
+                    while self.pos + 1 < self.data.len()
+                        && self.data[self.pos] == OPC_ESCAPE
+                        && self.data[self.pos + 1] == OPC_PSB
+                        && consumed < 8
+                    {
+                        self.pos += 2;
+                        consumed += 1;
+                    }
+                    // PSB resets the IP context.
+                    self.last_ip = 0;
+                    return Ok(Some(Packet::Psb));
+                }
+                OPC_PSBEND => {
+                    self.pos += 2;
+                    return Ok(Some(Packet::PsbEnd));
+                }
+                OPC_OVF => {
+                    self.pos += 2;
+                    return Ok(Some(Packet::Overflow));
+                }
+                OPC_LONG_TNT => {
+                    if self.pos + 8 > self.data.len() {
+                        return Err(DecodeError::Truncated { offset: start });
+                    }
+                    let mut payload = [0u8; 8];
+                    payload[..6].copy_from_slice(&self.data[self.pos + 2..self.pos + 8]);
+                    self.pos += 8;
+                    let value = u64::from_le_bytes(payload);
+                    return Ok(Some(Packet::Tnt {
+                        bits: unpack_tnt(value),
+                    }));
+                }
+                _ => {
+                    return Err(DecodeError::UnknownPacket {
+                        offset: start,
+                        byte: second,
+                    })
+                }
+            }
+        }
+        if byte == OPC_MODE {
+            let payload = *self
+                .data
+                .get(self.pos + 1)
+                .ok_or(DecodeError::Truncated { offset: start })?;
+            self.pos += 2;
+            return Ok(Some(Packet::Mode { payload }));
+        }
+        if byte & 1 == 0 {
+            // Short TNT.
+            self.pos += 1;
+            let value = (byte >> 1) as u64;
+            return Ok(Some(Packet::Tnt {
+                bits: unpack_tnt(value),
+            }));
+        }
+
+        // IP packet family.
+        let base = byte & 0x1F;
+        let code = byte >> 5;
+        let nbytes = IP_BYTES_BY_CODE
+            .get(code as usize)
+            .copied()
+            .ok_or(DecodeError::UnknownPacket {
+                offset: start,
+                byte,
+            })?;
+        if self.pos + 1 + nbytes > self.data.len() {
+            return Err(DecodeError::Truncated { offset: start });
+        }
+        let payload = &self.data[self.pos + 1..self.pos + 1 + nbytes];
+        let ip = ip_decompress(self.last_ip, code, payload);
+        self.pos += 1 + nbytes;
+        self.last_ip = ip;
+        match base {
+            TIP_BASE => Ok(Some(Packet::Tip { ip })),
+            TIP_PGE_BASE => Ok(Some(Packet::TipPge { ip })),
+            TIP_PGD_BASE => Ok(Some(Packet::TipPgd { ip })),
+            FUP_BASE => Ok(Some(Packet::Fup { ip })),
+            _ => Err(DecodeError::UnknownPacket {
+                offset: start,
+                byte,
+            }),
+        }
+    }
+
+    /// Decodes the remaining stream into packets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`] encountered.
+    pub fn decode_packets(&mut self) -> Result<Vec<Packet>, DecodeError> {
+        let mut out = Vec::new();
+        while let Some(p) = self.next_packet()? {
+            out.push(p);
+        }
+        Ok(out)
+    }
+
+    /// Decodes the remaining stream into branch events (the form consumed by
+    /// the provenance recorder).
+    ///
+    /// TNT bits become [`BranchEvent::Conditional`]; TIP packets become
+    /// [`BranchEvent::Indirect`] (returns are indistinguishable from other
+    /// indirect transfers at this level, as with real PT without
+    /// `ret`-compression disabled); TIP.PGE/PGD become trace start/stop
+    /// markers and OVF becomes [`BranchEvent::Overflow`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`] encountered.
+    pub fn decode_events(&mut self) -> Result<Vec<BranchEvent>, DecodeError> {
+        let mut out = Vec::new();
+        while let Some(p) = self.next_packet()? {
+            match p {
+                Packet::Tnt { bits } => {
+                    out.extend(bits.into_iter().map(|taken| BranchEvent::Conditional { taken }));
+                }
+                Packet::Tip { ip } => out.push(BranchEvent::Indirect { target: ip }),
+                Packet::TipPge { ip } => out.push(BranchEvent::TraceStart { ip }),
+                Packet::TipPgd { ip } => out.push(BranchEvent::TraceStop { ip }),
+                Packet::Overflow => out.push(BranchEvent::Overflow),
+                Packet::Pad | Packet::Psb | Packet::PsbEnd | Packet::Fup { .. } | Packet::Mode { .. } => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Unpacks TNT bits from a packed value with a terminating stop bit.
+fn unpack_tnt(value: u64) -> Vec<bool> {
+    if value == 0 {
+        return Vec::new();
+    }
+    let stop = 63 - value.leading_zeros() as usize;
+    (0..stop).map(|i| value & (1 << i) != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::PacketEncoder;
+
+    fn roundtrip(events: &[BranchEvent]) -> Vec<BranchEvent> {
+        let mut enc = PacketEncoder::new();
+        for e in events {
+            enc.branch(e);
+        }
+        let bytes = enc.drain();
+        PacketDecoder::new(&bytes).decode_events().unwrap()
+    }
+
+    #[test]
+    fn conditional_roundtrip_preserves_order_and_direction() {
+        let events: Vec<BranchEvent> = (0..20)
+            .map(|i| BranchEvent::Conditional { taken: i % 3 == 0 })
+            .collect();
+        assert_eq!(roundtrip(&events), events);
+    }
+
+    #[test]
+    fn indirect_roundtrip_preserves_targets() {
+        let events = vec![
+            BranchEvent::Indirect { target: 0x40_1000 },
+            BranchEvent::Indirect { target: 0x40_1040 },
+            BranchEvent::Indirect {
+                target: 0x7fff_ffff_1234,
+            },
+            BranchEvent::Indirect { target: 0x40_1040 },
+        ];
+        assert_eq!(roundtrip(&events), events);
+    }
+
+    #[test]
+    fn mixed_stream_roundtrip() {
+        let mut events = Vec::new();
+        for i in 0..100u64 {
+            if i % 7 == 0 {
+                events.push(BranchEvent::Indirect { target: 0x400000 + i * 16 });
+            } else {
+                events.push(BranchEvent::Conditional { taken: i % 2 == 0 });
+            }
+        }
+        assert_eq!(roundtrip(&events), events);
+    }
+
+    #[test]
+    fn returns_decode_as_indirect() {
+        let decoded = roundtrip(&[BranchEvent::Return { target: 0x1234 }]);
+        assert_eq!(decoded, vec![BranchEvent::Indirect { target: 0x1234 }]);
+    }
+
+    #[test]
+    fn full_trace_with_begin_and_finish_decodes() {
+        let mut enc = PacketEncoder::new();
+        enc.begin(0x400000);
+        for i in 0..10 {
+            enc.branch(&BranchEvent::Conditional { taken: i % 2 == 0 });
+        }
+        let bytes = enc.finish();
+        let mut dec = PacketDecoder::new(&bytes);
+        let packets = dec.decode_packets().unwrap();
+        assert_eq!(packets[0].mnemonic(), "PSB");
+        assert!(packets.iter().any(|p| p.mnemonic() == "TIP.PGE"));
+        assert!(packets.iter().any(|p| p.mnemonic() == "TNT"));
+        assert!(packets.iter().any(|p| p.mnemonic() == "TIP.PGD"));
+    }
+
+    #[test]
+    fn overflow_marker_survives_roundtrip() {
+        let decoded = roundtrip(&[
+            BranchEvent::Conditional { taken: true },
+            BranchEvent::Overflow,
+            BranchEvent::Conditional { taken: false },
+        ]);
+        assert_eq!(
+            decoded,
+            vec![
+                BranchEvent::Conditional { taken: true },
+                BranchEvent::Overflow,
+                BranchEvent::Conditional { taken: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn truncated_tip_is_an_error() {
+        let mut enc = PacketEncoder::new();
+        enc.branch(&BranchEvent::Indirect {
+            target: 0xdead_beef_f00d,
+        });
+        let mut bytes = enc.drain();
+        bytes.truncate(bytes.len() - 2);
+        let err = PacketDecoder::new(&bytes).decode_events().unwrap_err();
+        assert!(matches!(err, DecodeError::Truncated { .. }));
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn unknown_escape_is_an_error() {
+        let bytes = [OPC_ESCAPE, 0x55];
+        let err = PacketDecoder::new(&bytes).decode_events().unwrap_err();
+        assert!(matches!(err, DecodeError::UnknownPacket { .. }));
+    }
+
+    #[test]
+    fn sync_to_psb_skips_garbage_prefix() {
+        let mut enc = PacketEncoder::new();
+        enc.begin(0x400000);
+        enc.branch(&BranchEvent::Conditional { taken: true });
+        let bytes = enc.finish();
+        // Prepend garbage that is not decodable on its own.
+        let mut wrapped = vec![0xABu8, 0xCD, 0xEF];
+        wrapped.extend_from_slice(&bytes);
+        let mut dec = PacketDecoder::new(&wrapped);
+        assert!(dec.sync_to_psb());
+        let events = dec.decode_events().unwrap();
+        assert!(events.contains(&BranchEvent::Conditional { taken: true }));
+    }
+
+    #[test]
+    fn sync_to_psb_reports_absence() {
+        let mut dec = PacketDecoder::new(&[1, 2, 3]);
+        assert!(!dec.sync_to_psb());
+    }
+
+    #[test]
+    fn empty_stream_decodes_to_nothing() {
+        assert!(PacketDecoder::new(&[]).decode_events().unwrap().is_empty());
+    }
+
+    #[test]
+    fn pad_bytes_are_skipped() {
+        let bytes = [OPC_PAD, OPC_PAD, 0b0000_0110u8]; // two pads + TNT(taken)
+        let events = PacketDecoder::new(&bytes).decode_events().unwrap();
+        assert_eq!(events, vec![BranchEvent::Conditional { taken: true }]);
+    }
+}

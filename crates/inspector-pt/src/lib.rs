@@ -1,0 +1,54 @@
+//! # inspector-pt
+//!
+//! A software model of **Intel Processor Trace (PT)** — the hardware
+//! control-flow tracing facility INSPECTOR uses to record control
+//! dependencies (paper §V-B).
+//!
+//! Real Intel PT logs retired branches into highly compressed packets:
+//! conditional branches become single **TNT** bits, indirect branches and
+//! returns become **TIP** packets carrying a (last-IP-compressed) target
+//! address, and the stream is periodically re-synchronised with **PSB**
+//! packets. The packets are written by the CPU into the *AUX area* ring
+//! buffer exposed through the Linux `perf` interface; if the consumer cannot
+//! keep up the stream has gaps (an **OVF** packet), and in *snapshot mode*
+//! the buffer simply wraps so that only the most recent window survives.
+//!
+//! This crate reproduces that pipeline in software with a byte-exact packet
+//! format: [`encode::PacketEncoder`] turns a stream of [`branch::BranchEvent`]s
+//! into packet bytes, [`aux::AuxBuffer`] models the ring buffer in both full
+//! and snapshot modes, and [`decode::PacketDecoder`] turns captured bytes
+//! back into branch events (re-synchronising at PSB boundaries after gaps).
+//! The encoder/decoder pair is what gives the evaluation its realistic trace
+//! volumes, bandwidths and compression ratios (Figures 6 and 9).
+//!
+//! ```
+//! use inspector_pt::branch::BranchEvent;
+//! use inspector_pt::encode::PacketEncoder;
+//! use inspector_pt::decode::PacketDecoder;
+//!
+//! let mut enc = PacketEncoder::new();
+//! enc.begin(0x4000);
+//! enc.branch(&BranchEvent::Conditional { taken: true });
+//! enc.branch(&BranchEvent::Indirect { target: 0x4100 });
+//! let bytes = enc.finish();
+//!
+//! let events = PacketDecoder::new(&bytes).decode_events().unwrap();
+//! assert!(events.contains(&BranchEvent::Conditional { taken: true }));
+//! assert!(events.contains(&BranchEvent::Indirect { target: 0x4100 }));
+//! ```
+
+pub mod aux;
+pub mod branch;
+pub mod decode;
+pub mod encode;
+pub mod packet;
+pub mod stats;
+pub mod trace;
+
+pub use aux::{AuxBuffer, AuxMode};
+pub use branch::BranchEvent;
+pub use decode::{DecodeError, PacketDecoder};
+pub use encode::PacketEncoder;
+pub use packet::Packet;
+pub use stats::PtStats;
+pub use trace::ThreadTrace;

@@ -1,0 +1,195 @@
+//! The PT packet format.
+//!
+//! The byte layout follows the real Intel PT encoding closely enough that
+//! trace sizes and compressibility are realistic:
+//!
+//! | Packet   | Encoding                                   |
+//! |----------|--------------------------------------------|
+//! | PAD      | `0x00`                                     |
+//! | TNT      | 1 byte, bit0 = 0, up to 6 T/NT bits + stop |
+//! | TNT.LONG | `0x02 0xA3` + 6 payload bytes (≤ 47 bits)  |
+//! | TIP      | header `0x0D \| ipbytes << 5` + IP bytes   |
+//! | TIP.PGE  | header `0x11 \| ipbytes << 5` + IP bytes   |
+//! | TIP.PGD  | header `0x01 \| ipbytes << 5` + IP bytes   |
+//! | FUP      | header `0x1D \| ipbytes << 5` + IP bytes   |
+//! | MODE     | `0x99` + 1 byte                            |
+//! | PSB      | `0x02 0x82` ×8 (16 bytes)                  |
+//! | PSBEND   | `0x02 0x23`                                |
+//! | OVF      | `0x02 0xF3`                                |
+//!
+//! IP payloads use last-IP compression: the header's `ipbytes` field says how
+//! many low-order bytes are present; the remaining high-order bytes are taken
+//! from the previously emitted IP.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of TNT bits a short TNT packet can carry.
+pub const SHORT_TNT_CAPACITY: usize = 6;
+/// Number of TNT bits a long TNT packet can carry.
+pub const LONG_TNT_CAPACITY: usize = 47;
+/// Byte length of a PSB packet.
+pub const PSB_LEN: usize = 16;
+
+/// Escape byte introducing two-byte opcodes.
+pub const OPC_ESCAPE: u8 = 0x02;
+/// Second byte of PSB (repeated).
+pub const OPC_PSB: u8 = 0x82;
+/// Second byte of PSBEND.
+pub const OPC_PSBEND: u8 = 0x23;
+/// Second byte of OVF.
+pub const OPC_OVF: u8 = 0xF3;
+/// Second byte of a long TNT.
+pub const OPC_LONG_TNT: u8 = 0xA3;
+/// MODE packet opcode.
+pub const OPC_MODE: u8 = 0x99;
+/// PAD packet opcode.
+pub const OPC_PAD: u8 = 0x00;
+
+/// Low 5 bits of a TIP header.
+pub const TIP_BASE: u8 = 0x0D;
+/// Low 5 bits of a TIP.PGE header.
+pub const TIP_PGE_BASE: u8 = 0x11;
+/// Low 5 bits of a TIP.PGD header.
+pub const TIP_PGD_BASE: u8 = 0x01;
+/// Low 5 bits of a FUP header.
+pub const FUP_BASE: u8 = 0x1D;
+
+/// How many low-order IP bytes each `ipbytes` code carries.
+pub const IP_BYTES_BY_CODE: [usize; 7] = [0, 2, 4, 6, 8, 0, 8];
+
+/// A decoded PT packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Packet {
+    /// Padding (alignment filler).
+    Pad,
+    /// Stream synchronisation boundary.
+    Psb,
+    /// End of the PSB+ header group.
+    PsbEnd,
+    /// The hardware dropped packets here.
+    Overflow,
+    /// Taken/not-taken bits for consecutive conditional branches, oldest
+    /// first.
+    Tnt {
+        /// The bits, oldest branch first (`true` = taken).
+        bits: Vec<bool>,
+    },
+    /// Target of an indirect branch / return.
+    Tip {
+        /// Reconstructed full instruction pointer.
+        ip: u64,
+    },
+    /// Tracing resumed (e.g. after a filtered region).
+    TipPge {
+        /// Instruction pointer where tracing resumed.
+        ip: u64,
+    },
+    /// Tracing paused.
+    TipPgd {
+        /// Instruction pointer where tracing paused.
+        ip: u64,
+    },
+    /// Flow-update packet (source IP for asynchronous events).
+    Fup {
+        /// The IP carried by the packet.
+        ip: u64,
+    },
+    /// Execution-mode packet.
+    Mode {
+        /// Raw mode payload byte.
+        payload: u8,
+    },
+}
+
+impl Packet {
+    /// A short human-readable mnemonic matching `perf script` output.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Packet::Pad => "PAD",
+            Packet::Psb => "PSB",
+            Packet::PsbEnd => "PSBEND",
+            Packet::Overflow => "OVF",
+            Packet::Tnt { .. } => "TNT",
+            Packet::Tip { .. } => "TIP",
+            Packet::TipPge { .. } => "TIP.PGE",
+            Packet::TipPgd { .. } => "TIP.PGD",
+            Packet::Fup { .. } => "FUP",
+            Packet::Mode { .. } => "MODE",
+        }
+    }
+}
+
+/// Chooses the smallest last-IP compression code able to represent `ip`
+/// relative to `last_ip`. Returns `(code, payload_byte_count)`.
+pub fn ip_compression(last_ip: u64, ip: u64) -> (u8, usize) {
+    if ip == last_ip {
+        (0, 0)
+    } else if ip >> 16 == last_ip >> 16 {
+        (1, 2)
+    } else if ip >> 32 == last_ip >> 32 {
+        (2, 4)
+    } else if ip >> 48 == last_ip >> 48 {
+        (3, 6)
+    } else {
+        (6, 8)
+    }
+}
+
+/// Reconstructs a full IP from `payload` low-order bytes and the previous IP.
+pub fn ip_decompress(last_ip: u64, code: u8, payload: &[u8]) -> u64 {
+    let n = payload.len();
+    debug_assert_eq!(n, IP_BYTES_BY_CODE[code as usize]);
+    if n == 0 {
+        return last_ip;
+    }
+    let mut low = 0u64;
+    for (i, &b) in payload.iter().enumerate() {
+        low |= (b as u64) << (8 * i);
+    }
+    if n == 8 {
+        low
+    } else {
+        let keep_mask = u64::MAX << (8 * n as u32);
+        (last_ip & keep_mask) | low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_are_distinct_for_tip_family() {
+        assert_eq!(Packet::Tip { ip: 0 }.mnemonic(), "TIP");
+        assert_eq!(Packet::TipPge { ip: 0 }.mnemonic(), "TIP.PGE");
+        assert_eq!(Packet::TipPgd { ip: 0 }.mnemonic(), "TIP.PGD");
+        assert_eq!(Packet::Fup { ip: 0 }.mnemonic(), "FUP");
+    }
+
+    #[test]
+    fn ip_compression_prefers_short_forms() {
+        assert_eq!(ip_compression(0x1234, 0x1234), (0, 0));
+        assert_eq!(ip_compression(0x0040_1000, 0x0040_2000), (1, 2));
+        assert_eq!(ip_compression(0x7f00_0040_1000, 0x7f00_0140_2000), (2, 4));
+        assert_eq!(
+            ip_compression(0xaaaa_7f00_0040_1000, 0xaaaa_0100_0040_1000),
+            (3, 6)
+        );
+        assert_eq!(ip_compression(0, 0xffff_ffff_ffff_ffff), (6, 8));
+    }
+
+    #[test]
+    fn ip_roundtrip_through_compression() {
+        let cases = [
+            (0x0040_1000u64, 0x0040_2000u64),
+            (0x7f00_0040_1000, 0x7f00_0140_2000),
+            (0, 0xdead_beef_cafe_f00d),
+            (0x5555, 0x5555),
+        ];
+        for (last, ip) in cases {
+            let (code, n) = ip_compression(last, ip);
+            let payload: Vec<u8> = ip.to_le_bytes()[..n].to_vec();
+            assert_eq!(ip_decompress(last, code, &payload), ip);
+        }
+    }
+}

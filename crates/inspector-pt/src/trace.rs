@@ -1,0 +1,273 @@
+//! Per-thread PT trace sessions: encoder + AUX buffer + statistics.
+//!
+//! The runtime gives every traced thread a [`ThreadTrace`]. Branch events are
+//! encoded immediately (that cost is the "OS support for Intel PT" share of
+//! the provenance overhead); the resulting packet bytes are pushed into the
+//! thread's AUX buffer and collected either continuously (full-trace mode) or
+//! on demand (snapshot mode).
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::aux::{AuxBuffer, AuxMode};
+use crate::branch::BranchEvent;
+use crate::decode::{DecodeError, PacketDecoder};
+use crate::encode::PacketEncoder;
+use crate::stats::PtStats;
+
+/// Configuration of a per-thread trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// AUX buffer mode.
+    pub mode: AuxMode,
+    /// AUX buffer capacity in bytes (perf uses 4 MiB slots by default;
+    /// the paper's snapshot facility uses 4 MB slots as well).
+    pub aux_capacity: usize,
+    /// Flush the encoder into the AUX buffer every this many branches.
+    pub flush_every: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            mode: AuxMode::FullTrace,
+            aux_capacity: 4 << 20,
+            flush_every: 4096,
+        }
+    }
+}
+
+/// A per-thread Intel PT trace.
+#[derive(Debug)]
+pub struct ThreadTrace {
+    encoder: PacketEncoder,
+    aux: AuxBuffer,
+    collected: Vec<u8>,
+    stats: PtStats,
+    config: TraceConfig,
+    since_flush: u64,
+}
+
+impl ThreadTrace {
+    /// Creates a trace with the default configuration and enables tracing at
+    /// `start_ip`.
+    pub fn new(start_ip: u64) -> Self {
+        Self::with_config(start_ip, TraceConfig::default())
+    }
+
+    /// Creates a trace with an explicit configuration.
+    pub fn with_config(start_ip: u64, config: TraceConfig) -> Self {
+        let mut encoder = PacketEncoder::new();
+        encoder.begin(start_ip);
+        ThreadTrace {
+            encoder,
+            aux: AuxBuffer::new(config.mode, config.aux_capacity),
+            collected: Vec::new(),
+            stats: PtStats::default(),
+            config,
+            since_flush: 0,
+        }
+    }
+
+    /// Records one branch event.
+    pub fn record(&mut self, event: BranchEvent) {
+        let start = Instant::now();
+        self.stats.branches += 1;
+        if event.is_conditional() {
+            self.stats.conditional_branches += 1;
+        }
+        self.encoder.branch(&event);
+        self.since_flush += 1;
+        if self.since_flush >= self.config.flush_every {
+            self.flush();
+        }
+        self.stats.encode_time += start.elapsed();
+    }
+
+    /// Records a conditional branch (convenience).
+    pub fn conditional(&mut self, taken: bool) {
+        self.record(BranchEvent::Conditional { taken });
+    }
+
+    /// Records an indirect branch/call (convenience).
+    pub fn indirect(&mut self, target: u64) {
+        self.record(BranchEvent::Indirect { target });
+    }
+
+    /// Flushes pending encoder output into the AUX buffer and, in full-trace
+    /// mode, collects the AUX contents into the trace log (what `perf
+    /// record` would write to `/tmp`).
+    pub fn flush(&mut self) {
+        let bytes = self.encoder.drain();
+        if !bytes.is_empty() {
+            self.stats.trace_bytes += bytes.len() as u64;
+            self.aux.produce(&bytes);
+        }
+        if self.config.mode == AuxMode::FullTrace {
+            let drained = self.aux.collect();
+            self.collected.extend_from_slice(&drained);
+        }
+        let aux_stats = self.aux.stats();
+        self.stats.bytes_lost = aux_stats.bytes_lost;
+        self.stats.gaps = aux_stats.gaps;
+        self.since_flush = 0;
+    }
+
+    /// Grabs a snapshot of the most recent trace window (snapshot mode):
+    /// emits a FUP marking the request point and returns the bytes currently
+    /// retained in the AUX buffer.
+    pub fn snapshot(&mut self, marker_ip: u64) -> Vec<u8> {
+        self.encoder.fup(marker_ip);
+        let bytes = self.encoder.drain();
+        self.stats.trace_bytes += bytes.len() as u64;
+        self.aux.produce(&bytes);
+        self.aux.peek().to_vec()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> PtStats {
+        self.stats
+    }
+
+    /// Finishes the trace and returns the full collected log.
+    pub fn finish(mut self) -> (Vec<u8>, PtStats) {
+        self.flush();
+        // finish() on the encoder emits the final TIP.PGD.
+        let encoder = std::mem::take(&mut self.encoder);
+        let tail = encoder.finish();
+        self.stats.trace_bytes += tail.len() as u64;
+        self.aux.produce(&tail);
+        let drained = self.aux.collect();
+        self.collected.extend_from_slice(&drained);
+        let aux_stats = self.aux.stats();
+        self.stats.bytes_lost = aux_stats.bytes_lost;
+        self.stats.gaps = aux_stats.gaps;
+        (self.collected, self.stats)
+    }
+
+    /// Decodes a collected log back into branch events.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the log is malformed.
+    pub fn decode(log: &[u8]) -> Result<Vec<BranchEvent>, DecodeError> {
+        PacketDecoder::new(log).decode_events()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_flush_finish_roundtrip() {
+        let mut trace = ThreadTrace::new(0x400000);
+        for i in 0..1000u64 {
+            if i % 10 == 0 {
+                trace.indirect(0x400000 + i);
+            } else {
+                trace.conditional(i % 3 == 0);
+            }
+        }
+        let (log, stats) = trace.finish();
+        assert_eq!(stats.branches, 1000);
+        assert_eq!(stats.conditional_branches, 900);
+        assert!(stats.trace_bytes > 0);
+        assert!(!log.is_empty());
+
+        let events = ThreadTrace::decode(&log).unwrap();
+        let conditionals = events.iter().filter(|e| e.is_conditional()).count();
+        assert_eq!(conditionals, 900);
+    }
+
+    #[test]
+    fn compression_keeps_bytes_per_branch_small() {
+        let mut trace = ThreadTrace::new(0);
+        for i in 0..10_000u64 {
+            trace.conditional(i % 2 == 0);
+        }
+        let (_, stats) = trace.finish();
+        assert!(
+            stats.bytes_per_branch() < 0.5,
+            "TNT compression should be well below one byte per branch, got {}",
+            stats.bytes_per_branch()
+        );
+    }
+
+    #[test]
+    fn full_trace_mode_with_tiny_aux_reports_loss_free_collection() {
+        // The runtime collects at every flush, so even a small AUX buffer
+        // does not lose data as long as flushes are frequent enough.
+        let mut trace = ThreadTrace::with_config(
+            0,
+            TraceConfig {
+                mode: AuxMode::FullTrace,
+                aux_capacity: 512,
+                flush_every: 16,
+            },
+        );
+        for i in 0..5_000u64 {
+            trace.indirect(i * 0x1111);
+        }
+        let (log, stats) = trace.finish();
+        assert_eq!(stats.bytes_lost, 0);
+        assert_eq!(stats.gaps, 0);
+        assert!(log.len() as u64 >= stats.trace_bytes);
+    }
+
+    #[test]
+    fn slow_consumer_loses_data_and_records_gaps() {
+        // Flushing rarely with a tiny AUX buffer models a consumer that
+        // cannot keep up: data must be lost and gaps recorded.
+        let mut trace = ThreadTrace::with_config(
+            0,
+            TraceConfig {
+                mode: AuxMode::FullTrace,
+                aux_capacity: 64,
+                flush_every: 1_000_000,
+            },
+        );
+        for i in 0..10_000u64 {
+            trace.indirect(i * 0x9999_7777);
+        }
+        trace.flush();
+        let stats = trace.stats();
+        assert!(stats.bytes_lost > 0);
+        assert!(stats.gaps >= 1);
+    }
+
+    #[test]
+    fn snapshot_mode_retains_recent_window_only() {
+        let mut trace = ThreadTrace::with_config(
+            0,
+            TraceConfig {
+                mode: AuxMode::Snapshot,
+                aux_capacity: 256,
+                flush_every: 8,
+            },
+        );
+        for i in 0..10_000u64 {
+            trace.conditional(i % 2 == 0);
+        }
+        let window = trace.snapshot(0xdead);
+        assert!(window.len() <= 256);
+        // The window decodes after re-syncing to a PSB (or from the start if
+        // it happens to begin on a packet boundary).
+        let mut dec = PacketDecoder::new(&window);
+        if dec.sync_to_psb() {
+            assert!(dec.decode_events().is_ok());
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_across_flushes() {
+        let mut trace = ThreadTrace::new(0);
+        trace.conditional(true);
+        trace.flush();
+        trace.conditional(false);
+        trace.flush();
+        assert_eq!(trace.stats().branches, 2);
+        assert!(trace.stats().trace_bytes > 0);
+    }
+}

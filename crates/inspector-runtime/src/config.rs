@@ -1,0 +1,115 @@
+//! Session configuration.
+
+use serde::{Deserialize, Serialize};
+
+use inspector_pt::aux::AuxMode;
+
+/// Whether a run is a plain pthreads baseline or a full INSPECTOR run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ExecutionMode {
+    /// Native pthreads baseline: direct shared-memory access, no tracking,
+    /// no PT encoding. Used as the denominator of every overhead figure.
+    Native,
+    /// Full provenance recording.
+    #[default]
+    Inspector,
+}
+
+/// Configuration of an [`crate::InspectorSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Execution mode.
+    pub mode: ExecutionMode,
+    /// Page size of the simulated MMU.
+    pub page_size: usize,
+    /// AUX buffer mode for the PT traces.
+    pub aux_mode: AuxMode,
+    /// AUX buffer capacity per thread, in bytes.
+    pub aux_capacity: usize,
+    /// Flush the PT encoder every this many branches.
+    pub pt_flush_every: u64,
+    /// Keep per-thread sub-computation logs in a shared store so consistent
+    /// snapshots can be taken while the program runs (§VI). Costs one clone
+    /// of each completed sub-computation.
+    pub live_snapshots: bool,
+    /// Number of snapshot ring slots (only used when `live_snapshots`).
+    pub snapshot_slots: usize,
+    /// Charge the cost of duplicating the page-table / protection state when
+    /// a thread (process) is created, as the real threads-as-processes
+    /// design does. Disable to isolate other overhead sources in ablations.
+    pub charge_spawn_cost: bool,
+}
+
+impl SessionConfig {
+    /// Full-provenance configuration with defaults matching the paper's
+    /// setup (4 KiB pages, 4 MiB AUX buffers, full-trace mode).
+    pub fn inspector() -> Self {
+        SessionConfig {
+            mode: ExecutionMode::Inspector,
+            page_size: 4096,
+            aux_mode: AuxMode::FullTrace,
+            aux_capacity: 4 << 20,
+            pt_flush_every: 4096,
+            live_snapshots: false,
+            snapshot_slots: 8,
+            charge_spawn_cost: true,
+        }
+    }
+
+    /// Native-baseline configuration.
+    pub fn native() -> Self {
+        SessionConfig {
+            mode: ExecutionMode::Native,
+            ..Self::inspector()
+        }
+    }
+
+    /// Returns a copy with the given mode.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Returns a copy with live snapshots enabled and the given slot count.
+    pub fn with_live_snapshots(mut self, slots: usize) -> Self {
+        self.live_snapshots = true;
+        self.snapshot_slots = slots;
+        self
+    }
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self::inspector()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_only_in_mode() {
+        let a = SessionConfig::inspector();
+        let b = SessionConfig::native();
+        assert_eq!(a.mode, ExecutionMode::Inspector);
+        assert_eq!(b.mode, ExecutionMode::Native);
+        assert_eq!(a.page_size, b.page_size);
+        assert_eq!(a.aux_capacity, b.aux_capacity);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = SessionConfig::native()
+            .with_mode(ExecutionMode::Inspector)
+            .with_live_snapshots(3);
+        assert_eq!(c.mode, ExecutionMode::Inspector);
+        assert!(c.live_snapshots);
+        assert_eq!(c.snapshot_slots, 3);
+    }
+
+    #[test]
+    fn default_is_inspector() {
+        assert_eq!(SessionConfig::default().mode, ExecutionMode::Inspector);
+    }
+}

@@ -1,0 +1,425 @@
+//! The per-thread execution context.
+//!
+//! A [`ThreadCtx`] is the handle through which application code touches
+//! shared memory, records branches and performs thread management. One
+//! context exists per logical thread; in INSPECTOR mode it bundles the
+//! thread's private memory view, provenance recorder and PT trace (the
+//! "thread as a process" of the paper), in native mode it degrades to a thin
+//! wrapper over direct shared-memory access.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use inspector_core::event::{AccessKind, BranchKind, SyncKind};
+use inspector_core::ids::{PageId as CorePageId, SyncObjectId, ThreadId};
+use inspector_core::recorder::ThreadRecorder;
+use inspector_mem::addr::VirtAddr;
+use inspector_mem::thread_mem::{ThreadMemory, TrackingMode};
+use inspector_perf::cgroup::ProcessId;
+use inspector_perf::event::PerfEvent;
+use inspector_pt::branch::BranchEvent;
+use inspector_pt::trace::{ThreadTrace, TraceConfig};
+
+use crate::config::ExecutionMode;
+use crate::session::Shared;
+
+/// Allocates process-wide unique synchronization-object identifiers.
+static NEXT_SYNC_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Returns a fresh synchronization-object identifier.
+pub fn fresh_sync_id() -> SyncObjectId {
+    SyncObjectId::new(NEXT_SYNC_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Handle to a spawned worker thread, returned by [`ThreadCtx::spawn`] and
+/// consumed by [`ThreadCtx::join`].
+#[derive(Debug)]
+pub struct JoinHandle {
+    pub(crate) os_handle: std::thread::JoinHandle<()>,
+    pub(crate) thread: ThreadId,
+    pub(crate) exit_object: SyncObjectId,
+}
+
+impl JoinHandle {
+    /// The logical thread id of the spawned worker.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+}
+
+/// The per-thread execution context.
+#[derive(Debug)]
+pub struct ThreadCtx {
+    shared: Arc<Shared>,
+    thread: ThreadId,
+    pid: ProcessId,
+    mem: ThreadMemory,
+    recorder: ThreadRecorder,
+    trace: Option<ThreadTrace>,
+    /// Synthetic program counter used to label conditional branches.
+    pc: u64,
+    spawn_overhead: Duration,
+}
+
+impl ThreadCtx {
+    pub(crate) fn new_root(shared: Arc<Shared>) -> Self {
+        let thread = shared.allocate_thread_id();
+        let pid = shared.allocate_pid();
+        shared.perf.register_root(pid);
+        Self::build(shared, thread, pid, Duration::ZERO)
+    }
+
+    pub(crate) fn new_child(
+        shared: Arc<Shared>,
+        thread: ThreadId,
+        pid: ProcessId,
+        start_object: SyncObjectId,
+    ) -> Self {
+        // Threads-as-processes: creating the child means duplicating its
+        // page-table/protection state for every mapped page, which is why
+        // process creation is noticeably more expensive than thread creation
+        // (the kmeans outlier in the paper).
+        let spawn_overhead = if shared.config.charge_spawn_cost
+            && shared.config.mode == ExecutionMode::Inspector
+        {
+            let start = Instant::now();
+            let mut checksum: u64 = 0;
+            for region in shared.image.regions() {
+                for page in region.pages() {
+                    checksum = checksum.wrapping_mul(31).wrapping_add(page.number());
+                }
+            }
+            std::hint::black_box(checksum);
+            start.elapsed()
+        } else {
+            Duration::ZERO
+        };
+        let mut ctx = Self::build(shared, thread, pid, spawn_overhead);
+        // The implicit happens-before edge of pthread_create: the parent
+        // released `start_object` just before forking; the child acquires it
+        // as its first action.
+        ctx.sync_boundary(start_object, SyncKind::Acquire);
+        ctx
+    }
+
+    fn build(
+        shared: Arc<Shared>,
+        thread: ThreadId,
+        pid: ProcessId,
+        spawn_overhead: Duration,
+    ) -> Self {
+        let tracking = match shared.config.mode {
+            ExecutionMode::Inspector => TrackingMode::Tracked,
+            ExecutionMode::Native => TrackingMode::Native,
+        };
+        let mem = ThreadMemory::new(Arc::clone(&shared.image), tracking);
+        let recorder = ThreadRecorder::new(thread, Arc::clone(&shared.registry));
+        let trace = match shared.config.mode {
+            ExecutionMode::Inspector => Some(ThreadTrace::with_config(
+                0x40_0000 + thread.index() as u64 * 0x1000,
+                TraceConfig {
+                    mode: shared.config.aux_mode,
+                    aux_capacity: shared.config.aux_capacity,
+                    flush_every: shared.config.pt_flush_every,
+                },
+            )),
+            ExecutionMode::Native => None,
+        };
+        ThreadCtx {
+            shared,
+            thread,
+            pid,
+            mem,
+            recorder,
+            trace,
+            pc: 0x40_0000,
+            spawn_overhead,
+        }
+    }
+
+    /// The logical thread id of this context.
+    pub fn thread_id(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The process id backing this thread (threads are processes).
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The execution mode of the session.
+    pub fn mode(&self) -> ExecutionMode {
+        self.shared.config.mode
+    }
+
+    // ----- shared-memory access ---------------------------------------------
+
+    /// Reads raw bytes from shared memory.
+    pub fn read_bytes(&mut self, addr: VirtAddr, buf: &mut [u8]) {
+        self.mem.read_bytes(addr, buf);
+    }
+
+    /// Writes raw bytes to shared memory.
+    pub fn write_bytes(&mut self, addr: VirtAddr, data: &[u8]) {
+        self.mem.write_bytes(addr, data);
+    }
+
+    /// Reads a `u64` from shared memory.
+    pub fn read_u64(&mut self, addr: VirtAddr) -> u64 {
+        self.mem.read_u64(addr)
+    }
+
+    /// Writes a `u64` to shared memory.
+    pub fn write_u64(&mut self, addr: VirtAddr, value: u64) {
+        self.mem.write_u64(addr, value);
+    }
+
+    /// Reads a `u32` from shared memory.
+    pub fn read_u32(&mut self, addr: VirtAddr) -> u32 {
+        self.mem.read_u32(addr)
+    }
+
+    /// Writes a `u32` to shared memory.
+    pub fn write_u32(&mut self, addr: VirtAddr, value: u32) {
+        self.mem.write_u32(addr, value);
+    }
+
+    /// Reads an `i64` from shared memory.
+    pub fn read_i64(&mut self, addr: VirtAddr) -> i64 {
+        self.mem.read_i64(addr)
+    }
+
+    /// Writes an `i64` to shared memory.
+    pub fn write_i64(&mut self, addr: VirtAddr, value: i64) {
+        self.mem.write_i64(addr, value);
+    }
+
+    /// Reads an `f64` from shared memory.
+    pub fn read_f64(&mut self, addr: VirtAddr) -> f64 {
+        self.mem.read_f64(addr)
+    }
+
+    /// Writes an `f64` to shared memory.
+    pub fn write_f64(&mut self, addr: VirtAddr, value: f64) {
+        self.mem.write_f64(addr, value);
+    }
+
+    /// Reads a byte from shared memory.
+    pub fn read_u8(&mut self, addr: VirtAddr) -> u8 {
+        self.mem.read_u8(addr)
+    }
+
+    /// Writes a byte to shared memory.
+    pub fn write_u8(&mut self, addr: VirtAddr, value: u8) {
+        self.mem.write_u8(addr, value);
+    }
+
+    // ----- heap ---------------------------------------------------------------
+
+    /// Allocates `size` bytes from the shared heap (the `malloc` shim).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared heap is exhausted.
+    pub fn alloc(&mut self, size: u64) -> VirtAddr {
+        self.shared
+            .allocator
+            .alloc(size)
+            .expect("shared heap exhausted")
+    }
+
+    /// Frees a block returned by [`alloc`](Self::alloc).
+    pub fn free(&mut self, addr: VirtAddr) {
+        self.shared.allocator.free(addr);
+    }
+
+    // ----- control flow --------------------------------------------------------
+
+    /// Sets the synthetic program counter used to label subsequent
+    /// conditional branches (typically once per loop or function).
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// Records a conditional branch with the given direction.
+    pub fn branch(&mut self, taken: bool) {
+        if self.mode() == ExecutionMode::Native {
+            return;
+        }
+        let kind = if taken {
+            BranchKind::ConditionalTaken
+        } else {
+            BranchKind::ConditionalNotTaken
+        };
+        self.recorder.on_branch(kind, self.pc);
+        if let Some(t) = self.trace.as_mut() {
+            t.record(BranchEvent::Conditional { taken });
+        }
+    }
+
+    /// Records an indirect branch / call to `target`.
+    pub fn call(&mut self, target: u64) {
+        if self.mode() == ExecutionMode::Native {
+            return;
+        }
+        self.recorder.on_branch(BranchKind::Indirect, target);
+        if let Some(t) = self.trace.as_mut() {
+            t.record(BranchEvent::Indirect { target });
+        }
+    }
+
+    /// Records a function return to `target`.
+    pub fn ret(&mut self, target: u64) {
+        if self.mode() == ExecutionMode::Native {
+            return;
+        }
+        self.recorder.on_branch(BranchKind::Return, target);
+        if let Some(t) = self.trace.as_mut() {
+            t.record(BranchEvent::Return { target });
+        }
+    }
+
+    // ----- synchronization boundary ---------------------------------------------
+
+    /// Ends the current sub-computation at a synchronization operation on
+    /// `object`: publishes buffered writes (shared-memory commit), feeds the
+    /// interval's first-touch accesses into the provenance recorder and
+    /// performs the vector-clock exchange.
+    ///
+    /// The synchronization primitives in [`crate::sync`] call this for you;
+    /// it is public so that custom primitives can participate in provenance
+    /// recording (anything more exotic than acquire/release — e.g. ad-hoc
+    /// spin loops — is unsupported, as in the paper).
+    pub fn sync_boundary(&mut self, object: SyncObjectId, kind: SyncKind) {
+        if self.mode() == ExecutionMode::Native {
+            return;
+        }
+        for rec in self.mem.take_access_log() {
+            let page = CorePageId::new(rec.page.number());
+            let access = if rec.write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            self.recorder.on_memory_access(page, access);
+        }
+        self.mem.commit();
+        self.recorder.on_synchronization(object, kind);
+        if self.shared.config.live_snapshots {
+            if let Some(sub) = self.recorder.completed().last() {
+                self.shared.push_live_sub(sub.clone());
+            }
+        }
+    }
+
+    // ----- thread management -------------------------------------------------
+
+    /// Spawns a worker thread running `f` (the `pthread_create` shim).
+    ///
+    /// Under INSPECTOR the worker becomes its own process: it gets a private
+    /// memory view, its own PT trace, and a fork event is reported to the
+    /// perf session so the cgroup filter follows it.
+    pub fn spawn<F>(&mut self, f: F) -> JoinHandle
+    where
+        F: FnOnce(&mut ThreadCtx) + Send + 'static,
+    {
+        let child_thread = self.shared.allocate_thread_id();
+        let child_pid = self.shared.allocate_pid();
+        let start_object = fresh_sync_id();
+        let exit_object = fresh_sync_id();
+
+        if self.mode() == ExecutionMode::Inspector {
+            // The parent's updates so far happen-before everything the child
+            // does: release the start object before forking.
+            self.sync_boundary(start_object, SyncKind::Release);
+            self.shared.perf.submit(PerfEvent::Fork {
+                parent: self.pid,
+                child: child_pid,
+            });
+        }
+
+        let shared = Arc::clone(&self.shared);
+        let os_handle = std::thread::spawn(move || {
+            let mut ctx = ThreadCtx::new_child(shared, child_thread, child_pid, start_object);
+            f(&mut ctx);
+            ctx.finish(Some(exit_object));
+        });
+        self.shared.note_spawn();
+
+        JoinHandle {
+            os_handle,
+            thread: child_thread,
+            exit_object,
+        }
+    }
+
+    /// Joins a worker thread (the `pthread_join` shim).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker panicked.
+    pub fn join(&mut self, handle: JoinHandle) {
+        handle
+            .os_handle
+            .join()
+            .expect("INSPECTOR worker thread panicked");
+        if self.mode() == ExecutionMode::Inspector {
+            // Everything the child did happens-before the join returning.
+            self.sync_boundary(handle.exit_object, SyncKind::Acquire);
+        }
+    }
+
+    /// Finalises the thread: commits outstanding writes, closes the last
+    /// sub-computation, finishes the PT trace and hands everything to the
+    /// session. Called automatically for workers and for the root thread.
+    pub(crate) fn finish(mut self, exit_object: Option<SyncObjectId>) {
+        let mode = self.mode();
+        if mode == ExecutionMode::Inspector {
+            if let Some(object) = exit_object {
+                self.sync_boundary(object, SyncKind::Release);
+            } else {
+                // Root thread: flush the final interval without a release.
+                for rec in self.mem.take_access_log() {
+                    let page = CorePageId::new(rec.page.number());
+                    let access = if rec.write {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    self.recorder.on_memory_access(page, access);
+                }
+                self.mem.commit();
+            }
+        } else {
+            // Native mode still has to make buffered writes visible (they
+            // are already direct, so this is a no-op) — nothing to do.
+        }
+
+        let mem_stats = self.mem.stats();
+        let (log, pt_stats) = match self.trace.take() {
+            Some(trace) => trace.finish(),
+            None => (Vec::new(), Default::default()),
+        };
+        if mode == ExecutionMode::Inspector && !log.is_empty() {
+            self.shared.perf.submit(PerfEvent::Aux {
+                pid: self.pid,
+                data: log,
+            });
+        }
+        self.recorder.on_thread_exit();
+        let recorder_stats = self.recorder.stats();
+        let subs = self.recorder.finish();
+        self.shared.push_outcome(crate::session::ThreadOutcome {
+            thread: self.thread,
+            subs,
+            mem: mem_stats,
+            pt: pt_stats,
+            recorder: recorder_stats,
+            spawn_overhead: self.spawn_overhead,
+        });
+        if mode == ExecutionMode::Inspector {
+            self.shared.perf.submit(PerfEvent::Exit { pid: self.pid });
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # inspector-runtime
+//!
+//! The INSPECTOR threading library (paper §V): a pthreads-like API whose
+//! synchronization primitives double as provenance recording points.
+//!
+//! An application is expressed as a closure receiving a [`ThreadCtx`]; it
+//! spawns workers, synchronises with [`sync::InspMutex`] / [`sync::InspBarrier`]
+//! / [`sync::InspSemaphore`] / [`sync::InspCondvar`], and accesses shared
+//! data through the context's typed read/write helpers. Running the same
+//! closure under [`ExecutionMode::Native`] gives the plain-pthreads baseline;
+//! running it under [`ExecutionMode::Inspector`] additionally:
+//!
+//! * tracks page-granularity read/write sets via simulated protection faults
+//!   ([`inspector_mem`]),
+//! * buffers writes in private copy-on-write pages and commits byte-level
+//!   diffs at synchronization points (Release Consistency),
+//! * encodes every recorded branch into an Intel-PT packet stream
+//!   ([`inspector_pt`]) routed through a perf-style session
+//!   ([`inspector_perf`]), and
+//! * assembles the Concurrent Provenance Graph ([`inspector_core`]) from the
+//!   per-thread execution sequences.
+//!
+//! ```
+//! use inspector_runtime::{ExecutionMode, InspectorSession, SessionConfig};
+//! use inspector_runtime::sync::InspMutex;
+//! use std::sync::Arc;
+//!
+//! let session = InspectorSession::new(SessionConfig::inspector());
+//! let counter = session.map_region("counter", 8).base();
+//! let lock = Arc::new(InspMutex::new());
+//!
+//! let report = session.run(move |ctx| {
+//!     let mut workers = Vec::new();
+//!     for _ in 0..2 {
+//!         let lock = Arc::clone(&lock);
+//!         workers.push(ctx.spawn(move |ctx| {
+//!             lock.lock(ctx);
+//!             let v = ctx.read_u64(counter);
+//!             ctx.write_u64(counter, v + 1);
+//!             lock.unlock(ctx);
+//!         }));
+//!     }
+//!     for w in workers {
+//!         ctx.join(w);
+//!     }
+//! });
+//! assert_eq!(report.cpg.stats().threads, 3); // main + 2 workers
+//! ```
+
+pub mod config;
+pub mod ctx;
+pub mod report;
+pub mod session;
+pub mod sync;
+
+pub use config::{ExecutionMode, SessionConfig};
+pub use ctx::{JoinHandle, ThreadCtx};
+pub use report::{PhaseBreakdown, RunReport, RunStats};
+pub use session::InspectorSession;
+
+// Re-export the substrate types that appear in the public API so downstream
+// users only need this crate.
+pub use inspector_core as core;
+pub use inspector_mem as mem;
+pub use inspector_perf as perf;
+pub use inspector_pt as pt;

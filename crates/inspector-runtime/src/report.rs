@@ -1,0 +1,178 @@
+//! Run reports: everything the evaluation harness needs from one execution.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use inspector_core::graph::Cpg;
+use inspector_core::recorder::RecorderStats;
+use inspector_mem::stats::MemStats;
+use inspector_perf::bandwidth::SpaceReport;
+use inspector_pt::stats::PtStats;
+
+use crate::config::ExecutionMode;
+
+/// Aggregated statistics of one run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// End-to-end wall-clock time of the run.
+    #[serde(with = "duration_nanos")]
+    pub wall_time: Duration,
+    /// Number of threads (including the main thread).
+    pub threads: usize,
+    /// Memory-tracking statistics summed over all threads.
+    pub mem: MemStats,
+    /// PT statistics summed over all threads.
+    pub pt: PtStats,
+    /// Recorder statistics summed over all threads.
+    pub recorder: RecorderStats,
+    /// Time spent duplicating per-process state at thread creation
+    /// (threads-as-processes cost).
+    #[serde(with = "duration_nanos")]
+    pub spawn_time: Duration,
+}
+
+impl RunStats {
+    /// Time attributable to the threading library: page-fault handling, twin
+    /// copying, diff/commit, and process-creation overhead (the dark share
+    /// of Figure 6).
+    pub fn threading_lib_time(&self) -> Duration {
+        self.mem.tracking_time() + self.spawn_time
+    }
+
+    /// Time attributable to the OS support for Intel PT: packet encoding and
+    /// AUX management (the light share of Figure 6).
+    pub fn pt_time(&self) -> Duration {
+        self.pt.encode_time
+    }
+
+    /// Page faults per wall-clock second (the Figure 7 "Faults/sec" column).
+    pub fn faults_per_sec(&self) -> f64 {
+        self.mem.total_faults() as f64 / self.wall_time.as_secs_f64().max(1e-9)
+    }
+
+    /// Branch instructions traced per wall-clock second (Figure 9 column).
+    pub fn branches_per_sec(&self) -> f64 {
+        self.pt.branches as f64 / self.wall_time.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Split of the measured overhead into its two sources, for the Figure 6
+/// breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Total overhead with respect to the native run (≥ 1.0, ratio).
+    pub total_overhead: f64,
+    /// Portion of the overhead attributed to the threading library.
+    pub threading_overhead: f64,
+    /// Portion attributed to the OS support for Intel PT.
+    pub pt_overhead: f64,
+}
+
+impl PhaseBreakdown {
+    /// Splits `total_overhead` (ratio of inspector to native wall time) into
+    /// the two components proportionally to the time each subsystem spent.
+    pub fn split(total_overhead: f64, stats: &RunStats) -> Self {
+        let threading = stats.threading_lib_time().as_secs_f64();
+        let pt = stats.pt_time().as_secs_f64();
+        let extra = (total_overhead - 1.0).max(0.0);
+        let denom = threading + pt;
+        let (threading_overhead, pt_overhead) = if denom <= f64::EPSILON {
+            (0.0, 0.0)
+        } else {
+            (extra * threading / denom, extra * pt / denom)
+        };
+        PhaseBreakdown {
+            total_overhead,
+            threading_overhead,
+            pt_overhead,
+        }
+    }
+}
+
+/// The complete result of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The mode the run executed in.
+    pub mode: ExecutionMode,
+    /// The Concurrent Provenance Graph (empty for native runs).
+    pub cpg: Cpg,
+    /// Aggregated run statistics.
+    pub stats: RunStats,
+    /// Space/bandwidth report for the provenance log (zeroed for native
+    /// runs).
+    pub space: SpaceReport,
+}
+
+impl RunReport {
+    /// Convenience: overhead of this run relative to a native wall time.
+    pub fn overhead_vs(&self, native_wall_time: Duration) -> f64 {
+        self.stats.wall_time.as_secs_f64() / native_wall_time.as_secs_f64().max(1e-9)
+    }
+}
+
+mod duration_nanos {
+    use std::time::Duration;
+
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        (d.as_nanos() as u64).serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        Ok(Duration::from_nanos(u64::deserialize(d)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_is_proportional() {
+        let mut stats = RunStats::default();
+        stats.mem.fault_time = Duration::from_millis(30);
+        stats.mem.commit_time = Duration::from_millis(30);
+        stats.pt.encode_time = Duration::from_millis(40);
+        let b = PhaseBreakdown::split(2.0, &stats);
+        assert!((b.total_overhead - 2.0).abs() < 1e-9);
+        assert!((b.threading_overhead - 0.6).abs() < 1e-9);
+        assert!((b.pt_overhead - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_handles_zero_time() {
+        let b = PhaseBreakdown::split(1.5, &RunStats::default());
+        assert_eq!(b.threading_overhead, 0.0);
+        assert_eq!(b.pt_overhead, 0.0);
+    }
+
+    #[test]
+    fn breakdown_never_negative() {
+        let mut stats = RunStats::default();
+        stats.pt.encode_time = Duration::from_millis(1);
+        let b = PhaseBreakdown::split(0.9, &stats); // inspector faster than native
+        assert_eq!(b.threading_overhead, 0.0);
+        assert_eq!(b.pt_overhead, 0.0);
+    }
+
+    #[test]
+    fn rates_are_finite() {
+        let stats = RunStats {
+            wall_time: Duration::from_secs(2),
+            mem: MemStats {
+                read_faults: 100,
+                write_faults: 100,
+                ..MemStats::default()
+            },
+            pt: PtStats {
+                branches: 1000,
+                ..PtStats::default()
+            },
+            ..RunStats::default()
+        };
+        assert!((stats.faults_per_sec() - 100.0).abs() < 1e-9);
+        assert!((stats.branches_per_sec() - 500.0).abs() < 1e-9);
+    }
+}

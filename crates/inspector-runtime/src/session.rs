@@ -1,0 +1,531 @@
+//! The INSPECTOR session: owns the shared substrate and produces the run
+//! report.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use inspector_core::graph::{Cpg, CpgBuilder};
+use inspector_core::ids::ThreadId;
+use inspector_core::recorder::{RecorderStats, SyncClockRegistry};
+use inspector_core::snapshot::{Snapshot, SnapshotRing};
+use inspector_core::subcomputation::SubComputation;
+use inspector_mem::alloc::HeapAllocator;
+use inspector_mem::region::Region;
+use inspector_mem::shared::SharedImage;
+use inspector_mem::stats::MemStats;
+use inspector_perf::cgroup::{Cgroup, ProcessId};
+use inspector_perf::event::PerfEvent;
+use inspector_perf::session::TraceSession;
+use inspector_pt::stats::PtStats;
+
+use crate::config::{ExecutionMode, SessionConfig};
+use crate::ctx::ThreadCtx;
+use crate::report::{RunReport, RunStats};
+
+/// Size of the shared heap mapped at session creation. Pages are
+/// materialised lazily, so a generous reservation costs nothing.
+const HEAP_BYTES: u64 = 256 << 20;
+
+/// Everything a thread finished with; pushed to the session at thread exit.
+#[derive(Debug)]
+pub(crate) struct ThreadOutcome {
+    pub(crate) thread: ThreadId,
+    pub(crate) subs: Vec<SubComputation>,
+    pub(crate) mem: MemStats,
+    pub(crate) pt: PtStats,
+    pub(crate) recorder: RecorderStats,
+    pub(crate) spawn_overhead: Duration,
+}
+
+/// Shared state visible to every thread context of a session.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) config: SessionConfig,
+    pub(crate) image: Arc<SharedImage>,
+    pub(crate) registry: Arc<SyncClockRegistry>,
+    pub(crate) perf: TraceSession,
+    pub(crate) allocator: HeapAllocator,
+    next_thread: AtomicU32,
+    next_pid: AtomicU64,
+    spawned_threads: AtomicU64,
+    outcomes: Mutex<Vec<ThreadOutcome>>,
+    live_subs: Mutex<BTreeMap<ThreadId, Vec<SubComputation>>>,
+}
+
+impl Shared {
+    pub(crate) fn allocate_thread_id(&self) -> ThreadId {
+        ThreadId::new(self.next_thread.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub(crate) fn allocate_pid(&self) -> ProcessId {
+        ProcessId(self.next_pid.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub(crate) fn note_spawn(&self) {
+        self.spawned_threads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn push_outcome(&self, outcome: ThreadOutcome) {
+        self.outcomes.lock().push(outcome);
+    }
+
+    pub(crate) fn push_live_sub(&self, sub: SubComputation) {
+        self.live_subs
+            .lock()
+            .entry(sub.id.thread)
+            .or_default()
+            .push(sub);
+    }
+}
+
+/// Handle for taking consistent snapshots while the traced program runs
+/// (the §VI live-analysis facility). Only functional when the session was
+/// configured with [`SessionConfig::with_live_snapshots`].
+#[derive(Debug, Clone)]
+pub struct LiveMonitor {
+    shared: Arc<Shared>,
+    ring: Arc<Mutex<SnapshotRing>>,
+}
+
+impl LiveMonitor {
+    /// Takes a consistent snapshot of the provenance recorded so far and
+    /// stores it in the snapshot ring. Returns the snapshot's sequence
+    /// number.
+    pub fn take_snapshot(&self) -> u64 {
+        let subs = self.shared.live_subs.lock();
+        let borrowed: BTreeMap<ThreadId, &[SubComputation]> = subs
+            .iter()
+            .map(|(&t, v)| (t, v.as_slice()))
+            .collect();
+        let mut ring = self.ring.lock();
+        ring.take_snapshot(&borrowed).sequence
+    }
+
+    /// The most recent snapshot, if any has been taken.
+    pub fn latest(&self) -> Option<Snapshot> {
+        self.ring.lock().latest().cloned()
+    }
+
+    /// Number of snapshots currently held in the ring.
+    pub fn stored(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Removes and returns the oldest stored snapshot, freeing its slot.
+    pub fn consume_oldest(&self) -> Option<Snapshot> {
+        self.ring.lock().consume_oldest()
+    }
+}
+
+/// A configured INSPECTOR session.
+///
+/// The session owns the shared memory image, the perf/PT plumbing and the
+/// provenance recorders. Map shared regions and inputs first, then call
+/// [`run`](Self::run) with the application's main-thread closure.
+#[derive(Debug)]
+pub struct InspectorSession {
+    shared: Arc<Shared>,
+    monitor_ring: Arc<Mutex<SnapshotRing>>,
+}
+
+impl InspectorSession {
+    /// Creates a session with the given configuration.
+    pub fn new(config: SessionConfig) -> Self {
+        let image = SharedImage::shared(config.page_size);
+        let heap_region = image.map_region("shared-heap", HEAP_BYTES);
+        let allocator = HeapAllocator::new(heap_region);
+        let cgroup = Arc::new(Cgroup::new("inspector"));
+        let perf = TraceSession::new(cgroup);
+        let shared = Arc::new(Shared {
+            config,
+            image,
+            registry: SyncClockRegistry::shared(),
+            perf,
+            allocator,
+            next_thread: AtomicU32::new(0),
+            next_pid: AtomicU64::new(1),
+            spawned_threads: AtomicU64::new(0),
+            outcomes: Mutex::new(Vec::new()),
+            live_subs: Mutex::new(BTreeMap::new()),
+        });
+        let slots = config.snapshot_slots.max(1);
+        InspectorSession {
+            shared,
+            monitor_ring: Arc::new(Mutex::new(SnapshotRing::new(slots))),
+        }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> SessionConfig {
+        self.shared.config
+    }
+
+    /// The shared memory image (for direct initialisation of input data
+    /// before the run starts).
+    pub fn image(&self) -> &Arc<SharedImage> {
+        &self.shared.image
+    }
+
+    /// Maps a zero-initialised shared region (globals or working arrays).
+    pub fn map_region(&self, name: impl Into<String>, len: u64) -> Region {
+        self.shared.image.map_region(name, len)
+    }
+
+    /// Maps an input file into the shared address space (the `mmap` shim for
+    /// reading inputs) and reports it to the perf session so the trace
+    /// decoder can attribute the pages.
+    pub fn map_input(&self, name: impl Into<String> + Clone, data: &[u8]) -> Region {
+        let region = self.shared.image.map_input(name.clone(), data);
+        // The mapping is performed by the INSPECTOR library itself before the
+        // traced application starts; report it from the library's own pid so
+        // the decoder can attribute the pages.
+        self.shared.perf.cgroup().add(ProcessId(0));
+        self.shared.perf.submit(PerfEvent::Mmap {
+            pid: ProcessId(0),
+            addr: region.base().raw(),
+            len: region.len(),
+            filename: name.into(),
+        });
+        region
+    }
+
+    /// The shared heap allocator (also reachable from every
+    /// [`ThreadCtx::alloc`]).
+    pub fn allocator(&self) -> &HeapAllocator {
+        &self.shared.allocator
+    }
+
+    /// The raw provenance log (concatenated per-thread Intel PT packet
+    /// streams) collected so far — what `perf record` would have written to
+    /// disk. Empty for native runs.
+    pub fn provenance_log(&self) -> Vec<u8> {
+        self.shared.perf.full_log()
+    }
+
+    /// Returns a handle that can take consistent live snapshots from another
+    /// (monitoring) thread while [`run`](Self::run) is executing.
+    pub fn live_monitor(&self) -> LiveMonitor {
+        LiveMonitor {
+            shared: Arc::clone(&self.shared),
+            ring: Arc::clone(&self.monitor_ring),
+        }
+    }
+
+    /// Runs the application's main thread and returns the full report.
+    ///
+    /// Any worker threads spawned through [`ThreadCtx::spawn`] should be
+    /// joined by the closure (as a pthreads program would); panics in
+    /// workers propagate to the caller through [`ThreadCtx::join`].
+    pub fn run<F>(&self, f: F) -> RunReport
+    where
+        F: FnOnce(&mut ThreadCtx),
+    {
+        let start = Instant::now();
+        let mut root = ThreadCtx::new_root(Arc::clone(&self.shared));
+        f(&mut root);
+        root.finish(None);
+        let wall_time = start.elapsed();
+        self.assemble_report(wall_time)
+    }
+
+    fn assemble_report(&self, wall_time: Duration) -> RunReport {
+        let mut outcomes = std::mem::take(&mut *self.shared.outcomes.lock());
+        outcomes.sort_by_key(|o| o.thread);
+        let mut stats = RunStats {
+            wall_time,
+            threads: outcomes.len(),
+            ..RunStats::default()
+        };
+        let mut builder = CpgBuilder::new();
+        for o in &outcomes {
+            stats.mem.merge(&o.mem);
+            stats.pt.merge(&o.pt);
+            stats.recorder.page_reads += o.recorder.page_reads;
+            stats.recorder.page_writes += o.recorder.page_writes;
+            stats.recorder.branches += o.recorder.branches;
+            stats.recorder.subcomputations += o.recorder.subcomputations;
+            stats.recorder.sync_ops += o.recorder.sync_ops;
+            stats.spawn_time += o.spawn_overhead;
+        }
+        let cpg = if self.shared.config.mode == ExecutionMode::Inspector {
+            for o in outcomes {
+                builder.add_thread(o.subs);
+            }
+            builder.build()
+        } else {
+            Cpg::default()
+        };
+        let space = if self.shared.config.mode == ExecutionMode::Inspector {
+            self.shared.perf.space_report(stats.pt.branches, wall_time)
+        } else {
+            Default::default()
+        };
+        RunReport {
+            mode: self.shared.config.mode,
+            cpg,
+            stats,
+            space,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::{InspBarrier, InspCondvar, InspMutex, InspSemaphore};
+    use inspector_core::event::SyncKind;
+    use inspector_core::graph::EdgeKind;
+    use inspector_core::ids::PageId;
+    use inspector_core::query::{EdgeFilter, ProvenanceQuery};
+
+    #[test]
+    fn single_thread_run_produces_graph() {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let region = session.map_region("data", 4096);
+        let report = session.run(|ctx| {
+            ctx.write_u64(region.base(), 41);
+            let v = ctx.read_u64(region.base());
+            ctx.write_u64(region.base(), v + 1);
+            ctx.branch(true);
+        });
+        assert_eq!(report.mode, ExecutionMode::Inspector);
+        assert_eq!(report.stats.threads, 1);
+        assert!(report.cpg.node_count() >= 1);
+        assert!(report.stats.mem.write_faults >= 1);
+        assert!(report.stats.pt.branches >= 1);
+        assert!(report.cpg.validate().is_ok());
+        // The final value is visible in the shared image after the run.
+        assert_eq!(session.image().read_u64_direct(region.base()), 42);
+    }
+
+    #[test]
+    fn native_run_skips_provenance() {
+        let session = InspectorSession::new(SessionConfig::native());
+        let region = session.map_region("data", 4096);
+        let report = session.run(|ctx| {
+            ctx.write_u64(region.base(), 7);
+            ctx.branch(true);
+        });
+        assert_eq!(report.mode, ExecutionMode::Native);
+        assert_eq!(report.cpg.node_count(), 0);
+        assert_eq!(report.stats.mem.total_faults(), 0);
+        assert_eq!(report.stats.pt.branches, 0);
+        assert_eq!(session.image().read_u64_direct(region.base()), 7);
+    }
+
+    #[test]
+    fn two_workers_with_mutex_share_data_correctly() {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let region = session.map_region("counter", 8);
+        let base = region.base();
+        let lock = Arc::new(InspMutex::new());
+        let report = session.run(|ctx| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                handles.push(ctx.spawn(move |ctx| {
+                    for _ in 0..10 {
+                        lock.lock(ctx);
+                        let v = ctx.read_u64(base);
+                        ctx.write_u64(base, v + 1);
+                        lock.unlock(ctx);
+                    }
+                }));
+            }
+            for h in handles {
+                ctx.join(h);
+            }
+        });
+        assert_eq!(session.image().read_u64_direct(base), 40);
+        assert_eq!(report.stats.threads, 5);
+        let stats = report.cpg.stats();
+        assert!(stats.sync_edges > 0, "expected synchronization edges");
+        assert!(stats.data_edges > 0, "expected data edges");
+        assert!(report.cpg.validate().is_ok());
+    }
+
+    #[test]
+    fn barrier_phases_are_ordered_in_the_graph() {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let a = session.map_region("a", 8).base();
+        let b = session.map_region("b", 8).base();
+        let barrier = Arc::new(InspBarrier::new(2));
+        let report = session.run(|ctx| {
+            let barrier2 = Arc::clone(&barrier);
+            let worker = ctx.spawn(move |ctx| {
+                ctx.write_u64(a, 1); // phase 1: produce a
+                barrier2.wait(ctx);
+                let _ = ctx.read_u64(b); // phase 2: consume b
+            });
+            let _ = ctx.read_u64(a); // these reads happen in phase 2
+            barrier.wait(ctx);
+            ctx.write_u64(b, 2);
+            ctx.join(worker);
+        });
+        // Writer of `a` (worker, before barrier) must happen-before the
+        // main thread's post-barrier sub-computations.
+        let q = ProvenanceQuery::new(&report.cpg);
+        let writers = q.writers_of(PageId::new(a.raw() / 4096));
+        assert!(!writers.is_empty());
+        assert!(report.cpg.validate().is_ok());
+        assert!(report.cpg.stats().sync_edges >= 1);
+    }
+
+    #[test]
+    fn producer_consumer_data_flow_appears_in_graph() {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let buf = session.map_region("buf", 4096).base();
+        let sem_items = Arc::new(InspSemaphore::new(0));
+        let report = session.run(|ctx| {
+            let sem = Arc::clone(&sem_items);
+            let producer = ctx.spawn(move |ctx| {
+                ctx.write_u64(buf, 1234);
+                sem.post(ctx);
+            });
+            sem_items.wait(ctx);
+            let v = ctx.read_u64(buf);
+            assert_eq!(v, 1234);
+            ctx.join(producer);
+        });
+        // There must be a data edge from the producer's writing
+        // sub-computation to the consumer's reading sub-computation.
+        let page = PageId::new(buf.raw() / 4096);
+        let has_flow = report
+            .cpg
+            .edges_of_kind(EdgeKind::Data)
+            .any(|e| e.pages.contains(&page) && e.src.thread != e.dst.thread);
+        assert!(has_flow, "expected cross-thread data edge for the buffer page");
+    }
+
+    #[test]
+    fn condvar_orders_signaller_before_waiter() {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let cell = session.map_region("cell", 8).base();
+        let lock = Arc::new(InspMutex::new());
+        let cond = Arc::new(InspCondvar::new());
+        let report = session.run(|ctx| {
+            let lock2 = Arc::clone(&lock);
+            let cond2 = Arc::clone(&cond);
+            let worker = ctx.spawn(move |ctx| {
+                lock2.lock(ctx);
+                ctx.write_u64(cell, 9);
+                cond2.signal(ctx);
+                lock2.unlock(ctx);
+            });
+            lock.lock(ctx);
+            while ctx.read_u64(cell) != 9 {
+                cond.wait(ctx, &lock);
+            }
+            lock.unlock(ctx);
+            ctx.join(worker);
+        });
+        assert_eq!(session.image().read_u64_direct(cell), 9);
+        assert!(report.cpg.validate().is_ok());
+    }
+
+    #[test]
+    fn heap_allocations_are_tracked_like_any_shared_page() {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let report = session.run(|ctx| {
+            let a = ctx.alloc(64);
+            ctx.write_u64(a, 5);
+            assert_eq!(ctx.read_u64(a), 5);
+            ctx.free(a);
+        });
+        assert!(report.stats.mem.write_faults >= 1);
+        assert_eq!(session.allocator().stats().frees, 1);
+    }
+
+    #[test]
+    fn input_mapping_shows_up_as_read_dependency() {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let input = session.map_input("input.txt", &[7u8; 8192]);
+        let out = session.map_region("out", 8);
+        let report = session.run(|ctx| {
+            let mut sum = 0u64;
+            for i in 0..8192 {
+                sum += ctx.read_u8(input.at(i)) as u64;
+            }
+            ctx.write_u64(out.base(), sum);
+        });
+        assert_eq!(session.image().read_u64_direct(out.base()), 7 * 8192);
+        // The input pages appear in some read set.
+        let q = ProvenanceQuery::new(&report.cpg);
+        let first_input_page = PageId::new(input.base().raw() / 4096);
+        assert!(!q.readers_of(first_input_page).is_empty());
+        // And the perf session recorded the mmap event.
+        assert_eq!(session.shared.perf.mmaps().len(), 1);
+    }
+
+    #[test]
+    fn space_report_reflects_pt_log() {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let report = session.run(|ctx| {
+            ctx.set_pc(0x40_1000);
+            for i in 0..50_000u64 {
+                ctx.branch(i % 3 == 0);
+            }
+        });
+        assert!(report.space.log_bytes > 0);
+        assert!(report.space.compression_ratio >= 1.0);
+        assert_eq!(report.stats.pt.branches, 50_000);
+        assert!(report.stats.pt_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn live_monitor_takes_consistent_snapshots() {
+        let session =
+            InspectorSession::new(SessionConfig::inspector().with_live_snapshots(4));
+        let region = session.map_region("data", 4096);
+        let monitor = session.live_monitor();
+        let lock = Arc::new(InspMutex::new());
+        let _report = session.run(|ctx| {
+            for i in 0..20 {
+                lock.lock(ctx);
+                ctx.write_u64(region.base(), i);
+                lock.unlock(ctx);
+                if i == 10 {
+                    monitor.take_snapshot();
+                }
+            }
+        });
+        assert_eq!(monitor.stored(), 1);
+        let snap = monitor.latest().expect("snapshot taken");
+        assert!(snap.cpg.node_count() > 0);
+        assert!(snap.cpg.validate().is_ok());
+        assert!(monitor.consume_oldest().is_some());
+        assert_eq!(monitor.stored(), 0);
+    }
+
+    #[test]
+    fn unjoined_worker_panics_propagate_on_join() {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            session.run(|ctx| {
+                let h = ctx.spawn(|_ctx| panic!("worker failure"));
+                ctx.join(h);
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn sync_boundary_is_usable_for_custom_primitives() {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let report = session.run(|ctx| {
+            let obj = crate::ctx::fresh_sync_id();
+            ctx.sync_boundary(obj, SyncKind::Release);
+            ctx.sync_boundary(obj, SyncKind::Acquire);
+        });
+        assert!(report.stats.recorder.sync_ops >= 2);
+        // Backward slice across the custom edges still works.
+        let q = ProvenanceQuery::new(&report.cpg);
+        let ids: Vec<_> = report.cpg.nodes().map(|n| n.id).collect();
+        let last = *ids.last().unwrap();
+        assert!(!q.backward_slice(last, EdgeFilter::ALL).is_empty());
+    }
+}

@@ -1,0 +1,354 @@
+//! Provenance-aware synchronization primitives (the pthreads shims).
+//!
+//! Every primitive is modelled as acquire/release operations on a
+//! synchronization object (paper §IV-A): `unlock`, `sem_post`, `cond_signal`,
+//! barrier entry and thread creation release the object; `lock`, `sem_wait`,
+//! `cond_wait` return, barrier exit and thread join acquire it. The wrappers
+//! here perform the real blocking operation *and* drive the per-thread
+//! provenance boundary through [`ThreadCtx::sync_boundary`].
+//!
+//! The primitives intentionally expose the pthreads call shape
+//! (`lock()`/`unlock()` rather than RAII guards) so that ported benchmark
+//! code keeps its original structure.
+
+use std::sync::{Condvar, Mutex};
+
+use inspector_core::event::SyncKind;
+use inspector_core::ids::SyncObjectId;
+
+use crate::ctx::{fresh_sync_id, ThreadCtx};
+
+/// A mutual-exclusion lock (the `pthread_mutex_t` shim).
+#[derive(Debug)]
+pub struct InspMutex {
+    id: SyncObjectId,
+    locked: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Default for InspMutex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InspMutex {
+    /// Creates an unlocked mutex.
+    pub fn new() -> Self {
+        InspMutex {
+            id: fresh_sync_id(),
+            locked: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The provenance identity of this mutex.
+    pub fn id(&self) -> SyncObjectId {
+        self.id
+    }
+
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self, ctx: &mut ThreadCtx) {
+        let mut guard = self.locked.lock().expect("mutex poisoned");
+        while *guard {
+            guard = self.cv.wait(guard).expect("mutex poisoned");
+        }
+        *guard = true;
+        drop(guard);
+        ctx.sync_boundary(self.id, SyncKind::Acquire);
+    }
+
+    /// Attempts to acquire the lock without blocking; returns `true` on
+    /// success.
+    pub fn try_lock(&self, ctx: &mut ThreadCtx) -> bool {
+        let mut guard = self.locked.lock().expect("mutex poisoned");
+        if *guard {
+            return false;
+        }
+        *guard = true;
+        drop(guard);
+        ctx.sync_boundary(self.id, SyncKind::Acquire);
+        true
+    }
+
+    /// Releases the lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mutex is not currently locked.
+    pub fn unlock(&self, ctx: &mut ThreadCtx) {
+        ctx.sync_boundary(self.id, SyncKind::Release);
+        let mut guard = self.locked.lock().expect("mutex poisoned");
+        assert!(*guard, "unlock of an unlocked InspMutex");
+        *guard = false;
+        drop(guard);
+        self.cv.notify_one();
+    }
+
+    /// Runs `f` with the lock held (convenience for Rust-style call sites).
+    pub fn with<R>(&self, ctx: &mut ThreadCtx, f: impl FnOnce(&mut ThreadCtx) -> R) -> R {
+        self.lock(ctx);
+        let r = f(ctx);
+        self.unlock(ctx);
+        r
+    }
+}
+
+/// A counting semaphore (the `sem_t` shim).
+#[derive(Debug)]
+pub struct InspSemaphore {
+    id: SyncObjectId,
+    count: Mutex<i64>,
+    cv: Condvar,
+}
+
+impl InspSemaphore {
+    /// Creates a semaphore with the given initial count.
+    pub fn new(initial: i64) -> Self {
+        InspSemaphore {
+            id: fresh_sync_id(),
+            count: Mutex::new(initial),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The provenance identity of this semaphore.
+    pub fn id(&self) -> SyncObjectId {
+        self.id
+    }
+
+    /// `sem_post`: increments the count and wakes one waiter.
+    pub fn post(&self, ctx: &mut ThreadCtx) {
+        ctx.sync_boundary(self.id, SyncKind::Release);
+        let mut c = self.count.lock().expect("semaphore poisoned");
+        *c += 1;
+        drop(c);
+        self.cv.notify_one();
+    }
+
+    /// `sem_wait`: blocks until the count is positive, then decrements it.
+    pub fn wait(&self, ctx: &mut ThreadCtx) {
+        let mut c = self.count.lock().expect("semaphore poisoned");
+        while *c <= 0 {
+            c = self.cv.wait(c).expect("semaphore poisoned");
+        }
+        *c -= 1;
+        drop(c);
+        ctx.sync_boundary(self.id, SyncKind::Acquire);
+    }
+
+    /// Current count (diagnostic only; racy by nature).
+    pub fn count(&self) -> i64 {
+        *self.count.lock().expect("semaphore poisoned")
+    }
+}
+
+/// A cyclic barrier (the `pthread_barrier_t` shim).
+#[derive(Debug)]
+pub struct InspBarrier {
+    id: SyncObjectId,
+    parties: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    waiting: usize,
+    generation: u64,
+}
+
+impl InspBarrier {
+    /// Creates a barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        InspBarrier {
+            id: fresh_sync_id(),
+            parties,
+            state: Mutex::new(BarrierState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The provenance identity of this barrier.
+    pub fn id(&self) -> SyncObjectId {
+        self.id
+    }
+
+    /// Number of participating threads.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Waits until all parties have arrived. Returns `true` for exactly one
+    /// "leader" thread per cycle (mirroring
+    /// `PTHREAD_BARRIER_SERIAL_THREAD`).
+    pub fn wait(&self, ctx: &mut ThreadCtx) -> bool {
+        // Publish this thread's updates (and clock) before blocking.
+        ctx.sync_boundary(self.id, SyncKind::Release);
+
+        let mut st = self.state.lock().expect("barrier poisoned");
+        let generation = st.generation;
+        st.waiting += 1;
+        let leader = st.waiting == self.parties;
+        if leader {
+            st.waiting = 0;
+            st.generation += 1;
+            drop(st);
+            self.cv.notify_all();
+        } else {
+            while st.generation == generation {
+                st = self.cv.wait(st).expect("barrier poisoned");
+            }
+            drop(st);
+        }
+
+        // Observe everyone else's updates (and clocks) after unblocking.
+        ctx.sync_boundary(self.id, SyncKind::Acquire);
+        leader
+    }
+}
+
+/// A condition variable (the `pthread_cond_t` shim).
+#[derive(Debug)]
+pub struct InspCondvar {
+    id: SyncObjectId,
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Default for InspCondvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InspCondvar {
+    /// Creates a condition variable.
+    pub fn new() -> Self {
+        InspCondvar {
+            id: fresh_sync_id(),
+            epoch: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The provenance identity of this condition variable.
+    pub fn id(&self) -> SyncObjectId {
+        self.id
+    }
+
+    /// `pthread_cond_wait`: atomically releases `mutex`, waits for a signal,
+    /// and re-acquires `mutex` before returning.
+    pub fn wait(&self, ctx: &mut ThreadCtx, mutex: &InspMutex) {
+        // Snapshot the epoch *before* releasing the mutex so a signal sent
+        // between unlock and block is not missed.
+        let start_epoch = *self.epoch.lock().expect("condvar poisoned");
+        mutex.unlock(ctx);
+        {
+            let mut epoch = self.epoch.lock().expect("condvar poisoned");
+            while *epoch == start_epoch {
+                epoch = self.cv.wait(epoch).expect("condvar poisoned");
+            }
+        }
+        // Order this thread after the signaller.
+        ctx.sync_boundary(self.id, SyncKind::Acquire);
+        mutex.lock(ctx);
+    }
+
+    /// `pthread_cond_signal` / `broadcast`: wakes all current waiters.
+    pub fn signal(&self, ctx: &mut ThreadCtx) {
+        ctx.sync_boundary(self.id, SyncKind::Release);
+        let mut epoch = self.epoch.lock().expect("condvar poisoned");
+        *epoch += 1;
+        drop(epoch);
+        self.cv.notify_all();
+    }
+}
+
+/// A readers-writer lock (the `pthread_rwlock_t` shim).
+///
+/// Readers acquire/release the object like any other acquirer so that writer
+/// updates are ordered before subsequent readers; concurrent readers do not
+/// order each other.
+#[derive(Debug)]
+pub struct InspRwLock {
+    id: SyncObjectId,
+    state: Mutex<RwState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct RwState {
+    readers: usize,
+    writer: bool,
+}
+
+impl Default for InspRwLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InspRwLock {
+    /// Creates an unlocked readers-writer lock.
+    pub fn new() -> Self {
+        InspRwLock {
+            id: fresh_sync_id(),
+            state: Mutex::new(RwState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The provenance identity of this lock.
+    pub fn id(&self) -> SyncObjectId {
+        self.id
+    }
+
+    /// Acquires the lock for reading.
+    pub fn read_lock(&self, ctx: &mut ThreadCtx) {
+        let mut st = self.state.lock().expect("rwlock poisoned");
+        while st.writer {
+            st = self.cv.wait(st).expect("rwlock poisoned");
+        }
+        st.readers += 1;
+        drop(st);
+        ctx.sync_boundary(self.id, SyncKind::Acquire);
+    }
+
+    /// Releases a read lock.
+    pub fn read_unlock(&self, ctx: &mut ThreadCtx) {
+        ctx.sync_boundary(self.id, SyncKind::Release);
+        let mut st = self.state.lock().expect("rwlock poisoned");
+        assert!(st.readers > 0, "read_unlock without read_lock");
+        st.readers -= 1;
+        if st.readers == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Acquires the lock for writing.
+    pub fn write_lock(&self, ctx: &mut ThreadCtx) {
+        let mut st = self.state.lock().expect("rwlock poisoned");
+        while st.writer || st.readers > 0 {
+            st = self.cv.wait(st).expect("rwlock poisoned");
+        }
+        st.writer = true;
+        drop(st);
+        ctx.sync_boundary(self.id, SyncKind::Acquire);
+    }
+
+    /// Releases a write lock.
+    pub fn write_unlock(&self, ctx: &mut ThreadCtx) {
+        ctx.sync_boundary(self.id, SyncKind::Release);
+        let mut st = self.state.lock().expect("rwlock poisoned");
+        assert!(st.writer, "write_unlock without write_lock");
+        st.writer = false;
+        drop(st);
+        self.cv.notify_all();
+    }
+}

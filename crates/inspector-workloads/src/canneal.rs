@@ -1,0 +1,147 @@
+//! `canneal` (PARSEC): simulated-annealing placement of netlist elements.
+//!
+//! Worker threads repeatedly pick two random elements and swap their
+//! locations if the swap lowers (or probabilistically raises) the routing
+//! cost. The shared placement array is large and the accesses are random, so
+//! under INSPECTOR this workload dirties many pages per sub-computation —
+//! the paper singles it out as the workload with the highest page-fault
+//! volume and a threading-library-dominated overhead.
+
+use inspector_runtime::{InspectorSession, SessionConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::input::{rng_for, InputSize};
+use crate::{Suite, Workload, WorkloadResult};
+
+/// Netlist elements per unit of input scale.
+const BASE_ELEMENTS: usize = 8_192;
+/// Swap attempts per worker per unit of input scale.
+const BASE_SWAPS: usize = 96;
+
+/// The canneal workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Canneal;
+
+impl Workload for Canneal {
+    fn name(&self) -> &'static str {
+        "canneal"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn execute(&self, config: SessionConfig, threads: usize, size: InputSize) -> WorkloadResult {
+        let elements = BASE_ELEMENTS * size.scale();
+        let swaps_per_thread = BASE_SWAPS * size.scale();
+        let session = InspectorSession::new(config);
+        // Placement: element index -> location (u64), one big shared array.
+        let placement = session.map_region("placement", (elements * 8) as u64);
+
+        let mut rng = rng_for("canneal", size);
+        let mut init: Vec<u64> = (0..elements as u64).collect();
+        // Deterministic shuffle of the initial placement.
+        for i in (1..elements).rev() {
+            let j = rng.gen_range(0..=i);
+            init.swap(i, j);
+        }
+        for (i, &loc) in init.iter().enumerate() {
+            session
+                .image()
+                .write_u64_direct(placement.at((i * 8) as u64), loc);
+        }
+
+        let base = placement.base();
+        let lock = std::sync::Arc::new(inspector_runtime::sync::InspMutex::new());
+
+        let report = session.run(move |ctx| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lock = std::sync::Arc::clone(&lock);
+                handles.push(ctx.spawn(move |ctx| {
+                    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ t as u64);
+                    ctx.set_pc(0x43_0000);
+                    for _ in 0..swaps_per_thread {
+                        let a = rng.gen_range(0..elements);
+                        let b = rng.gen_range(0..elements);
+                        lock.lock(ctx);
+                        let la = ctx.read_u64(base.add((a * 8) as u64));
+                        let lb = ctx.read_u64(base.add((b * 8) as u64));
+                        // Accept the swap if it moves both elements closer to
+                        // their index (a stand-in for the routing-cost delta).
+                        let cost_before =
+                            (la as i64 - a as i64).abs() + (lb as i64 - b as i64).abs();
+                        let cost_after =
+                            (lb as i64 - a as i64).abs() + (la as i64 - b as i64).abs();
+                        let accept = cost_after < cost_before || rng.gen_bool(0.1);
+                        ctx.branch(accept);
+                        if accept {
+                            ctx.write_u64(base.add((a * 8) as u64), lb);
+                            ctx.write_u64(base.add((b * 8) as u64), la);
+                        }
+                        lock.unlock(ctx);
+                    }
+                }));
+            }
+            for h in handles {
+                ctx.join(h);
+            }
+        });
+
+        // The final placement must remain a permutation; fold it into the
+        // checksum (sum and xor are permutation invariant + order sensitive
+        // mix).
+        let mut sum = 0u64;
+        let mut mix = 0u64;
+        for i in 0..elements {
+            let v = session
+                .image()
+                .read_u64_direct(base.add((i * 8) as u64));
+            sum = sum.wrapping_add(v);
+            mix ^= v.rotate_left((i % 63) as u32);
+        }
+        let expected_sum = (elements as u64 * (elements as u64 - 1)) / 2;
+        assert_eq!(sum, expected_sum, "placement must remain a permutation");
+        WorkloadResult {
+            report,
+            checksum: sum ^ mix.count_ones() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_stays_a_permutation_under_inspector() {
+        // The assert inside execute() checks the permutation invariant.
+        let r = Canneal.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        assert!(r.report.stats.mem.write_faults > 0);
+        assert!(r.report.cpg.stats().sync_edges > 0);
+    }
+
+    #[test]
+    fn canneal_dirties_many_pages() {
+        let blackscholes = crate::blackscholes::Blackscholes
+            .execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        let canneal = Canneal.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        // Random swaps across a large array must fault far more pages per
+        // unit of useful work than the streaming blackscholes kernel.
+        let canneal_rate =
+            canneal.report.stats.mem.write_faults as f64 / canneal.report.stats.pt.branches as f64;
+        let bs_rate = blackscholes.report.stats.mem.write_faults as f64
+            / blackscholes.report.stats.pt.branches as f64;
+        assert!(
+            canneal_rate > bs_rate,
+            "canneal write-fault rate {canneal_rate} should exceed blackscholes {bs_rate}"
+        );
+    }
+
+    #[test]
+    fn native_mode_runs_and_keeps_invariant() {
+        let r = Canneal.execute(SessionConfig::native(), 4, InputSize::Tiny);
+        assert_eq!(r.report.cpg.node_count(), 0);
+    }
+}

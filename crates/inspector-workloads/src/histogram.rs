@@ -1,0 +1,134 @@
+//! `histogram` (Phoenix): per-channel colour histogram of a bitmap.
+//!
+//! Each worker scans a contiguous slice of the pixel data, accumulates
+//! red/green/blue counts in thread-local arrays and merges them into the
+//! shared histogram under a lock. Reads dominate; the only shared writes are
+//! the 3 × 256 counters at the end.
+
+use inspector_runtime::sync::InspMutex;
+use inspector_runtime::{InspectorSession, SessionConfig};
+
+use crate::input::{generate_pixels, InputSize};
+use crate::{partition_ranges, Suite, Workload, WorkloadResult};
+
+/// Pixel bytes per unit of input scale (each pixel is 3 bytes: R, G, B).
+const BASE_BYTES: usize = 96 * 1024;
+
+/// The histogram workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Histogram;
+
+impl Workload for Histogram {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn execute(&self, config: SessionConfig, threads: usize, size: InputSize) -> WorkloadResult {
+        let bytes = BASE_BYTES * size.scale();
+        let pixels = generate_pixels("histogram", size, bytes);
+        let session = InspectorSession::new(config);
+        let input = session.map_input("large.bmp", &pixels);
+        // 3 channels × 256 buckets of u64 counts.
+        let hist = session.map_region("histogram", 3 * 256 * 8);
+
+        let input_base = input.base();
+        let hist_base = hist.base();
+        let ranges = partition_ranges(bytes / 3, threads);
+        let lock = std::sync::Arc::new(InspMutex::new());
+
+        let report = session.run(move |ctx| {
+            let mut handles = Vec::new();
+            for (start, end) in ranges {
+                let lock = std::sync::Arc::clone(&lock);
+                handles.push(ctx.spawn(move |ctx| {
+                    ctx.set_pc(0x44_0000);
+                    let mut local = [[0u64; 256]; 3];
+                    for p in start..end {
+                        let off = (p * 3) as u64;
+                        for c in 0..3 {
+                            let v = ctx.read_u8(input_base.add(off + c as u64)) as usize;
+                            local[c][v] += 1;
+                        }
+                        // One branch per pixel: bright-pixel check (mirrors
+                        // the Phoenix kernel's saturation test).
+                        ctx.branch(p % 16 == 0);
+                    }
+                    lock.lock(ctx);
+                    for (c, channel) in local.iter().enumerate() {
+                        for (v, &count) in channel.iter().enumerate() {
+                            if count == 0 {
+                                continue;
+                            }
+                            let addr = hist_base.add(((c * 256 + v) * 8) as u64);
+                            let cur = ctx.read_u64(addr);
+                            ctx.write_u64(addr, cur + count);
+                        }
+                    }
+                    lock.unlock(ctx);
+                }));
+            }
+            for h in handles {
+                ctx.join(h);
+            }
+        });
+
+        // Verify and checksum: the histogram must account for every pixel
+        // byte exactly once per channel.
+        let total_pixels = (bytes / 3) as u64;
+        let mut checksum = 0u64;
+        for c in 0..3usize {
+            let mut channel_total = 0u64;
+            for v in 0..256usize {
+                let count = session
+                    .image()
+                    .read_u64_direct(hist_base.add(((c * 256 + v) * 8) as u64));
+                channel_total += count;
+                checksum = checksum.wrapping_mul(1099511628211).wrapping_add(count);
+            }
+            assert_eq!(channel_total, total_pixels, "channel {c} lost pixels");
+        }
+        WorkloadResult { report, checksum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_matches_serial_reference() {
+        let size = InputSize::Tiny;
+        let bytes = BASE_BYTES * size.scale();
+        let pixels = generate_pixels("histogram", size, bytes);
+        let mut reference = [[0u64; 256]; 3];
+        for (i, &b) in pixels.iter().enumerate().take((bytes / 3) * 3) {
+            reference[i % 3][b as usize] += 1;
+        }
+        let mut ref_checksum = 0u64;
+        for channel in &reference {
+            for &count in channel.iter() {
+                ref_checksum = ref_checksum.wrapping_mul(1099511628211).wrapping_add(count);
+            }
+        }
+        let r = Histogram.execute(SessionConfig::inspector(), 3, size);
+        assert_eq!(r.checksum, ref_checksum);
+    }
+
+    #[test]
+    fn native_and_inspector_agree() {
+        let native = Histogram.execute(SessionConfig::native(), 2, InputSize::Tiny);
+        let tracked = Histogram.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        assert_eq!(native.checksum, tracked.checksum);
+    }
+
+    #[test]
+    fn input_pages_dominate_read_sets() {
+        let r = Histogram.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        // Reads (input scan) must far outnumber writes (256-bucket merge).
+        assert!(r.report.stats.mem.read_faults > r.report.stats.mem.write_faults);
+    }
+}

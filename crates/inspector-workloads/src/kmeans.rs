@@ -1,0 +1,176 @@
+//! `kmeans` (Phoenix): iterative k-means clustering.
+//!
+//! Mirroring the Phoenix implementation, **every iteration spawns a fresh set
+//! of worker threads** that assign points to the nearest centroid and
+//! accumulate partial sums; the main thread then recomputes the centroids
+//! and repeats until convergence (bounded by a maximum iteration count).
+//! With the paper's parameters the program creates several hundred threads,
+//! and because INSPECTOR implements threads as processes this makes thread
+//! creation the dominant overhead — kmeans is one of the three outliers in
+//! Figure 5.
+
+use inspector_runtime::sync::InspMutex;
+use inspector_runtime::{InspectorSession, SessionConfig};
+
+use crate::input::{generate_points, InputSize};
+use crate::{partition_ranges, Suite, Workload, WorkloadResult};
+
+/// Points per unit of input scale.
+const BASE_POINTS: usize = 2_048;
+/// Number of clusters (the paper uses `-c 500`; scaled down with the input).
+const CLUSTERS: usize = 8;
+/// Maximum iterations (each spawns a fresh thread set).
+const MAX_ITERATIONS: usize = 10;
+
+/// The kmeans workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Kmeans;
+
+impl Workload for Kmeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn execute(&self, config: SessionConfig, threads: usize, size: InputSize) -> WorkloadResult {
+        let points = BASE_POINTS * size.scale();
+        let data = generate_points("kmeans", size, points);
+        let session = InspectorSession::new(config);
+        // Point coordinates (x, y interleaved).
+        let coords = session.map_region("points", (points * 2 * 8) as u64);
+        // Centroids: k × (x, y).
+        let centroids = session.map_region("centroids", (CLUSTERS * 2 * 8) as u64);
+        // Per-cluster accumulators: k × (sum_x, sum_y, count).
+        let accum = session.map_region("accumulators", (CLUSTERS * 3 * 8) as u64);
+
+        for (i, &v) in data.iter().enumerate() {
+            session
+                .image()
+                .write_f64_direct(coords.at((i * 8) as u64), v);
+        }
+        // Initial centroids: the first k points.
+        for c in 0..CLUSTERS {
+            session
+                .image()
+                .write_f64_direct(centroids.at((c * 2 * 8) as u64), data[c * 2]);
+            session
+                .image()
+                .write_f64_direct(centroids.at((c * 2 * 8 + 8) as u64), data[c * 2 + 1]);
+        }
+
+        let coords_base = coords.base();
+        let centroids_base = centroids.base();
+        let accum_base = accum.base();
+        let lock = std::sync::Arc::new(InspMutex::new());
+        let ranges = partition_ranges(points, threads);
+
+        let report = session.run(move |ctx| {
+            for _iter in 0..MAX_ITERATIONS {
+                // Reset accumulators.
+                for c in 0..CLUSTERS {
+                    for f in 0..3 {
+                        ctx.write_f64(accum_base.add(((c * 3 + f) * 8) as u64), 0.0);
+                    }
+                }
+                // Fresh worker set every iteration (the Phoenix pattern).
+                let mut handles = Vec::new();
+                for &(start, end) in &ranges {
+                    let lock = std::sync::Arc::clone(&lock);
+                    handles.push(ctx.spawn(move |ctx| {
+                        ctx.set_pc(0x45_0000);
+                        let mut local = [[0.0f64; 3]; CLUSTERS];
+                        for p in start..end {
+                            let x = ctx.read_f64(coords_base.add((p * 16) as u64));
+                            let y = ctx.read_f64(coords_base.add((p * 16 + 8) as u64));
+                            let mut best = 0usize;
+                            let mut best_d = f64::MAX;
+                            for c in 0..CLUSTERS {
+                                let cx = ctx.read_f64(centroids_base.add((c * 16) as u64));
+                                let cy = ctx.read_f64(centroids_base.add((c * 16 + 8) as u64));
+                                let d = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+                                let closer = d < best_d;
+                                ctx.branch(closer);
+                                if closer {
+                                    best_d = d;
+                                    best = c;
+                                }
+                            }
+                            local[best][0] += x;
+                            local[best][1] += y;
+                            local[best][2] += 1.0;
+                        }
+                        lock.lock(ctx);
+                        for (c, acc) in local.iter().enumerate() {
+                            for (f, &v) in acc.iter().enumerate() {
+                                let addr = accum_base.add(((c * 3 + f) * 8) as u64);
+                                let cur = ctx.read_f64(addr);
+                                ctx.write_f64(addr, cur + v);
+                            }
+                        }
+                        lock.unlock(ctx);
+                    }));
+                }
+                for h in handles {
+                    ctx.join(h);
+                }
+                // Recompute centroids on the main thread.
+                for c in 0..CLUSTERS {
+                    let sx = ctx.read_f64(accum_base.add((c * 24) as u64));
+                    let sy = ctx.read_f64(accum_base.add((c * 24 + 8) as u64));
+                    let n = ctx.read_f64(accum_base.add((c * 24 + 16) as u64));
+                    ctx.branch(n > 0.0);
+                    if n > 0.0 {
+                        ctx.write_f64(centroids_base.add((c * 16) as u64), sx / n);
+                        ctx.write_f64(centroids_base.add((c * 16 + 8) as u64), sy / n);
+                    }
+                }
+            }
+        });
+
+        let mut checksum = 0u64;
+        for c in 0..CLUSTERS {
+            let x = session
+                .image()
+                .read_f64_direct(centroids_base.add((c * 16) as u64));
+            let y = session
+                .image()
+                .read_f64_direct(centroids_base.add((c * 16 + 8) as u64));
+            checksum = checksum
+                .wrapping_mul(31)
+                .wrapping_add((x.to_bits() >> 20) ^ (y.to_bits() >> 20));
+        }
+        WorkloadResult { report, checksum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_creates_many_threads() {
+        let r = Kmeans.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        // MAX_ITERATIONS iterations × 2 workers + main thread.
+        assert_eq!(r.report.stats.threads, MAX_ITERATIONS * 2 + 1);
+        assert!(r.report.stats.spawn_time > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn native_and_inspector_agree() {
+        let native = Kmeans.execute(SessionConfig::native(), 2, InputSize::Tiny);
+        let tracked = Kmeans.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        assert_eq!(native.checksum, tracked.checksum);
+    }
+
+    #[test]
+    fn provenance_links_centroid_updates_across_iterations() {
+        let r = Kmeans.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        let stats = r.report.cpg.stats();
+        assert!(stats.data_edges > 0);
+        assert!(stats.sync_edges > 0);
+        assert!(r.report.cpg.validate().is_ok());
+    }
+}

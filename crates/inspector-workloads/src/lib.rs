@@ -1,0 +1,144 @@
+//! # inspector-workloads
+//!
+//! Rust re-implementations of the twelve Phoenix 2.0 and PARSEC 3.0
+//! applications used in the INSPECTOR evaluation (paper §VII, Figure 7),
+//! written against the [`inspector_runtime`] pthreads-like API so that the
+//! same code runs both as a native baseline and under full provenance
+//! recording.
+//!
+//! The applications are scaled down (the paper uses multi-hundred-megabyte
+//! inputs; the default [`InputSize::Medium`] here runs in milliseconds) but
+//! keep the *structural* properties the evaluation depends on:
+//!
+//! | Application        | Suite   | Why it matters in the evaluation |
+//! |--------------------|---------|----------------------------------|
+//! | blackscholes       | PARSEC  | embarrassingly parallel, few writes |
+//! | canneal            | PARSEC  | random writes over a large array → many write faults |
+//! | histogram          | Phoenix | read-heavy scan + small merge |
+//! | kmeans             | Phoenix | spawns a fresh thread set every iteration → process-creation cost |
+//! | linear_regression  | Phoenix | pure streaming reads |
+//! | matrix_multiply    | Phoenix | dense compute, block writes |
+//! | pca                | Phoenix | two-pass statistics |
+//! | reverse_index      | Phoenix | very many small shared-heap allocations |
+//! | streamcluster      | PARSEC  | branch-heavy clustering → largest PT log |
+//! | string_match       | Phoenix | byte-at-a-time scanning, many branches |
+//! | swaptions          | PARSEC  | Monte-Carlo compute, moderate branches |
+//! | word_count         | Phoenix | text scan + per-thread tables merged under a lock |
+//!
+//! Every workload implements [`Workload`]: it builds its own
+//! [`inspector_runtime::InspectorSession`], generates a deterministic input
+//! of the requested [`InputSize`], runs with the requested number of worker
+//! threads and returns the [`RunReport`] together with a checksum that is
+//! identical for native and INSPECTOR executions (used by the correctness
+//! tests).
+
+pub mod input;
+pub mod registry;
+
+pub mod blackscholes;
+pub mod canneal;
+pub mod histogram;
+pub mod kmeans;
+pub mod linear_regression;
+pub mod matrix_multiply;
+pub mod pca;
+pub mod reverse_index;
+pub mod streamcluster;
+pub mod string_match;
+pub mod swaptions;
+pub mod word_count;
+
+use inspector_runtime::{RunReport, SessionConfig};
+
+pub use input::InputSize;
+pub use registry::{all_workloads, workload_by_name};
+
+/// The outcome of one workload execution.
+#[derive(Debug)]
+pub struct WorkloadResult {
+    /// The runtime's full report (wall time, CPG, stats, space report).
+    pub report: RunReport,
+    /// A mode-independent checksum of the workload's output, used to verify
+    /// that provenance recording does not change program results.
+    pub checksum: u64,
+}
+
+/// A benchmark application that can run under any [`SessionConfig`].
+pub trait Workload: Send + Sync {
+    /// The application's name as it appears in the paper's figures
+    /// (e.g. `"canneal"`, `"word_count"`).
+    fn name(&self) -> &'static str;
+
+    /// The benchmark suite the application comes from.
+    fn suite(&self) -> Suite;
+
+    /// Runs the application with `threads` worker threads on an input of the
+    /// given size.
+    fn execute(&self, config: SessionConfig, threads: usize, size: InputSize) -> WorkloadResult;
+}
+
+/// Origin benchmark suite of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// PARSEC 3.0.
+    Parsec,
+    /// Phoenix 2.0.
+    Phoenix,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::Parsec => write!(f, "PARSEC"),
+            Suite::Phoenix => write!(f, "Phoenix"),
+        }
+    }
+}
+
+/// Splits `total` items into `parts` contiguous ranges of near-equal size
+/// (the data-parallel partitioning pattern every workload uses).
+pub fn partition_ranges(total: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0, "cannot partition into zero parts");
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything_without_overlap() {
+        for total in [0usize, 1, 7, 16, 1000] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let ranges = partition_ranges(total, parts);
+                assert_eq!(ranges.len(), parts);
+                assert_eq!(ranges[0].0, 0);
+                assert_eq!(ranges.last().unwrap().1, total);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn zero_parts_panics() {
+        partition_ranges(10, 0);
+    }
+
+    #[test]
+    fn suite_display() {
+        assert_eq!(Suite::Parsec.to_string(), "PARSEC");
+        assert_eq!(Suite::Phoenix.to_string(), "Phoenix");
+    }
+}

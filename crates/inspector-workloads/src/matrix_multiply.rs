@@ -1,0 +1,142 @@
+//! `matrix_multiply` (Phoenix): dense C = A × B with row-block partitioning.
+//!
+//! Workers own disjoint row ranges of C; A and B are read-shared. The write
+//! set per sub-computation is a contiguous block of C's pages, so commits
+//! are large but perfectly mergeable.
+
+use inspector_runtime::{InspectorSession, SessionConfig};
+
+use crate::input::{rng_for, InputSize};
+use crate::{partition_ranges, Suite, Workload, WorkloadResult};
+
+use rand::Rng;
+
+/// Matrix dimension per unit of (square root of) input scale.
+const BASE_DIM: usize = 24;
+
+/// The matrix_multiply workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MatrixMultiply;
+
+fn dimension(size: InputSize) -> usize {
+    BASE_DIM * (size.scale() as f64).sqrt().round() as usize
+}
+
+impl Workload for MatrixMultiply {
+    fn name(&self) -> &'static str {
+        "matrix_multiply"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn execute(&self, config: SessionConfig, threads: usize, size: InputSize) -> WorkloadResult {
+        let n = dimension(size);
+        let session = InspectorSession::new(config);
+        let a = session.map_region("A", (n * n * 8) as u64);
+        let b = session.map_region("B", (n * n * 8) as u64);
+        let c = session.map_region("C", (n * n * 8) as u64);
+
+        let mut rng = rng_for("matrix_multiply", size);
+        for i in 0..n * n {
+            session
+                .image()
+                .write_f64_direct(a.at((i * 8) as u64), rng.gen_range(-4.0..4.0));
+            session
+                .image()
+                .write_f64_direct(b.at((i * 8) as u64), rng.gen_range(-4.0..4.0));
+        }
+
+        let (a_base, b_base, c_base) = (a.base(), b.base(), c.base());
+        let digest = session.map_region("trace-digest", 8).base();
+        let ranges = partition_ranges(n, threads);
+
+        let report = session.run(move |ctx| {
+            let mut handles = Vec::new();
+            for (row_start, row_end) in ranges {
+                handles.push(ctx.spawn(move |ctx| {
+                    ctx.set_pc(0x47_0000);
+                    for i in row_start..row_end {
+                        for j in 0..n {
+                            let mut acc = 0.0;
+                            for k in 0..n {
+                                let av = ctx.read_f64(a_base.add(((i * n + k) * 8) as u64));
+                                let bv = ctx.read_f64(b_base.add(((k * n + j) * 8) as u64));
+                                acc += av * bv;
+                            }
+                            ctx.branch(j + 1 < n); // inner-loop back edge
+                            ctx.write_f64(c_base.add(((i * n + j) * 8) as u64), acc);
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                ctx.join(h);
+            }
+            // Output stage: the main thread computes the trace of C, reading
+            // every worker's rows (worker → main data dependencies).
+            let mut trace = 0.0;
+            for i in 0..n {
+                trace += ctx.read_f64(c_base.add(((i * n + i) * 8) as u64));
+            }
+            ctx.write_f64(digest, trace);
+        });
+
+        let mut checksum = 0u64;
+        for i in 0..n * n {
+            let v = session
+                .image()
+                .read_f64_direct(c_base.add((i * 8) as u64));
+            checksum = checksum
+                .wrapping_mul(1099511628211)
+                .wrapping_add((v * 1e3).round() as i64 as u64);
+        }
+        WorkloadResult { report, checksum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_matches_serial_reference() {
+        let size = InputSize::Tiny;
+        let n = dimension(size);
+        // Rebuild the same inputs and compute the reference product.
+        let mut rng = rng_for("matrix_multiply", size);
+        let mut a = vec![0.0f64; n * n];
+        let mut b = vec![0.0f64; n * n];
+        for i in 0..n * n {
+            a[i] = rng.gen_range(-4.0..4.0);
+            b[i] = rng.gen_range(-4.0..4.0);
+        }
+        let mut reference = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += a[i * n + k] * b[k * n + j];
+                }
+                reference = reference
+                    .wrapping_mul(1099511628211)
+                    .wrapping_add((acc * 1e3).round() as i64 as u64);
+            }
+        }
+        let r = MatrixMultiply.execute(SessionConfig::inspector(), 2, size);
+        assert_eq!(r.checksum, reference);
+    }
+
+    #[test]
+    fn native_and_inspector_agree() {
+        let native = MatrixMultiply.execute(SessionConfig::native(), 3, InputSize::Tiny);
+        let tracked = MatrixMultiply.execute(SessionConfig::inspector(), 3, InputSize::Tiny);
+        assert_eq!(native.checksum, tracked.checksum);
+    }
+
+    #[test]
+    fn dimension_scales_with_input_size() {
+        assert!(dimension(InputSize::Large) > dimension(InputSize::Small));
+    }
+}

@@ -1,0 +1,173 @@
+//! `pca` (Phoenix): principal component analysis — mean and covariance of a
+//! row matrix.
+//!
+//! Two parallel phases separated by a join: phase 1 computes per-column
+//! means (workers own row ranges), phase 2 computes the covariance matrix
+//! (workers own column-pair ranges). The shared covariance output is small
+//! but read-modify-written by every worker under a lock.
+
+use inspector_runtime::sync::InspMutex;
+use inspector_runtime::{InspectorSession, SessionConfig};
+
+use crate::input::{rng_for, InputSize};
+use crate::{partition_ranges, Suite, Workload, WorkloadResult};
+
+use rand::Rng;
+
+/// Rows per unit of input scale.
+const BASE_ROWS: usize = 512;
+/// Number of columns (fixed, like the paper's `-c` parameter relative to rows).
+const COLS: usize = 12;
+
+/// The pca workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Pca;
+
+impl Workload for Pca {
+    fn name(&self) -> &'static str {
+        "pca"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn execute(&self, config: SessionConfig, threads: usize, size: InputSize) -> WorkloadResult {
+        let rows = BASE_ROWS * size.scale();
+        let session = InspectorSession::new(config);
+        let matrix = session.map_region("matrix", (rows * COLS * 8) as u64);
+        let means = session.map_region("means", (COLS * 8) as u64);
+        let cov = session.map_region("cov", (COLS * COLS * 8) as u64);
+
+        let mut rng = rng_for("pca", size);
+        for i in 0..rows * COLS {
+            session
+                .image()
+                .write_f64_direct(matrix.at((i * 8) as u64), rng.gen_range(0.0..100.0));
+        }
+
+        let m_base = matrix.base();
+        let means_base = means.base();
+        let cov_base = cov.base();
+        let digest = session.map_region("total-variance", 8).base();
+        let lock = std::sync::Arc::new(InspMutex::new());
+        let row_ranges = partition_ranges(rows, threads);
+
+        let report = session.run(move |ctx| {
+            // Phase 1: column means.
+            let mut handles = Vec::new();
+            for &(start, end) in &row_ranges {
+                let lock = std::sync::Arc::clone(&lock);
+                handles.push(ctx.spawn(move |ctx| {
+                    ctx.set_pc(0x48_0000);
+                    let mut local = [0.0f64; COLS];
+                    for r in start..end {
+                        for (c, acc) in local.iter_mut().enumerate() {
+                            *acc += ctx.read_f64(m_base.add(((r * COLS + c) * 8) as u64));
+                        }
+                        ctx.branch(r + 1 < end);
+                    }
+                    lock.lock(ctx);
+                    for (c, &v) in local.iter().enumerate() {
+                        let addr = means_base.add((c * 8) as u64);
+                        let cur = ctx.read_f64(addr);
+                        ctx.write_f64(addr, cur + v);
+                    }
+                    lock.unlock(ctx);
+                }));
+            }
+            for h in handles {
+                ctx.join(h);
+            }
+            // Normalise the means on the main thread.
+            for c in 0..COLS {
+                let addr = means_base.add((c * 8) as u64);
+                let v = ctx.read_f64(addr);
+                ctx.write_f64(addr, v / rows as f64);
+            }
+
+            // Phase 2: covariance of column pairs (upper triangle).
+            let pairs: Vec<(usize, usize)> = (0..COLS)
+                .flat_map(|i| (i..COLS).map(move |j| (i, j)))
+                .collect();
+            let pair_ranges = partition_ranges(pairs.len(), threads);
+            let pairs = std::sync::Arc::new(pairs);
+            let mut handles = Vec::new();
+            for &(start, end) in &pair_ranges {
+                let pairs = std::sync::Arc::clone(&pairs);
+                handles.push(ctx.spawn(move |ctx| {
+                    ctx.set_pc(0x48_1000);
+                    for &(ci, cj) in &pairs[start..end] {
+                        let mi = ctx.read_f64(means_base.add((ci * 8) as u64));
+                        let mj = ctx.read_f64(means_base.add((cj * 8) as u64));
+                        let mut acc = 0.0;
+                        for r in 0..rows {
+                            let vi = ctx.read_f64(m_base.add(((r * COLS + ci) * 8) as u64));
+                            let vj = ctx.read_f64(m_base.add(((r * COLS + cj) * 8) as u64));
+                            acc += (vi - mi) * (vj - mj);
+                        }
+                        ctx.branch(ci == cj);
+                        let denom = (rows - 1) as f64;
+                        ctx.write_f64(cov_base.add(((ci * COLS + cj) * 8) as u64), acc / denom);
+                        ctx.write_f64(cov_base.add(((cj * COLS + ci) * 8) as u64), acc / denom);
+                    }
+                }));
+            }
+            for h in handles {
+                ctx.join(h);
+            }
+            // Output stage: total variance (trace of the covariance matrix)
+            // computed by the main thread from the workers' results.
+            let mut total_variance = 0.0;
+            for c in 0..COLS {
+                total_variance += ctx.read_f64(cov_base.add(((c * COLS + c) * 8) as u64));
+            }
+            ctx.write_f64(digest, total_variance);
+        });
+
+        // Diagonal of the covariance matrix must be non-negative (variances).
+        let mut checksum = 0u64;
+        for c in 0..COLS {
+            let var = session
+                .image()
+                .read_f64_direct(cov_base.add(((c * COLS + c) * 8) as u64));
+            assert!(var >= 0.0, "variance must be non-negative");
+            checksum = checksum
+                .wrapping_mul(31)
+                .wrapping_add((var * 100.0).round() as i64 as u64);
+        }
+        WorkloadResult { report, checksum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_and_inspector_agree() {
+        let native = Pca.execute(SessionConfig::native(), 2, InputSize::Tiny);
+        let tracked = Pca.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        assert_eq!(native.checksum, tracked.checksum);
+    }
+
+    #[test]
+    fn two_phases_produce_two_thread_generations() {
+        let r = Pca.execute(SessionConfig::inspector(), 3, InputSize::Tiny);
+        // 3 workers per phase × 2 phases + main.
+        assert_eq!(r.report.stats.threads, 7);
+        assert!(r.report.cpg.validate().is_ok());
+    }
+
+    #[test]
+    fn means_feed_covariance_in_the_graph() {
+        let r = Pca.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        // The means page is written in phase 1 / by main and read in phase 2,
+        // so there must be cross-thread data edges.
+        assert!(r
+            .report
+            .cpg
+            .edges_of_kind(inspector_core::graph::EdgeKind::Data)
+            .any(|e| e.src.thread != e.dst.thread));
+    }
+}

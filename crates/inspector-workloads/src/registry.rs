@@ -1,0 +1,86 @@
+//! Registry of all benchmark workloads.
+
+use crate::blackscholes::Blackscholes;
+use crate::canneal::Canneal;
+use crate::histogram::Histogram;
+use crate::kmeans::Kmeans;
+use crate::linear_regression::LinearRegression;
+use crate::matrix_multiply::MatrixMultiply;
+use crate::pca::Pca;
+use crate::reverse_index::ReverseIndex;
+use crate::streamcluster::Streamcluster;
+use crate::string_match::StringMatch;
+use crate::swaptions::Swaptions;
+use crate::word_count::WordCount;
+use crate::Workload;
+
+/// All twelve workloads in the order the paper's figures list them.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Blackscholes),
+        Box::new(Canneal),
+        Box::new(Histogram),
+        Box::new(Kmeans),
+        Box::new(LinearRegression),
+        Box::new(MatrixMultiply),
+        Box::new(Pca),
+        Box::new(ReverseIndex),
+        Box::new(Streamcluster),
+        Box::new(StringMatch),
+        Box::new(Swaptions),
+        Box::new(WordCount),
+    ]
+}
+
+/// Looks up a workload by its paper name (e.g. `"word_count"`).
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    all_workloads().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_twelve_paper_workloads() {
+        let names: Vec<&str> = all_workloads().iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 12);
+        for expected in [
+            "blackscholes",
+            "canneal",
+            "histogram",
+            "kmeans",
+            "linear_regression",
+            "matrix_multiply",
+            "pca",
+            "reverse_index",
+            "streamcluster",
+            "string_match",
+            "swaptions",
+            "word_count",
+        ] {
+            assert!(names.contains(&expected), "missing workload {expected}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_is_exact() {
+        assert!(workload_by_name("canneal").is_some());
+        assert!(workload_by_name("does_not_exist").is_none());
+        assert_eq!(workload_by_name("pca").unwrap().name(), "pca");
+    }
+
+    #[test]
+    fn suites_are_assigned() {
+        use crate::Suite;
+        let parsec: Vec<&str> = all_workloads()
+            .iter()
+            .filter(|w| w.suite() == Suite::Parsec)
+            .map(|w| w.name())
+            .collect();
+        assert_eq!(
+            parsec,
+            vec!["blackscholes", "canneal", "streamcluster", "swaptions"]
+        );
+    }
+}

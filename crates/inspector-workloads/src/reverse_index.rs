@@ -1,0 +1,175 @@
+//! `reverse_index` (Phoenix): build a reverse link index from a set of HTML
+//! files.
+//!
+//! Each worker scans its byte range of the corpus for link tokens, allocates
+//! a small node in the *shared heap* for every link found and prepends it to
+//! the per-bucket linked list of the (hashed) target. The defining
+//! characteristic is the very large number of small shared-heap allocations
+//! performed concurrently by all threads — the paper calls this out as the
+//! reason for reverse_index's high overhead under INSPECTOR.
+
+use inspector_runtime::sync::InspMutex;
+use inspector_runtime::{InspectorSession, SessionConfig};
+
+use crate::input::{generate_text, InputSize};
+use crate::{partition_ranges, Suite, Workload, WorkloadResult};
+
+/// Corpus bytes per unit of input scale.
+const BASE_BYTES: usize = 48 * 1024;
+/// Number of buckets in the reverse index.
+const BUCKETS: usize = 128;
+
+/// The reverse_index workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReverseIndex;
+
+/// FNV-1a hash of a word, used to pick the index bucket.
+fn fnv(word: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in word {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Workload for ReverseIndex {
+    fn name(&self) -> &'static str {
+        "reverse_index"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn execute(&self, config: SessionConfig, threads: usize, size: InputSize) -> WorkloadResult {
+        let bytes = BASE_BYTES * size.scale();
+        let corpus = generate_text("reverse_index", size, bytes);
+        let session = InspectorSession::new(config);
+        let input = session.map_input("datafiles", &corpus);
+        // Bucket heads: BUCKETS pointers (u64 addresses, 0 = empty).
+        let heads = session.map_region("bucket-heads", (BUCKETS * 8) as u64);
+
+        let input_base = input.base();
+        let heads_base = heads.base();
+        let lock = std::sync::Arc::new(InspMutex::new());
+        let ranges = partition_ranges(bytes, threads);
+
+        let report = session.run(move |ctx| {
+            let mut handles = Vec::new();
+            for (start, end) in ranges {
+                let lock = std::sync::Arc::clone(&lock);
+                handles.push(ctx.spawn(move |ctx| {
+                    ctx.set_pc(0x49_0000);
+                    let mut word: Vec<u8> = Vec::new();
+                    for i in start..end {
+                        let b = ctx.read_u8(input_base.add(i as u64));
+                        let is_sep = b == b' ' || b == b'\n';
+                        ctx.branch(is_sep);
+                        if !is_sep {
+                            word.push(b);
+                            continue;
+                        }
+                        if word.len() < 3 {
+                            word.clear();
+                            continue;
+                        }
+                        // Treat every word of length >= 3 as a "link": insert
+                        // a node into the shared reverse index.
+                        let hash = fnv(&word);
+                        let bucket = (hash % BUCKETS as u64) as usize;
+                        // Node layout: [hash: u64][next: u64] — a 16-byte
+                        // allocation, mirroring the small allocations the
+                        // paper highlights.
+                        let node = ctx.alloc(16);
+                        ctx.write_u64(node, hash);
+                        lock.lock(ctx);
+                        let head_addr = heads_base.add((bucket * 8) as u64);
+                        let head = ctx.read_u64(head_addr);
+                        ctx.write_u64(node.add(8), head);
+                        ctx.write_u64(head_addr, node.raw());
+                        lock.unlock(ctx);
+                        word.clear();
+                    }
+                }));
+            }
+            for h in handles {
+                ctx.join(h);
+            }
+        });
+
+        // Walk the index and fold every stored hash into the checksum; the
+        // total node count must match a serial scan of the corpus.
+        let mut nodes = 0u64;
+        let mut checksum = 0u64;
+        for bucket in 0..BUCKETS {
+            let mut cursor = session
+                .image()
+                .read_u64_direct(heads_base.add((bucket * 8) as u64));
+            while cursor != 0 {
+                nodes += 1;
+                let hash = session
+                    .image()
+                    .read_u64_direct(inspector_mem::addr::VirtAddr::new(cursor));
+                checksum = checksum.wrapping_add(hash);
+                cursor = session
+                    .image()
+                    .read_u64_direct(inspector_mem::addr::VirtAddr::new(cursor + 8));
+            }
+        }
+        let expected = count_links(&corpus, &partition_ranges(bytes, threads));
+        assert_eq!(nodes, expected, "reverse index lost or duplicated links");
+        WorkloadResult {
+            report,
+            checksum: checksum.wrapping_add(nodes),
+        }
+    }
+}
+
+/// Serial reference count of links, honouring the same per-range word-reset
+/// behaviour as the parallel scan (words spanning a range boundary are not
+/// counted, exactly as in the parallel version).
+fn count_links(corpus: &[u8], ranges: &[(usize, usize)]) -> u64 {
+    let mut total = 0u64;
+    for &(start, end) in ranges {
+        let mut len = 0usize;
+        for &b in &corpus[start..end] {
+            if b == b' ' || b == b'\n' {
+                if len >= 3 {
+                    total += 1;
+                }
+                len = 0;
+            } else {
+                len += 1;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_complete_and_modes_agree() {
+        let native = ReverseIndex.execute(SessionConfig::native(), 2, InputSize::Tiny);
+        let tracked = ReverseIndex.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        assert_eq!(native.checksum, tracked.checksum);
+    }
+
+    #[test]
+    fn many_small_allocations_happen() {
+        let r = ReverseIndex.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        // Every link allocates one node; there must be thousands even at the
+        // tiny size.
+        assert!(r.report.stats.mem.write_faults > 100);
+        assert!(r.report.cpg.stats().sync_edges > 0);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv(b"abc"), fnv(b"abc"));
+        assert_ne!(fnv(b"abc"), fnv(b"abd"));
+    }
+}

@@ -1,0 +1,149 @@
+//! `string_match` (Phoenix): search for a set of encrypted keys in a word
+//! list.
+//!
+//! Each worker scans its byte range word by word and compares every word
+//! against the four fixed keys, counting matches. The per-character compare
+//! loop gives a high branch density with almost no shared writes.
+
+use inspector_runtime::sync::InspMutex;
+use inspector_runtime::{InspectorSession, SessionConfig};
+
+use crate::input::{generate_text, InputSize};
+use crate::{partition_ranges, Suite, Workload, WorkloadResult};
+
+/// Corpus bytes per unit of input scale.
+const BASE_BYTES: usize = 64 * 1024;
+/// The keys searched for (the Phoenix kernel uses four fixed keys).
+const KEYS: [&[u8]; 4] = [b"key", b"abcdef", b"qqq", b"zzzz"];
+
+/// The string_match workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StringMatch;
+
+impl Workload for StringMatch {
+    fn name(&self) -> &'static str {
+        "string_match"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn execute(&self, config: SessionConfig, threads: usize, size: InputSize) -> WorkloadResult {
+        let bytes = BASE_BYTES * size.scale();
+        let corpus = generate_text("string_match", size, bytes);
+        let session = InspectorSession::new(config);
+        let input = session.map_input("key_file", &corpus);
+        // One match counter per key.
+        let counts = session.map_region("counts", (KEYS.len() * 8) as u64);
+
+        let input_base = input.base();
+        let counts_base = counts.base();
+        let lock = std::sync::Arc::new(InspMutex::new());
+        let ranges = partition_ranges(bytes, threads);
+
+        let report = session.run(move |ctx| {
+            let mut handles = Vec::new();
+            for (start, end) in ranges {
+                let lock = std::sync::Arc::clone(&lock);
+                handles.push(ctx.spawn(move |ctx| {
+                    ctx.set_pc(0x4B_0000);
+                    let mut local = [0u64; KEYS.len()];
+                    let mut word: Vec<u8> = Vec::new();
+                    for i in start..end {
+                        let b = ctx.read_u8(input_base.add(i as u64));
+                        if b != b' ' && b != b'\n' {
+                            word.push(b);
+                            continue;
+                        }
+                        for (k, key) in KEYS.iter().enumerate() {
+                            // Prefix-compare character by character, exactly
+                            // like the original's strcmp loop: one branch per
+                            // compared character.
+                            let mut matched = word.len() == key.len();
+                            ctx.branch(matched);
+                            if matched {
+                                for (a, b) in word.iter().zip(key.iter()) {
+                                    let eq = a == b;
+                                    ctx.branch(eq);
+                                    if !eq {
+                                        matched = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            if matched {
+                                local[k] += 1;
+                            }
+                        }
+                        word.clear();
+                    }
+                    lock.lock(ctx);
+                    for (k, &v) in local.iter().enumerate() {
+                        let addr = counts_base.add((k * 8) as u64);
+                        let cur = ctx.read_u64(addr);
+                        ctx.write_u64(addr, cur + v);
+                    }
+                    lock.unlock(ctx);
+                }));
+            }
+            for h in handles {
+                ctx.join(h);
+            }
+        });
+
+        let mut checksum = 0u64;
+        for k in 0..KEYS.len() {
+            let c = session
+                .image()
+                .read_u64_direct(counts_base.add((k * 8) as u64));
+            checksum = checksum.wrapping_mul(31).wrapping_add(c);
+        }
+        WorkloadResult { report, checksum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_reference_with_single_worker() {
+        let size = InputSize::Tiny;
+        let corpus = generate_text("string_match", size, BASE_BYTES * size.scale());
+        let mut reference = [0u64; KEYS.len()];
+        let mut word: Vec<u8> = Vec::new();
+        for &b in &corpus {
+            if b != b' ' && b != b'\n' {
+                word.push(b);
+                continue;
+            }
+            for (k, key) in KEYS.iter().enumerate() {
+                if word.as_slice() == *key {
+                    reference[k] += 1;
+                }
+            }
+            word.clear();
+        }
+        let mut expected = 0u64;
+        for &c in &reference {
+            expected = expected.wrapping_mul(31).wrapping_add(c);
+        }
+        let r = StringMatch.execute(SessionConfig::inspector(), 1, size);
+        assert_eq!(r.checksum, expected);
+    }
+
+    #[test]
+    fn native_and_inspector_agree() {
+        let native = StringMatch.execute(SessionConfig::native(), 4, InputSize::Tiny);
+        let tracked = StringMatch.execute(SessionConfig::inspector(), 4, InputSize::Tiny);
+        assert_eq!(native.checksum, tracked.checksum);
+    }
+
+    #[test]
+    fn branch_heavy_read_only_profile() {
+        let r = StringMatch.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        assert!(r.report.stats.pt.branches > 1000);
+        assert!(r.report.stats.mem.read_faults > r.report.stats.mem.write_faults);
+    }
+}

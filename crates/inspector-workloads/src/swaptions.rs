@@ -1,0 +1,151 @@
+//! `swaptions` (PARSEC): Monte-Carlo pricing of interest-rate swaptions.
+//!
+//! Each worker owns a slice of swaptions and runs a fixed number of
+//! simulation trials per swaption. The kernel is compute-bound with very
+//! little shared state (parameters are read once, one price and error are
+//! written per swaption), so under INSPECTOR the PT log — not the threading
+//! library — dominates the overhead.
+
+use inspector_runtime::{InspectorSession, SessionConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::input::{rng_for, InputSize};
+use crate::{partition_ranges, Suite, Workload, WorkloadResult};
+
+/// Swaptions per unit of input scale (the paper uses `-ns 128`).
+const BASE_SWAPTIONS: usize = 16;
+/// Monte-Carlo trials per swaption (the paper uses `-sm 50000`).
+const TRIALS: usize = 400;
+/// Time steps per trial.
+const STEPS: usize = 16;
+
+/// The swaptions workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Swaptions;
+
+impl Workload for Swaptions {
+    fn name(&self) -> &'static str {
+        "swaptions"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn execute(&self, config: SessionConfig, threads: usize, size: InputSize) -> WorkloadResult {
+        let swaptions = BASE_SWAPTIONS * size.scale();
+        let session = InspectorSession::new(config);
+        // Parameters: strike, rate, volatility per swaption.
+        let params = session.map_region("swaption-params", (swaptions * 3 * 8) as u64);
+        // Results: price and standard error per swaption.
+        let results = session.map_region("swaption-results", (swaptions * 2 * 8) as u64);
+
+        let mut rng = rng_for("swaptions", size);
+        for s in 0..swaptions {
+            session
+                .image()
+                .write_f64_direct(params.at((s * 24) as u64), rng.gen_range(0.01..0.1));
+            session
+                .image()
+                .write_f64_direct(params.at((s * 24 + 8) as u64), rng.gen_range(0.01..0.08));
+            session
+                .image()
+                .write_f64_direct(params.at((s * 24 + 16) as u64), rng.gen_range(0.05..0.4));
+        }
+
+        let params_base = params.base();
+        let results_base = results.base();
+        let digest = session.map_region("portfolio-value", 8).base();
+        let ranges = partition_ranges(swaptions, threads);
+
+        let report = session.run(move |ctx| {
+            let mut handles = Vec::new();
+            for (start, end) in ranges {
+                handles.push(ctx.spawn(move |ctx| {
+                    ctx.set_pc(0x4C_0000);
+                    for s in start..end {
+                        let strike = ctx.read_f64(params_base.add((s * 24) as u64));
+                        let rate = ctx.read_f64(params_base.add((s * 24 + 8) as u64));
+                        let vol = ctx.read_f64(params_base.add((s * 24 + 16) as u64));
+                        let mut rng = StdRng::seed_from_u64(s as u64 * 7919 + 13);
+                        let mut sum = 0.0f64;
+                        let mut sum_sq = 0.0f64;
+                        for _trial in 0..TRIALS {
+                            // Simulate a forward-rate path (simplified HJM).
+                            // The path itself is register/stack-local, so
+                            // only the per-trial control flow is recorded —
+                            // one loop back-edge plus the in-the-money test.
+                            let mut fwd = rate;
+                            for _step in 0..STEPS {
+                                let shock: f64 = rng.gen_range(-1.0..1.0);
+                                fwd += vol * shock * (1.0 / STEPS as f64).sqrt();
+                            }
+                            let payoff = (fwd - strike).max(0.0);
+                            ctx.branch(payoff > 0.0);
+                            sum += payoff;
+                            sum_sq += payoff * payoff;
+                        }
+                        let price = sum / TRIALS as f64;
+                        let variance = (sum_sq / TRIALS as f64 - price * price).max(0.0);
+                        let std_err = (variance / TRIALS as f64).sqrt();
+                        ctx.write_f64(results_base.add((s * 16) as u64), price);
+                        ctx.write_f64(results_base.add((s * 16 + 8) as u64), std_err);
+                    }
+                }));
+            }
+            for h in handles {
+                ctx.join(h);
+            }
+            // Output stage: aggregate the portfolio value on the main thread
+            // (worker → main data dependencies).
+            let mut portfolio = 0.0;
+            for s in 0..swaptions {
+                portfolio += ctx.read_f64(results_base.add((s * 16) as u64));
+            }
+            ctx.write_f64(digest, portfolio);
+        });
+
+        let mut checksum = 0u64;
+        for s in 0..swaptions {
+            let price = session
+                .image()
+                .read_f64_direct(results_base.add((s * 16) as u64));
+            let err = session
+                .image()
+                .read_f64_direct(results_base.add((s * 16 + 8) as u64));
+            assert!(price >= 0.0 && err >= 0.0);
+            checksum = checksum
+                .wrapping_mul(31)
+                .wrapping_add((price * 1e9).round() as i64 as u64)
+                .wrapping_add((err * 1e9).round() as i64 as u64);
+        }
+        WorkloadResult { report, checksum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_and_inspector_agree() {
+        let native = Swaptions.execute(SessionConfig::native(), 2, InputSize::Tiny);
+        let tracked = Swaptions.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        assert_eq!(native.checksum, tracked.checksum);
+    }
+
+    #[test]
+    fn result_is_independent_of_thread_count() {
+        let two = Swaptions.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        let four = Swaptions.execute(SessionConfig::inspector(), 4, InputSize::Tiny);
+        assert_eq!(two.checksum, four.checksum);
+    }
+
+    #[test]
+    fn branches_scale_with_trials() {
+        let r = Swaptions.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        let expected_min = (BASE_SWAPTIONS * TRIALS) as u64;
+        assert!(r.report.stats.pt.branches >= expected_min);
+    }
+}

@@ -1,0 +1,160 @@
+//! `word_count` (Phoenix): count word occurrences in a text corpus.
+//!
+//! Workers scan disjoint byte ranges, build thread-local hash tables and
+//! merge them into a shared, bucketised count table under a lock. The merge
+//! writes a moderate number of shared pages; the scan is read-only.
+
+use std::collections::HashMap;
+
+use inspector_runtime::sync::InspMutex;
+use inspector_runtime::{InspectorSession, SessionConfig};
+
+use crate::input::{generate_text, InputSize};
+use crate::{partition_ranges, Suite, Workload, WorkloadResult};
+
+/// Corpus bytes per unit of input scale.
+const BASE_BYTES: usize = 64 * 1024;
+/// Number of buckets in the shared count table.
+const BUCKETS: usize = 512;
+
+/// The word_count workload.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WordCount;
+
+fn bucket_of(word: &[u8]) -> usize {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in word {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % BUCKETS as u64) as usize
+}
+
+impl Workload for WordCount {
+    fn name(&self) -> &'static str {
+        "word_count"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn execute(&self, config: SessionConfig, threads: usize, size: InputSize) -> WorkloadResult {
+        let bytes = BASE_BYTES * size.scale();
+        let corpus = generate_text("word_count", size, bytes);
+        let session = InspectorSession::new(config);
+        let input = session.map_input("word_100MB.txt", &corpus);
+        // Bucketised counts: BUCKETS u64 counters.
+        let table = session.map_region("word-counts", (BUCKETS * 8) as u64);
+
+        let input_base = input.base();
+        let table_base = table.base();
+        let lock = std::sync::Arc::new(InspMutex::new());
+        let ranges = partition_ranges(bytes, threads);
+
+        let report = session.run(move |ctx| {
+            let mut handles = Vec::new();
+            for (start, end) in ranges {
+                let lock = std::sync::Arc::clone(&lock);
+                handles.push(ctx.spawn(move |ctx| {
+                    ctx.set_pc(0x4D_0000);
+                    let mut local: HashMap<usize, u64> = HashMap::new();
+                    let mut word: Vec<u8> = Vec::new();
+                    for i in start..end {
+                        let b = ctx.read_u8(input_base.add(i as u64));
+                        let is_sep = b == b' ' || b == b'\n';
+                        ctx.branch(is_sep);
+                        if !is_sep {
+                            word.push(b);
+                            continue;
+                        }
+                        if !word.is_empty() {
+                            *local.entry(bucket_of(&word)).or_default() += 1;
+                            word.clear();
+                        }
+                    }
+                    lock.lock(ctx);
+                    for (bucket, count) in local {
+                        let addr = table_base.add((bucket * 8) as u64);
+                        let cur = ctx.read_u64(addr);
+                        ctx.write_u64(addr, cur + count);
+                    }
+                    lock.unlock(ctx);
+                }));
+            }
+            for h in handles {
+                ctx.join(h);
+            }
+        });
+
+        let mut total_words = 0u64;
+        let mut checksum = 0u64;
+        for b in 0..BUCKETS {
+            let count = session
+                .image()
+                .read_u64_direct(table_base.add((b * 8) as u64));
+            total_words += count;
+            checksum = checksum.wrapping_mul(1099511628211).wrapping_add(count);
+        }
+        WorkloadResult {
+            report,
+            checksum: checksum.wrapping_add(total_words),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serial_counts(corpus: &[u8], ranges: &[(usize, usize)]) -> Vec<u64> {
+        let mut table = vec![0u64; BUCKETS];
+        for &(start, end) in ranges {
+            let mut word: Vec<u8> = Vec::new();
+            for &b in &corpus[start..end] {
+                if b == b' ' || b == b'\n' {
+                    if !word.is_empty() {
+                        table[bucket_of(&word)] += 1;
+                        word.clear();
+                    }
+                } else {
+                    word.push(b);
+                }
+            }
+        }
+        table
+    }
+
+    #[test]
+    fn counts_match_serial_reference() {
+        let size = InputSize::Tiny;
+        let corpus = generate_text("word_count", size, BASE_BYTES * size.scale());
+        let ranges = partition_ranges(corpus.len(), 3);
+        let reference = serial_counts(&corpus, &ranges);
+        let mut expected = 0u64;
+        let mut total = 0u64;
+        for &c in &reference {
+            total += c;
+            expected = expected.wrapping_mul(1099511628211).wrapping_add(c);
+        }
+        let r = WordCount.execute(SessionConfig::inspector(), 3, size);
+        assert_eq!(r.checksum, expected.wrapping_add(total));
+    }
+
+    #[test]
+    fn native_and_inspector_agree() {
+        let native = WordCount.execute(SessionConfig::native(), 2, InputSize::Tiny);
+        let tracked = WordCount.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        assert_eq!(native.checksum, tracked.checksum);
+    }
+
+    #[test]
+    fn merge_produces_cross_thread_data_edges() {
+        let r = WordCount.execute(SessionConfig::inspector(), 3, InputSize::Tiny);
+        assert!(r
+            .report
+            .cpg
+            .edges_of_kind(inspector_core::graph::EdgeKind::Data)
+            .any(|e| e.src.thread != e.dst.thread));
+    }
+}
