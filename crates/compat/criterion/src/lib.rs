@@ -1,0 +1,267 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — as a small wall-clock timing harness. No statistics, plots or
+//! baselines: each benchmark is warmed up briefly, then timed for a bounded
+//! number of iterations, and a single `ns/iter` line is printed.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark (recorded, used for rate output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter, e.g. `join/16`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the most recent `iter` call.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its mean wall-clock cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: a few iterations, also used to size the measurement run.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3
+            || (warm_start.elapsed() < Duration::from_millis(5) && warm_iters < 1000)
+        {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Target ~50 ms of measurement, clamped to keep `cargo bench` quick.
+        let target = (0.05 / per_iter.max(1e-9)) as u64;
+        let iters = target.clamp(3, 100_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RunnerConfig {
+    _sample_size: usize,
+    _measurement_time: Duration,
+    _warm_up_time: Duration,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            _sample_size: 100,
+            _measurement_time: Duration::from_secs(5),
+            _warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// The benchmark runner.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: RunnerConfig,
+}
+
+impl Criterion {
+    /// Sets the (nominal) sample count. Accepted for API compatibility.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config._sample_size = n;
+        self
+    }
+
+    /// Sets the (nominal) measurement time. Accepted for API compatibility.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config._measurement_time = d;
+        self
+    }
+
+    /// Sets the (nominal) warm-up time. Accepted for API compatibility.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config._warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let mut line = format!(
+        "bench {label:<48} {:>12.1} ns/iter ({} iters)",
+        bencher.mean_ns, bencher.iters
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) if bencher.mean_ns > 0.0 => {
+            let rate = n as f64 / (bencher.mean_ns * 1e-9);
+            line.push_str(&format!("  {:.2} Melem/s", rate / 1e6));
+        }
+        Some(Throughput::Bytes(n)) if bencher.mean_ns > 0.0 => {
+            let rate = n as f64 / (bencher.mean_ns * 1e-9);
+            line.push_str(&format!("  {:.2} MiB/s", rate / (1024.0 * 1024.0)));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// Declares a group of benchmark functions (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.mean_ns >= 0.0);
+        assert!(b.iters >= 3);
+    }
+
+    #[test]
+    fn group_api_shape_works() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut group = c.benchmark_group("shape");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("direct", |b| b.iter(|| black_box(2 * 2)));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,174 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` implementations
+//! for the offline `serde` stand-in.
+//!
+//! The derives parse just enough of the item — its name and generic
+//! parameter list — to emit a trait impl whose body delegates to the
+//! opaque fallback methods on the driver traits. Field-level `#[serde(...)]`
+//! attributes are accepted and ignored, matching what the real derive would
+//! tolerate.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline) by walking the
+//! raw [`proc_macro::TokenStream`].
+
+use proc_macro::{TokenStream, TokenTree};
+
+struct ItemShape {
+    /// The type name, e.g. `VectorClock`.
+    name: String,
+    /// Generic parameter list with bounds, without angle brackets
+    /// (e.g. `'a, T: Clone`); empty when the type is not generic.
+    params: String,
+    /// Generic arguments for the self type (names only, e.g. `'a, T`).
+    args: String,
+}
+
+/// Extracts the item name and generics from a struct/enum definition.
+fn parse_shape(item: TokenStream) -> ItemShape {
+    let mut tokens = item.into_iter().peekable();
+
+    // Skip outer attributes (`# [ ... ]`, including doc comments) and
+    // visibility (`pub`, `pub(crate)`, ...) until the `struct`/`enum`
+    // keyword.
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute body: the following bracket group.
+                let _ = tokens.next();
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break;
+            }
+            Some(_) => {}
+            None => panic!("serde derive: expected a struct or enum definition"),
+        }
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected a type name, found {other:?}"),
+    };
+
+    // Optional generic parameter list.
+    let mut params = String::new();
+    let mut args = String::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let _ = tokens.next(); // consume `<`
+        let mut depth: i32 = 1;
+        let mut collected: Vec<TokenTree> = Vec::new();
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            collected.push(tt);
+        }
+        params = collected
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        args = generic_args(&collected);
+    }
+
+    ItemShape { name, params, args }
+}
+
+/// Reduces a generic parameter list to the argument names usable in the
+/// self type: `'a, T: Clone, const N: usize` becomes `'a, T, N`.
+fn generic_args(params: &[TokenTree]) -> String {
+    let mut out: Vec<String> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut at_start = true;
+    let mut iter = params.iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => at_start = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' && at_start && depth == 0 => {
+                if let Some(TokenTree::Ident(id)) = iter.peek() {
+                    out.push(format!("'{id}"));
+                    let _ = iter.next();
+                    at_start = false;
+                }
+            }
+            TokenTree::Ident(id) if at_start && depth == 0 => {
+                let word = id.to_string();
+                if word == "const" {
+                    // `const N: usize` — the argument is the following ident.
+                    if let Some(TokenTree::Ident(n)) = iter.peek() {
+                        out.push(n.to_string());
+                        let _ = iter.next();
+                    }
+                } else {
+                    out.push(word);
+                }
+                at_start = false;
+            }
+            _ => {}
+        }
+    }
+    out.join(", ")
+}
+
+fn self_ty(shape: &ItemShape) -> String {
+    if shape.args.is_empty() {
+        shape.name.clone()
+    } else {
+        format!("{}<{}>", shape.name, shape.args)
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let shape = parse_shape(item);
+    let params = if shape.params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", shape.params)
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl{params} ::serde::Serialize for {ty} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 ::serde::Serializer::serialize_opaque(__serializer)\n\
+             }}\n\
+         }}",
+        ty = self_ty(&shape),
+    );
+    code.parse()
+        .expect("serde derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let shape = parse_shape(item);
+    let params = if shape.params.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!("<'de, {}>", shape.params)
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl{params} ::serde::Deserialize<'de> for {ty} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 ::serde::Deserializer::deserialize_opaque(__deserializer)\n\
+             }}\n\
+         }}",
+        ty = self_ty(&shape),
+    );
+    code.parse()
+        .expect("serde derive: generated impl must parse")
+}

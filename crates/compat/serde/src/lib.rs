@@ -1,0 +1,87 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal local replacement that provides exactly the surface the
+//! `inspector-*` crates use:
+//!
+//! * the [`Serialize`] / [`Deserialize`] traits (and the [`Serializer`] /
+//!   [`Deserializer`] driver traits referenced by hand-written
+//!   `#[serde(with = "...")]` modules), and
+//! * the `#[derive(Serialize, Deserialize)]` macros, re-exported from the
+//!   sibling `serde_derive` proc-macro crate.
+//!
+//! No wire format is implemented — nothing in the workspace serializes to a
+//! concrete format today. Derives exist so the annotated types keep their
+//! declared capability and can be swapped onto the real `serde` without any
+//! source change once a vendored copy is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Driver for serialization (mirror of `serde::Serializer`, reduced to the
+/// methods the workspace's hand-written impls call).
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error;
+
+    /// Serializes a `u64` (used by the `duration_nanos` field adapters).
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+
+    /// Fallback used by derived impls: the value is treated as opaque.
+    fn serialize_opaque(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Driver for deserialization (mirror of `serde::Deserializer`).
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error;
+
+    /// Deserializes a `u64` (used by the `duration_nanos` field adapters).
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+
+    /// Fallback used by derived impls: always fails or synthesizes a value,
+    /// at the driver's discretion.
+    fn deserialize_opaque<T>(self) -> Result<T, Self::Error>;
+}
+
+/// A type that can be serialized through any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be deserialized through any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64()
+    }
+}
+
+macro_rules! opaque_primitives {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_opaque()
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                deserializer.deserialize_opaque()
+            }
+        }
+    )*};
+}
+
+opaque_primitives!(u8, u16, u32, usize, i8, i16, i32, i64, isize, f32, f64, bool, String);

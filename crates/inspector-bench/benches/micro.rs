@@ -8,10 +8,10 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use inspector_core::clock::VectorClock;
-use inspector_core::event::{AccessKind, SyncKind};
 use inspector_core::graph::CpgBuilder;
-use inspector_core::ids::{PageId, SyncObjectId, ThreadId};
-use inspector_core::recorder::{SyncClockRegistry, ThreadRecorder};
+use inspector_core::ids::ThreadId;
+use inspector_core::sharded::ShardedCpgBuilder;
+use inspector_core::subcomputation::SubComputation;
 use inspector_mem::shared::SharedImage;
 use inspector_mem::thread_mem::{ThreadMemory, TrackingMode};
 use inspector_perf::compress::lz_compress;
@@ -64,7 +64,7 @@ fn bench_fault_path(c: &mut Criterion) {
             // Always a fresh page: measures the full fault + twin-copy path.
             mem.write_u64(region.base().add(page * 4096), page);
             page += 1;
-            if page % 1024 == 0 {
+            if page.is_multiple_of(1024) {
                 mem.commit();
             }
         });
@@ -134,6 +134,13 @@ fn bench_pt_codec(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pre-records a lock-heavy execution for the graph-construction
+/// benchmarks (shared generator, so the bench exercises the same shape as
+/// the equivalence suite).
+fn recorded_sequences(threads: usize) -> Vec<Vec<SubComputation>> {
+    inspector_core::testing::lock_heavy_sequences(threads as u32, 200, 32, 16)
+}
+
 fn bench_cpg_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("cpg");
     for threads in [2usize, 8] {
@@ -143,21 +150,7 @@ fn bench_cpg_build(c: &mut Criterion) {
             |b, &n| {
                 // Pre-record a lock-heavy execution, then measure graph
                 // construction only.
-                let registry = SyncClockRegistry::shared();
-                let lock = SyncObjectId::new(1);
-                let sequences: Vec<_> = (0..n)
-                    .map(|t| {
-                        let mut rec =
-                            ThreadRecorder::new(ThreadId::new(t as u32), Arc::clone(&registry));
-                        for i in 0..200u64 {
-                            rec.on_synchronization(lock, SyncKind::Acquire);
-                            rec.on_memory_access(PageId::new(i % 32), AccessKind::Read);
-                            rec.on_memory_access(PageId::new(i % 16), AccessKind::Write);
-                            rec.on_synchronization(lock, SyncKind::Release);
-                        }
-                        rec.finish()
-                    })
-                    .collect();
+                let sequences = recorded_sequences(n);
                 b.iter(|| {
                     let mut builder = CpgBuilder::new();
                     for seq in &sequences {
@@ -171,9 +164,51 @@ fn bench_cpg_build(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cpg_ingest(c: &mut Criterion) {
+    // Batch vs streaming construction over identical recorded sequences:
+    // the perf baseline the next optimisation round has to beat. Both
+    // variants pay the same per-iteration clone of the input, so the delta
+    // is construction cost only.
+    let mut group = c.benchmark_group("cpg_ingest");
+    for threads in [2usize, 8] {
+        let sequences = recorded_sequences(threads);
+        let subs: usize = sequences.iter().map(|s| s.len()).sum();
+        group.throughput(Throughput::Elements(subs as u64));
+        group.bench_with_input(
+            BenchmarkId::new("batch", threads),
+            &sequences,
+            |b, sequences| {
+                b.iter(|| {
+                    let mut builder = CpgBuilder::new();
+                    for seq in sequences {
+                        builder.add_thread(seq.clone());
+                    }
+                    builder.build()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("streaming", threads),
+            &sequences,
+            |b, sequences| {
+                b.iter(|| {
+                    let builder = ShardedCpgBuilder::with_shards(8);
+                    for seq in sequences {
+                        for sub in seq.clone() {
+                            builder.ingest(sub);
+                        }
+                    }
+                    builder.seal()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_vector_clocks, bench_fault_path, bench_pt_codec, bench_cpg_build
+    targets = bench_vector_clocks, bench_fault_path, bench_pt_codec, bench_cpg_build, bench_cpg_ingest
 }
 criterion_main!(micro);

@@ -15,7 +15,12 @@ pub const FIGURE5_THREADS: [usize; 4] = [2, 4, 8, 16];
 /// The thread count used by Figures 6, 7 and 9.
 pub const BREAKDOWN_THREADS: usize = 16;
 /// The applications used in the input-scalability experiment (Figure 8).
-pub const FIGURE8_APPS: [&str; 4] = ["histogram", "linear_regression", "string_match", "word_count"];
+pub const FIGURE8_APPS: [&str; 4] = [
+    "histogram",
+    "linear_regression",
+    "string_match",
+    "word_count",
+];
 
 /// One bar of Figure 5: overhead of one workload at one thread count.
 #[derive(Debug, Clone)]
@@ -80,6 +85,10 @@ pub struct Fig6Row {
     pub threading: f64,
     /// Share attributed to the OS support for Intel PT (packet encoding).
     pub pt: f64,
+    /// Share attributed to streaming CPG construction (mostly overlapped
+    /// with execution; this is the residual cost the overlap could not
+    /// hide).
+    pub graph: f64,
 }
 
 /// Figure 6: breakdown of the provenance overhead into threading-library and
@@ -95,6 +104,7 @@ pub fn figure6(size: InputSize, threads: usize, repeats: usize) -> Vec<Fig6Row> 
                 total: b.total_overhead,
                 threading: b.threading_overhead,
                 pt: b.pt_overhead,
+                graph: b.graph_overhead,
             }
         })
         .collect()
@@ -104,13 +114,13 @@ pub fn figure6(size: InputSize, threads: usize, repeats: usize) -> Vec<Fig6Row> 
 pub fn print_figure6(rows: &[Fig6Row]) {
     println!("Figure 6: overhead breakdown at {BREAKDOWN_THREADS} threads (ratio over native)");
     println!(
-        "{:<20}{:>10}{:>16}{:>14}",
-        "application", "total", "threading lib", "OS/Intel PT"
+        "{:<20}{:>10}{:>16}{:>14}{:>13}",
+        "application", "total", "threading lib", "OS/Intel PT", "CPG ingest"
     );
     for r in rows {
         println!(
-            "{:<20}{:>9.2}x{:>15.2}x{:>13.2}x",
-            r.name, r.total, r.threading, r.pt
+            "{:<20}{:>9.2}x{:>15.2}x{:>13.2}x{:>12.2}x",
+            r.name, r.total, r.threading, r.pt, r.graph
         );
     }
 }
@@ -266,9 +276,18 @@ pub fn print_figure9(rows: &[Fig9Row]) {
     }
 }
 
+/// Every figure's rows, bundled (the return of [`smoke_all`]).
+pub type AllFigures = (
+    Vec<Fig5Row>,
+    Vec<Fig6Row>,
+    Vec<Fig7Row>,
+    Vec<Fig8Row>,
+    Vec<Fig9Row>,
+);
+
 /// Convenience used by `run_all` and the smoke tests: a tiny configuration
 /// that exercises every figure path quickly.
-pub fn smoke_all() -> (Vec<Fig5Row>, Vec<Fig6Row>, Vec<Fig7Row>, Vec<Fig8Row>, Vec<Fig9Row>) {
+pub fn smoke_all() -> AllFigures {
     let size = InputSize::Tiny;
     (
         figure5(size, &[2], 1),
@@ -302,8 +321,8 @@ mod tests {
     fn figure6_breakdown_components_do_not_exceed_total() {
         let rows = figure6(InputSize::Tiny, 2, 1);
         for r in &rows {
-            assert!(r.threading >= 0.0 && r.pt >= 0.0);
-            assert!(r.threading + r.pt <= r.total + 1e-9, "{:?}", r);
+            assert!(r.threading >= 0.0 && r.pt >= 0.0 && r.graph >= 0.0);
+            assert!(r.threading + r.pt + r.graph <= r.total + 1e-9, "{:?}", r);
         }
     }
 
@@ -344,7 +363,10 @@ mod tests {
         // data-dependent branch outcomes keep some of our synthetic logs
         // close to incompressible).
         let compressible = rows.iter().filter(|r| r.ratio > 1.5).count();
-        assert!(compressible >= 4, "only {compressible}/12 logs compressed > 1.5x");
+        assert!(
+            compressible >= 4,
+            "only {compressible}/12 logs compressed > 1.5x"
+        );
         // streamcluster has the largest log in the paper; here it must at
         // least be above the median.
         let mut sizes: Vec<u64> = rows.iter().map(|r| r.log_bytes).collect();
@@ -357,11 +379,38 @@ mod tests {
     #[test]
     fn printers_do_not_panic() {
         let (f5, f6, f7, f8, f9) = (
-            vec![Fig5Row { name: "x", threads: 2, overhead: 1.5 }],
-            vec![Fig6Row { name: "x", total: 2.0, threading: 0.6, pt: 0.4 }],
-            vec![Fig7Row { name: "x", page_faults: 10, faults_per_sec: 1e3 }],
-            vec![Fig8Row { name: "x", size: InputSize::Small, input_bytes: 4096, overhead: 1.1 }],
-            vec![Fig9Row { name: "x", log_bytes: 10, compressed_bytes: 5, ratio: 2.0, bandwidth: 1.0, branches_per_sec: 1.0, branches: 1 }],
+            vec![Fig5Row {
+                name: "x",
+                threads: 2,
+                overhead: 1.5,
+            }],
+            vec![Fig6Row {
+                name: "x",
+                total: 2.0,
+                threading: 0.5,
+                pt: 0.3,
+                graph: 0.2,
+            }],
+            vec![Fig7Row {
+                name: "x",
+                page_faults: 10,
+                faults_per_sec: 1e3,
+            }],
+            vec![Fig8Row {
+                name: "x",
+                size: InputSize::Small,
+                input_bytes: 4096,
+                overhead: 1.1,
+            }],
+            vec![Fig9Row {
+                name: "x",
+                log_bytes: 10,
+                compressed_bytes: 5,
+                ratio: 2.0,
+                bandwidth: 1.0,
+                branches_per_sec: 1.0,
+                branches: 1,
+            }],
         );
         print_figure5(&f5, &[2]);
         print_figure6(&f6);

@@ -65,13 +65,32 @@ pub struct CpgStats {
 /// The Concurrent Provenance Graph.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Cpg {
-    nodes: BTreeMap<SubId, SubComputation>,
-    edges: Vec<DependenceEdge>,
-    successors: HashMap<SubId, Vec<usize>>,
-    predecessors: HashMap<SubId, Vec<usize>>,
+    pub(crate) nodes: BTreeMap<SubId, SubComputation>,
+    pub(crate) edges: Vec<DependenceEdge>,
+    pub(crate) successors: HashMap<SubId, Vec<usize>>,
+    pub(crate) predecessors: HashMap<SubId, Vec<usize>>,
 }
 
 impl Cpg {
+    /// Assembles a graph from a finished node and edge set, building the
+    /// adjacency indexes. Used by both builders.
+    pub(crate) fn from_parts(
+        nodes: BTreeMap<SubId, SubComputation>,
+        edges: Vec<DependenceEdge>,
+    ) -> Self {
+        let mut cpg = Cpg {
+            nodes,
+            edges,
+            successors: HashMap::new(),
+            predecessors: HashMap::new(),
+        };
+        for (i, e) in cpg.edges.iter().enumerate() {
+            cpg.successors.entry(e.src).or_default().push(i);
+            cpg.predecessors.entry(e.dst).or_default().push(i);
+        }
+        cpg
+    }
+
     /// Number of vertices.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -169,8 +188,7 @@ impl Cpg {
     /// contains a cycle (which would indicate a recording bug — the CPG must
     /// be a DAG).
     pub fn topological_order(&self) -> Option<Vec<SubId>> {
-        let mut indegree: BTreeMap<SubId, usize> =
-            self.nodes.keys().map(|&id| (id, 0)).collect();
+        let mut indegree: BTreeMap<SubId, usize> = self.nodes.keys().map(|&id| (id, 0)).collect();
         for e in &self.edges {
             *indegree.get_mut(&e.dst)? += 1;
         }
@@ -280,25 +298,27 @@ impl CpgBuilder {
     }
 
     /// Builds the graph: derives control, synchronization and data edges.
+    ///
+    /// This is the reference *batch* path: it clones every sub-computation
+    /// into the graph and scans the whole node set for edges. The streaming
+    /// [`crate::sharded::ShardedCpgBuilder`] produces an identical graph
+    /// without the clone or the end-of-run scan; this builder is kept as the
+    /// equivalence oracle and for offline reconstruction from stored
+    /// sequences.
     pub fn build(&self) -> Cpg {
-        let mut cpg = Cpg::default();
+        let mut nodes = BTreeMap::new();
         for seq in self.sequences.values() {
             for sub in seq {
-                cpg.nodes.insert(sub.id, sub.clone());
+                nodes.insert(sub.id, sub.clone());
             }
         }
 
         let mut edges = Vec::new();
         Self::derive_control_edges(&self.sequences, &mut edges);
         Self::derive_sync_edges(&self.sequences, &mut edges);
-        Self::derive_data_edges(&cpg.nodes, &mut edges);
+        Self::derive_data_edges(&nodes, &mut edges);
 
-        for (i, e) in edges.iter().enumerate() {
-            cpg.successors.entry(e.src).or_default().push(i);
-            cpg.predecessors.entry(e.dst).or_default().push(i);
-        }
-        cpg.edges = edges;
-        cpg
+        Cpg::from_parts(nodes, edges)
     }
 
     fn derive_control_edges(
@@ -325,7 +345,7 @@ impl CpgBuilder {
     /// (if `L_t[α]` happens-before `x` then so does every earlier
     /// sub-computation of `t`), so the predecessors form a prefix and a
     /// binary search suffices.
-    fn latest_preceding<'a>(
+    pub(crate) fn latest_preceding<'a>(
         sorted: &[&'a SubComputation],
         target: &SubComputation,
     ) -> Option<&'a SubComputation> {
@@ -406,10 +426,7 @@ impl CpgBuilder {
     /// Writers of a page are grouped per thread; for each reader only the
     /// latest preceding writer of each thread is a candidate, and dominated
     /// candidates are discarded (last-writer semantics).
-    fn derive_data_edges(
-        nodes: &BTreeMap<SubId, SubComputation>,
-        edges: &mut Vec<DependenceEdge>,
-    ) {
+    fn derive_data_edges(nodes: &BTreeMap<SubId, SubComputation>, edges: &mut Vec<DependenceEdge>) {
         // Index writers by page and thread; iteration over the BTreeMap is in
         // (thread, α) order, so per-thread lists are already sorted.
         type ByThread<'a> = BTreeMap<ThreadId, Vec<&'a SubComputation>>;
@@ -424,7 +441,18 @@ impl CpgBuilder {
                     .push(sub);
             }
         }
+        Self::derive_data_edges_from_index(nodes, &writers, edges);
+    }
 
+    /// The per-reader update-use resolution over a prebuilt writer index.
+    /// Shared with the streaming builder so the batch oracle and the
+    /// streamed graph cannot diverge in last-writer semantics: both paths
+    /// run this exact loop, they only build `writers` differently.
+    pub(crate) fn derive_data_edges_from_index(
+        nodes: &BTreeMap<SubId, SubComputation>,
+        writers: &HashMap<PageId, BTreeMap<ThreadId, Vec<&SubComputation>>>,
+        edges: &mut Vec<DependenceEdge>,
+    ) {
         for reader in nodes.values() {
             // page -> latest writers (per writer sub-computation).
             let mut per_writer_pages: BTreeMap<SubId, Vec<PageId>> = BTreeMap::new();
@@ -529,9 +557,9 @@ mod tests {
         // (T1, α=1). There must be a data edge between them carrying page 10.
         let writer = SubId::new(ThreadId::new(0), 1);
         let reader = SubId::new(ThreadId::new(1), 1);
-        let found = cpg.edges_of_kind(EdgeKind::Data).any(|e| {
-            e.src == writer && e.dst == reader && e.pages.contains(&PageId::new(10))
-        });
+        let found = cpg
+            .edges_of_kind(EdgeKind::Data)
+            .any(|e| e.src == writer && e.dst == reader && e.pages.contains(&PageId::new(10)));
         assert!(found, "expected data edge T1.a -> T2.a for page x");
     }
 
@@ -555,7 +583,10 @@ mod tests {
                 && e.pages.contains(&PageId::new(11))
         });
         assert!(from_t2a, "expected y to flow from T2.a into T1.b");
-        assert!(!from_t1a_y, "stale writer T1.a should be superseded by T2.a");
+        assert!(
+            !from_t1a_y,
+            "stale writer T1.a should be superseded by T2.a"
+        );
     }
 
     #[test]

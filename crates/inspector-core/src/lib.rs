@@ -18,8 +18,25 @@
 //!
 //! The crate is deliberately independent of *how* the underlying trace is
 //! obtained: the threading library ([`inspector-runtime`]) feeds events into a
-//! [`recorder::ThreadRecorder`] per thread, and the per-thread logs are merged
-//! into a [`graph::Cpg`] by [`graph::CpgBuilder`].
+//! [`recorder::ThreadRecorder`] per thread, and the per-thread logs become a
+//! [`graph::Cpg`] through one of two builders:
+//!
+//! * [`sharded::ShardedCpgBuilder`] — the **streaming** path the runtime
+//!   uses. Sub-computations are drained out of each recorder as they retire
+//!   ([`recorder::ThreadRecorder::drain_retired`]) and ingested **by value**
+//!   into lock-striped shards keyed by thread id. Control edges and
+//!   synchronization edges are applied during ingestion (an acquire's
+//!   candidate releases are pinned by its vector clock, so edges are emitted
+//!   as soon as the causal frontier is fully delivered), and a per-shard
+//!   page write index is maintained so the final
+//!   [`seal`](sharded::ShardedCpgBuilder::seal) only resolves cross-shard
+//!   data-dependence edges. Peak memory tracks the in-flight
+//!   sub-computations, not a second copy of the whole trace.
+//! * [`graph::CpgBuilder`] — the **batch** reference. It buffers every
+//!   thread's full sequence and derives all edges in one offline pass; it is
+//!   the oracle the streaming path is tested against (the two produce
+//!   node- and edge-identical graphs) and the tool for rebuilding a graph
+//!   from stored sequences.
 //!
 //! ```
 //! use inspector_core::clock::VectorClock;
@@ -39,9 +56,11 @@ pub mod graph;
 pub mod ids;
 pub mod query;
 pub mod recorder;
+pub mod sharded;
 pub mod snapshot;
 pub mod subcomputation;
 pub mod taint;
+pub mod testing;
 pub mod thunk;
 
 pub use clock::VectorClock;
@@ -49,5 +68,6 @@ pub use event::{AccessKind, BranchKind, SyncKind, TraceEvent};
 pub use graph::{Cpg, CpgBuilder, DependenceEdge, EdgeKind};
 pub use ids::{PageId, SubId, SyncObjectId, ThreadId, ThunkId};
 pub use recorder::{SyncClockRegistry, ThreadRecorder};
+pub use sharded::{IngestStats, ShardedCpgBuilder};
 pub use subcomputation::SubComputation;
 pub use thunk::Thunk;

@@ -357,8 +357,7 @@ mod tests {
         let cpg = pipeline_cpg();
         let q = ProvenanceQuery::new(&cpg);
         let sched = q.schedule();
-        let pos: BTreeMap<SubId, usize> =
-            sched.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let pos: BTreeMap<SubId, usize> = sched.iter().enumerate().map(|(i, &s)| (s, i)).collect();
         for a in cpg.nodes() {
             for b in cpg.nodes() {
                 if a.happens_before(b) {

@@ -47,10 +47,7 @@ impl SyncClockRegistry {
     /// `release(S)`: merge the releasing thread's clock into `C_S`.
     pub fn release(&self, object: SyncObjectId, thread_clock: &VectorClock) {
         let mut clocks = self.clocks.lock();
-        clocks
-            .entry(object)
-            .or_insert_with(VectorClock::new)
-            .join(thread_clock);
+        clocks.entry(object).or_default().join(thread_clock);
     }
 
     /// `acquire(S)`: merge `C_S` into the acquiring thread's clock.
@@ -63,11 +60,7 @@ impl SyncClockRegistry {
 
     /// Returns a copy of the clock currently stored for `object`.
     pub fn clock_of(&self, object: SyncObjectId) -> VectorClock {
-        self.clocks
-            .lock()
-            .get(&object)
-            .cloned()
-            .unwrap_or_default()
+        self.clocks.lock().get(&object).cloned().unwrap_or_default()
     }
 
     /// Number of synchronization objects seen so far.
@@ -268,10 +261,20 @@ impl ThreadRecorder {
     }
 
     /// Consumes the recorder and returns the thread's execution sequence
-    /// `L_t` (all completed sub-computations in order).
+    /// `L_t` — the completed sub-computations in order, minus anything a
+    /// prior [`drain_retired`](Self::drain_retired) already handed off.
     pub fn finish(mut self) -> Vec<SubComputation> {
         self.on_thread_exit();
         self.completed
+    }
+
+    /// Removes and returns the sub-computations that retired since the last
+    /// drain, **by value** — the hand-off point of the streaming CPG
+    /// pipeline. The runtime calls this at every synchronization boundary so
+    /// retired provenance flows into the graph while the thread keeps
+    /// running, instead of accumulating until [`finish`](Self::finish).
+    pub fn drain_retired(&mut self) -> Vec<SubComputation> {
+        std::mem::take(&mut self.completed)
     }
 
     /// Completed sub-computations recorded so far (not including the one in

@@ -1,0 +1,648 @@
+//! Streaming, sharded construction of the Concurrent Provenance Graph.
+//!
+//! [`crate::graph::CpgBuilder`] is a *batch* builder: it holds every
+//! thread's full execution sequence, clones all of it into the graph after
+//! the run ends, and derives every edge in one offline pass. That is exactly
+//! what INSPECTOR's parallel-provenance design avoids — so this module
+//! provides the streaming alternative the runtime uses:
+//!
+//! * **Shards.** Sub-computations are ingested into `N` lock-striped shards
+//!   keyed by [`ThreadId`] (`thread.index() % N`). A shard stores the
+//!   per-thread sequences (moved in **by value** — no clone on the ingest
+//!   path), the control edges, and a page-granularity write index used
+//!   later for data-dependence resolution. Node and index storage — the
+//!   heavy part of ingestion — contends per stripe; the small
+//!   synchronization-edge bookkeeping (clock frontier, release index,
+//!   parked acquires) still goes through one shared stripe, so fully
+//!   parallel producers serialize briefly there (moving that bookkeeping
+//!   into the stripes is a ROADMAP item).
+//! * **Ingest-time edges.** Control edges are emitted immediately (the
+//!   predecessor of a sub-computation is always ingested first, because
+//!   per-thread delivery is FIFO). Synchronization edges are resolved
+//!   *eagerly* as soon as the acquiring sub-computation's causal frontier is
+//!   fully ingested: a sub-computation's vector clock pins exactly which
+//!   releases can precede it, so once every thread `u` has delivered
+//!   `clock[u]` sub-computations the candidate set is provably complete and
+//!   the edge can be emitted without ever being revoked. Acquires whose
+//!   frontier is still in flight are parked and resolved at seal time.
+//! * **Cheap seal.** [`ShardedCpgBuilder::seal`] only has to resolve the
+//!   deferred synchronization edges and the cross-shard data-dependence
+//!   edges (from the per-shard write indexes), then moves the nodes into the
+//!   final [`Cpg`]. Peak memory for provenance therefore tracks the
+//!   in-flight sub-computations plus the (small) indexes, not a second copy
+//!   of the whole trace.
+//!
+//! The streamed graph is node- and edge-identical to the batch result — the
+//! same candidate-selection and dominance-pruning logic runs over the same
+//! indexed data, only earlier — which `tests/streaming_equivalence.rs`
+//! enforces across workloads, thread counts and delivery interleavings.
+
+use std::collections::{BTreeMap, HashMap};
+
+use parking_lot::Mutex;
+
+use crate::clock::VectorClock;
+use crate::event::SyncKind;
+use crate::graph::{Cpg, CpgBuilder, DependenceEdge, EdgeKind};
+use crate::ids::{PageId, SubId, SyncObjectId, ThreadId};
+use crate::subcomputation::SubComputation;
+
+/// Default number of lock stripes.
+const DEFAULT_SHARDS: usize = 8;
+
+/// Counters describing how a streamed build progressed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Sub-computations ingested.
+    pub ingested: u64,
+    /// Synchronization edges resolved eagerly during ingestion.
+    pub sync_resolved_at_ingest: u64,
+    /// Synchronization edges resolved by the safety net in
+    /// [`ShardedCpgBuilder::seal`]. Always zero for complete builds: once
+    /// every producer has delivered everything (which callers must ensure
+    /// before sealing), the final ingest resolves the last parked acquires.
+    pub sync_resolved_at_seal: u64,
+    /// Largest number of acquires ever parked while waiting for their causal
+    /// frontier (a measure of how out-of-order delivery was).
+    pub peak_parked_acquires: u64,
+}
+
+/// An acquire-terminated boundary whose successor sub-computation has been
+/// ingested but whose causal frontier is not yet complete.
+#[derive(Debug)]
+struct PendingAcquire {
+    /// The edge destination: the sub-computation that started right after
+    /// the acquire returned.
+    dst: SubId,
+    /// The destination's vector clock (pins the candidate releases).
+    clock: VectorClock,
+    /// The acquired synchronization object.
+    object: SyncObjectId,
+}
+
+/// One lock stripe: node storage plus the indexes maintained on ingest.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Per-thread execution sequences in ingest (= α) order.
+    sequences: BTreeMap<ThreadId, Vec<SubComputation>>,
+    /// Intra-thread program-order edges, emitted on ingest.
+    control_edges: Vec<DependenceEdge>,
+    /// Write index: page → writing thread → α of each writing
+    /// sub-computation, in execution order.
+    writers: HashMap<PageId, BTreeMap<ThreadId, Vec<u64>>>,
+}
+
+/// Cross-shard synchronization-edge state. Touched once per ingested
+/// sub-computation; all operations are O(small) so a single stripe suffices.
+#[derive(Debug, Default)]
+struct SyncState {
+    /// Contiguously ingested sub-computation count per thread.
+    frontier: HashMap<ThreadId, u64>,
+    /// Release index: object → releasing thread → `(α, clock)` of each
+    /// release-terminated sub-computation, in execution order.
+    releases: HashMap<SyncObjectId, BTreeMap<ThreadId, Vec<(u64, VectorClock)>>>,
+    /// Acquires awaiting a complete causal frontier.
+    pending: Vec<PendingAcquire>,
+    /// Synchronization edges emitted so far.
+    edges: Vec<DependenceEdge>,
+    resolved_at_ingest: u64,
+    resolved_at_seal: u64,
+    peak_parked: u64,
+    ingested: u64,
+}
+
+impl SyncState {
+    /// True once every release that can precede `p.dst` has been ingested:
+    /// a release of thread `u` precedes the acquirer iff its clock is
+    /// dominated, which forces its α below the acquirer's `clock[u]`
+    /// component — so frontier coverage of the clock is completeness.
+    fn covered(&self, p: &PendingAcquire) -> bool {
+        p.clock.iter().all(|(u, k)| {
+            u == p.dst.thread || k == 0 || self.frontier.get(&u).copied().unwrap_or(0) >= k
+        })
+    }
+
+    /// Emits the synchronization edges into `p.dst`, mirroring the batch
+    /// builder's candidate selection exactly: per releasing thread, the
+    /// latest release that happens-before the acquirer; dominated candidates
+    /// dropped.
+    fn resolve(&mut self, p: &PendingAcquire) -> u64 {
+        let Some(by_thread) = self.releases.get(&p.object) else {
+            return 0;
+        };
+        let candidates: Vec<(SubId, &VectorClock)> = by_thread
+            .iter()
+            .filter(|(&t, _)| t != p.dst.thread)
+            .filter_map(|(&t, rels)| {
+                // happens-before is monotone along a thread's sequence, so
+                // the preceding releases form a prefix (same argument as
+                // `CpgBuilder::latest_preceding`).
+                let prefix = rels.partition_point(|(_, c)| c.happens_before(&p.clock));
+                if prefix == 0 {
+                    None
+                } else {
+                    let (alpha, clock) = &rels[prefix - 1];
+                    Some((SubId::new(t, *alpha), clock))
+                }
+            })
+            .collect();
+        let mut emitted = 0;
+        for (id, clock) in &candidates {
+            let dominated = candidates
+                .iter()
+                .any(|(other, oc)| other != id && clock.happens_before(oc));
+            if !dominated {
+                self.edges.push(DependenceEdge {
+                    src: *id,
+                    dst: p.dst,
+                    kind: EdgeKind::Synchronization,
+                    object: Some(p.object),
+                    pages: Vec::new(),
+                });
+                emitted += 1;
+            }
+        }
+        emitted
+    }
+
+    /// Resolves every parked acquire whose frontier has become complete.
+    fn resolve_ready(&mut self) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.covered(&self.pending[i]) {
+                let p = self.pending.swap_remove(i);
+                let emitted = self.resolve(&p);
+                self.resolved_at_ingest += emitted;
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Streaming, lock-striped builder producing the same [`Cpg`] as
+/// [`CpgBuilder`] without buffering the whole trace twice.
+///
+/// Ingestion is internally synchronized: any number of producer threads may
+/// call [`ingest`](Self::ingest) concurrently, as long as each *thread's*
+/// sub-computations arrive in α order (which a per-thread FIFO hand-off
+/// guarantees).
+#[derive(Debug)]
+pub struct ShardedCpgBuilder {
+    shards: Vec<Mutex<Shard>>,
+    sync: Mutex<SyncState>,
+    /// Final counters of the most recently sealed build.
+    last_sealed: Mutex<Option<IngestStats>>,
+}
+
+impl Default for ShardedCpgBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedCpgBuilder {
+    /// Creates a builder with the default stripe count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates a builder with `shards` lock stripes (at least one).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedCpgBuilder {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            sync: Mutex::new(SyncState::default()),
+            last_sealed: Mutex::new(None),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The stripe a thread's sub-computations are stored in.
+    pub fn shard_for(&self, thread: ThreadId) -> usize {
+        thread.index() % self.shards.len()
+    }
+
+    /// Counters of the build currently in progress (reset by
+    /// [`seal`](Self::seal)).
+    pub fn stats(&self) -> IngestStats {
+        let st = self.sync.lock();
+        IngestStats {
+            ingested: st.ingested,
+            sync_resolved_at_ingest: st.resolved_at_ingest,
+            sync_resolved_at_seal: st.resolved_at_seal,
+            peak_parked_acquires: st.peak_parked,
+        }
+    }
+
+    /// Final counters of the most recently sealed build, if any. Unlike
+    /// [`stats`](Self::stats) this includes the seal pass itself and is not
+    /// affected by a subsequent build starting.
+    pub fn last_sealed_stats(&self) -> Option<IngestStats> {
+        *self.last_sealed.lock()
+    }
+
+    /// Number of sub-computations ingested so far.
+    pub fn ingested_nodes(&self) -> u64 {
+        self.sync.lock().ingested
+    }
+
+    /// Ingests one retired sub-computation **by value**.
+    ///
+    /// Control edges are applied immediately; the release/acquire and page
+    /// write indexes are updated; any synchronization edge whose causal
+    /// frontier became complete is emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread's sub-computations are delivered out of α order.
+    pub fn ingest(&self, sub: SubComputation) {
+        let thread = sub.id.thread;
+        let alpha = sub.id.alpha;
+
+        let releases = sub
+            .terminator
+            .filter(|sp| matches!(sp.kind, SyncKind::Release | SyncKind::ReleaseAcquire))
+            .map(|sp| sp.object);
+
+        // The shard stripe is held across the sync-state update below so an
+        // ingest is atomic: two producers delivering the same thread's
+        // consecutive sub-computations serialize on the stripe, and the
+        // later one cannot reach the sync state first (which would regress
+        // the frontier and unsort the release index). Lock order is always
+        // stripe → sync; no path takes them in the opposite order.
+        let mut shard = self.shards[self.shard_for(thread)].lock();
+        let shard = &mut *shard;
+        let seq = shard.sequences.entry(thread).or_default();
+        assert_eq!(
+            seq.len() as u64,
+            alpha,
+            "sub-computations of {thread} must be ingested in α order"
+        );
+        // The edge target of an acquire is the sub-computation that
+        // *starts* after the acquire returns — i.e. this one, whenever
+        // its predecessor ended in an acquire.
+        let acquired = seq
+            .last()
+            .and_then(|prev| prev.terminator)
+            .filter(|sp| matches!(sp.kind, SyncKind::Acquire | SyncKind::ReleaseAcquire))
+            .map(|sp| sp.object);
+        if let Some(prev) = seq.last() {
+            shard.control_edges.push(DependenceEdge {
+                src: prev.id,
+                dst: sub.id,
+                kind: EdgeKind::Control,
+                object: None,
+                pages: Vec::new(),
+            });
+        }
+        for &page in &sub.write_set {
+            shard
+                .writers
+                .entry(page)
+                .or_default()
+                .entry(thread)
+                .or_default()
+                .push(alpha);
+        }
+        // The sync-state bookkeeping needs the clock only when the
+        // sub-computation interacts with synchronization; avoid the clone
+        // otherwise.
+        let mut clock = if releases.is_some() || acquired.is_some() {
+            Some(sub.clock.clone())
+        } else {
+            None
+        };
+        seq.push(sub);
+
+        let mut st = self.sync.lock();
+        st.ingested += 1;
+        st.frontier.insert(thread, alpha + 1);
+        if let Some(object) = releases {
+            // Clone only when the acquire bookkeeping below still needs the
+            // clock; the common release-only case moves it.
+            let release_clock = if acquired.is_some() {
+                clock.clone().expect("clock captured for release")
+            } else {
+                clock.take().expect("clock captured for release")
+            };
+            st.releases
+                .entry(object)
+                .or_default()
+                .entry(thread)
+                .or_default()
+                .push((alpha, release_clock));
+        }
+        if let Some(object) = acquired {
+            st.pending.push(PendingAcquire {
+                dst: SubId::new(thread, alpha),
+                clock: clock.expect("clock captured for acquire target"),
+                object,
+            });
+            st.peak_parked = st.peak_parked.max(st.pending.len() as u64);
+        }
+        st.resolve_ready();
+    }
+
+    /// Runs `f` over the per-thread sequences ingested so far, with every
+    /// stripe locked for the duration. Used by the live-snapshot facility to
+    /// obtain a stable view without cloning the store.
+    pub fn with_sequences<R>(
+        &self,
+        f: impl FnOnce(&BTreeMap<ThreadId, &[SubComputation]>) -> R,
+    ) -> R {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        let mut map: BTreeMap<ThreadId, &[SubComputation]> = BTreeMap::new();
+        for guard in &guards {
+            for (&t, seq) in &guard.sequences {
+                map.insert(t, seq.as_slice());
+            }
+        }
+        f(&map)
+    }
+
+    /// Finishes the graph: resolves the synchronization edges still parked,
+    /// derives the cross-shard data-dependence edges from the write indexes,
+    /// and moves every node into the final [`Cpg`]. The builder is left
+    /// completely empty — node store, indexes *and* counters — ready for
+    /// another run; the finished build's counters remain available through
+    /// [`last_sealed_stats`](Self::last_sealed_stats).
+    ///
+    /// Callers must quiesce every producer before sealing — the runtime
+    /// joins its ingest thread first. Sealing while an `ingest` is still in
+    /// flight drains the stripes out from under it: the late
+    /// sub-computation lands in the *next* build (or trips the α-order
+    /// assertion), not in the returned graph.
+    pub fn seal(&self) -> Cpg {
+        let mut nodes: BTreeMap<SubId, SubComputation> = BTreeMap::new();
+        let mut edges: Vec<DependenceEdge> = Vec::new();
+        let mut writers: HashMap<PageId, BTreeMap<ThreadId, Vec<u64>>> = HashMap::new();
+        for stripe in &self.shards {
+            let mut shard = stripe.lock();
+            for (_, seq) in std::mem::take(&mut shard.sequences) {
+                for sub in seq {
+                    nodes.insert(sub.id, sub);
+                }
+            }
+            edges.append(&mut shard.control_edges);
+            // Thread keys are disjoint across stripes, so merging is a move.
+            for (page, by_thread) in std::mem::take(&mut shard.writers) {
+                writers.entry(page).or_default().extend(by_thread);
+            }
+        }
+
+        {
+            let mut st = self.sync.lock();
+            let pending = std::mem::take(&mut st.pending);
+            for p in &pending {
+                let emitted = st.resolve(p);
+                st.resolved_at_seal += emitted;
+            }
+            edges.append(&mut st.edges);
+            *self.last_sealed.lock() = Some(IngestStats {
+                ingested: st.ingested,
+                sync_resolved_at_ingest: st.resolved_at_ingest,
+                sync_resolved_at_seal: st.resolved_at_seal,
+                peak_parked_acquires: st.peak_parked,
+            });
+            *st = SyncState::default();
+        }
+
+        Self::derive_data_edges(&nodes, &writers, &mut edges);
+        Cpg::from_parts(nodes, edges)
+    }
+
+    /// Data-dependence resolution over the merged write index. Resolves the
+    /// α lists into node references and then runs the *same* per-reader
+    /// update-use loop as the batch builder
+    /// (`CpgBuilder::derive_data_edges_from_index`), so the two paths cannot
+    /// diverge in last-writer semantics — only the index construction
+    /// differs (maintained during ingestion here vs. a full scan there).
+    fn derive_data_edges(
+        nodes: &BTreeMap<SubId, SubComputation>,
+        writers: &HashMap<PageId, BTreeMap<ThreadId, Vec<u64>>>,
+        edges: &mut Vec<DependenceEdge>,
+    ) {
+        let resolved: HashMap<PageId, BTreeMap<ThreadId, Vec<&SubComputation>>> = writers
+            .iter()
+            .map(|(&page, by_thread)| {
+                let by_thread = by_thread
+                    .iter()
+                    .map(|(&t, alphas)| {
+                        let subs = alphas
+                            .iter()
+                            .map(|&a| {
+                                nodes
+                                    .get(&SubId::new(t, a))
+                                    .expect("write index references an ingested node")
+                            })
+                            .collect::<Vec<_>>();
+                        (t, subs)
+                    })
+                    .collect();
+                (page, by_thread)
+            })
+            .collect();
+        CpgBuilder::derive_data_edges_from_index(nodes, &resolved, edges);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use std::collections::BTreeSet;
+
+    fn lock_heavy_sequences(threads: u32) -> Vec<Vec<SubComputation>> {
+        crate::testing::lock_heavy_sequences(threads, 20, 8, 8)
+    }
+
+    fn edge_set(cpg: &Cpg) -> BTreeSet<String> {
+        cpg.edges().map(|e| format!("{e:?}")).collect()
+    }
+
+    #[test]
+    fn shard_routing_wraps_on_thread_id_boundaries() {
+        let builder = ShardedCpgBuilder::with_shards(4);
+        assert_eq!(builder.shard_count(), 4);
+        assert_eq!(builder.shard_for(ThreadId::new(0)), 0);
+        assert_eq!(builder.shard_for(ThreadId::new(3)), 3);
+        // Exactly at the stripe-count boundary the routing wraps...
+        assert_eq!(builder.shard_for(ThreadId::new(4)), 0);
+        assert_eq!(builder.shard_for(ThreadId::new(5)), 1);
+        // ...and stays a plain modulus for arbitrarily large ids.
+        assert_eq!(
+            builder.shard_for(ThreadId::new(u32::MAX)),
+            u32::MAX as usize % 4
+        );
+        // A single-stripe builder degenerates to one shard for everyone.
+        let single = ShardedCpgBuilder::with_shards(1);
+        assert_eq!(single.shard_for(ThreadId::new(7)), 0);
+        // Zero stripes are clamped rather than dividing by zero.
+        assert_eq!(ShardedCpgBuilder::with_shards(0).shard_count(), 1);
+    }
+
+    #[test]
+    fn streamed_graph_matches_batch_graph() {
+        let sequences = lock_heavy_sequences(4);
+
+        let mut batch = CpgBuilder::new();
+        for seq in &sequences {
+            batch.add_thread(seq.clone());
+        }
+        let reference = batch.build();
+
+        let streaming = ShardedCpgBuilder::with_shards(3);
+        // Round-robin delivery across threads, FIFO within each thread.
+        let mut cursors: Vec<std::vec::IntoIter<SubComputation>> =
+            sequences.into_iter().map(|s| s.into_iter()).collect();
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for cursor in &mut cursors {
+                if let Some(sub) = cursor.next() {
+                    streaming.ingest(sub);
+                    progressed = true;
+                }
+            }
+        }
+        let sealed = streaming.seal();
+
+        assert_eq!(sealed.node_count(), reference.node_count());
+        assert_eq!(edge_set(&sealed), edge_set(&reference));
+        assert!(sealed.validate().is_ok());
+    }
+
+    #[test]
+    fn adversarial_delivery_parks_acquires_until_frontier_completes() {
+        // Deliver thread 1 (the acquirer side) completely before thread 0
+        // (the releaser): the cross-thread acquires must park until thread
+        // 0's sub-computations catch up, and the result must still match the
+        // batch graph exactly.
+        let sequences = lock_heavy_sequences(2);
+        let mut batch = CpgBuilder::new();
+        for seq in &sequences {
+            batch.add_thread(seq.clone());
+        }
+        let reference = batch.build();
+
+        let streaming = ShardedCpgBuilder::with_shards(2);
+        let mut iter = sequences.into_iter();
+        let t0 = iter.next().unwrap();
+        let t1 = iter.next().unwrap();
+        for sub in t1 {
+            streaming.ingest(sub);
+        }
+        for sub in t0 {
+            streaming.ingest(sub);
+        }
+        let sealed = streaming.seal();
+        let stats = streaming.last_sealed_stats().expect("sealed once");
+
+        assert_eq!(edge_set(&sealed), edge_set(&reference));
+        assert!(
+            stats.peak_parked_acquires > 1,
+            "expected parked acquires, got {stats:?}"
+        );
+        // Every producer delivered everything before seal, so the seal-time
+        // safety net had nothing left to do.
+        assert_eq!(stats.sync_resolved_at_seal, 0);
+        // The live counters were reset for the next build.
+        assert_eq!(streaming.stats(), IngestStats::default());
+    }
+
+    #[test]
+    fn in_order_delivery_resolves_sync_edges_eagerly() {
+        // Interleave delivery in causal order: (almost) every acquire's
+        // frontier is complete when its successor arrives.
+        let sequences = lock_heavy_sequences(2);
+        let mut batch = CpgBuilder::new();
+        for seq in &sequences {
+            batch.add_thread(seq.clone());
+        }
+        let reference = batch.build();
+
+        let streaming = ShardedCpgBuilder::new();
+        // Causal order: sort all subs by vector clock via a stable
+        // topological pass — round-robin by α works here because both
+        // threads alternate on one lock.
+        let mut cursors: Vec<std::vec::IntoIter<SubComputation>> =
+            sequences.into_iter().map(|s| s.into_iter()).collect();
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for cursor in &mut cursors {
+                if let Some(sub) = cursor.next() {
+                    streaming.ingest(sub);
+                    progressed = true;
+                }
+            }
+        }
+        let stats = streaming.stats();
+        assert!(
+            stats.sync_resolved_at_ingest > 0,
+            "expected eager resolution, got {stats:?}"
+        );
+        assert_eq!(edge_set(&streaming.seal()), edge_set(&reference));
+    }
+
+    #[test]
+    fn builder_is_reusable_after_seal() {
+        let sequences = lock_heavy_sequences(2);
+        let streaming = ShardedCpgBuilder::new();
+        for seq in &sequences {
+            for sub in seq.clone() {
+                streaming.ingest(sub);
+            }
+        }
+        let first = streaming.seal();
+        assert!(first.node_count() > 0);
+        let empty = streaming.seal();
+        assert_eq!(empty.node_count(), 0);
+        assert_eq!(empty.edge_count(), 0);
+
+        for seq in sequences {
+            for sub in seq {
+                streaming.ingest(sub);
+            }
+        }
+        let second = streaming.seal();
+        assert_eq!(edge_set(&second), edge_set(&first));
+        // Per-build counters: the second build's stats cover only the
+        // second ingestion round.
+        let stats = streaming.last_sealed_stats().expect("sealed");
+        assert_eq!(stats.ingested as usize, second.node_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "α order")]
+    fn out_of_order_delivery_panics() {
+        let sequences = lock_heavy_sequences(1);
+        let streaming = ShardedCpgBuilder::new();
+        let mut subs = sequences.into_iter().next().unwrap().into_iter();
+        let first = subs.next().unwrap();
+        let second = subs.next().unwrap();
+        streaming.ingest(second);
+        streaming.ingest(first);
+    }
+
+    #[test]
+    fn with_sequences_exposes_live_view() {
+        let sequences = lock_heavy_sequences(2);
+        let streaming = ShardedCpgBuilder::with_shards(2);
+        let mut expected = 0usize;
+        for seq in sequences {
+            for sub in seq {
+                streaming.ingest(sub);
+                expected += 1;
+            }
+        }
+        let seen: usize = streaming.with_sequences(|map| map.values().map(|s| s.len()).sum());
+        assert_eq!(seen, expected);
+        assert_eq!(streaming.ingested_nodes(), expected as u64);
+    }
+}

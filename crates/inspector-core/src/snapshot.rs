@@ -51,10 +51,8 @@ impl ConsistentCut {
 /// a thread, this is exactly the "acquire implies matching release" property
 /// from the paper.
 pub fn consistent_cut(sequences: &BTreeMap<ThreadId, &[SubComputation]>) -> ConsistentCut {
-    let mut frontier: BTreeMap<ThreadId, usize> = sequences
-        .iter()
-        .map(|(&t, seq)| (t, seq.len()))
-        .collect();
+    let mut frontier: BTreeMap<ThreadId, usize> =
+        sequences.iter().map(|(&t, seq)| (t, seq.len())).collect();
 
     // A sub-computation of thread `t` whose clock component for thread `u`
     // is `k > 0` causally depends on `u`'s sub-computations with α < k
@@ -173,10 +171,7 @@ impl SnapshotRing {
 
     /// The most recent snapshot, if any.
     pub fn latest(&self) -> Option<&Snapshot> {
-        self.slots
-            .iter()
-            .flatten()
-            .max_by_key(|s| s.sequence)
+        self.slots.iter().flatten().max_by_key(|s| s.sequence)
     }
 
     /// Removes and returns the oldest stored snapshot (the "user consumed the

@@ -52,7 +52,11 @@ pub struct OutOfMemory {
 
 impl std::fmt::Display for OutOfMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "shared heap exhausted while allocating {} bytes", self.requested)
+        write!(
+            f,
+            "shared heap exhausted while allocating {} bytes",
+            self.requested
+        )
     }
 }
 

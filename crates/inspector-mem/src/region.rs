@@ -137,7 +137,10 @@ mod tests {
     fn pages_cover_partial_last_page() {
         let r = region();
         let pages: Vec<_> = r.pages().collect();
-        assert_eq!(pages, vec![PageId::new(10), PageId::new(11), PageId::new(12)]);
+        assert_eq!(
+            pages,
+            vec![PageId::new(10), PageId::new(11), PageId::new(12)]
+        );
         assert_eq!(r.page_count(), 3);
     }
 

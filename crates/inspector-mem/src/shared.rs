@@ -255,10 +255,7 @@ mod tests {
     fn region_lookup_by_address() {
         let image = SharedImage::new(4096);
         let a = image.map_region("a", 100);
-        assert_eq!(
-            image.region_containing(a.at(50)).unwrap().name(),
-            "a"
-        );
+        assert_eq!(image.region_containing(a.at(50)).unwrap().name(), "a");
         assert!(image.region_containing(VirtAddr::new(1)).is_none());
     }
 

@@ -60,6 +60,10 @@ impl MemStats {
     }
 }
 
+// The offline serde stand-in's derives ignore field adapters, leaving these
+// functions unreferenced; they are the real wire format once the actual
+// serde is vendored.
+#[allow(dead_code)]
 mod duration_nanos {
     use std::time::Duration;
 

@@ -28,8 +28,7 @@ use crate::stats::MemStats;
 
 /// Whether accesses are tracked (INSPECTOR mode) or direct (native pthreads
 /// baseline).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum TrackingMode {
     /// Full provenance tracking: protection faults, COW twins, commit diffs.
     #[default]
@@ -401,8 +400,8 @@ mod tests {
         let (image, mut mem, base) = setup(TrackingMode::Tracked);
         mem.write_u64(base, 5); // creates twin + working copy
         image.write_u64_direct(base.add(8), 77); // concurrent write by other thread
-        // Our working copy was taken before the concurrent write, so we do
-        // not see it until the next interval.
+                                                 // Our working copy was taken before the concurrent write, so we do
+                                                 // not see it until the next interval.
         assert_eq!(mem.read_u64(base.add(8)), 0);
         mem.commit();
         mem.protect_all();

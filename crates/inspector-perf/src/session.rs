@@ -25,6 +25,11 @@ pub struct SessionStats {
     pub filtered: u64,
     /// Total AUX payload bytes stored.
     pub aux_bytes: u64,
+    /// AUX records accepted. With the streaming runtime each thread submits
+    /// one record per synchronization boundary (plus a final tail), so this
+    /// counter evidences incremental consumption rather than a single
+    /// teardown hand-off.
+    pub aux_records: u64,
     /// Bytes reported lost by the producer.
     pub lost_bytes: u64,
     /// Processes observed (members only).
@@ -83,6 +88,7 @@ impl TraceSession {
         match event {
             PerfEvent::Aux { pid, data } => {
                 st.stats.aux_bytes += data.len() as u64;
+                st.stats.aux_records += 1;
                 st.aux.entry(pid).or_default().extend_from_slice(&data);
             }
             PerfEvent::Lost { bytes, .. } => {
@@ -195,6 +201,7 @@ mod tests {
         });
         assert_eq!(s.aux_data(ProcessId(1)), vec![1, 2, 3]);
         assert_eq!(s.full_log(), vec![1, 2, 3]);
+        assert_eq!(s.stats().aux_records, 2);
     }
 
     #[test]

@@ -5,8 +5,8 @@ use std::fmt;
 
 use crate::branch::BranchEvent;
 use crate::packet::{
-    ip_decompress, Packet, FUP_BASE, IP_BYTES_BY_CODE, OPC_ESCAPE, OPC_LONG_TNT, OPC_MODE,
-    OPC_OVF, OPC_PAD, OPC_PSB, OPC_PSBEND, TIP_BASE, TIP_PGD_BASE, TIP_PGE_BASE,
+    ip_decompress, Packet, FUP_BASE, IP_BYTES_BY_CODE, OPC_ESCAPE, OPC_LONG_TNT, OPC_MODE, OPC_OVF,
+    OPC_PAD, OPC_PSB, OPC_PSBEND, TIP_BASE, TIP_PGD_BASE, TIP_PGE_BASE,
 };
 
 /// A malformed or truncated packet stream.
@@ -167,13 +167,14 @@ impl<'a> PacketDecoder<'a> {
         // IP packet family.
         let base = byte & 0x1F;
         let code = byte >> 5;
-        let nbytes = IP_BYTES_BY_CODE
-            .get(code as usize)
-            .copied()
-            .ok_or(DecodeError::UnknownPacket {
-                offset: start,
-                byte,
-            })?;
+        let nbytes =
+            IP_BYTES_BY_CODE
+                .get(code as usize)
+                .copied()
+                .ok_or(DecodeError::UnknownPacket {
+                    offset: start,
+                    byte,
+                })?;
         if self.pos + 1 + nbytes > self.data.len() {
             return Err(DecodeError::Truncated { offset: start });
         }
@@ -223,13 +224,20 @@ impl<'a> PacketDecoder<'a> {
         while let Some(p) = self.next_packet()? {
             match p {
                 Packet::Tnt { bits } => {
-                    out.extend(bits.into_iter().map(|taken| BranchEvent::Conditional { taken }));
+                    out.extend(
+                        bits.into_iter()
+                            .map(|taken| BranchEvent::Conditional { taken }),
+                    );
                 }
                 Packet::Tip { ip } => out.push(BranchEvent::Indirect { target: ip }),
                 Packet::TipPge { ip } => out.push(BranchEvent::TraceStart { ip }),
                 Packet::TipPgd { ip } => out.push(BranchEvent::TraceStop { ip }),
                 Packet::Overflow => out.push(BranchEvent::Overflow),
-                Packet::Pad | Packet::Psb | Packet::PsbEnd | Packet::Fup { .. } | Packet::Mode { .. } => {}
+                Packet::Pad
+                | Packet::Psb
+                | Packet::PsbEnd
+                | Packet::Fup { .. }
+                | Packet::Mode { .. } => {}
             }
         }
         Ok(out)
@@ -285,7 +293,9 @@ mod tests {
         let mut events = Vec::new();
         for i in 0..100u64 {
             if i % 7 == 0 {
-                events.push(BranchEvent::Indirect { target: 0x400000 + i * 16 });
+                events.push(BranchEvent::Indirect {
+                    target: 0x400000 + i * 16,
+                });
             } else {
                 events.push(BranchEvent::Conditional { taken: i % 2 == 0 });
             }

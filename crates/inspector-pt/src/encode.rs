@@ -210,7 +210,8 @@ impl PacketEncoder {
     }
 
     fn maybe_psb(&mut self) {
-        if self.config.psb_interval_bytes > 0 && self.bytes_since_psb >= self.config.psb_interval_bytes
+        if self.config.psb_interval_bytes > 0
+            && self.bytes_since_psb >= self.config.psb_interval_bytes
         {
             self.flush_tnt();
             self.emit_psb_group();

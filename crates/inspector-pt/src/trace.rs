@@ -114,6 +114,20 @@ impl ThreadTrace {
         self.since_flush = 0;
     }
 
+    /// Removes and returns the packet bytes collected since the last drain.
+    ///
+    /// This is the incremental consumption path of the streaming pipeline:
+    /// the runtime drains the collected log at every synchronization
+    /// boundary and submits it to the perf session right away, so AUX data
+    /// flows while the thread runs instead of being handed over in one lump
+    /// at [`finish`](Self::finish). Bytes are moved out; the concatenation
+    /// of all drains plus the tail returned by `finish` decodes to exactly
+    /// the same branch-event stream as an undrained run (packet framing may
+    /// differ, since a drain forces pending TNT bits into a packet early).
+    pub fn drain_collected(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.collected)
+    }
+
     /// Grabs a snapshot of the most recent trace window (snapshot mode):
     /// emits a FUP marking the request point and returns the bytes currently
     /// retained in the AUX buffer.
@@ -258,6 +272,40 @@ mod tests {
         if dec.sync_to_psb() {
             assert!(dec.decode_events().is_ok());
         }
+    }
+
+    #[test]
+    fn incremental_drains_reassemble_into_the_full_log() {
+        // Draining mid-stream forces pending TNT bits into packets early, so
+        // the bytes differ from an undrained run — but the concatenation of
+        // all drained chunks plus the finish() tail must decode to exactly
+        // the same branch events.
+        let run = |drain_every: Option<u64>| -> Vec<u8> {
+            let mut trace = ThreadTrace::new(0x400000);
+            let mut out = Vec::new();
+            for i in 0..5_000u64 {
+                if i % 7 == 0 {
+                    trace.indirect(0x400000 + i);
+                } else {
+                    trace.conditional(i % 2 == 0);
+                }
+                if let Some(n) = drain_every {
+                    if i % n == n - 1 {
+                        trace.flush();
+                        out.extend_from_slice(&trace.drain_collected());
+                    }
+                }
+            }
+            let (tail, _) = trace.finish();
+            out.extend_from_slice(&tail);
+            out
+        };
+        let undrained = run(None);
+        let drained = run(Some(64));
+        let reference = ThreadTrace::decode(&undrained).unwrap();
+        let incremental = ThreadTrace::decode(&drained).unwrap();
+        assert_eq!(incremental, reference);
+        assert!(!incremental.is_empty());
     }
 
     #[test]

@@ -28,9 +28,10 @@ pub struct SessionConfig {
     pub aux_capacity: usize,
     /// Flush the PT encoder every this many branches.
     pub pt_flush_every: u64,
-    /// Keep per-thread sub-computation logs in a shared store so consistent
-    /// snapshots can be taken while the program runs (§VI). Costs one clone
-    /// of each completed sub-computation.
+    /// Enable the live-snapshot ring so consistent snapshots can be taken
+    /// while the program runs (§VI). Snapshots read the streaming CPG
+    /// builder's shard store directly, so enabling this no longer costs a
+    /// clone per completed sub-computation.
     pub live_snapshots: bool,
     /// Number of snapshot ring slots (only used when `live_snapshots`).
     pub snapshot_slots: usize,
@@ -38,6 +39,12 @@ pub struct SessionConfig {
     /// a thread (process) is created, as the real threads-as-processes
     /// design does. Disable to isolate other overhead sources in ablations.
     pub charge_spawn_cost: bool,
+    /// Number of lock-striped shards in the streaming CPG builder.
+    pub cpg_shards: usize,
+    /// Bounded capacity (in messages) of the channel feeding retired
+    /// sub-computations to the CPG ingest thread. Backpressure throttles the
+    /// application instead of buffering unbounded provenance.
+    pub ingest_queue_depth: usize,
 }
 
 impl SessionConfig {
@@ -53,6 +60,8 @@ impl SessionConfig {
             live_snapshots: false,
             snapshot_slots: 8,
             charge_spawn_cost: true,
+            cpg_shards: 8,
+            ingest_queue_depth: 1024,
         }
     }
 

@@ -8,6 +8,7 @@
 //! wrapper over direct shared-memory access.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -22,7 +23,7 @@ use inspector_pt::branch::BranchEvent;
 use inspector_pt::trace::{ThreadTrace, TraceConfig};
 
 use crate::config::ExecutionMode;
-use crate::session::Shared;
+use crate::session::{IngestMsg, Shared, ThreadDone};
 
 /// Allocates process-wide unique synchronization-object identifiers.
 static NEXT_SYNC_ID: AtomicU64 = AtomicU64::new(1);
@@ -57,6 +58,9 @@ pub struct ThreadCtx {
     mem: ThreadMemory,
     recorder: ThreadRecorder,
     trace: Option<ThreadTrace>,
+    /// Sender of the session's provenance ingest channel; retired
+    /// sub-computations and the exit statistics flow through it.
+    ingest: Option<SyncSender<IngestMsg>>,
     /// Synthetic program counter used to label conditional branches.
     pc: u64,
     spawn_overhead: Duration,
@@ -80,21 +84,20 @@ impl ThreadCtx {
         // page-table/protection state for every mapped page, which is why
         // process creation is noticeably more expensive than thread creation
         // (the kmeans outlier in the paper).
-        let spawn_overhead = if shared.config.charge_spawn_cost
-            && shared.config.mode == ExecutionMode::Inspector
-        {
-            let start = Instant::now();
-            let mut checksum: u64 = 0;
-            for region in shared.image.regions() {
-                for page in region.pages() {
-                    checksum = checksum.wrapping_mul(31).wrapping_add(page.number());
+        let spawn_overhead =
+            if shared.config.charge_spawn_cost && shared.config.mode == ExecutionMode::Inspector {
+                let start = Instant::now();
+                let mut checksum: u64 = 0;
+                for region in shared.image.regions() {
+                    for page in region.pages() {
+                        checksum = checksum.wrapping_mul(31).wrapping_add(page.number());
+                    }
                 }
-            }
-            std::hint::black_box(checksum);
-            start.elapsed()
-        } else {
-            Duration::ZERO
-        };
+                std::hint::black_box(checksum);
+                start.elapsed()
+            } else {
+                Duration::ZERO
+            };
         let mut ctx = Self::build(shared, thread, pid, spawn_overhead);
         // The implicit happens-before edge of pthread_create: the parent
         // released `start_object` just before forking; the child acquires it
@@ -126,6 +129,7 @@ impl ThreadCtx {
             )),
             ExecutionMode::Native => None,
         };
+        let ingest = shared.ingest_sender();
         ThreadCtx {
             shared,
             thread,
@@ -133,6 +137,7 @@ impl ThreadCtx {
             mem,
             recorder,
             trace,
+            ingest,
             pc: 0x40_0000,
             spawn_overhead,
         }
@@ -284,8 +289,10 @@ impl ThreadCtx {
 
     /// Ends the current sub-computation at a synchronization operation on
     /// `object`: publishes buffered writes (shared-memory commit), feeds the
-    /// interval's first-touch accesses into the provenance recorder and
-    /// performs the vector-clock exchange.
+    /// interval's first-touch accesses into the provenance recorder,
+    /// performs the vector-clock exchange, and flushes everything that just
+    /// retired — the sub-computation(s) into the streaming CPG pipeline and
+    /// the pending PT packet bytes into the perf session.
     ///
     /// The synchronization primitives in [`crate::sync`] call this for you;
     /// it is public so that custom primitives can participate in provenance
@@ -306,9 +313,35 @@ impl ThreadCtx {
         }
         self.mem.commit();
         self.recorder.on_synchronization(object, kind);
-        if self.shared.config.live_snapshots {
-            if let Some(sub) = self.recorder.completed().last() {
-                self.shared.push_live_sub(sub.clone());
+        self.flush_retired();
+        self.flush_trace();
+    }
+
+    /// Streams the sub-computations retired since the last flush into the
+    /// session's CPG pipeline, by value.
+    fn flush_retired(&mut self) {
+        if let Some(tx) = &self.ingest {
+            for sub in self.recorder.drain_retired() {
+                // A send can only fail after the session dropped the
+                // receiver (run already over); provenance is then discarded,
+                // matching the old post-run behaviour.
+                let _ = tx.send(IngestMsg::Sub(sub));
+            }
+        }
+    }
+
+    /// Hands the PT packet bytes collected since the last flush to the perf
+    /// session, so AUX data is consumed while the thread runs instead of in
+    /// one lump at teardown.
+    fn flush_trace(&mut self) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.flush();
+            let chunk = trace.drain_collected();
+            if !chunk.is_empty() {
+                self.shared.perf.submit(PerfEvent::Aux {
+                    pid: self.pid,
+                    data: chunk,
+                });
             }
         }
     }
@@ -371,8 +404,9 @@ impl ThreadCtx {
     }
 
     /// Finalises the thread: commits outstanding writes, closes the last
-    /// sub-computation, finishes the PT trace and hands everything to the
-    /// session. Called automatically for workers and for the root thread.
+    /// sub-computation, streams whatever is still unflushed (sub-computations
+    /// and PT tail) and reports the thread's statistics to the session.
+    /// Called automatically for workers and for the root thread.
     pub(crate) fn finish(mut self, exit_object: Option<SyncObjectId>) {
         let mode = self.mode();
         if mode == ExecutionMode::Inspector {
@@ -397,27 +431,30 @@ impl ThreadCtx {
         }
 
         let mem_stats = self.mem.stats();
-        let (log, pt_stats) = match self.trace.take() {
+        let (tail, pt_stats) = match self.trace.take() {
             Some(trace) => trace.finish(),
             None => (Vec::new(), Default::default()),
         };
-        if mode == ExecutionMode::Inspector && !log.is_empty() {
+        if mode == ExecutionMode::Inspector && !tail.is_empty() {
             self.shared.perf.submit(PerfEvent::Aux {
                 pid: self.pid,
-                data: log,
+                data: tail,
             });
         }
         self.recorder.on_thread_exit();
+        if mode == ExecutionMode::Inspector {
+            self.flush_retired();
+        }
         let recorder_stats = self.recorder.stats();
-        let subs = self.recorder.finish();
-        self.shared.push_outcome(crate::session::ThreadOutcome {
-            thread: self.thread,
-            subs,
-            mem: mem_stats,
-            pt: pt_stats,
-            recorder: recorder_stats,
-            spawn_overhead: self.spawn_overhead,
-        });
+        if let Some(tx) = &self.ingest {
+            let _ = tx.send(IngestMsg::Done(ThreadDone {
+                thread: self.thread,
+                mem: mem_stats,
+                pt: pt_stats,
+                recorder: recorder_stats,
+                spawn_overhead: self.spawn_overhead,
+            }));
+        }
         if mode == ExecutionMode::Inspector {
             self.shared.perf.submit(PerfEvent::Exit { pid: self.pid });
         }

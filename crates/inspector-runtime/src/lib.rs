@@ -17,8 +17,31 @@
 //! * encodes every recorded branch into an Intel-PT packet stream
 //!   ([`inspector_pt`]) routed through a perf-style session
 //!   ([`inspector_perf`]), and
-//! * assembles the Concurrent Provenance Graph ([`inspector_core`]) from the
-//!   per-thread execution sequences.
+//! * **streams** the Concurrent Provenance Graph ([`inspector_core`]) while
+//!   the application runs.
+//!
+//! # Streaming CPG pipeline
+//!
+//! Provenance never waits for the run to end. Each synchronization boundary
+//! a thread crosses does three things: commit the write diff, drain the
+//! sub-computations that just retired out of the thread's recorder
+//! (by value — no clone), and push them through a bounded channel to a
+//! dedicated ingest thread. That thread feeds the session-wide
+//! [`inspector_core::sharded::ShardedCpgBuilder`], whose lock-striped shards
+//! apply control and synchronization edges on ingestion and keep a
+//! page-granularity write index per shard. The PT packet stream takes the
+//! same path: pending AUX bytes are drained to the perf session at every
+//! boundary instead of one lump at teardown.
+//!
+//! When [`InspectorSession::run`] returns, the only graph work left is the
+//! cross-shard `seal()` — resolving data-dependence edges from the write
+//! indexes — so end-of-run latency no longer scales with the whole trace,
+//! and peak provenance memory tracks the in-flight sub-computations. The
+//! cost of the (mostly overlapped) graph construction is attributed in
+//! [`RunStats::graph_ingest_time`] and the [`PhaseBreakdown`] used by the
+//! Figure 6 harness. The streamed graph is node- and edge-identical to what
+//! the batch [`inspector_core::graph::CpgBuilder`] would produce; the
+//! equivalence suite in `tests/streaming_equivalence.rs` enforces that.
 //!
 //! ```
 //! use inspector_runtime::{ExecutionMode, InspectorSession, SessionConfig};

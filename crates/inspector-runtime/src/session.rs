@@ -1,16 +1,37 @@
-//! The INSPECTOR session: owns the shared substrate and produces the run
-//! report.
+//! The INSPECTOR session: owns the shared substrate, streams retired
+//! provenance into the sharded CPG builder while the application runs, and
+//! produces the run report.
+//!
+//! # Streaming pipeline
+//!
+//! Every [`ThreadCtx`] drains its recorder at each synchronization boundary
+//! and sends the retired sub-computations **by value** through a bounded
+//! channel. A dedicated ingest thread (spawned per [`InspectorSession::run`])
+//! feeds them into the session's [`ShardedCpgBuilder`], so graph
+//! construction overlaps application execution; when the run's last sender
+//! drops, the ingest thread drains the queue and exits, and the session
+//! [`seal`s](ShardedCpgBuilder::seal) the graph — a cheap pass that only
+//! resolves cross-shard data-dependence edges. The time the ingest thread
+//! spent applying sub-computations plus the seal is reported as the
+//! `graph_ingest` phase in [`RunStats`].
+//!
+//! Today a *single* ingest thread drains the channel, so construction is
+//! off the application's critical path but serialized on one core; the
+//! builder itself already supports concurrent producers, and fanning the
+//! channel out to a pool of ingest threads is a ROADMAP item.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use inspector_core::graph::{Cpg, CpgBuilder};
+use inspector_core::graph::Cpg;
 use inspector_core::ids::ThreadId;
 use inspector_core::recorder::{RecorderStats, SyncClockRegistry};
+use inspector_core::sharded::{IngestStats, ShardedCpgBuilder};
 use inspector_core::snapshot::{Snapshot, SnapshotRing};
 use inspector_core::subcomputation::SubComputation;
 use inspector_mem::alloc::HeapAllocator;
@@ -30,15 +51,28 @@ use crate::report::{RunReport, RunStats};
 /// materialised lazily, so a generous reservation costs nothing.
 const HEAP_BYTES: u64 = 256 << 20;
 
-/// Everything a thread finished with; pushed to the session at thread exit.
+/// Everything a thread reports when it exits (its sub-computations have
+/// already been streamed one by one).
 #[derive(Debug)]
-pub(crate) struct ThreadOutcome {
+pub(crate) struct ThreadDone {
     pub(crate) thread: ThreadId,
-    pub(crate) subs: Vec<SubComputation>,
     pub(crate) mem: MemStats,
     pub(crate) pt: PtStats,
     pub(crate) recorder: RecorderStats,
     pub(crate) spawn_overhead: Duration,
+}
+
+/// A message on the provenance ingest channel.
+#[derive(Debug)]
+pub(crate) enum IngestMsg {
+    /// One retired sub-computation, handed off by value.
+    Sub(SubComputation),
+    /// A thread finished; carries its statistics.
+    Done(ThreadDone),
+    /// Flush barrier: acknowledged once every message queued before it has
+    /// been applied. Used by [`LiveMonitor::take_snapshot`] so a snapshot
+    /// observes at least everything the snapshotting thread already flushed.
+    Barrier(std::sync::mpsc::Sender<()>),
 }
 
 /// Shared state visible to every thread context of a session.
@@ -49,11 +83,14 @@ pub(crate) struct Shared {
     pub(crate) registry: Arc<SyncClockRegistry>,
     pub(crate) perf: TraceSession,
     pub(crate) allocator: HeapAllocator,
+    pub(crate) builder: Arc<ShardedCpgBuilder>,
     next_thread: AtomicU32,
     next_pid: AtomicU64,
     spawned_threads: AtomicU64,
-    outcomes: Mutex<Vec<ThreadOutcome>>,
-    live_subs: Mutex<BTreeMap<ThreadId, Vec<SubComputation>>>,
+    /// Sender side of the ingest channel of the *current* run. Present only
+    /// while [`InspectorSession::run`] is executing; thread contexts clone
+    /// it at construction.
+    ingest_tx: Mutex<Option<SyncSender<IngestMsg>>>,
 }
 
 impl Shared {
@@ -69,22 +106,52 @@ impl Shared {
         self.spawned_threads.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn push_outcome(&self, outcome: ThreadOutcome) {
-        self.outcomes.lock().push(outcome);
-    }
-
-    pub(crate) fn push_live_sub(&self, sub: SubComputation) {
-        self.live_subs
-            .lock()
-            .entry(sub.id.thread)
-            .or_default()
-            .push(sub);
+    pub(crate) fn ingest_sender(&self) -> Option<SyncSender<IngestMsg>> {
+        self.ingest_tx.lock().clone()
     }
 }
 
+/// Clears the run's ingest sender even if the application closure panics,
+/// so the ingest thread always observes channel disconnection and exits.
+struct SenderGuard<'a>(&'a Shared);
+
+impl Drop for SenderGuard<'_> {
+    fn drop(&mut self) {
+        *self.0.ingest_tx.lock() = None;
+    }
+}
+
+/// The ingest loop: applies every streamed sub-computation to the sharded
+/// builder and collects per-thread statistics. Returns the collected stats
+/// and the time spent actually ingesting (blocking on the empty channel is
+/// overlap, not cost).
+fn ingest_loop(
+    rx: Receiver<IngestMsg>,
+    builder: Arc<ShardedCpgBuilder>,
+) -> (Vec<ThreadDone>, Duration) {
+    let mut done = Vec::new();
+    let mut busy = Duration::ZERO;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            IngestMsg::Sub(sub) => {
+                let start = Instant::now();
+                builder.ingest(sub);
+                busy += start.elapsed();
+            }
+            IngestMsg::Done(stats) => done.push(stats),
+            IngestMsg::Barrier(ack) => {
+                let _ = ack.send(());
+            }
+        }
+    }
+    (done, busy)
+}
+
 /// Handle for taking consistent snapshots while the traced program runs
-/// (the §VI live-analysis facility). Only functional when the session was
-/// configured with [`SessionConfig::with_live_snapshots`].
+/// (the §VI live-analysis facility). Snapshots are cut directly from the
+/// streaming builder's shard store; without
+/// [`SessionConfig::with_live_snapshots`] the facility is disabled and
+/// snapshots come out empty.
 #[derive(Debug, Clone)]
 pub struct LiveMonitor {
     shared: Arc<Shared>,
@@ -95,14 +162,44 @@ impl LiveMonitor {
     /// Takes a consistent snapshot of the provenance recorded so far and
     /// stores it in the snapshot ring. Returns the snapshot's sequence
     /// number.
+    ///
+    /// A flush barrier is pushed through the ingest channel first, so the
+    /// snapshot contains at least every sub-computation that was flushed
+    /// before this call; the consistent-cut computation then trims whatever
+    /// in-flight suffix would violate causality.
+    ///
+    /// Without [`SessionConfig::with_live_snapshots`] the facility is
+    /// disabled: an empty snapshot is stored, as in the batch design.
+    ///
+    /// Once [`InspectorSession::run`](super::InspectorSession::run) has
+    /// returned, the recorded provenance has been sealed into the
+    /// [`crate::RunReport`] and the shard store is empty; calling this then
+    /// does not overwrite earlier snapshots — it returns the most recent
+    /// stored sequence number instead.
     pub fn take_snapshot(&self) -> u64 {
-        let subs = self.shared.live_subs.lock();
-        let borrowed: BTreeMap<ThreadId, &[SubComputation]> = subs
-            .iter()
-            .map(|(&t, v)| (t, v.as_slice()))
-            .collect();
-        let mut ring = self.ring.lock();
-        ring.take_snapshot(&borrowed).sequence
+        if !self.shared.config.live_snapshots {
+            return self.ring.lock().take_snapshot(&BTreeMap::new()).sequence;
+        }
+        if let Some(tx) = self.shared.ingest_sender() {
+            let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+            if tx.send(IngestMsg::Barrier(ack_tx)).is_ok() {
+                let _ = ack_rx.recv();
+            }
+        }
+        let ring = Arc::clone(&self.ring);
+        self.shared.builder.with_sequences(|sequences| {
+            let mut ring = ring.lock();
+            // The store-empty check happens under the stripe locks, so a
+            // run sealing concurrently cannot slip an empty store past a
+            // stale "run active" observation: whatever we see here is what
+            // gets snapshotted.
+            if sequences.values().all(|s| s.is_empty()) {
+                if let Some(latest) = ring.latest() {
+                    return latest.sequence;
+                }
+            }
+            ring.take_snapshot(sequences).sequence
+        })
     }
 
     /// The most recent snapshot, if any has been taken.
@@ -124,8 +221,8 @@ impl LiveMonitor {
 /// A configured INSPECTOR session.
 ///
 /// The session owns the shared memory image, the perf/PT plumbing and the
-/// provenance recorders. Map shared regions and inputs first, then call
-/// [`run`](Self::run) with the application's main-thread closure.
+/// streaming provenance pipeline. Map shared regions and inputs first, then
+/// call [`run`](Self::run) with the application's main-thread closure.
 #[derive(Debug)]
 pub struct InspectorSession {
     shared: Arc<Shared>,
@@ -146,11 +243,11 @@ impl InspectorSession {
             registry: SyncClockRegistry::shared(),
             perf,
             allocator,
+            builder: Arc::new(ShardedCpgBuilder::with_shards(config.cpg_shards)),
             next_thread: AtomicU32::new(0),
             next_pid: AtomicU64::new(1),
             spawned_threads: AtomicU64::new(0),
-            outcomes: Mutex::new(Vec::new()),
-            live_subs: Mutex::new(BTreeMap::new()),
+            ingest_tx: Mutex::new(None),
         });
         let slots = config.snapshot_slots.max(1);
         InspectorSession {
@@ -206,6 +303,22 @@ impl InspectorSession {
         self.shared.perf.full_log()
     }
 
+    /// Counters describing how the streaming CPG build progressed (shard
+    /// ingestion, eager vs. deferred synchronization-edge resolution):
+    /// the last completed run's counters once a run has finished, or the
+    /// in-progress build's counters while [`run`](Self::run) is executing.
+    pub fn ingest_stats(&self) -> IngestStats {
+        if self.shared.ingest_sender().is_some() {
+            // A run is in progress: report the live build, not the counters
+            // frozen at the previous seal.
+            return self.shared.builder.stats();
+        }
+        self.shared
+            .builder
+            .last_sealed_stats()
+            .unwrap_or_else(|| self.shared.builder.stats())
+    }
+
     /// Returns a handle that can take consistent live snapshots from another
     /// (monitoring) thread while [`run`](Self::run) is executing.
     pub fn live_monitor(&self) -> LiveMonitor {
@@ -217,31 +330,59 @@ impl InspectorSession {
 
     /// Runs the application's main thread and returns the full report.
     ///
-    /// Any worker threads spawned through [`ThreadCtx::spawn`] should be
+    /// Graph construction is streamed: a bounded channel carries every
+    /// retired sub-computation to an ingest thread that applies it to the
+    /// sharded builder while the application is still executing, so the
+    /// end-of-run work collapses to the cross-shard seal.
+    ///
+    /// Any worker threads spawned through [`ThreadCtx::spawn`] **must** be
     /// joined by the closure (as a pthreads program would); panics in
-    /// workers propagate to the caller through [`ThreadCtx::join`].
+    /// workers propagate to the caller through [`ThreadCtx::join`]. A
+    /// worker that is never joined keeps its end of the provenance channel
+    /// open, so `run` waits for it to finish rather than returning a report
+    /// with silently missing provenance.
     pub fn run<F>(&self, f: F) -> RunReport
     where
         F: FnOnce(&mut ThreadCtx),
     {
         let start = Instant::now();
-        let mut root = ThreadCtx::new_root(Arc::clone(&self.shared));
-        f(&mut root);
-        root.finish(None);
+        let depth = self.shared.config.ingest_queue_depth.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<IngestMsg>(depth);
+        *self.shared.ingest_tx.lock() = Some(tx);
+        let builder = Arc::clone(&self.shared.builder);
+        let ingest = std::thread::Builder::new()
+            .name("inspector-cpg-ingest".into())
+            .spawn(move || ingest_loop(rx, builder))
+            .expect("failed to spawn CPG ingest thread");
+
+        {
+            // Clear the sender even on panic so the ingest thread never
+            // blocks on a channel that can no longer receive messages.
+            let _guard = SenderGuard(&self.shared);
+            let mut root = ThreadCtx::new_root(Arc::clone(&self.shared));
+            f(&mut root);
+            root.finish(None);
+        }
+
+        let (done, ingest_busy) = ingest.join().expect("CPG ingest thread panicked");
         let wall_time = start.elapsed();
-        self.assemble_report(wall_time)
+        self.assemble_report(wall_time, done, ingest_busy)
     }
 
-    fn assemble_report(&self, wall_time: Duration) -> RunReport {
-        let mut outcomes = std::mem::take(&mut *self.shared.outcomes.lock());
-        outcomes.sort_by_key(|o| o.thread);
+    fn assemble_report(
+        &self,
+        wall_time: Duration,
+        mut done: Vec<ThreadDone>,
+        ingest_busy: Duration,
+    ) -> RunReport {
+        done.sort_by_key(|o| o.thread);
         let mut stats = RunStats {
             wall_time,
-            threads: outcomes.len(),
+            threads: done.len(),
+            graph_ingest_time: ingest_busy,
             ..RunStats::default()
         };
-        let mut builder = CpgBuilder::new();
-        for o in &outcomes {
+        for o in &done {
             stats.mem.merge(&o.mem);
             stats.pt.merge(&o.pt);
             stats.recorder.page_reads += o.recorder.page_reads;
@@ -252,10 +393,10 @@ impl InspectorSession {
             stats.spawn_time += o.spawn_overhead;
         }
         let cpg = if self.shared.config.mode == ExecutionMode::Inspector {
-            for o in outcomes {
-                builder.add_thread(o.subs);
-            }
-            builder.build()
+            let seal_start = Instant::now();
+            let cpg = self.shared.builder.seal();
+            stats.graph_ingest_time += seal_start.elapsed();
+            cpg
         } else {
             Cpg::default()
         };
@@ -314,6 +455,7 @@ mod tests {
         assert_eq!(report.cpg.node_count(), 0);
         assert_eq!(report.stats.mem.total_faults(), 0);
         assert_eq!(report.stats.pt.branches, 0);
+        assert_eq!(session.ingest_stats().ingested, 0);
         assert_eq!(session.image().read_u64_direct(region.base()), 7);
     }
 
@@ -346,6 +488,60 @@ mod tests {
         assert!(stats.sync_edges > 0, "expected synchronization edges");
         assert!(stats.data_edges > 0, "expected data edges");
         assert!(report.cpg.validate().is_ok());
+    }
+
+    #[test]
+    fn streaming_overlaps_graph_construction_with_execution() {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let region = session.map_region("cell", 8);
+        let base = region.base();
+        let lock = Arc::new(InspMutex::new());
+        let shared = Arc::clone(&session.shared);
+        let report = session.run(move |ctx| {
+            for i in 0..50 {
+                lock.lock(ctx);
+                ctx.write_u64(base, i);
+                lock.unlock(ctx);
+            }
+            // While the application is still inside `run`, earlier
+            // sub-computations must already have been ingested (streamed),
+            // not parked in the recorder until the end.
+            let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+            let tx = shared.ingest_sender().expect("run in progress");
+            tx.send(IngestMsg::Barrier(ack_tx)).expect("ingest alive");
+            ack_rx.recv().expect("barrier acknowledged");
+            assert!(
+                shared.builder.ingested_nodes() >= 100,
+                "mid-run the builder should already hold streamed nodes"
+            );
+        });
+        // The graph phase is attributed in the report.
+        assert!(report.stats.graph_ingest_time > Duration::ZERO);
+        assert_eq!(
+            session.ingest_stats().ingested as usize,
+            report.cpg.node_count()
+        );
+    }
+
+    #[test]
+    fn aux_data_is_consumed_incrementally() {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let lock = Arc::new(InspMutex::new());
+        let _ = session.run(move |ctx| {
+            for i in 0..100u64 {
+                ctx.branch(i % 2 == 0);
+                lock.lock(ctx);
+                ctx.branch(i % 3 == 0);
+                lock.unlock(ctx);
+            }
+        });
+        // One AUX record per sync boundary with pending branches — far more
+        // than the single teardown record the batch design produced.
+        assert!(
+            session.shared.perf.stats().aux_records > 10,
+            "expected incremental AUX submission, got {:?}",
+            session.shared.perf.stats()
+        );
     }
 
     #[test]
@@ -398,7 +594,10 @@ mod tests {
             .cpg
             .edges_of_kind(EdgeKind::Data)
             .any(|e| e.pages.contains(&page) && e.src.thread != e.dst.thread);
-        assert!(has_flow, "expected cross-thread data edge for the buffer page");
+        assert!(
+            has_flow,
+            "expected cross-thread data edge for the buffer page"
+        );
     }
 
     #[test]
@@ -478,8 +677,7 @@ mod tests {
 
     #[test]
     fn live_monitor_takes_consistent_snapshots() {
-        let session =
-            InspectorSession::new(SessionConfig::inspector().with_live_snapshots(4));
+        let session = InspectorSession::new(SessionConfig::inspector().with_live_snapshots(4));
         let region = session.map_region("data", 4096);
         let monitor = session.live_monitor();
         let lock = Arc::new(InspMutex::new());
@@ -497,6 +695,12 @@ mod tests {
         let snap = monitor.latest().expect("snapshot taken");
         assert!(snap.cpg.node_count() > 0);
         assert!(snap.cpg.validate().is_ok());
+        // After run() the provenance is sealed into the report; a late
+        // take_snapshot must not shadow the real snapshot with an empty one.
+        let late_sequence = monitor.take_snapshot();
+        assert_eq!(late_sequence, snap.sequence);
+        assert_eq!(monitor.stored(), 1);
+        assert!(monitor.latest().expect("still stored").cpg.node_count() > 0);
         assert!(monitor.consume_oldest().is_some());
         assert_eq!(monitor.stored(), 0);
     }

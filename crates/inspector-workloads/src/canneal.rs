@@ -95,9 +95,7 @@ impl Workload for Canneal {
         let mut sum = 0u64;
         let mut mix = 0u64;
         for i in 0..elements {
-            let v = session
-                .image()
-                .read_u64_direct(base.add((i * 8) as u64));
+            let v = session.image().read_u64_direct(base.add((i * 8) as u64));
             sum = sum.wrapping_add(v);
             mix ^= v.rotate_left((i % 63) as u32);
         }
@@ -124,8 +122,11 @@ mod tests {
 
     #[test]
     fn canneal_dirties_many_pages() {
-        let blackscholes = crate::blackscholes::Blackscholes
-            .execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        let blackscholes = crate::blackscholes::Blackscholes.execute(
+            SessionConfig::inspector(),
+            2,
+            InputSize::Tiny,
+        );
         let canneal = Canneal.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
         // Random swaps across a large array must fault far more pages per
         // unit of useful work than the streaming blackscholes kernel.

@@ -49,9 +49,9 @@ impl Workload for Histogram {
                     let mut local = [[0u64; 256]; 3];
                     for p in start..end {
                         let off = (p * 3) as u64;
-                        for c in 0..3 {
+                        for (c, hist) in local.iter_mut().enumerate() {
                             let v = ctx.read_u8(input_base.add(off + c as u64)) as usize;
-                            local[c][v] += 1;
+                            hist[v] += 1;
                         }
                         // One branch per pixel: bright-pixel check (mirrors
                         // the Phoenix kernel's saturation test).

@@ -88,9 +88,7 @@ pub fn generate_pixels(workload: &str, size: InputSize, n: usize) -> Vec<u8> {
 /// for `linear_regression`, `kmeans`, `streamcluster`, `pca`).
 pub fn generate_points(workload: &str, size: InputSize, n: usize) -> Vec<f64> {
     let mut rng = rng_for(workload, size);
-    (0..n * 2)
-        .map(|_| rng.gen_range(-1000.0..1000.0))
-        .collect()
+    (0..n * 2).map(|_| rng.gen_range(-1000.0..1000.0)).collect()
 }
 
 #[cfg(test)]

@@ -85,9 +85,7 @@ impl Workload for MatrixMultiply {
 
         let mut checksum = 0u64;
         for i in 0..n * n {
-            let v = session
-                .image()
-                .read_f64_direct(c_base.add((i * 8) as u64));
+            let v = session.image().read_f64_direct(c_base.add((i * 8) as u64));
             checksum = checksum
                 .wrapping_mul(1099511628211)
                 .wrapping_add((v * 1e3).round() as i64 as u64);

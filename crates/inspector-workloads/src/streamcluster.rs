@@ -133,7 +133,8 @@ mod tests {
     #[test]
     fn streamcluster_is_the_branchiest_workload() {
         let sc = Streamcluster.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
-        let hist = crate::histogram::Histogram.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
+        let hist =
+            crate::histogram::Histogram.execute(SessionConfig::inspector(), 2, InputSize::Tiny);
         assert!(
             sc.report.stats.pt.branches > hist.report.stats.pt.branches,
             "streamcluster should trace more branches than histogram"

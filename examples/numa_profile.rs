@@ -56,7 +56,10 @@ fn main() {
     let query = ProvenanceQuery::new(&report.cpg);
     let summary = query.page_summary();
 
-    println!("{:<12}{:>10}{:>10}   placement recommendation", "page", "readers", "writers");
+    println!(
+        "{:<12}{:>10}{:>10}   placement recommendation",
+        "page", "readers", "writers"
+    );
     for (page, access) in &summary {
         let mut threads: std::collections::BTreeSet<ThreadId> =
             access.readers.keys().copied().collect();

@@ -78,7 +78,10 @@ fn main() {
         println!(
             "  {sub}  reads {:?}  writes {:?}",
             node.read_set.iter().map(|p| p.number()).collect::<Vec<_>>(),
-            node.write_set.iter().map(|p| p.number()).collect::<Vec<_>>(),
+            node.write_set
+                .iter()
+                .map(|p| p.number())
+                .collect::<Vec<_>>(),
         );
     }
     println!();

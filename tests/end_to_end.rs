@@ -63,11 +63,8 @@ fn schedule_respects_happens_before_for_every_pair() {
     let (report, _, _) = run_figure1();
     let query = ProvenanceQuery::new(&report.cpg);
     let schedule = query.schedule();
-    let position: std::collections::HashMap<_, _> = schedule
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| (s, i))
-        .collect();
+    let position: std::collections::HashMap<_, _> =
+        schedule.iter().enumerate().map(|(i, &s)| (s, i)).collect();
     for a in report.cpg.nodes() {
         for b in report.cpg.nodes() {
             if a.happens_before(b) {

@@ -1,0 +1,276 @@
+//! Equivalence suite for the streaming CPG pipeline: the sharded/streaming
+//! builder must produce a graph that is node- and edge-identical to the
+//! reference batch build, for every workload shape, thread count, delivery
+//! interleaving and shard count — and the graphs coming out of real
+//! [`InspectorSession`] runs must satisfy the same property.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use inspector::core::event::{AccessKind, SyncKind};
+use inspector::core::graph::{Cpg, CpgBuilder};
+use inspector::core::ids::{PageId, SyncObjectId, ThreadId};
+use inspector::core::recorder::{SyncClockRegistry, ThreadRecorder};
+use inspector::core::sharded::ShardedCpgBuilder;
+use inspector::core::subcomputation::SubComputation;
+use inspector::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Synthetic recorder-driven workloads (deterministic schedules)
+// ---------------------------------------------------------------------------
+
+/// Global-lock counter: every thread repeatedly acquires one lock, reads and
+/// writes a small set of shared pages, and releases.
+fn lock_heavy(threads: u32) -> Vec<Vec<SubComputation>> {
+    inspector::core::testing::lock_heavy_sequences(threads, 25, 6, 6)
+}
+
+/// Barrier-phased pipeline: every thread writes its own page, joins a
+/// release-acquire barrier, then reads its neighbour's page — repeated for
+/// several phases.
+fn barrier_phases(threads: u32) -> Vec<Vec<SubComputation>> {
+    let registry = SyncClockRegistry::shared();
+    let mut recs: Vec<ThreadRecorder> = (0..threads)
+        .map(|t| ThreadRecorder::new(ThreadId::new(t), Arc::clone(&registry)))
+        .collect();
+    for phase in 0..8u64 {
+        let barrier = SyncObjectId::new(100 + phase);
+        for (t, rec) in recs.iter_mut().enumerate() {
+            rec.on_memory_access(PageId::new(1000 + t as u64), AccessKind::Write);
+        }
+        // Barrier: everyone releases, then everyone acquires (the recorder
+        // convention for a barrier is a combined release-acquire).
+        for rec in recs.iter_mut() {
+            rec.on_synchronization(barrier, SyncKind::ReleaseAcquire);
+        }
+        for (t, rec) in recs.iter_mut().enumerate() {
+            let neighbour = (t as u64 + 1) % threads as u64;
+            rec.on_memory_access(PageId::new(1000 + neighbour), AccessKind::Read);
+        }
+    }
+    recs.into_iter().map(|r| r.finish()).collect()
+}
+
+/// Producer/consumer chain: thread `t` hands a value page to thread `t+1`
+/// through a dedicated release/acquire object, forming a chain of
+/// cross-thread data dependencies.
+fn producer_chain(threads: u32) -> Vec<Vec<SubComputation>> {
+    let registry = SyncClockRegistry::shared();
+    let mut recs: Vec<ThreadRecorder> = (0..threads)
+        .map(|t| ThreadRecorder::new(ThreadId::new(t), Arc::clone(&registry)))
+        .collect();
+    for round in 0..10u64 {
+        for t in 0..threads as usize {
+            let page = PageId::new(2000 + round * 64 + t as u64);
+            recs[t].on_memory_access(page, AccessKind::Write);
+            let link = SyncObjectId::new(500 + round * 64 + t as u64);
+            recs[t].on_synchronization(link, SyncKind::Release);
+            if t + 1 < threads as usize {
+                recs[t + 1].on_synchronization(link, SyncKind::Acquire);
+                recs[t + 1].on_memory_access(page, AccessKind::Read);
+            }
+        }
+    }
+    recs.into_iter().map(|r| r.finish()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Comparison helpers
+// ---------------------------------------------------------------------------
+
+fn node_fingerprint(cpg: &Cpg) -> Vec<String> {
+    cpg.nodes().map(|n| format!("{n:?}")).collect()
+}
+
+fn edge_fingerprint(cpg: &Cpg) -> BTreeSet<String> {
+    cpg.edges().map(|e| format!("{e:?}")).collect()
+}
+
+fn assert_identical(streamed: &Cpg, reference: &Cpg, context: &str) {
+    assert_eq!(
+        streamed.node_count(),
+        reference.node_count(),
+        "{context}: node counts differ"
+    );
+    assert_eq!(
+        node_fingerprint(streamed),
+        node_fingerprint(reference),
+        "{context}: node sets differ"
+    );
+    assert_eq!(
+        streamed.edge_count(),
+        reference.edge_count(),
+        "{context}: edge counts differ"
+    );
+    assert_eq!(
+        edge_fingerprint(streamed),
+        edge_fingerprint(reference),
+        "{context}: edge sets differ"
+    );
+    assert!(
+        streamed.validate().is_ok(),
+        "{context}: invalid streamed CPG"
+    );
+}
+
+fn batch_build(sequences: &[Vec<SubComputation>]) -> Cpg {
+    let mut builder = CpgBuilder::new();
+    for seq in sequences {
+        builder.add_thread(seq.clone());
+    }
+    builder.build()
+}
+
+/// Streams the sequences round-robin across threads (FIFO per thread).
+fn stream_round_robin(sequences: Vec<Vec<SubComputation>>, shards: usize) -> Cpg {
+    let builder = ShardedCpgBuilder::with_shards(shards);
+    let mut cursors: Vec<std::vec::IntoIter<SubComputation>> =
+        sequences.into_iter().map(|s| s.into_iter()).collect();
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for cursor in &mut cursors {
+            if let Some(sub) = cursor.next() {
+                builder.ingest(sub);
+                progressed = true;
+            }
+        }
+    }
+    builder.seal()
+}
+
+/// Streams whole threads one after another, in *reverse* thread order — the
+/// most adversarial delivery the per-thread FIFO contract allows.
+fn stream_thread_at_a_time_reversed(sequences: Vec<Vec<SubComputation>>, shards: usize) -> Cpg {
+    let builder = ShardedCpgBuilder::with_shards(shards);
+    for seq in sequences.into_iter().rev() {
+        for sub in seq {
+            builder.ingest(sub);
+        }
+    }
+    builder.seal()
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic-workload equivalence across threads, shards and interleavings
+// ---------------------------------------------------------------------------
+
+#[test]
+fn synthetic_workloads_stream_identically_across_threads_and_shards() {
+    type Generator = fn(u32) -> Vec<Vec<SubComputation>>;
+    let generators: [(&str, Generator); 3] = [
+        ("lock_heavy", lock_heavy),
+        ("barrier_phases", barrier_phases),
+        ("producer_chain", producer_chain),
+    ];
+    for (name, generate) in generators {
+        for threads in [1u32, 4, 8] {
+            let sequences = generate(threads);
+            let reference = batch_build(&sequences);
+            for shards in [1usize, 3, 8] {
+                let context = format!("{name}/threads={threads}/shards={shards}");
+                let streamed = stream_round_robin(sequences.clone(), shards);
+                assert_identical(&streamed, &reference, &format!("{context}/round-robin"));
+                let adversarial = stream_thread_at_a_time_reversed(sequences.clone(), shards);
+                assert_identical(&adversarial, &reference, &format!("{context}/reversed"));
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_and_single_sub_streams_match_batch() {
+    // Degenerate shapes: nothing ingested, and a single thread that never
+    // synchronizes (one trailing sub-computation).
+    let empty = ShardedCpgBuilder::new().seal();
+    assert_eq!(empty.node_count(), 0);
+    assert_eq!(empty.edge_count(), 0);
+
+    let registry = SyncClockRegistry::shared();
+    let mut rec = ThreadRecorder::new(ThreadId::new(0), registry);
+    rec.on_memory_access(PageId::new(1), AccessKind::Write);
+    rec.on_memory_access(PageId::new(1), AccessKind::Read);
+    let sequences = vec![rec.finish()];
+    let reference = batch_build(&sequences);
+    let streamed = stream_round_robin(sequences, 4);
+    assert_identical(&streamed, &reference, "single-sub");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: real sessions produce batch-identical graphs
+// ---------------------------------------------------------------------------
+
+/// Rebuilds a batch CPG from the per-thread sequences stored in a streamed
+/// graph's node set (the nodes carry everything the batch builder needs).
+fn rebatch(cpg: &Cpg) -> Cpg {
+    let mut builder = CpgBuilder::new();
+    for thread in cpg.threads() {
+        let seq: Vec<SubComputation> = cpg
+            .thread_sequence(thread)
+            .into_iter()
+            .map(|id| cpg.node(id).expect("listed node exists").clone())
+            .collect();
+        builder.add_thread(seq);
+    }
+    builder.build()
+}
+
+#[test]
+fn real_session_graphs_match_batch_rebuild() {
+    for workers in [1usize, 4, 8] {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let counter = session.map_region("counter", 8).base();
+        let staging = session.map_region("staging", 4096 * 8).base();
+        let lock = Arc::new(InspMutex::new());
+        let report = session.run(move |ctx| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let lock = Arc::clone(&lock);
+                handles.push(ctx.spawn(move |ctx| {
+                    for i in 0..6u64 {
+                        ctx.write_u64(staging.add(w as u64 * 4096), i);
+                        lock.lock(ctx);
+                        let v = ctx.read_u64(counter);
+                        ctx.write_u64(counter, v + 1);
+                        lock.unlock(ctx);
+                    }
+                }));
+            }
+            for h in handles {
+                ctx.join(h);
+            }
+        });
+        let reference = rebatch(&report.cpg);
+        assert_identical(
+            &report.cpg,
+            &reference,
+            &format!("session/workers={workers}"),
+        );
+        assert_eq!(session.image().read_u64_direct(counter), 6 * workers as u64);
+    }
+}
+
+#[test]
+fn no_acquire_is_left_unresolved_after_a_session_run() {
+    let session = InspectorSession::new(SessionConfig::inspector());
+    let cell = session.map_region("cell", 8).base();
+    let lock = Arc::new(InspMutex::new());
+    let report = session.run(move |ctx| {
+        let lock2 = Arc::clone(&lock);
+        let worker = ctx.spawn(move |ctx| {
+            for _ in 0..10 {
+                lock2.lock(ctx);
+                let v = ctx.read_u64(cell);
+                ctx.write_u64(cell, v + 1);
+                lock2.unlock(ctx);
+            }
+        });
+        ctx.join(worker);
+    });
+    let stats = session.ingest_stats();
+    // Complete delivery means the seal-time safety net stays idle: every
+    // synchronization edge resolved while the application was running.
+    assert_eq!(stats.sync_resolved_at_seal, 0, "{stats:?}");
+    assert!(stats.sync_resolved_at_ingest > 0, "{stats:?}");
+    assert!(report.cpg.stats().sync_edges > 0);
+}
