@@ -91,6 +91,21 @@ impl Bencher {
         self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
         self.iters = iters;
     }
+
+    /// Runs `routine(iters)` and trusts it to return the measured time of
+    /// exactly `iters` iterations — criterion's escape hatch for benchmarks
+    /// that must exclude per-iteration setup (e.g. timing only a `seal()`
+    /// that consumes state rebuilt outside the measured region).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        // Probe once to size the measurement run (the probe's setup cost is
+        // irrelevant: only the returned duration is used for sizing).
+        let probe = routine(1);
+        let per_iter = probe.as_secs_f64().max(1e-9);
+        let iters = ((0.05 / per_iter) as u64).clamp(3, 10_000);
+        let elapsed = routine(iters);
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -250,6 +265,15 @@ mod tests {
         let mut b = Bencher::default();
         b.iter(|| black_box(1u64 + 1));
         assert!(b.mean_ns >= 0.0);
+        assert!(b.iters >= 3);
+    }
+
+    #[test]
+    fn iter_custom_uses_reported_duration() {
+        let mut b = Bencher::default();
+        // Report exactly 1 µs per iteration regardless of real elapsed time.
+        b.iter_custom(Duration::from_micros);
+        assert!((b.mean_ns - 1000.0).abs() < 1e-6, "{}", b.mean_ns);
         assert!(b.iters >= 3);
     }
 

@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use inspector_bench::ingest_bench::ingest_with_pool;
 use inspector_core::clock::VectorClock;
 use inspector_core::graph::CpgBuilder;
 use inspector_core::ids::ThreadId;
@@ -166,9 +167,9 @@ fn bench_cpg_build(c: &mut Criterion) {
 
 fn bench_cpg_ingest(c: &mut Criterion) {
     // Batch vs streaming construction over identical recorded sequences:
-    // the perf baseline the next optimisation round has to beat. Both
-    // variants pay the same per-iteration clone of the input, so the delta
-    // is construction cost only.
+    // the perf baseline every optimisation round has to beat. All variants
+    // pay the same per-iteration clone of the input, so the delta is
+    // construction cost only.
     let mut group = c.benchmark_group("cpg_ingest");
     for threads in [2usize, 8] {
         let sequences = recorded_sequences(threads);
@@ -191,14 +192,65 @@ fn bench_cpg_ingest(c: &mut Criterion) {
             BenchmarkId::new("streaming", threads),
             &sequences,
             |b, sequences| {
-                b.iter(|| {
-                    let builder = ShardedCpgBuilder::with_shards(8);
-                    for seq in sequences {
-                        for sub in seq.clone() {
-                            builder.ingest(sub);
+                b.iter(|| ingest_with_pool(sequences, 1, 8));
+            },
+        );
+    }
+
+    // Pool-size × shard-count matrix over the 8-thread lock-heavy
+    // workload: the contention study behind the ROADMAP's multi-producer
+    // item. `pool1/shards8` is the single-ingest-thread baseline.
+    let sequences = recorded_sequences(8);
+    let subs: usize = sequences.iter().map(|s| s.len()).sum();
+    group.throughput(Throughput::Elements(subs as u64));
+    for pool in [1usize, 2, 4] {
+        for shards in [1usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("pool{pool}"), format!("shards{shards}")),
+                &sequences,
+                |b, sequences| {
+                    b.iter(|| ingest_with_pool(sequences, pool, shards));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_seal_latency(c: &mut Criterion) {
+    // Seal cost after *complete* delivery: every synchronization and data
+    // edge was already resolved during ingestion (`data_resolved_at_seal ==
+    // 0`), so the seal only moves nodes — its per-sub cost must stay flat
+    // as the run length grows instead of scaling with the dependence count.
+    let mut group = c.benchmark_group("seal_latency");
+    for iterations in [50u64, 200, 800] {
+        let sequences = inspector_core::testing::lock_heavy_sequences(4, iterations, 32, 16);
+        let subs: usize = sequences.iter().map(|s| s.len()).sum();
+        group.throughput(Throughput::Elements(subs as u64));
+        group.bench_with_input(
+            BenchmarkId::new("complete_delivery", iterations),
+            &sequences,
+            |b, sequences| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let builder = ShardedCpgBuilder::with_shards(8);
+                        for seq in sequences {
+                            for sub in seq.clone() {
+                                builder.ingest(sub);
+                            }
                         }
+                        let start = std::time::Instant::now();
+                        let cpg = builder.seal();
+                        total += start.elapsed();
+                        criterion::black_box(cpg);
+                        let stats = builder.last_sealed_stats().expect("sealed");
+                        assert_eq!(
+                            stats.data_resolved_at_seal, 0,
+                            "complete delivery must leave nothing for the seal"
+                        );
                     }
-                    builder.seal()
+                    total
                 });
             },
         );
@@ -209,6 +261,6 @@ fn bench_cpg_ingest(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_vector_clocks, bench_fault_path, bench_pt_codec, bench_cpg_build, bench_cpg_ingest
+    targets = bench_vector_clocks, bench_fault_path, bench_pt_codec, bench_cpg_build, bench_cpg_ingest, bench_seal_latency
 }
 criterion_main!(micro);

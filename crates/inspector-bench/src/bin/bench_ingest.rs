@@ -1,0 +1,191 @@
+//! Records the streaming-ingest perf baseline into `BENCH_ingest.json`:
+//! the `cpg_ingest` pool-size × shard-count × workload grid plus the
+//! `seal_latency` sweep, in ns per sub-computation.
+//!
+//! Run `--quick` (or set `INSPECTOR_BENCH_QUICK=1`) for the CI smoke shape;
+//! set `INSPECTOR_BENCH_OUT` to change the output path (default
+//! `BENCH_ingest.json` in the current directory). The file is the perf
+//! trajectory artefact: every PR's CI run uploads one, so regressions in
+//! ingest throughput or seal latency show up as a diff.
+
+use std::fmt::Write as _;
+
+use inspector_bench::ingest_bench::{
+    measure_batch_ns_per_sub, measure_grid_cell, measure_pooled_build, GridCell,
+};
+use inspector_core::testing::lock_heavy_sequences;
+
+struct WorkloadSpec {
+    name: &'static str,
+    threads: u32,
+    iterations: u64,
+    read_pages: u64,
+    write_pages: u64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("INSPECTOR_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let out_path =
+        std::env::var("INSPECTOR_BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".into());
+    let repeats = if quick { 2 } else { 5 };
+    let iterations = if quick { 80 } else { 200 };
+    let pools: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4] };
+    let shard_counts: &[usize] = if quick { &[8] } else { &[1, 4, 8] };
+
+    // The lock-heavy shape is the acceptance baseline (it matches the
+    // `cpg_ingest` micro-bench and the equivalence suite); `wide_pages`
+    // stresses the page-striped write index instead of the sync stripe.
+    let workloads = [
+        WorkloadSpec {
+            name: "lock_heavy",
+            threads: 8,
+            iterations,
+            read_pages: 32,
+            write_pages: 16,
+        },
+        WorkloadSpec {
+            name: "wide_pages",
+            threads: 8,
+            iterations,
+            read_pages: 256,
+            write_pages: 128,
+        },
+    ];
+
+    // Pool speedups only materialise with real cores under the pool;
+    // record the machine context so the artefact is interpretable (on a
+    // 1-core container a 4-wide pool necessarily loses to 1 thread).
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"cpg_ingest + seal_latency\",");
+    let _ = writeln!(json, "  \"unit\": \"ns_per_subcomputation\",");
+    let _ = writeln!(json, "  \"available_parallelism\": {parallelism},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    json.push_str("  \"cpg_ingest\": [\n");
+
+    for (wi, spec) in workloads.iter().enumerate() {
+        let sequences = lock_heavy_sequences(
+            spec.threads,
+            spec.iterations,
+            spec.read_pages,
+            spec.write_pages,
+        );
+        let subs: usize = sequences.iter().map(|s| s.len()).sum();
+        let batch = measure_batch_ns_per_sub(&sequences, repeats);
+        eprintln!(
+            "cpg_ingest/{}: {} threads, {} subs, batch {:.0} ns/sub",
+            spec.name, spec.threads, subs, batch
+        );
+        let mut cells: Vec<GridCell> = Vec::new();
+        for &pool in pools {
+            for &shards in shard_counts {
+                let cell = measure_grid_cell(&sequences, pool, shards, repeats);
+                eprintln!(
+                    "  pool={} shards={}: total {:.0} ns/sub, seal {:.0} ns/sub, \
+                     data_resolved_at_seal={}",
+                    pool,
+                    shards,
+                    cell.total_ns_per_sub,
+                    cell.seal_ns_per_sub,
+                    cell.data_resolved_at_seal
+                );
+                cells.push(cell);
+            }
+        }
+        report_speedup(spec.name, &cells);
+
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"workload\": \"{}\",", spec.name);
+        let _ = writeln!(json, "      \"app_threads\": {},", spec.threads);
+        let _ = writeln!(json, "      \"subcomputations\": {subs},");
+        let _ = writeln!(json, "      \"batch_ns_per_sub\": {batch:.1},");
+        json.push_str("      \"grid\": [\n");
+        for (ci, cell) in cells.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{\"pool\": {}, \"shards\": {}, \"total_ns_per_sub\": {:.1}, \
+                 \"seal_ns_per_sub\": {:.1}, \"data_resolved_at_seal\": {}}}{}",
+                cell.pool,
+                cell.shards,
+                cell.total_ns_per_sub,
+                cell.seal_ns_per_sub,
+                cell.data_resolved_at_seal,
+                if ci + 1 < cells.len() { "," } else { "" }
+            );
+        }
+        json.push_str("      ]\n");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+
+    // Seal latency vs run length under complete delivery: the per-sub seal
+    // cost must stay (near-)flat because everything resolved at ingest.
+    json.push_str("  \"seal_latency\": [\n");
+    let lengths: &[u64] = if quick { &[50, 400] } else { &[50, 200, 800] };
+    for (li, &len) in lengths.iter().enumerate() {
+        let sequences = lock_heavy_sequences(4, len, 32, 16);
+        let subs: usize = sequences.iter().map(|s| s.len()).sum();
+        let mut best_seal = f64::MAX;
+        let mut data_at_seal = 0;
+        for _ in 0..repeats {
+            let build = measure_pooled_build(&sequences, 1, 8);
+            best_seal = best_seal.min(build.seal_time.as_nanos() as f64 / subs as f64);
+            data_at_seal = data_at_seal.max(build.stats.data_resolved_at_seal);
+        }
+        eprintln!(
+            "seal_latency/{len} iters: {subs} subs, seal {best_seal:.0} ns/sub, \
+             data_resolved_at_seal={data_at_seal}"
+        );
+        assert_eq!(
+            data_at_seal, 0,
+            "complete delivery must leave nothing for the seal"
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"iterations\": {len}, \"subcomputations\": {subs}, \
+             \"seal_ns_per_sub\": {best_seal:.1}, \"data_resolved_at_seal\": {data_at_seal}}}{}",
+            if li + 1 < lengths.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_ingest.json");
+    eprintln!("wrote {out_path}");
+}
+
+/// Prints the headline comparison: 4-wide pool vs the single-ingest-thread
+/// baseline at the default shard count.
+fn report_speedup(name: &str, cells: &[GridCell]) {
+    let at = |pool: usize| {
+        cells
+            .iter()
+            .filter(|c| c.pool == pool)
+            .map(|c| c.total_ns_per_sub)
+            .fold(f64::MAX, f64::min)
+    };
+    let single = at(1);
+    let pooled = at(4);
+    if single < f64::MAX && pooled < f64::MAX {
+        eprintln!(
+            "  {name}: pool4 vs pool1 = {:.2}x {}",
+            single / pooled,
+            if pooled < single {
+                "speedup"
+            } else {
+                "SLOWDOWN"
+            }
+        );
+    }
+}

@@ -86,9 +86,17 @@ pub struct Fig6Row {
     /// Share attributed to the OS support for Intel PT (packet encoding).
     pub pt: f64,
     /// Share attributed to streaming CPG construction (mostly overlapped
-    /// with execution; this is the residual cost the overlap could not
+    /// with execution; this is the residual critical-path cost — the
+    /// busiest ingest worker plus the seal — that the overlap could not
     /// hide).
     pub graph: f64,
+    /// Overlap factor of the ingest pool: summed per-worker ingest time
+    /// over the busiest worker's time (`RunStats::ingest_overlap_factor`).
+    /// 1.0 means one worker did all construction; higher means the pool
+    /// genuinely parallelised it.
+    pub graph_overlap: f64,
+    /// Ingest-pool width the run used.
+    pub ingest_workers: usize,
 }
 
 /// Figure 6: breakdown of the provenance overhead into threading-library and
@@ -105,6 +113,8 @@ pub fn figure6(size: InputSize, threads: usize, repeats: usize) -> Vec<Fig6Row> 
                 threading: b.threading_overhead,
                 pt: b.pt_overhead,
                 graph: b.graph_overhead,
+                graph_overlap: m.report.stats.ingest_overlap_factor(),
+                ingest_workers: m.report.stats.ingest_workers,
             }
         })
         .collect()
@@ -114,13 +124,13 @@ pub fn figure6(size: InputSize, threads: usize, repeats: usize) -> Vec<Fig6Row> 
 pub fn print_figure6(rows: &[Fig6Row]) {
     println!("Figure 6: overhead breakdown at {BREAKDOWN_THREADS} threads (ratio over native)");
     println!(
-        "{:<20}{:>10}{:>16}{:>14}{:>13}",
-        "application", "total", "threading lib", "OS/Intel PT", "CPG ingest"
+        "{:<20}{:>10}{:>16}{:>14}{:>13}{:>14}",
+        "application", "total", "threading lib", "OS/Intel PT", "CPG ingest", "pool overlap"
     );
     for r in rows {
         println!(
-            "{:<20}{:>9.2}x{:>15.2}x{:>13.2}x{:>12.2}x",
-            r.name, r.total, r.threading, r.pt, r.graph
+            "{:<20}{:>9.2}x{:>15.2}x{:>13.2}x{:>12.2}x{:>9.2}x/{}w",
+            r.name, r.total, r.threading, r.pt, r.graph, r.graph_overlap, r.ingest_workers
         );
     }
 }
@@ -323,6 +333,8 @@ mod tests {
         for r in &rows {
             assert!(r.threading >= 0.0 && r.pt >= 0.0 && r.graph >= 0.0);
             assert!(r.threading + r.pt + r.graph <= r.total + 1e-9, "{:?}", r);
+            assert!(r.graph_overlap >= 1.0, "{:?}", r);
+            assert!(r.ingest_workers >= 1, "{:?}", r);
         }
     }
 
@@ -390,6 +402,8 @@ mod tests {
                 threading: 0.5,
                 pt: 0.3,
                 graph: 0.2,
+                graph_overlap: 2.5,
+                ingest_workers: 4,
             }],
             vec![Fig7Row {
                 name: "x",

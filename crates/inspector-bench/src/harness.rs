@@ -22,6 +22,10 @@ pub struct OverheadMeasurement {
     pub inspector_time: Duration,
     /// Full report of the INSPECTOR run.
     pub report: RunReport,
+    /// Session configuration the INSPECTOR run used, pipeline knobs
+    /// (`ingest_threads`, `cpg_shards`, `ingest_queue_depth`) included, so
+    /// emitted reports record what they measured.
+    pub config: SessionConfig,
 }
 
 impl OverheadMeasurement {
@@ -40,6 +44,11 @@ impl OverheadMeasurement {
 /// Runs `workload` once natively and once under INSPECTOR and returns the
 /// paired measurement. `repeats` > 1 applies a truncated mean (drop min and
 /// max) to the wall times, mirroring the paper's measurement protocol.
+///
+/// Both runs pick up the streaming-pipeline knobs from the environment
+/// ([`pipeline_config_from_env`]), so the ROADMAP contention study —
+/// sweeping ingest-pool width, shard count and queue depth across the
+/// workloads — is runnable without recompiling.
 pub fn measure_overhead(
     workload: &dyn Workload,
     threads: usize,
@@ -47,13 +56,15 @@ pub fn measure_overhead(
     repeats: usize,
 ) -> OverheadMeasurement {
     let repeats = repeats.max(1);
+    let native_config = pipeline_config_from_env(SessionConfig::native());
+    let inspector_config = pipeline_config_from_env(SessionConfig::inspector());
     let mut native_times = Vec::with_capacity(repeats);
     let mut inspector_times = Vec::with_capacity(repeats);
     let mut last_report = None;
     for _ in 0..repeats {
-        let native = workload.execute(SessionConfig::native(), threads, size);
+        let native = workload.execute(native_config, threads, size);
         native_times.push(native.report.stats.wall_time);
-        let tracked = workload.execute(SessionConfig::inspector(), threads, size);
+        let tracked = workload.execute(inspector_config, threads, size);
         inspector_times.push(tracked.report.stats.wall_time);
         last_report = Some(tracked.report);
     }
@@ -64,6 +75,7 @@ pub fn measure_overhead(
         native_time: truncated_mean(&native_times),
         inspector_time: truncated_mean(&inspector_times),
         report: last_report.expect("at least one repeat"),
+        config: inspector_config,
     }
 }
 
@@ -97,6 +109,48 @@ pub fn size_from_env(default: InputSize) -> InputSize {
         "large" => InputSize::Large,
         _ => default,
     }
+}
+
+/// Applies the streaming-pipeline knobs from the environment to a session
+/// configuration:
+///
+/// * `INSPECTOR_INGEST_THREADS` — ingest-pool width,
+/// * `INSPECTOR_CPG_SHARDS` — streaming-builder lock stripes,
+/// * `INSPECTOR_INGEST_QUEUE_DEPTH` — per-lane bounded-channel capacity.
+///
+/// Unset or unparsable variables leave the corresponding default untouched;
+/// values are clamped to at least one.
+pub fn pipeline_config_from_env(config: SessionConfig) -> SessionConfig {
+    apply_pipeline_knobs(config, |name| std::env::var(name).ok())
+}
+
+/// [`pipeline_config_from_env`] with the variable lookup injected, so tests
+/// can exercise the parsing without mutating (or depending on) the process
+/// environment.
+fn apply_pipeline_knobs(
+    mut config: SessionConfig,
+    lookup: impl Fn(&str) -> Option<String>,
+) -> SessionConfig {
+    let knob = |name: &str| -> Option<usize> { lookup(name)?.trim().parse().ok() };
+    if let Some(workers) = knob("INSPECTOR_INGEST_THREADS") {
+        config = config.with_ingest_threads(workers);
+    }
+    if let Some(shards) = knob("INSPECTOR_CPG_SHARDS") {
+        config = config.with_cpg_shards(shards);
+    }
+    if let Some(depth) = knob("INSPECTOR_INGEST_QUEUE_DEPTH") {
+        config = config.with_ingest_queue_depth(depth);
+    }
+    config
+}
+
+/// One-line description of the pipeline knobs a configuration runs with,
+/// printed by the figure binaries so every emitted report records them.
+pub fn pipeline_knobs_label(config: &SessionConfig) -> String {
+    format!(
+        "ingest_threads={} cpg_shards={} ingest_queue_depth={}",
+        config.ingest_threads, config.cpg_shards, config.ingest_queue_depth
+    )
 }
 
 /// Reads the thread counts to sweep from `INSPECTOR_BENCH_THREADS`
@@ -161,5 +215,33 @@ mod tests {
     fn env_parsers_fall_back_to_defaults() {
         assert_eq!(size_from_env(InputSize::Small), InputSize::Small);
         assert_eq!(threads_from_env(&[2, 4]), vec![2, 4]);
+    }
+
+    #[test]
+    fn pipeline_knobs_parse_and_fall_back() {
+        let base = SessionConfig::inspector();
+        // No variables set: the configuration is unchanged.
+        assert_eq!(apply_pipeline_knobs(base, |_| None), base);
+        // Unparsable values are ignored, parsable ones applied.
+        let parsed = apply_pipeline_knobs(base, |name| match name {
+            "INSPECTOR_INGEST_THREADS" => Some(" 3 ".into()),
+            "INSPECTOR_CPG_SHARDS" => Some("not-a-number".into()),
+            "INSPECTOR_INGEST_QUEUE_DEPTH" => Some("64".into()),
+            _ => None,
+        });
+        assert_eq!(parsed.ingest_threads, 3);
+        assert_eq!(parsed.cpg_shards, base.cpg_shards);
+        assert_eq!(parsed.ingest_queue_depth, 64);
+    }
+
+    #[test]
+    fn measurement_records_its_configuration() {
+        let w = workload_by_name("histogram").unwrap();
+        let m = measure_overhead(w.as_ref(), 1, InputSize::Tiny, 1);
+        assert!(m.config.ingest_threads >= 1);
+        assert_eq!(m.report.stats.ingest_workers, m.config.ingest_threads);
+        let label = pipeline_knobs_label(&m.config);
+        assert!(label.contains("ingest_threads="));
+        assert!(label.contains("cpg_shards="));
     }
 }

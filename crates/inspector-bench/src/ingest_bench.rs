@@ -1,0 +1,195 @@
+//! Streaming-ingest measurement plumbing shared by the `cpg_ingest` /
+//! `seal_latency` micro-benchmarks and the `bench_ingest` binary that
+//! records the numbers into `BENCH_ingest.json`.
+//!
+//! Everything here measures the same object: [`ShardedCpgBuilder`] fed by a
+//! producer pool whose worker `w` owns the application threads with
+//! `index % pool == w` — the exact lane routing the runtime's ingest pool
+//! uses, so per-thread delivery stays FIFO while different threads'
+//! provenance lands concurrently.
+
+use std::time::{Duration, Instant};
+
+use inspector_core::graph::{Cpg, CpgBuilder};
+use inspector_core::sharded::{IngestStats, ShardedCpgBuilder};
+use inspector_core::subcomputation::SubComputation;
+
+/// Streams `sequences` into a fresh builder from a `pool`-wide producer
+/// pool and seals. `pool == 1` reproduces the single-ingest-thread
+/// baseline shape (PR 1's pipeline).
+pub fn ingest_with_pool(sequences: &[Vec<SubComputation>], pool: usize, shards: usize) -> Cpg {
+    measure_pooled_build(sequences, pool, shards).cpg
+}
+
+/// One timed pooled build, with the phases split out.
+pub struct PooledBuild {
+    /// The sealed graph.
+    pub cpg: Cpg,
+    /// Wall time of ingestion (pool start to last producer done).
+    pub ingest_time: Duration,
+    /// Wall time of the seal alone.
+    pub seal_time: Duration,
+    /// The build's final counters.
+    pub stats: IngestStats,
+}
+
+/// Streams `sequences` from a `pool`-wide producer pool into a builder with
+/// `shards` stripes, seals, and reports the timing split.
+pub fn measure_pooled_build(
+    sequences: &[Vec<SubComputation>],
+    pool: usize,
+    shards: usize,
+) -> PooledBuild {
+    let builder = ShardedCpgBuilder::with_shards(shards);
+    let ingest_start = Instant::now();
+    if pool <= 1 {
+        for seq in sequences {
+            for sub in seq.clone() {
+                builder.ingest(sub);
+            }
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for worker in 0..pool {
+                let builder = &builder;
+                let lanes: Vec<Vec<SubComputation>> = sequences
+                    .iter()
+                    .enumerate()
+                    .filter(|(t, _)| t % pool == worker)
+                    .map(|(_, seq)| seq.clone())
+                    .collect();
+                scope.spawn(move || {
+                    // Round-robin across this worker's threads, FIFO within
+                    // each thread — the shape a live run produces.
+                    let mut cursors: Vec<std::vec::IntoIter<SubComputation>> =
+                        lanes.into_iter().map(|s| s.into_iter()).collect();
+                    let mut progressed = true;
+                    while progressed {
+                        progressed = false;
+                        for cursor in &mut cursors {
+                            if let Some(sub) = cursor.next() {
+                                builder.ingest(sub);
+                                progressed = true;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+    let ingest_time = ingest_start.elapsed();
+    let seal_start = Instant::now();
+    let cpg = builder.seal();
+    let seal_time = seal_start.elapsed();
+    let stats = builder.last_sealed_stats().expect("sealed exactly once");
+    PooledBuild {
+        cpg,
+        ingest_time,
+        seal_time,
+        stats,
+    }
+}
+
+/// One cell of the pool-size × shard-count grid recorded in
+/// `BENCH_ingest.json`.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// Producer-pool width.
+    pub pool: usize,
+    /// Builder stripe count.
+    pub shards: usize,
+    /// Best-of-N total construction time (ingest + seal) per
+    /// sub-computation, in nanoseconds.
+    pub total_ns_per_sub: f64,
+    /// Best-of-N seal time per sub-computation, in nanoseconds.
+    pub seal_ns_per_sub: f64,
+    /// Data edges the seal still had to resolve, worst repeat. Must be 0 —
+    /// the pooled delivery is complete before sealing — and
+    /// [`measure_grid_cell`] asserts it, so a recorded nonzero can only
+    /// come from a hand-edited artefact.
+    pub data_resolved_at_seal: u64,
+}
+
+/// Measures one grid cell: `repeats` pooled builds, keeping the best total
+/// and best seal time (standard minimum-of-N noise rejection) and the
+/// *worst* `data_resolved_at_seal`.
+pub fn measure_grid_cell(
+    sequences: &[Vec<SubComputation>],
+    pool: usize,
+    shards: usize,
+    repeats: usize,
+) -> GridCell {
+    let subs: usize = sequences.iter().map(|s| s.len()).sum();
+    let mut best_total = Duration::MAX;
+    let mut best_seal = Duration::MAX;
+    let mut data_resolved_at_seal = 0;
+    for _ in 0..repeats.max(1) {
+        let build = measure_pooled_build(sequences, pool, shards);
+        assert_eq!(build.cpg.node_count(), subs, "pooled build lost nodes");
+        best_total = best_total.min(build.ingest_time + build.seal_time);
+        best_seal = best_seal.min(build.seal_time);
+        data_resolved_at_seal = data_resolved_at_seal.max(build.stats.data_resolved_at_seal);
+    }
+    assert_eq!(
+        data_resolved_at_seal, 0,
+        "complete pooled delivery must leave nothing for the seal \
+         (pool={pool}, shards={shards})"
+    );
+    GridCell {
+        pool,
+        shards,
+        total_ns_per_sub: best_total.as_nanos() as f64 / subs as f64,
+        seal_ns_per_sub: best_seal.as_nanos() as f64 / subs as f64,
+        data_resolved_at_seal,
+    }
+}
+
+/// Best-of-N batch (`CpgBuilder::build`) construction time per
+/// sub-computation, the offline reference.
+pub fn measure_batch_ns_per_sub(sequences: &[Vec<SubComputation>], repeats: usize) -> f64 {
+    let subs: usize = sequences.iter().map(|s| s.len()).sum();
+    let mut best = Duration::MAX;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let mut builder = CpgBuilder::new();
+        for seq in sequences {
+            builder.add_thread(seq.clone());
+        }
+        std::hint::black_box(builder.build());
+        best = best.min(start.elapsed());
+    }
+    best.as_nanos() as f64 / subs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn pooled_build_matches_batch_for_every_pool_width() {
+        let sequences = inspector_core::testing::lock_heavy_sequences(4, 15, 8, 8);
+        let mut batch = CpgBuilder::new();
+        for seq in &sequences {
+            batch.add_thread(seq.clone());
+        }
+        let reference = batch.build();
+        let fingerprint =
+            |cpg: &Cpg| -> BTreeSet<String> { cpg.edges().map(|e| format!("{e:?}")).collect() };
+        for pool in [1usize, 2, 4] {
+            let cpg = ingest_with_pool(&sequences, pool, 4);
+            assert_eq!(cpg.node_count(), reference.node_count(), "pool={pool}");
+            assert_eq!(fingerprint(&cpg), fingerprint(&reference), "pool={pool}");
+        }
+    }
+
+    #[test]
+    fn grid_cell_reports_complete_delivery() {
+        let sequences = inspector_core::testing::lock_heavy_sequences(4, 10, 8, 8);
+        let cell = measure_grid_cell(&sequences, 2, 4, 1);
+        assert_eq!(cell.data_resolved_at_seal, 0);
+        assert!(cell.total_ns_per_sub > 0.0);
+        assert!(cell.seal_ns_per_sub > 0.0);
+        assert!(cell.seal_ns_per_sub <= cell.total_ns_per_sub);
+    }
+}

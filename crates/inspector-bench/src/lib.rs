@@ -20,5 +20,6 @@
 
 pub mod figures;
 pub mod harness;
+pub mod ingest_bench;
 
 pub use harness::{measure_overhead, OverheadMeasurement};

@@ -9,9 +9,50 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
+use crate::clock::VectorClock;
 use crate::event::SyncKind;
 use crate::ids::{PageId, SubId, SyncObjectId, ThreadId};
 use crate::subcomputation::SubComputation;
+
+/// Happens-before between two sub-computations identified by `(id, clock)`
+/// pairs — the exact relation [`SubComputation::happens_before`] evaluates,
+/// exposed over bare identifiers so edge-derivation code that indexes
+/// `(α, clock)` entries (the streaming builder's page-write index) orders
+/// candidates identically to code that holds whole nodes.
+pub(crate) fn ordered_before(
+    a: SubId,
+    a_clock: &VectorClock,
+    b: SubId,
+    b_clock: &VectorClock,
+) -> bool {
+    if a.thread == b.thread {
+        a.alpha < b.alpha
+    } else {
+        a_clock.happens_before(b_clock)
+    }
+}
+
+/// Last-writer dominance pruning over one page's candidate set.
+///
+/// `candidates` holds, per writing thread, the latest writer of the page
+/// that happens-before the reader. A candidate is superseded when another
+/// candidate happens-after it (its update was overwritten before the read),
+/// so only the maximal candidates survive. This is the single shared kernel
+/// of data-dependence resolution: the batch
+/// [`CpgBuilder::derive_data_edges_from_index`] pass, the streaming
+/// builder's ingest-time resolution and its seal-time leftovers all feed it
+/// the same shape and therefore cannot diverge in last-writer semantics.
+pub(crate) fn prune_superseded_writers(candidates: &[(SubId, &VectorClock)]) -> Vec<SubId> {
+    candidates
+        .iter()
+        .filter(|(id, clock)| {
+            !candidates
+                .iter()
+                .any(|(other, oc)| other != id && ordered_before(*id, clock, *other, oc))
+        })
+        .map(|(id, _)| *id)
+        .collect()
+}
 
 /// The kind of a CPG edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -445,9 +486,14 @@ impl CpgBuilder {
     }
 
     /// The per-reader update-use resolution over a prebuilt writer index.
-    /// Shared with the streaming builder so the batch oracle and the
-    /// streamed graph cannot diverge in last-writer semantics: both paths
-    /// run this exact loop, they only build `writers` differently.
+    ///
+    /// Candidate selection ([`latest_preceding`](Self::latest_preceding) per
+    /// writing thread) and dominance pruning
+    /// ([`prune_superseded_writers`]) are shared with the streaming
+    /// builder's incremental path, so the batch oracle and the streamed
+    /// graph cannot diverge in last-writer semantics — only the index
+    /// construction differs (full node scan here, maintained during
+    /// ingestion there).
     pub(crate) fn derive_data_edges_from_index(
         nodes: &BTreeMap<SubId, SubComputation>,
         writers: &HashMap<PageId, BTreeMap<ThreadId, Vec<&SubComputation>>>,
@@ -460,29 +506,39 @@ impl CpgBuilder {
                 let Some(by_thread) = writers.get(&page) else {
                     continue;
                 };
-                let candidates: Vec<&SubComputation> = by_thread
+                let candidates: Vec<(SubId, &VectorClock)> = by_thread
                     .values()
                     .filter_map(|subs| Self::latest_preceding(subs, reader))
                     .filter(|w| w.id != reader.id)
+                    .map(|w| (w.id, &w.clock))
                     .collect();
-                for w in &candidates {
-                    let superseded = candidates
-                        .iter()
-                        .any(|other| other.id != w.id && w.happens_before(other));
-                    if !superseded {
-                        per_writer_pages.entry(w.id).or_default().push(page);
-                    }
+                for w in prune_superseded_writers(&candidates) {
+                    per_writer_pages.entry(w).or_default().push(page);
                 }
             }
-            for (writer, pages) in per_writer_pages {
-                edges.push(DependenceEdge {
-                    src: writer,
-                    dst: reader.id,
-                    kind: EdgeKind::Data,
-                    object: None,
-                    pages,
-                });
-            }
+            Self::emit_reader_data_edges(reader.id, per_writer_pages, edges);
+        }
+    }
+
+    /// Emits one data edge per surviving writer of `reader`. Shared tail of
+    /// every data-resolution path; the page list is part of an edge's
+    /// identity, so it is normalised to page order here regardless of the
+    /// order the caller visited the read set in (the streaming path visits
+    /// it stripe-major).
+    pub(crate) fn emit_reader_data_edges(
+        reader: SubId,
+        per_writer_pages: BTreeMap<SubId, Vec<PageId>>,
+        edges: &mut Vec<DependenceEdge>,
+    ) {
+        for (writer, mut pages) in per_writer_pages {
+            pages.sort_unstable();
+            edges.push(DependenceEdge {
+                src: writer,
+                dst: reader,
+                kind: EdgeKind::Data,
+                object: None,
+                pages,
+            });
         }
     }
 }

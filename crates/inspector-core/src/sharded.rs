@@ -9,41 +9,48 @@
 //! * **Shards.** Sub-computations are ingested into `N` lock-striped shards
 //!   keyed by [`ThreadId`] (`thread.index() % N`). A shard stores the
 //!   per-thread sequences (moved in **by value** — no clone on the ingest
-//!   path), the control edges, and a page-granularity write index used
-//!   later for data-dependence resolution. Node and index storage — the
-//!   heavy part of ingestion — contends per stripe; the small
-//!   synchronization-edge bookkeeping (clock frontier, release index,
-//!   parked acquires) still goes through one shared stripe, so fully
-//!   parallel producers serialize briefly there (moving that bookkeeping
-//!   into the stripes is a ROADMAP item).
-//! * **Ingest-time edges.** Control edges are emitted immediately (the
-//!   predecessor of a sub-computation is always ingested first, because
-//!   per-thread delivery is FIFO). Synchronization edges are resolved
-//!   *eagerly* as soon as the acquiring sub-computation's causal frontier is
-//!   fully ingested: a sub-computation's vector clock pins exactly which
-//!   releases can precede it, so once every thread `u` has delivered
+//!   path) and the control edges. The page-granularity write index lives in
+//!   a second family of `N` stripes keyed by *page*, so concurrent
+//!   producers touching disjoint data contend on neither family. The small
+//!   synchronization/frontier bookkeeping still goes through one shared
+//!   stripe, but its critical section is O(small) per ingest.
+//! * **Ingest-time edges — all three kinds.** Control edges are emitted
+//!   immediately (per-thread delivery is FIFO, so the predecessor is always
+//!   there). Synchronization *and* data-dependence edges are resolved
+//!   *eagerly* via the same clock-frontier argument: a sub-computation's
+//!   vector clock pins exactly which releases (for an acquire) and which
+//!   writers (for a reader) can precede it — a sub of thread `u` precedes
+//!   it only if `α_u < clock[u]` — so once every thread `u` has delivered
 //!   `clock[u]` sub-computations the candidate set is provably complete and
-//!   the edge can be emitted without ever being revoked. Acquires whose
-//!   frontier is still in flight are parked and resolved at seal time.
-//! * **Cheap seal.** [`ShardedCpgBuilder::seal`] only has to resolve the
-//!   deferred synchronization edges and the cross-shard data-dependence
-//!   edges (from the per-shard write indexes), then moves the nodes into the
-//!   final [`Cpg`]. Peak memory for provenance therefore tracks the
-//!   in-flight sub-computations plus the (small) indexes, not a second copy
-//!   of the whole trace.
+//!   the edges are emitted without ever being revoked. Readers/acquires
+//!   whose frontier is still in flight are parked; parked entries resolve
+//!   the moment a later ingest completes their frontier, off every lock on
+//!   the ingesting producer's own thread.
+//! * **O(edges-still-to-emit) seal.** [`ShardedCpgBuilder::seal`] only has
+//!   to resolve whatever stayed parked (nothing, on complete runs — the
+//!   last ingest already resolved it), fanning independent reader groups
+//!   across a scoped thread pool, and then moves the nodes into the final
+//!   [`Cpg`]. End-of-run latency no longer scales with the number of
+//!   sub-computations' dependences, only with the moves.
 //!
 //! The streamed graph is node- and edge-identical to the batch result — the
-//! same candidate-selection and dominance-pruning logic runs over the same
-//! indexed data, only earlier — which `tests/streaming_equivalence.rs`
-//! enforces across workloads, thread counts and delivery interleavings.
+//! same candidate-selection and dominance-pruning kernel
+//! ([`crate::graph`]'s `prune_superseded_writers`) runs over the same
+//! indexed data, only earlier — which `tests/streaming_equivalence.rs` and
+//! the `incremental_data_edges` property suite enforce across workloads,
+//! thread counts and delivery interleavings.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::clock::VectorClock;
 use crate::event::SyncKind;
-use crate::graph::{Cpg, CpgBuilder, DependenceEdge, EdgeKind};
+use crate::graph::{
+    ordered_before, prune_superseded_writers, Cpg, CpgBuilder, DependenceEdge, EdgeKind,
+};
 use crate::ids::{PageId, SubId, SyncObjectId, ThreadId};
 use crate::subcomputation::SubComputation;
 
@@ -62,9 +69,19 @@ pub struct IngestStats {
     /// every producer has delivered everything (which callers must ensure
     /// before sealing), the final ingest resolves the last parked acquires.
     pub sync_resolved_at_seal: u64,
+    /// Data-dependence edges resolved eagerly during ingestion (the
+    /// reader's causal frontier was complete, pinning its last writers).
+    pub data_resolved_at_ingest: u64,
+    /// Data-dependence edges resolved by the seal-time safety net. Zero
+    /// whenever every frontier was delivered before the seal — the claim
+    /// the `incremental_data_edges` property suite asserts.
+    pub data_resolved_at_seal: u64,
     /// Largest number of acquires ever parked while waiting for their causal
     /// frontier (a measure of how out-of-order delivery was).
     pub peak_parked_acquires: u64,
+    /// Largest number of readers ever parked while waiting for their causal
+    /// frontier.
+    pub peak_parked_readers: u64,
 }
 
 /// An acquire-terminated boundary whose successor sub-computation has been
@@ -80,20 +97,140 @@ struct PendingAcquire {
     object: SyncObjectId,
 }
 
-/// One lock stripe: node storage plus the indexes maintained on ingest.
+/// A reading sub-computation whose data dependences cannot be pinned yet:
+/// some thread in its causal frontier has not delivered far enough, so a
+/// not-yet-ingested writer could still be one of its last writers.
+#[derive(Debug)]
+struct PendingReader {
+    /// The edge destination: the reading sub-computation.
+    dst: SubId,
+    /// The reader's vector clock (pins the candidate writers).
+    clock: VectorClock,
+    /// The reader's read set in page order, so the pages inside each
+    /// emitted edge match the batch builder's ordering exactly.
+    read_set: Vec<PageId>,
+}
+
+/// One thread-keyed lock stripe: node storage plus the control and data
+/// edges emitted on ingest.
 #[derive(Debug, Default)]
 struct Shard {
     /// Per-thread execution sequences in ingest (= α) order.
     sequences: BTreeMap<ThreadId, Vec<SubComputation>>,
     /// Intra-thread program-order edges, emitted on ingest.
     control_edges: Vec<DependenceEdge>,
-    /// Write index: page → writing thread → α of each writing
-    /// sub-computation, in execution order.
-    writers: HashMap<PageId, BTreeMap<ThreadId, Vec<u64>>>,
+    /// Data-dependence edges into readers stored in this stripe, emitted
+    /// when each reader's frontier completed. Kept stripe-local so the
+    /// common resolve-at-own-ingest path appends under the lock it already
+    /// holds instead of re-taking the sync stripe.
+    data_edges: Vec<DependenceEdge>,
 }
 
-/// Cross-shard synchronization-edge state. Touched once per ingested
-/// sub-computation; all operations are O(small) so a single stripe suffices.
+/// One writing sub-computation in the page index: its α and its clock,
+/// the latter `Arc`-shared across every page the sub wrote.
+type WriterEntry = (u64, Arc<VectorClock>);
+
+/// One page-keyed lock stripe of the write index.
+#[derive(Debug, Default)]
+struct PageShard {
+    /// Write index: page → writing thread → [`WriterEntry`] per writing
+    /// sub-computation, in execution order. Clocks are stored so a reader
+    /// can be resolved without touching the node stripes (no cross-family
+    /// lock nesting during resolution); one `Arc`'d clock is shared by all
+    /// of a sub-computation's entries, so a wide write set costs one clone.
+    writers: HashMap<PageId, BTreeMap<ThreadId, Vec<WriterEntry>>>,
+}
+
+/// Parked entries indexed by the *one* unmet `(thread, frontier)`
+/// requirement they are registered under.
+///
+/// An entry's causal frontier is a conjunction of per-thread thresholds;
+/// instead of rescanning every parked entry on every ingest (quadratic as
+/// soon as delivery skews — e.g. one pool worker running a full scheduler
+/// quantum ahead of another), an entry is parked under its first unmet
+/// threshold and re-examined only when that threshold is crossed, at which
+/// point it either resolves or re-parks under its next unmet threshold.
+/// Total re-examinations per entry are bounded by its clock width.
+#[derive(Debug)]
+struct WaitIndex<T> {
+    /// thread → needed frontier value → entries waiting for exactly that.
+    by_thread: HashMap<ThreadId, BTreeMap<u64, Vec<T>>>,
+    len: usize,
+}
+
+impl<T> Default for WaitIndex<T> {
+    fn default() -> Self {
+        WaitIndex {
+            by_thread: HashMap::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> WaitIndex<T> {
+    /// Parks `entry` until `frontier[thread] >= needed`. Returns the new
+    /// number of parked entries.
+    fn park(&mut self, thread: ThreadId, needed: u64, entry: T) -> usize {
+        self.by_thread
+            .entry(thread)
+            .or_default()
+            .entry(needed)
+            .or_default()
+            .push(entry);
+        self.len += 1;
+        self.len
+    }
+
+    /// Removes and returns every entry whose registered requirement is met
+    /// by `frontier[thread] == reached`.
+    fn take_met(&mut self, thread: ThreadId, reached: u64) -> Vec<T> {
+        let Some(tree) = self.by_thread.get_mut(&thread) else {
+            return Vec::new();
+        };
+        if tree.first_key_value().is_none_or(|(&k, _)| k > reached) {
+            return Vec::new();
+        }
+        let rest = tree.split_off(&(reached + 1));
+        let met: Vec<T> = std::mem::replace(tree, rest)
+            .into_values()
+            .flatten()
+            .collect();
+        self.len -= met.len();
+        met
+    }
+
+    /// Removes and returns everything still parked (the seal-time path).
+    fn drain_all(&mut self) -> Vec<T> {
+        let drained: Vec<T> = std::mem::take(&mut self.by_thread)
+            .into_values()
+            .flat_map(|tree| tree.into_values())
+            .flatten()
+            .collect();
+        self.len = 0;
+        drained
+    }
+}
+
+/// The first `(thread, threshold)` requirement of `clock` that `frontier`
+/// does not meet yet, ignoring the entry's own thread (its own prefix is
+/// delivered by FIFO). `None` means the causal frontier is complete: every
+/// sub-computation that can precede one carrying this clock has been
+/// ingested — a sub of thread `u` precedes it iff its clock is dominated,
+/// which forces its α below `clock[u]`, so frontier coverage of the clock
+/// is completeness.
+fn first_unmet(
+    frontier: &HashMap<ThreadId, u64>,
+    own: ThreadId,
+    clock: &VectorClock,
+) -> Option<(ThreadId, u64)> {
+    clock
+        .iter()
+        .find(|&(u, k)| u != own && k != 0 && frontier.get(&u).copied().unwrap_or(0) < k)
+}
+
+/// Cross-shard synchronization-edge and frontier state. Touched once per
+/// ingested sub-computation; all operations are O(small) so a single stripe
+/// suffices.
 #[derive(Debug, Default)]
 struct SyncState {
     /// Contiguously ingested sub-computation count per thread.
@@ -101,27 +238,22 @@ struct SyncState {
     /// Release index: object → releasing thread → `(α, clock)` of each
     /// release-terminated sub-computation, in execution order.
     releases: HashMap<SyncObjectId, BTreeMap<ThreadId, Vec<(u64, VectorClock)>>>,
-    /// Acquires awaiting a complete causal frontier.
-    pending: Vec<PendingAcquire>,
+    /// Acquires awaiting a complete causal frontier, indexed by their first
+    /// unmet threshold.
+    parked_acquires: WaitIndex<PendingAcquire>,
+    /// Readers awaiting a complete causal frontier, indexed by their first
+    /// unmet threshold.
+    parked_readers: WaitIndex<PendingReader>,
     /// Synchronization edges emitted so far.
     edges: Vec<DependenceEdge>,
     resolved_at_ingest: u64,
     resolved_at_seal: u64,
     peak_parked: u64,
+    peak_parked_readers: u64,
     ingested: u64,
 }
 
 impl SyncState {
-    /// True once every release that can precede `p.dst` has been ingested:
-    /// a release of thread `u` precedes the acquirer iff its clock is
-    /// dominated, which forces its α below the acquirer's `clock[u]`
-    /// component — so frontier coverage of the clock is completeness.
-    fn covered(&self, p: &PendingAcquire) -> bool {
-        p.clock.iter().all(|(u, k)| {
-            u == p.dst.thread || k == 0 || self.frontier.get(&u).copied().unwrap_or(0) >= k
-        })
-    }
-
     /// Emits the synchronization edges into `p.dst`, mirroring the batch
     /// builder's candidate selection exactly: per releasing thread, the
     /// latest release that happens-before the acquirer; dominated candidates
@@ -165,18 +297,86 @@ impl SyncState {
         emitted
     }
 
-    /// Resolves every parked acquire whose frontier has become complete.
-    fn resolve_ready(&mut self) {
-        let mut i = 0;
-        while i < self.pending.len() {
-            if self.covered(&self.pending[i]) {
-                let p = self.pending.swap_remove(i);
+    /// Files an acquire: resolved immediately when its frontier is already
+    /// complete, parked under its first unmet threshold otherwise.
+    fn file_acquire(&mut self, p: PendingAcquire) {
+        match first_unmet(&self.frontier, p.dst.thread, &p.clock) {
+            None => {
                 let emitted = self.resolve(&p);
                 self.resolved_at_ingest += emitted;
-            } else {
-                i += 1;
+            }
+            Some((u, k)) => {
+                let parked = self.parked_acquires.park(u, k, p);
+                self.peak_parked = self.peak_parked.max(parked as u64);
             }
         }
+    }
+
+    /// Files a reader: returned for immediate resolution (outside the sync
+    /// stripe — data resolution walks the page stripes, which must never
+    /// nest inside it) when its frontier is complete, parked otherwise.
+    fn file_reader(&mut self, r: PendingReader, ready: &mut Vec<PendingReader>) {
+        match first_unmet(&self.frontier, r.dst.thread, &r.clock) {
+            None => ready.push(r),
+            Some((u, k)) => self.park_reader(u, k, r),
+        }
+    }
+
+    /// Parks a reader under requirement `(u, k)`, tracking the peak. The
+    /// single parking site — `ingest`'s clone-free fast path shares it.
+    fn park_reader(&mut self, u: ThreadId, k: u64, r: PendingReader) {
+        let parked = self.parked_readers.park(u, k, r);
+        self.peak_parked_readers = self.peak_parked_readers.max(parked as u64);
+    }
+
+    /// Re-examines everything parked on `thread`'s frontier after it
+    /// advanced to `reached`: each met entry either resolves now or
+    /// re-parks under its next unmet threshold. Ready readers are pushed to
+    /// `ready` for resolution outside the lock.
+    fn frontier_advanced(
+        &mut self,
+        thread: ThreadId,
+        reached: u64,
+        ready: &mut Vec<PendingReader>,
+    ) {
+        for p in self.parked_acquires.take_met(thread, reached) {
+            self.file_acquire(p);
+        }
+        for r in self.parked_readers.take_met(thread, reached) {
+            self.file_reader(r, ready);
+        }
+    }
+
+    /// Counter snapshot; the data-edge counters live in builder-level
+    /// atomics (they are updated off this stripe's lock) and are filled in
+    /// by the caller.
+    fn snapshot(&self, data_resolved_at_ingest: u64, data_resolved_at_seal: u64) -> IngestStats {
+        IngestStats {
+            ingested: self.ingested,
+            sync_resolved_at_ingest: self.resolved_at_ingest,
+            sync_resolved_at_seal: self.resolved_at_seal,
+            data_resolved_at_ingest,
+            data_resolved_at_seal,
+            peak_parked_acquires: self.peak_parked,
+            peak_parked_readers: self.peak_parked_readers,
+        }
+    }
+}
+
+/// RAII registration of an in-flight `ingest()` call, backing the quiesce
+/// guard in [`ShardedCpgBuilder::seal`].
+struct ProducerGuard<'a>(&'a AtomicUsize);
+
+impl<'a> ProducerGuard<'a> {
+    fn enter(counter: &'a AtomicUsize) -> Self {
+        counter.fetch_add(1, Ordering::AcqRel);
+        ProducerGuard(counter)
+    }
+}
+
+impl Drop for ProducerGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -185,14 +385,25 @@ impl SyncState {
 ///
 /// Ingestion is internally synchronized: any number of producer threads may
 /// call [`ingest`](Self::ingest) concurrently, as long as each *thread's*
-/// sub-computations arrive in α order (which a per-thread FIFO hand-off
-/// guarantees).
+/// sub-computations arrive in α order (which a per-thread FIFO hand-off —
+/// e.g. the runtime's lane-per-worker ingest pool routing by
+/// `ThreadId % pool` — guarantees).
 #[derive(Debug)]
 pub struct ShardedCpgBuilder {
+    /// Thread-keyed node stripes.
     shards: Vec<Mutex<Shard>>,
+    /// Page-keyed write-index stripes (same stripe count as `shards`).
+    pages: Vec<Mutex<PageShard>>,
     sync: Mutex<SyncState>,
+    /// Data edges resolved during ingestion (updated lock-free from the
+    /// resolution paths).
+    data_at_ingest: AtomicU64,
+    /// Data edges the seal-time safety net resolved.
+    data_at_seal: AtomicU64,
     /// Final counters of the most recently sealed build.
     last_sealed: Mutex<Option<IngestStats>>,
+    /// Number of `ingest()` calls currently in flight (quiesce guard).
+    active_producers: AtomicUsize,
 }
 
 impl Default for ShardedCpgBuilder {
@@ -207,13 +418,20 @@ impl ShardedCpgBuilder {
         Self::with_shards(DEFAULT_SHARDS)
     }
 
-    /// Creates a builder with `shards` lock stripes (at least one).
+    /// Creates a builder with `shards` lock stripes (at least one) in both
+    /// the thread-keyed node family and the page-keyed index family.
     pub fn with_shards(shards: usize) -> Self {
         let shards = shards.max(1);
         ShardedCpgBuilder {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            pages: (0..shards)
+                .map(|_| Mutex::new(PageShard::default()))
+                .collect(),
             sync: Mutex::new(SyncState::default()),
+            data_at_ingest: AtomicU64::new(0),
+            data_at_seal: AtomicU64::new(0),
             last_sealed: Mutex::new(None),
+            active_producers: AtomicUsize::new(0),
         }
     }
 
@@ -227,16 +445,35 @@ impl ShardedCpgBuilder {
         thread.index() % self.shards.len()
     }
 
+    /// The stripe a page's write index lives in.
+    fn page_stripe(&self, page: PageId) -> usize {
+        page.number() as usize % self.pages.len()
+    }
+
+    /// Groups a page set by index stripe, so a wide set locks each touched
+    /// stripe once instead of once per page. Shared by write publication
+    /// and reader resolution.
+    fn group_by_stripe<'a>(
+        &self,
+        pages: impl IntoIterator<Item = &'a PageId>,
+    ) -> BTreeMap<usize, Vec<PageId>> {
+        let mut by_stripe: BTreeMap<usize, Vec<PageId>> = BTreeMap::new();
+        for &page in pages {
+            by_stripe
+                .entry(self.page_stripe(page))
+                .or_default()
+                .push(page);
+        }
+        by_stripe
+    }
+
     /// Counters of the build currently in progress (reset by
     /// [`seal`](Self::seal)).
     pub fn stats(&self) -> IngestStats {
-        let st = self.sync.lock();
-        IngestStats {
-            ingested: st.ingested,
-            sync_resolved_at_ingest: st.resolved_at_ingest,
-            sync_resolved_at_seal: st.resolved_at_seal,
-            peak_parked_acquires: st.peak_parked,
-        }
+        self.sync.lock().snapshot(
+            self.data_at_ingest.load(Ordering::Acquire),
+            self.data_at_seal.load(Ordering::Acquire),
+        )
     }
 
     /// Final counters of the most recently sealed build, if any. Unlike
@@ -254,13 +491,15 @@ impl ShardedCpgBuilder {
     /// Ingests one retired sub-computation **by value**.
     ///
     /// Control edges are applied immediately; the release/acquire and page
-    /// write indexes are updated; any synchronization edge whose causal
-    /// frontier became complete is emitted.
+    /// write indexes are updated; any synchronization or data-dependence
+    /// edge whose causal frontier became complete — this sub-computation's
+    /// own, or one parked earlier — is emitted before the call returns.
     ///
     /// # Panics
     ///
     /// Panics if a thread's sub-computations are delivered out of α order.
     pub fn ingest(&self, sub: SubComputation) {
+        let _quiesce = ProducerGuard::enter(&self.active_producers);
         let thread = sub.id.thread;
         let alpha = sub.id.alpha;
 
@@ -269,83 +508,184 @@ impl ShardedCpgBuilder {
             .filter(|sp| matches!(sp.kind, SyncKind::Release | SyncKind::ReleaseAcquire))
             .map(|sp| sp.object);
 
-        // The shard stripe is held across the sync-state update below so an
-        // ingest is atomic: two producers delivering the same thread's
-        // consecutive sub-computations serialize on the stripe, and the
-        // later one cannot reach the sync state first (which would regress
-        // the frontier and unsort the release index). Lock order is always
-        // stripe → sync; no path takes them in the opposite order.
-        let mut shard = self.shards[self.shard_for(thread)].lock();
-        let shard = &mut *shard;
-        let seq = shard.sequences.entry(thread).or_default();
-        assert_eq!(
-            seq.len() as u64,
-            alpha,
-            "sub-computations of {thread} must be ingested in α order"
-        );
-        // The edge target of an acquire is the sub-computation that
-        // *starts* after the acquire returns — i.e. this one, whenever
-        // its predecessor ended in an acquire.
-        let acquired = seq
-            .last()
-            .and_then(|prev| prev.terminator)
-            .filter(|sp| matches!(sp.kind, SyncKind::Acquire | SyncKind::ReleaseAcquire))
-            .map(|sp| sp.object);
-        if let Some(prev) = seq.last() {
-            shard.control_edges.push(DependenceEdge {
-                src: prev.id,
-                dst: sub.id,
-                kind: EdgeKind::Control,
-                object: None,
-                pages: Vec::new(),
-            });
-        }
-        for &page in &sub.write_set {
-            shard
-                .writers
-                .entry(page)
-                .or_default()
-                .entry(thread)
-                .or_default()
-                .push(alpha);
-        }
-        // The sync-state bookkeeping needs the clock only when the
-        // sub-computation interacts with synchronization; avoid the clone
-        // otherwise.
-        let mut clock = if releases.is_some() || acquired.is_some() {
-            Some(sub.clock.clone())
-        } else {
-            None
-        };
-        seq.push(sub);
+        let mut ready_readers = Vec::new();
+        {
+            // The shard stripe is held across the sync-state update below so
+            // an ingest is atomic: two producers delivering the same
+            // thread's consecutive sub-computations serialize on the stripe,
+            // and the later one cannot reach the sync state first (which
+            // would regress the frontier and unsort the release index).
+            // Lock order is always thread stripe → page stripe → sync; no
+            // path takes any pair in the opposite order, the page stripes
+            // are leaf locks taken one at a time, and no path ever holds
+            // two thread stripes.
+            let mut guard = self.shards[self.shard_for(thread)].lock();
+            let shard = &mut *guard;
+            let seq = shard.sequences.entry(thread).or_default();
+            assert_eq!(
+                seq.len() as u64,
+                alpha,
+                "sub-computations of {thread} must be ingested in α order"
+            );
+            // The edge target of an acquire is the sub-computation that
+            // *starts* after the acquire returns — i.e. this one, whenever
+            // its predecessor ended in an acquire.
+            let acquired = seq
+                .last()
+                .and_then(|prev| prev.terminator)
+                .filter(|sp| matches!(sp.kind, SyncKind::Acquire | SyncKind::ReleaseAcquire))
+                .map(|sp| sp.object);
+            if let Some(prev) = seq.last() {
+                shard.control_edges.push(DependenceEdge {
+                    src: prev.id,
+                    dst: sub.id,
+                    kind: EdgeKind::Control,
+                    object: None,
+                    pages: Vec::new(),
+                });
+            }
+            // Publish the writes into the page-striped index *before* the
+            // frontier bump below: the moment `frontier[thread]` covers α,
+            // every write of α is queryable by a resolving reader. All of
+            // the sub's entries share one Arc'd clock, and a wide write set
+            // locks each touched stripe once instead of once per page.
+            if !sub.write_set.is_empty() {
+                let clock = Arc::new(sub.clock.clone());
+                for (index, pages) in self.group_by_stripe(&sub.write_set) {
+                    let mut stripe = self.pages[index].lock();
+                    for page in pages {
+                        stripe
+                            .writers
+                            .entry(page)
+                            .or_default()
+                            .entry(thread)
+                            .or_default()
+                            .push((alpha, Arc::clone(&clock)));
+                    }
+                }
+            }
+            let mut own_ready = false;
+            {
+                let mut st = self.sync.lock();
+                st.ingested += 1;
+                st.frontier.insert(thread, alpha + 1);
+                if let Some(object) = releases {
+                    st.releases
+                        .entry(object)
+                        .or_default()
+                        .entry(thread)
+                        .or_default()
+                        .push((alpha, sub.clock.clone()));
+                }
+                if let Some(object) = acquired {
+                    st.file_acquire(PendingAcquire {
+                        dst: sub.id,
+                        clock: sub.clock.clone(),
+                        object,
+                    });
+                }
+                if !sub.read_set.is_empty() {
+                    // The common causal-delivery case resolves this reader
+                    // in place below, borrowing the sub — its clock and
+                    // read set are only cloned when it actually has to park.
+                    match first_unmet(&st.frontier, thread, &sub.clock) {
+                        None => own_ready = true,
+                        Some((u, k)) => st.park_reader(
+                            u,
+                            k,
+                            PendingReader {
+                                dst: sub.id,
+                                clock: sub.clock.clone(),
+                                read_set: sub.read_set.iter().copied().collect(),
+                            },
+                        ),
+                    }
+                }
+                st.frontier_advanced(thread, alpha + 1, &mut ready_readers);
+            }
 
-        let mut st = self.sync.lock();
-        st.ingested += 1;
-        st.frontier.insert(thread, alpha + 1);
-        if let Some(object) = releases {
-            // Clone only when the acquire bookkeeping below still needs the
-            // clock; the common release-only case moves it.
-            let release_clock = if acquired.is_some() {
-                clock.clone().expect("clock captured for release")
-            } else {
-                clock.take().expect("clock captured for release")
-            };
-            st.releases
-                .entry(object)
-                .or_default()
-                .entry(thread)
-                .or_default()
-                .push((alpha, release_clock));
+            if own_ready {
+                // Still holding our own thread stripe (but no longer the
+                // sync stripe): resolve against the page stripes and append
+                // the edges right here — this reader's node lives in this
+                // stripe, and no clone of its clock or read set is needed.
+                let emitted = self.resolve_reader_into(
+                    sub.id,
+                    &sub.clock,
+                    &sub.read_set,
+                    &mut shard.data_edges,
+                );
+                self.data_at_ingest.fetch_add(emitted, Ordering::AcqRel);
+            }
+            shard.sequences.entry(thread).or_default().push(sub);
         }
-        if let Some(object) = acquired {
-            st.pending.push(PendingAcquire {
-                dst: SubId::new(thread, alpha),
-                clock: clock.expect("clock captured for acquire target"),
-                object,
-            });
-            st.peak_parked = st.peak_parked.max(st.pending.len() as u64);
+
+        // Parked readers whose frontier this ingest completed (skewed
+        // delivery only) resolve with no lock held: each popped reader is
+        // owned by exactly one producer, and its candidate set is pinned —
+        // writers ingested after the frontier became covered cannot
+        // happen-before it, so they can never join (or change) the prefix
+        // the page-stripe partition point selects.
+        for r in &ready_readers {
+            let mut edges = Vec::new();
+            let emitted = self.resolve_reader_into(r.dst, &r.clock, &r.read_set, &mut edges);
+            self.data_at_ingest.fetch_add(emitted, Ordering::AcqRel);
+            self.shards[self.shard_for(r.dst.thread)]
+                .lock()
+                .data_edges
+                .append(&mut edges);
         }
-        st.resolve_ready();
+    }
+
+    /// Emits the data-dependence edges into reader `dst`, mirroring
+    /// [`CpgBuilder::derive_data_edges_from_index`] exactly: per page, the
+    /// latest preceding writer of each thread is a candidate and superseded
+    /// candidates are dropped (the shared `prune_superseded_writers`
+    /// kernel); pages accumulate per surviving writer in read-set order.
+    fn resolve_reader_into<'a>(
+        &self,
+        dst: SubId,
+        clock: &VectorClock,
+        read_set: impl IntoIterator<Item = &'a PageId>,
+        edges: &mut Vec<DependenceEdge>,
+    ) -> u64 {
+        // Visit the read set stripe-major so a wide reader locks each
+        // touched stripe once instead of once per page (the per-edge page
+        // lists are re-sorted by `emit_reader_data_edges`, so visiting
+        // pages out of page order cannot change the emitted edges).
+        let mut per_writer_pages: BTreeMap<SubId, Vec<PageId>> = BTreeMap::new();
+        for (index, pages) in self.group_by_stripe(read_set) {
+            let stripe = self.pages[index].lock();
+            for page in pages {
+                let Some(by_thread) = stripe.writers.get(&page) else {
+                    continue;
+                };
+                let candidates: Vec<(SubId, &VectorClock)> = by_thread
+                    .iter()
+                    .filter_map(|(&t, entries)| {
+                        // happens-before is monotone along a thread's
+                        // writes, so the preceding writers form a prefix
+                        // (same argument as `CpgBuilder::latest_preceding`).
+                        let prefix = entries.partition_point(|(a, c)| {
+                            ordered_before(SubId::new(t, *a), c, dst, clock)
+                        });
+                        if prefix == 0 {
+                            None
+                        } else {
+                            let (a, c) = &entries[prefix - 1];
+                            Some((SubId::new(t, *a), c.as_ref()))
+                        }
+                    })
+                    .filter(|&(id, _)| id != dst)
+                    .collect();
+                for w in prune_superseded_writers(&candidates) {
+                    per_writer_pages.entry(w).or_default().push(page);
+                }
+            }
+        }
+        let emitted = per_writer_pages.len() as u64;
+        CpgBuilder::emit_reader_data_edges(dst, per_writer_pages, edges);
+        emitted
     }
 
     /// Runs `f` over the per-thread sequences ingested so far, with every
@@ -365,22 +705,104 @@ impl ShardedCpgBuilder {
         f(&map)
     }
 
-    /// Finishes the graph: resolves the synchronization edges still parked,
-    /// derives the cross-shard data-dependence edges from the write indexes,
-    /// and moves every node into the final [`Cpg`]. The builder is left
-    /// completely empty — node store, indexes *and* counters — ready for
-    /// another run; the finished build's counters remain available through
-    /// [`last_sealed_stats`](Self::last_sealed_stats).
+    /// Finishes the graph: resolves whatever synchronization and
+    /// data-dependence edges are still parked (nothing, on complete runs —
+    /// the final ingest already resolved them), and moves every node into
+    /// the final [`Cpg`]. Parked readers are independent of each other, so
+    /// they are fanned out per owning shard across a scoped thread pool.
+    /// The builder is left completely empty — node store, indexes *and*
+    /// counters — ready for another run; the finished build's counters
+    /// remain available through [`last_sealed_stats`](Self::last_sealed_stats).
+    ///
+    /// # Quiescence
     ///
     /// Callers must quiesce every producer before sealing — the runtime
-    /// joins its ingest thread first. Sealing while an `ingest` is still in
-    /// flight drains the stripes out from under it: the late
-    /// sub-computation lands in the *next* build (or trips the α-order
-    /// assertion), not in the returned graph.
+    /// joins its ingest pool first. Sealing while an `ingest` is still in
+    /// flight would drain the stripes out from under it, landing the late
+    /// sub-computation in the *next* build; in debug builds an explicit
+    /// producer refcount turns that silent loss into a panic.
     pub fn seal(&self) -> Cpg {
+        #[cfg(debug_assertions)]
+        {
+            let in_flight = self.active_producers.load(Ordering::Acquire);
+            assert!(
+                in_flight == 0,
+                "seal() called with {in_flight} ingest call(s) still in flight — \
+                 quiesce every producer before sealing"
+            );
+        }
+
+        // Deferred synchronization edges, then the parked readers (taken out
+        // so resolution can run without the sync stripe).
+        let pending_readers = {
+            let mut st = self.sync.lock();
+            let pending = st.parked_acquires.drain_all();
+            for p in &pending {
+                let emitted = st.resolve(p);
+                st.resolved_at_seal += emitted;
+            }
+            st.parked_readers.drain_all()
+        };
+
+        // Parked readers are pairwise independent: fan them out per owning
+        // shard across a scoped pool. On complete runs this is empty and the
+        // seal is O(node moves).
+        let mut seal_data_edges: Vec<DependenceEdge> = Vec::new();
+        let mut seal_data_emitted = 0u64;
+        if !pending_readers.is_empty() {
+            let mut groups: Vec<Vec<PendingReader>> =
+                (0..self.shards.len()).map(|_| Vec::new()).collect();
+            for r in pending_readers {
+                let shard = self.shard_for(r.dst.thread);
+                groups[shard].push(r);
+            }
+            groups.retain(|g| !g.is_empty());
+            if groups.len() == 1 {
+                for r in &groups[0] {
+                    seal_data_emitted += self.resolve_reader_into(
+                        r.dst,
+                        &r.clock,
+                        &r.read_set,
+                        &mut seal_data_edges,
+                    );
+                }
+            } else {
+                let results: Vec<(Vec<DependenceEdge>, u64)> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = groups
+                        .iter()
+                        .map(|group| {
+                            scope.spawn(move || {
+                                let mut edges = Vec::new();
+                                let mut emitted = 0;
+                                for r in group {
+                                    emitted += self.resolve_reader_into(
+                                        r.dst,
+                                        &r.clock,
+                                        &r.read_set,
+                                        &mut edges,
+                                    );
+                                }
+                                (edges, emitted)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("seal reader group panicked"))
+                        .collect()
+                });
+                for (mut edges, emitted) in results {
+                    seal_data_edges.append(&mut edges);
+                    seal_data_emitted += emitted;
+                }
+            }
+        }
+
+        self.data_at_seal
+            .fetch_add(seal_data_emitted, Ordering::AcqRel);
+
         let mut nodes: BTreeMap<SubId, SubComputation> = BTreeMap::new();
         let mut edges: Vec<DependenceEdge> = Vec::new();
-        let mut writers: HashMap<PageId, BTreeMap<ThreadId, Vec<u64>>> = HashMap::new();
         for stripe in &self.shards {
             let mut shard = stripe.lock();
             for (_, seq) in std::mem::take(&mut shard.sequences) {
@@ -389,65 +811,26 @@ impl ShardedCpgBuilder {
                 }
             }
             edges.append(&mut shard.control_edges);
-            // Thread keys are disjoint across stripes, so merging is a move.
-            for (page, by_thread) in std::mem::take(&mut shard.writers) {
-                writers.entry(page).or_default().extend(by_thread);
-            }
+            edges.append(&mut shard.data_edges);
         }
+        for stripe in &self.pages {
+            stripe.lock().writers.clear();
+        }
+        edges.append(&mut seal_data_edges);
 
         {
             let mut st = self.sync.lock();
-            let pending = std::mem::take(&mut st.pending);
-            for p in &pending {
-                let emitted = st.resolve(p);
-                st.resolved_at_seal += emitted;
-            }
             edges.append(&mut st.edges);
-            *self.last_sealed.lock() = Some(IngestStats {
-                ingested: st.ingested,
-                sync_resolved_at_ingest: st.resolved_at_ingest,
-                sync_resolved_at_seal: st.resolved_at_seal,
-                peak_parked_acquires: st.peak_parked,
-            });
+            *self.last_sealed.lock() = Some(st.snapshot(
+                self.data_at_ingest.load(Ordering::Acquire),
+                self.data_at_seal.load(Ordering::Acquire),
+            ));
             *st = SyncState::default();
+            self.data_at_ingest.store(0, Ordering::Release);
+            self.data_at_seal.store(0, Ordering::Release);
         }
 
-        Self::derive_data_edges(&nodes, &writers, &mut edges);
         Cpg::from_parts(nodes, edges)
-    }
-
-    /// Data-dependence resolution over the merged write index. Resolves the
-    /// α lists into node references and then runs the *same* per-reader
-    /// update-use loop as the batch builder
-    /// (`CpgBuilder::derive_data_edges_from_index`), so the two paths cannot
-    /// diverge in last-writer semantics — only the index construction
-    /// differs (maintained during ingestion here vs. a full scan there).
-    fn derive_data_edges(
-        nodes: &BTreeMap<SubId, SubComputation>,
-        writers: &HashMap<PageId, BTreeMap<ThreadId, Vec<u64>>>,
-        edges: &mut Vec<DependenceEdge>,
-    ) {
-        let resolved: HashMap<PageId, BTreeMap<ThreadId, Vec<&SubComputation>>> = writers
-            .iter()
-            .map(|(&page, by_thread)| {
-                let by_thread = by_thread
-                    .iter()
-                    .map(|(&t, alphas)| {
-                        let subs = alphas
-                            .iter()
-                            .map(|&a| {
-                                nodes
-                                    .get(&SubId::new(t, a))
-                                    .expect("write index references an ingested node")
-                            })
-                            .collect::<Vec<_>>();
-                        (t, subs)
-                    })
-                    .collect();
-                (page, by_thread)
-            })
-            .collect();
-        CpgBuilder::derive_data_edges_from_index(nodes, &resolved, edges);
     }
 }
 
@@ -520,9 +903,9 @@ mod tests {
     #[test]
     fn adversarial_delivery_parks_acquires_until_frontier_completes() {
         // Deliver thread 1 (the acquirer side) completely before thread 0
-        // (the releaser): the cross-thread acquires must park until thread
-        // 0's sub-computations catch up, and the result must still match the
-        // batch graph exactly.
+        // (the releaser): the cross-thread acquires and readers must park
+        // until thread 0's sub-computations catch up, and the result must
+        // still match the batch graph exactly.
         let sequences = lock_heavy_sequences(2);
         let mut batch = CpgBuilder::new();
         for seq in &sequences {
@@ -548,17 +931,23 @@ mod tests {
             stats.peak_parked_acquires > 1,
             "expected parked acquires, got {stats:?}"
         );
+        assert!(
+            stats.peak_parked_readers > 1,
+            "expected parked readers, got {stats:?}"
+        );
         // Every producer delivered everything before seal, so the seal-time
-        // safety net had nothing left to do.
+        // safety nets had nothing left to do.
         assert_eq!(stats.sync_resolved_at_seal, 0);
+        assert_eq!(stats.data_resolved_at_seal, 0);
+        assert!(stats.data_resolved_at_ingest > 0);
         // The live counters were reset for the next build.
         assert_eq!(streaming.stats(), IngestStats::default());
     }
 
     #[test]
-    fn in_order_delivery_resolves_sync_edges_eagerly() {
-        // Interleave delivery in causal order: (almost) every acquire's
-        // frontier is complete when its successor arrives.
+    fn in_order_delivery_resolves_sync_and_data_edges_eagerly() {
+        // Interleave delivery in causal order: (almost) every acquire's and
+        // reader's frontier is complete when it arrives.
         let sequences = lock_heavy_sequences(2);
         let mut batch = CpgBuilder::new();
         for seq in &sequences {
@@ -585,9 +974,45 @@ mod tests {
         let stats = streaming.stats();
         assert!(
             stats.sync_resolved_at_ingest > 0,
-            "expected eager resolution, got {stats:?}"
+            "expected eager sync resolution, got {stats:?}"
+        );
+        assert!(
+            stats.data_resolved_at_ingest > 0,
+            "expected eager data resolution, got {stats:?}"
         );
         assert_eq!(edge_set(&streaming.seal()), edge_set(&reference));
+        // Complete delivery: everything was resolved before the seal.
+        let sealed = streaming.last_sealed_stats().expect("sealed");
+        assert_eq!(sealed.data_resolved_at_seal, 0);
+    }
+
+    #[test]
+    fn concurrent_producers_match_batch() {
+        // Four producers ingesting four threads' sequences concurrently
+        // (FIFO per thread by construction: one producer per thread).
+        let sequences = lock_heavy_sequences(4);
+        let mut batch = CpgBuilder::new();
+        for seq in &sequences {
+            batch.add_thread(seq.clone());
+        }
+        let reference = batch.build();
+
+        let streaming = ShardedCpgBuilder::with_shards(4);
+        std::thread::scope(|scope| {
+            for seq in sequences {
+                let streaming = &streaming;
+                scope.spawn(move || {
+                    for sub in seq {
+                        streaming.ingest(sub);
+                    }
+                });
+            }
+        });
+        let sealed = streaming.seal();
+        assert_eq!(edge_set(&sealed), edge_set(&reference));
+        let stats = streaming.last_sealed_stats().expect("sealed");
+        assert_eq!(stats.sync_resolved_at_seal, 0);
+        assert_eq!(stats.data_resolved_at_seal, 0);
     }
 
     #[test]

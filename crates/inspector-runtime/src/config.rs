@@ -41,10 +41,24 @@ pub struct SessionConfig {
     pub charge_spawn_cost: bool,
     /// Number of lock-striped shards in the streaming CPG builder.
     pub cpg_shards: usize,
-    /// Bounded capacity (in messages) of the channel feeding retired
-    /// sub-computations to the CPG ingest thread. Backpressure throttles the
-    /// application instead of buffering unbounded provenance.
+    /// Bounded capacity (in messages) of each lane of the channel feeding
+    /// retired sub-computations to the CPG ingest pool. Backpressure
+    /// throttles the application instead of buffering unbounded provenance.
     pub ingest_queue_depth: usize,
+    /// Number of ingest-pool workers draining the provenance channel. Each
+    /// worker owns one SPSC lane; application threads are routed to lanes by
+    /// `ThreadId % ingest_threads`, preserving the per-thread FIFO delivery
+    /// the streaming builder relies on. Defaults to
+    /// `min(4, available_parallelism)`.
+    pub ingest_threads: usize,
+}
+
+/// Default ingest-pool width: `min(4, available_parallelism)`, at least one.
+fn default_ingest_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 4)
 }
 
 impl SessionConfig {
@@ -62,6 +76,7 @@ impl SessionConfig {
             charge_spawn_cost: true,
             cpg_shards: 8,
             ingest_queue_depth: 1024,
+            ingest_threads: default_ingest_threads(),
         }
     }
 
@@ -83,6 +98,24 @@ impl SessionConfig {
     pub fn with_live_snapshots(mut self, slots: usize) -> Self {
         self.live_snapshots = true;
         self.snapshot_slots = slots;
+        self
+    }
+
+    /// Returns a copy with the given ingest-pool width (clamped to ≥ 1).
+    pub fn with_ingest_threads(mut self, workers: usize) -> Self {
+        self.ingest_threads = workers.max(1);
+        self
+    }
+
+    /// Returns a copy with the given streaming-builder shard count.
+    pub fn with_cpg_shards(mut self, shards: usize) -> Self {
+        self.cpg_shards = shards.max(1);
+        self
+    }
+
+    /// Returns a copy with the given per-lane ingest-queue depth.
+    pub fn with_ingest_queue_depth(mut self, depth: usize) -> Self {
+        self.ingest_queue_depth = depth.max(1);
         self
     }
 }
@@ -111,10 +144,33 @@ mod tests {
     fn builders_apply() {
         let c = SessionConfig::native()
             .with_mode(ExecutionMode::Inspector)
-            .with_live_snapshots(3);
+            .with_live_snapshots(3)
+            .with_ingest_threads(2)
+            .with_cpg_shards(16)
+            .with_ingest_queue_depth(64);
         assert_eq!(c.mode, ExecutionMode::Inspector);
         assert!(c.live_snapshots);
         assert_eq!(c.snapshot_slots, 3);
+        assert_eq!(c.ingest_threads, 2);
+        assert_eq!(c.cpg_shards, 16);
+        assert_eq!(c.ingest_queue_depth, 64);
+    }
+
+    #[test]
+    fn knob_builders_clamp_to_at_least_one() {
+        let c = SessionConfig::inspector()
+            .with_ingest_threads(0)
+            .with_cpg_shards(0)
+            .with_ingest_queue_depth(0);
+        assert_eq!(c.ingest_threads, 1);
+        assert_eq!(c.cpg_shards, 1);
+        assert_eq!(c.ingest_queue_depth, 1);
+    }
+
+    #[test]
+    fn default_pool_width_is_bounded() {
+        let c = SessionConfig::inspector();
+        assert!((1..=4).contains(&c.ingest_threads));
     }
 
     #[test]

@@ -58,8 +58,9 @@ pub struct ThreadCtx {
     mem: ThreadMemory,
     recorder: ThreadRecorder,
     trace: Option<ThreadTrace>,
-    /// Sender of the session's provenance ingest channel; retired
-    /// sub-computations and the exit statistics flow through it.
+    /// This thread's lane of the session's provenance ingest pool
+    /// (`ThreadId % pool`); retired sub-computations and the exit
+    /// statistics flow through it.
     ingest: Option<SyncSender<IngestMsg>>,
     /// Synthetic program counter used to label conditional branches.
     pc: u64,
@@ -129,7 +130,10 @@ impl ThreadCtx {
             )),
             ExecutionMode::Native => None,
         };
-        let ingest = shared.ingest_sender();
+        // One lane of the ingest pool, fixed by thread id: every
+        // sub-computation of this thread travels the same SPSC lane, so
+        // per-thread FIFO delivery survives the fan-out.
+        let ingest = shared.ingest_sender_for(thread);
         ThreadCtx {
             shared,
             thread,

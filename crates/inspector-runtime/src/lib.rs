@@ -20,28 +20,35 @@
 //! * **streams** the Concurrent Provenance Graph ([`inspector_core`]) while
 //!   the application runs.
 //!
-//! # Streaming CPG pipeline
+//! # Parallel streaming CPG pipeline
 //!
 //! Provenance never waits for the run to end. Each synchronization boundary
 //! a thread crosses does three things: commit the write diff, drain the
 //! sub-computations that just retired out of the thread's recorder
-//! (by value — no clone), and push them through a bounded channel to a
-//! dedicated ingest thread. That thread feeds the session-wide
-//! [`inspector_core::sharded::ShardedCpgBuilder`], whose lock-striped shards
-//! apply control and synchronization edges on ingestion and keep a
-//! page-granularity write index per shard. The PT packet stream takes the
-//! same path: pending AUX bytes are drained to the perf session at every
-//! boundary instead of one lump at teardown.
+//! (by value — no clone), and push them down the thread's bounded channel
+//! lane to the session's **ingest-thread pool**
+//! ([`SessionConfig::ingest_threads`] workers; a thread always sends on
+//! lane `ThreadId % pool`, so per-thread delivery stays FIFO while
+//! different threads' provenance is ingested concurrently). The workers
+//! feed the session-wide [`inspector_core::sharded::ShardedCpgBuilder`],
+//! whose lock-striped shards apply control, synchronization *and*
+//! data-dependence edges during ingestion — the latter two gated on the
+//! destination's clock frontier, which pins their candidate sets. The PT
+//! packet stream takes the same path: pending AUX bytes are drained to the
+//! perf session at every boundary instead of one lump at teardown.
 //!
-//! When [`InspectorSession::run`] returns, the only graph work left is the
-//! cross-shard `seal()` — resolving data-dependence edges from the write
-//! indexes — so end-of-run latency no longer scales with the whole trace,
-//! and peak provenance memory tracks the in-flight sub-computations. The
-//! cost of the (mostly overlapped) graph construction is attributed in
-//! [`RunStats::graph_ingest_time`] and the [`PhaseBreakdown`] used by the
-//! Figure 6 harness. The streamed graph is node- and edge-identical to what
-//! the batch [`inspector_core::graph::CpgBuilder`] would produce; the
-//! equivalence suite in `tests/streaming_equivalence.rs` enforces that.
+//! When [`InspectorSession::run`] returns, the pool is joined and `seal()`
+//! only moves nodes and resolves whatever stayed parked — nothing, on
+//! complete runs — so end-of-run latency no longer scales with the trace's
+//! dependence count, and peak provenance memory tracks the in-flight
+//! sub-computations. Construction cost is attributed both as critical path
+//! ([`RunStats::graph_ingest_time`]: busiest worker + seal) and as CPU
+//! ([`RunStats::graph_ingest_cpu_time`]: all workers + seal); their ratio
+//! is the pool's overlap factor in the Figure 6 harness
+//! ([`PhaseBreakdown`]). The streamed graph is node- and edge-identical to
+//! what the batch [`inspector_core::graph::CpgBuilder`] would produce; the
+//! equivalence suite in `tests/streaming_equivalence.rs` and the
+//! `tests/incremental_data_edges.rs` property suite enforce that.
 //!
 //! ```
 //! use inspector_runtime::{ExecutionMode, InspectorSession, SessionConfig};

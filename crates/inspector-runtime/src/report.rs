@@ -30,11 +30,22 @@ pub struct RunStats {
     /// (threads-as-processes cost).
     #[serde(with = "duration_nanos")]
     pub spawn_time: Duration,
-    /// Time the streaming pipeline spent constructing the CPG: shard
-    /// ingestion on the dedicated ingest thread (overlapped with the
-    /// application) plus the end-of-run cross-shard seal.
+    /// Critical-path time of streaming CPG construction: the busiest ingest
+    /// worker's shard-ingestion time (overlapped with the application) plus
+    /// the end-of-run seal. With a single ingest worker this equals the old
+    /// single-thread wall time; with a pool it is the share of construction
+    /// the fan-out could not hide.
     #[serde(with = "duration_nanos")]
     pub graph_ingest_time: Duration,
+    /// Total CPU time of streaming CPG construction: every ingest worker's
+    /// busy time summed, plus the seal. `graph_ingest_cpu_time /
+    /// graph_ingest_time` is the pool's overlap factor (≈ 1.0 means one
+    /// worker did everything; higher means the pool genuinely parallelised
+    /// construction).
+    #[serde(with = "duration_nanos")]
+    pub graph_ingest_cpu_time: Duration,
+    /// Number of ingest-pool workers that drained the provenance channel.
+    pub ingest_workers: usize,
 }
 
 impl RunStats {
@@ -52,10 +63,23 @@ impl RunStats {
     }
 
     /// Time attributable to streaming CPG construction (the `graph_ingest`
-    /// phase). Mostly overlapped with application execution; attributing it
-    /// separately lets the Figure 6 breakdown show what the overlap hides.
+    /// phase): the critical-path share, i.e. the busiest pool worker plus
+    /// the seal. Mostly overlapped with application execution; attributing
+    /// it separately lets the Figure 6 breakdown show what the overlap
+    /// hides.
     pub fn graph_time(&self) -> Duration {
         self.graph_ingest_time
+    }
+
+    /// Overlap factor of the ingest pool: summed worker busy time over the
+    /// busiest worker's time (≥ 1.0 once any construction happened; 1.0
+    /// when a single worker did everything).
+    pub fn ingest_overlap_factor(&self) -> f64 {
+        let max = self.graph_ingest_time.as_secs_f64();
+        if max <= f64::EPSILON {
+            return 1.0;
+        }
+        (self.graph_ingest_cpu_time.as_secs_f64() / max).max(1.0)
     }
 
     /// Page faults per wall-clock second (the Figure 7 "Faults/sec" column).
@@ -193,6 +217,18 @@ mod tests {
         let b = PhaseBreakdown::split(0.9, &stats); // inspector faster than native
         assert_eq!(b.threading_overhead, 0.0);
         assert_eq!(b.pt_overhead, 0.0);
+    }
+
+    #[test]
+    fn overlap_factor_compares_sum_to_max() {
+        let mut stats = RunStats::default();
+        // No construction at all: factor degrades to 1.0, not NaN.
+        assert_eq!(stats.ingest_overlap_factor(), 1.0);
+        // Four workers, busiest 10 ms, 32 ms total: 3.2x overlap.
+        stats.graph_ingest_time = Duration::from_millis(10);
+        stats.graph_ingest_cpu_time = Duration::from_millis(32);
+        stats.ingest_workers = 4;
+        assert!((stats.ingest_overlap_factor() - 3.2).abs() < 1e-9);
     }
 
     #[test]

@@ -6,19 +6,24 @@
 //!
 //! Every [`ThreadCtx`] drains its recorder at each synchronization boundary
 //! and sends the retired sub-computations **by value** through a bounded
-//! channel. A dedicated ingest thread (spawned per [`InspectorSession::run`])
-//! feeds them into the session's [`ShardedCpgBuilder`], so graph
-//! construction overlaps application execution; when the run's last sender
-//! drops, the ingest thread drains the queue and exits, and the session
-//! [`seal`s](ShardedCpgBuilder::seal) the graph — a cheap pass that only
-//! resolves cross-shard data-dependence edges. The time the ingest thread
-//! spent applying sub-computations plus the seal is reported as the
-//! `graph_ingest` phase in [`RunStats`].
+//! channel lane. The channel is fanned out across an **ingest-thread pool**
+//! ([`SessionConfig::ingest_threads`] workers, spawned per
+//! [`InspectorSession::run`]): each worker owns one SPSC lane, and an
+//! application thread always sends on lane `ThreadId % pool`, so one
+//! thread's sub-computations can never reorder — the per-thread FIFO
+//! invariant the lock-striped [`ShardedCpgBuilder`] relies on — while
+//! different threads' provenance is ingested genuinely in parallel.
 //!
-//! Today a *single* ingest thread drains the channel, so construction is
-//! off the application's critical path but serialized on one core; the
-//! builder itself already supports concurrent producers, and fanning the
-//! channel out to a pool of ingest threads is a ROADMAP item.
+//! The builder emits control, synchronization *and* data-dependence edges
+//! during ingestion (clock-frontier-gated, see
+//! [`inspector_core::sharded`]), so when the run's last sender drops and
+//! the workers drain their lanes and exit, the session's
+//! [`seal`](ShardedCpgBuilder::seal) only moves nodes and resolves
+//! whatever stayed parked — nothing, on complete runs. Each worker's busy
+//! time is aggregated into [`RunStats`] both as a sum
+//! (`graph_ingest_cpu_time`: total construction CPU) and as a max
+//! (`graph_ingest_time`: the critical-path share the overlap could not
+//! hide), so Figure 6 can report the overlap factor.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -69,9 +74,10 @@ pub(crate) enum IngestMsg {
     Sub(SubComputation),
     /// A thread finished; carries its statistics.
     Done(ThreadDone),
-    /// Flush barrier: acknowledged once every message queued before it has
-    /// been applied. Used by [`LiveMonitor::take_snapshot`] so a snapshot
-    /// observes at least everything the snapshotting thread already flushed.
+    /// Flush barrier: acknowledged once every message queued before it on
+    /// the same lane has been applied. [`Shared::flush_barrier`] pushes one
+    /// through *every* lane so a snapshot observes at least everything the
+    /// snapshotting thread already flushed.
     Barrier(std::sync::mpsc::Sender<()>),
 }
 
@@ -87,10 +93,10 @@ pub(crate) struct Shared {
     next_thread: AtomicU32,
     next_pid: AtomicU64,
     spawned_threads: AtomicU64,
-    /// Sender side of the ingest channel of the *current* run. Present only
-    /// while [`InspectorSession::run`] is executing; thread contexts clone
-    /// it at construction.
-    ingest_tx: Mutex<Option<SyncSender<IngestMsg>>>,
+    /// Sender sides of the ingest-pool lanes of the *current* run (one per
+    /// pool worker). Present only while [`InspectorSession::run`] is
+    /// executing; thread contexts clone their lane at construction.
+    ingest_tx: Mutex<Option<Vec<SyncSender<IngestMsg>>>>,
 }
 
 impl Shared {
@@ -106,8 +112,40 @@ impl Shared {
         self.spawned_threads.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn ingest_sender(&self) -> Option<SyncSender<IngestMsg>> {
-        self.ingest_tx.lock().clone()
+    /// The lane `thread` must send its provenance on: lanes are assigned by
+    /// `ThreadId % pool`, so one thread's sub-computations always travel the
+    /// same SPSC lane and can never reorder.
+    pub(crate) fn ingest_sender_for(&self, thread: ThreadId) -> Option<SyncSender<IngestMsg>> {
+        self.ingest_tx
+            .lock()
+            .as_ref()
+            .map(|lanes| lanes[thread.index() % lanes.len()].clone())
+    }
+
+    /// True while a run (and therefore an ingest pool) is active.
+    pub(crate) fn ingest_active(&self) -> bool {
+        self.ingest_tx.lock().is_some()
+    }
+
+    /// Pushes a flush barrier through every lane and waits for all acks, so
+    /// the caller afterwards observes at least every sub-computation that
+    /// was flushed before the call — regardless of which lane carried it.
+    /// No-op when no run is active.
+    pub(crate) fn flush_barrier(&self) {
+        let lanes = match &*self.ingest_tx.lock() {
+            Some(lanes) => lanes.clone(),
+            None => return,
+        };
+        let acks: Vec<_> = lanes
+            .iter()
+            .filter_map(|lane| {
+                let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+                lane.send(IngestMsg::Barrier(ack_tx)).ok().map(|()| ack_rx)
+            })
+            .collect();
+        for ack in acks {
+            let _ = ack.recv();
+        }
     }
 }
 
@@ -121,10 +159,10 @@ impl Drop for SenderGuard<'_> {
     }
 }
 
-/// The ingest loop: applies every streamed sub-computation to the sharded
-/// builder and collects per-thread statistics. Returns the collected stats
-/// and the time spent actually ingesting (blocking on the empty channel is
-/// overlap, not cost).
+/// One pool worker's ingest loop: applies every sub-computation streamed on
+/// its lane to the sharded builder and collects per-thread statistics.
+/// Returns the collected stats and the time this worker spent actually
+/// ingesting (blocking on the empty lane is overlap, not cost).
 fn ingest_loop(
     rx: Receiver<IngestMsg>,
     builder: Arc<ShardedCpgBuilder>,
@@ -180,12 +218,7 @@ impl LiveMonitor {
         if !self.shared.config.live_snapshots {
             return self.ring.lock().take_snapshot(&BTreeMap::new()).sequence;
         }
-        if let Some(tx) = self.shared.ingest_sender() {
-            let (ack_tx, ack_rx) = std::sync::mpsc::channel();
-            if tx.send(IngestMsg::Barrier(ack_tx)).is_ok() {
-                let _ = ack_rx.recv();
-            }
-        }
+        self.shared.flush_barrier();
         let ring = Arc::clone(&self.ring);
         self.shared.builder.with_sequences(|sequences| {
             let mut ring = ring.lock();
@@ -308,7 +341,7 @@ impl InspectorSession {
     /// the last completed run's counters once a run has finished, or the
     /// in-progress build's counters while [`run`](Self::run) is executing.
     pub fn ingest_stats(&self) -> IngestStats {
-        if self.shared.ingest_sender().is_some() {
+        if self.shared.ingest_active() {
             // A run is in progress: report the live build, not the counters
             // frozen at the previous seal.
             return self.shared.builder.stats();
@@ -330,10 +363,11 @@ impl InspectorSession {
 
     /// Runs the application's main thread and returns the full report.
     ///
-    /// Graph construction is streamed: a bounded channel carries every
-    /// retired sub-computation to an ingest thread that applies it to the
-    /// sharded builder while the application is still executing, so the
-    /// end-of-run work collapses to the cross-shard seal.
+    /// Graph construction is streamed: bounded channel lanes carry every
+    /// retired sub-computation to an ingest-thread pool that applies it to
+    /// the sharded builder while the application is still executing —
+    /// control, synchronization and data edges included — so the
+    /// end-of-run work collapses to moving the nodes into the final graph.
     ///
     /// Any worker threads spawned through [`ThreadCtx::spawn`] **must** be
     /// joined by the closure (as a pthreads program would); panics in
@@ -347,39 +381,59 @@ impl InspectorSession {
     {
         let start = Instant::now();
         let depth = self.shared.config.ingest_queue_depth.max(1);
-        let (tx, rx) = std::sync::mpsc::sync_channel::<IngestMsg>(depth);
-        *self.shared.ingest_tx.lock() = Some(tx);
-        let builder = Arc::clone(&self.shared.builder);
-        let ingest = std::thread::Builder::new()
-            .name("inspector-cpg-ingest".into())
-            .spawn(move || ingest_loop(rx, builder))
-            .expect("failed to spawn CPG ingest thread");
+        let lanes = self.shared.config.ingest_threads.max(1);
+        let mut senders = Vec::with_capacity(lanes);
+        let mut workers = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<IngestMsg>(depth);
+            senders.push(tx);
+            let builder = Arc::clone(&self.shared.builder);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("inspector-cpg-ingest-{lane}"))
+                    .spawn(move || ingest_loop(rx, builder))
+                    .expect("failed to spawn CPG ingest worker"),
+            );
+        }
+        *self.shared.ingest_tx.lock() = Some(senders);
 
         {
-            // Clear the sender even on panic so the ingest thread never
-            // blocks on a channel that can no longer receive messages.
+            // Clear the senders even on panic so the ingest workers never
+            // block on channels that can no longer receive messages.
             let _guard = SenderGuard(&self.shared);
             let mut root = ThreadCtx::new_root(Arc::clone(&self.shared));
             f(&mut root);
             root.finish(None);
         }
 
-        let (done, ingest_busy) = ingest.join().expect("CPG ingest thread panicked");
+        let mut done = Vec::new();
+        let mut busy_total = Duration::ZERO;
+        let mut busy_max = Duration::ZERO;
+        for worker in workers {
+            let (worker_done, busy) = worker.join().expect("CPG ingest worker panicked");
+            done.extend(worker_done);
+            busy_total += busy;
+            busy_max = busy_max.max(busy);
+        }
         let wall_time = start.elapsed();
-        self.assemble_report(wall_time, done, ingest_busy)
+        self.assemble_report(wall_time, done, busy_total, busy_max, lanes)
     }
 
     fn assemble_report(
         &self,
         wall_time: Duration,
         mut done: Vec<ThreadDone>,
-        ingest_busy: Duration,
+        ingest_busy_total: Duration,
+        ingest_busy_max: Duration,
+        ingest_workers: usize,
     ) -> RunReport {
         done.sort_by_key(|o| o.thread);
         let mut stats = RunStats {
             wall_time,
             threads: done.len(),
-            graph_ingest_time: ingest_busy,
+            graph_ingest_time: ingest_busy_max,
+            graph_ingest_cpu_time: ingest_busy_total,
+            ingest_workers,
             ..RunStats::default()
         };
         for o in &done {
@@ -395,7 +449,11 @@ impl InspectorSession {
         let cpg = if self.shared.config.mode == ExecutionMode::Inspector {
             let seal_start = Instant::now();
             let cpg = self.shared.builder.seal();
-            stats.graph_ingest_time += seal_start.elapsed();
+            let seal = seal_start.elapsed();
+            // The seal runs on the caller's critical path, so it counts
+            // toward both the critical-path and the CPU attribution.
+            stats.graph_ingest_time += seal;
+            stats.graph_ingest_cpu_time += seal;
             cpg
         } else {
             Cpg::default()
@@ -506,10 +564,8 @@ mod tests {
             // While the application is still inside `run`, earlier
             // sub-computations must already have been ingested (streamed),
             // not parked in the recorder until the end.
-            let (ack_tx, ack_rx) = std::sync::mpsc::channel();
-            let tx = shared.ingest_sender().expect("run in progress");
-            tx.send(IngestMsg::Barrier(ack_tx)).expect("ingest alive");
-            ack_rx.recv().expect("barrier acknowledged");
+            assert!(shared.ingest_active(), "run in progress");
+            shared.flush_barrier();
             assert!(
                 shared.builder.ingested_nodes() >= 100,
                 "mid-run the builder should already hold streamed nodes"

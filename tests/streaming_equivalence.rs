@@ -217,36 +217,46 @@ fn rebatch(cpg: &Cpg) -> Cpg {
 
 #[test]
 fn real_session_graphs_match_batch_rebuild() {
+    // Sweep worker count × ingest-pool width: the graph must be identical
+    // regardless of how many ingest workers drained the provenance lanes.
     for workers in [1usize, 4, 8] {
-        let session = InspectorSession::new(SessionConfig::inspector());
-        let counter = session.map_region("counter", 8).base();
-        let staging = session.map_region("staging", 4096 * 8).base();
-        let lock = Arc::new(InspMutex::new());
-        let report = session.run(move |ctx| {
-            let mut handles = Vec::new();
-            for w in 0..workers {
-                let lock = Arc::clone(&lock);
-                handles.push(ctx.spawn(move |ctx| {
-                    for i in 0..6u64 {
-                        ctx.write_u64(staging.add(w as u64 * 4096), i);
-                        lock.lock(ctx);
-                        let v = ctx.read_u64(counter);
-                        ctx.write_u64(counter, v + 1);
-                        lock.unlock(ctx);
-                    }
-                }));
-            }
-            for h in handles {
-                ctx.join(h);
-            }
-        });
-        let reference = rebatch(&report.cpg);
-        assert_identical(
-            &report.cpg,
-            &reference,
-            &format!("session/workers={workers}"),
-        );
-        assert_eq!(session.image().read_u64_direct(counter), 6 * workers as u64);
+        for pool in [1usize, 4] {
+            let session =
+                InspectorSession::new(SessionConfig::inspector().with_ingest_threads(pool));
+            let counter = session.map_region("counter", 8).base();
+            let staging = session.map_region("staging", 4096 * 8).base();
+            let lock = Arc::new(InspMutex::new());
+            let report = session.run(move |ctx| {
+                let mut handles = Vec::new();
+                for w in 0..workers {
+                    let lock = Arc::clone(&lock);
+                    handles.push(ctx.spawn(move |ctx| {
+                        for i in 0..6u64 {
+                            ctx.write_u64(staging.add(w as u64 * 4096), i);
+                            lock.lock(ctx);
+                            let v = ctx.read_u64(counter);
+                            ctx.write_u64(counter, v + 1);
+                            lock.unlock(ctx);
+                        }
+                    }));
+                }
+                for h in handles {
+                    ctx.join(h);
+                }
+            });
+            let reference = rebatch(&report.cpg);
+            assert_identical(
+                &report.cpg,
+                &reference,
+                &format!("session/workers={workers}/pool={pool}"),
+            );
+            assert_eq!(session.image().read_u64_direct(counter), 6 * workers as u64);
+            assert_eq!(report.stats.ingest_workers, pool);
+            // Complete runs never leave work for the seal-time safety nets.
+            let stats = session.ingest_stats();
+            assert_eq!(stats.sync_resolved_at_seal, 0, "pool={pool}: {stats:?}");
+            assert_eq!(stats.data_resolved_at_seal, 0, "pool={pool}: {stats:?}");
+        }
     }
 }
 
@@ -268,9 +278,57 @@ fn no_acquire_is_left_unresolved_after_a_session_run() {
         ctx.join(worker);
     });
     let stats = session.ingest_stats();
-    // Complete delivery means the seal-time safety net stays idle: every
-    // synchronization edge resolved while the application was running.
+    // Complete delivery means the seal-time safety nets stay idle: every
+    // synchronization *and* data edge resolved while the application was
+    // running.
     assert_eq!(stats.sync_resolved_at_seal, 0, "{stats:?}");
     assert!(stats.sync_resolved_at_ingest > 0, "{stats:?}");
+    assert_eq!(stats.data_resolved_at_seal, 0, "{stats:?}");
+    assert!(stats.data_resolved_at_ingest > 0, "{stats:?}");
     assert!(report.cpg.stats().sync_edges > 0);
+    assert!(report.cpg.stats().data_edges > 0);
+}
+
+#[test]
+fn concurrent_pool_ingestion_matches_batch() {
+    // Drive the builder directly from a 4-wide producer pool with the
+    // runtime's lane routing (worker w owns threads with index % 4 == w):
+    // the concurrent build must be identical to the batch oracle and leave
+    // nothing for the seal-time safety nets.
+    let sequences = inspector::core::testing::lock_heavy_sequences(8, 30, 12, 12);
+    let reference = batch_build(&sequences);
+
+    for shards in [1usize, 4, 8] {
+        let builder = ShardedCpgBuilder::with_shards(shards);
+        std::thread::scope(|scope| {
+            for worker in 0..4usize {
+                let builder = &builder;
+                let lanes: Vec<Vec<SubComputation>> = sequences
+                    .iter()
+                    .enumerate()
+                    .filter(|(t, _)| t % 4 == worker)
+                    .map(|(_, seq)| seq.clone())
+                    .collect();
+                scope.spawn(move || {
+                    let mut cursors: Vec<std::vec::IntoIter<SubComputation>> =
+                        lanes.into_iter().map(|s| s.into_iter()).collect();
+                    let mut progressed = true;
+                    while progressed {
+                        progressed = false;
+                        for cursor in &mut cursors {
+                            if let Some(sub) = cursor.next() {
+                                builder.ingest(sub);
+                                progressed = true;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let sealed = builder.seal();
+        assert_identical(&sealed, &reference, &format!("pool4/shards={shards}"));
+        let stats = builder.last_sealed_stats().expect("sealed");
+        assert_eq!(stats.sync_resolved_at_seal, 0, "shards={shards}: {stats:?}");
+        assert_eq!(stats.data_resolved_at_seal, 0, "shards={shards}: {stats:?}");
+    }
 }
