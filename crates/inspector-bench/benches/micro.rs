@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use inspector_bench::ingest_bench::ingest_with_pool;
+use inspector_bench::ingest_bench::{encoded_branch_stream, ingest_with_pool};
 use inspector_core::clock::VectorClock;
 use inspector_core::graph::CpgBuilder;
 use inspector_core::ids::ThreadId;
@@ -19,6 +19,7 @@ use inspector_perf::compress::lz_compress;
 use inspector_pt::branch::BranchEvent;
 use inspector_pt::decode::PacketDecoder;
 use inspector_pt::encode::PacketEncoder;
+use inspector_pt::stream::StreamingDecoder;
 
 fn bench_vector_clocks(c: &mut Criterion) {
     let mut group = c.benchmark_group("vector_clock");
@@ -132,6 +133,41 @@ fn bench_pt_codec(c: &mut Criterion) {
     group.bench_function("lz_compress_trace", |b| {
         b.iter(|| lz_compress(&bytes));
     });
+    group.finish();
+}
+
+fn bench_pt_decode(c: &mut Criterion) {
+    // Decode-while-running throughput: the batch decoder over the whole
+    // stream is the reference; the streaming decoder is measured at the
+    // chunk sizes AUX delivery actually produces. The delta is the price
+    // of incremental decoding (carry buffer + per-chunk pump).
+    let mut group = c.benchmark_group("pt_decode");
+    let (bytes, _) = encoded_branch_stream(50_000);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("batch", |b| {
+        b.iter(|| PacketDecoder::new(&bytes).decode_events().unwrap());
+    });
+    for chunk in [512usize, 4096, 65536] {
+        group.bench_with_input(BenchmarkId::new("streaming", chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let mut dec = StreamingDecoder::new();
+                let mut events = 0u64;
+                for c in bytes.chunks(chunk) {
+                    dec.push(c);
+                    while let Some(item) = dec.next_event() {
+                        item.unwrap();
+                        events += 1;
+                    }
+                }
+                dec.finish();
+                while let Some(item) = dec.next_event() {
+                    item.unwrap();
+                    events += 1;
+                }
+                events
+            });
+        });
+    }
     group.finish();
 }
 
@@ -261,6 +297,6 @@ fn bench_seal_latency(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_vector_clocks, bench_fault_path, bench_pt_codec, bench_cpg_build, bench_cpg_ingest, bench_seal_latency
+    targets = bench_vector_clocks, bench_fault_path, bench_pt_codec, bench_pt_decode, bench_cpg_build, bench_cpg_ingest, bench_seal_latency
 }
 criterion_main!(micro);

@@ -1,6 +1,7 @@
 //! Records the streaming-ingest perf baseline into `BENCH_ingest.json`:
-//! the `cpg_ingest` pool-size × shard-count × workload grid plus the
-//! `seal_latency` sweep, in ns per sub-computation.
+//! the `cpg_ingest` pool-size × shard-count × workload grid, the
+//! `seal_latency` sweep (ns per sub-computation), and the `pt_decode`
+//! batch-vs-streaming decode throughput (MiB/s).
 //!
 //! Run `--quick` (or set `INSPECTOR_BENCH_QUICK=1`) for the CI smoke shape;
 //! set `INSPECTOR_BENCH_OUT` to change the output path (default
@@ -11,7 +12,8 @@
 use std::fmt::Write as _;
 
 use inspector_bench::ingest_bench::{
-    measure_batch_ns_per_sub, measure_grid_cell, measure_pooled_build, GridCell,
+    measure_batch_ns_per_sub, measure_decode_throughput, measure_grid_cell, measure_pooled_build,
+    GridCell,
 };
 use inspector_core::testing::lock_heavy_sequences;
 
@@ -64,8 +66,12 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"cpg_ingest + seal_latency\",");
+    let _ = writeln!(
+        json,
+        "  \"bench\": \"cpg_ingest + seal_latency + pt_decode\","
+    );
     let _ = writeln!(json, "  \"unit\": \"ns_per_subcomputation\",");
+    let _ = writeln!(json, "  \"pt_decode_unit\": \"mib_per_sec\",");
     let _ = writeln!(json, "  \"available_parallelism\": {parallelism},");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"repeats\": {repeats},");
@@ -157,6 +163,39 @@ fn main() {
             "    {{\"iterations\": {len}, \"subcomputations\": {subs}, \
              \"seal_ns_per_sub\": {best_seal:.1}, \"data_resolved_at_seal\": {data_at_seal}}}{}",
             if li + 1 < lengths.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+
+    // Decode-while-running throughput: the streaming decoder fed at AUX
+    // chunk granularities vs the batch reference over the same stream.
+    json.push_str("  \"pt_decode\": [\n");
+    let decode_branches: u64 = if quick { 50_000 } else { 200_000 };
+    let chunk_sizes: &[usize] = if quick { &[4096] } else { &[512, 4096, 65536] };
+    for (ci, &chunk) in chunk_sizes.iter().enumerate() {
+        let t = measure_decode_throughput(decode_branches, chunk, repeats);
+        eprintln!(
+            "pt_decode/chunk{}: {} branches, {} bytes, batch {:.0} MiB/s, \
+             streaming {:.0} MiB/s ({:.2e} branches/s)",
+            chunk,
+            t.branches,
+            t.bytes,
+            t.batch_mib_per_sec(),
+            t.streaming_mib_per_sec(),
+            t.streaming_branches_per_sec()
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"chunk_bytes\": {}, \"bytes\": {}, \"branches\": {}, \
+             \"batch_mib_per_sec\": {:.1}, \"streaming_mib_per_sec\": {:.1}, \
+             \"streaming_branches_per_sec\": {:.0}}}{}",
+            t.chunk_bytes,
+            t.bytes,
+            t.branches,
+            t.batch_mib_per_sec(),
+            t.streaming_mib_per_sec(),
+            t.streaming_branches_per_sec(),
+            if ci + 1 < chunk_sizes.len() { "," } else { "" }
         );
     }
     json.push_str("  ]\n}\n");

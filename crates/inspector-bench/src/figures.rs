@@ -90,6 +90,14 @@ pub struct Fig6Row {
     /// busiest ingest worker plus the seal — that the overlap could not
     /// hide).
     pub graph: f64,
+    /// Share attributed to online PT decoding (the `pt_decode` phase).
+    /// Zero unless the run set `INSPECTOR_DECODE_ONLINE`/`decode_online`.
+    pub pt_decode: f64,
+    /// Branch events the decode stage recovered from the packet stream
+    /// (0 when decoding offline).
+    pub decoded_branches: u64,
+    /// Decode errors the streaming decoders reported (must be 0).
+    pub decode_errors: u64,
     /// Overlap factor of the ingest pool: summed per-worker ingest time
     /// over the busiest worker's time (`RunStats::ingest_overlap_factor`).
     /// 1.0 means one worker did all construction; higher means the pool
@@ -113,6 +121,9 @@ pub fn figure6(size: InputSize, threads: usize, repeats: usize) -> Vec<Fig6Row> 
                 threading: b.threading_overhead,
                 pt: b.pt_overhead,
                 graph: b.graph_overhead,
+                pt_decode: b.decode_overhead,
+                decoded_branches: m.report.stats.decoded_branches,
+                decode_errors: m.report.stats.decode_errors,
                 graph_overlap: m.report.stats.ingest_overlap_factor(),
                 ingest_workers: m.report.stats.ingest_workers,
             }
@@ -124,14 +135,32 @@ pub fn figure6(size: InputSize, threads: usize, repeats: usize) -> Vec<Fig6Row> 
 pub fn print_figure6(rows: &[Fig6Row]) {
     println!("Figure 6: overhead breakdown at {BREAKDOWN_THREADS} threads (ratio over native)");
     println!(
-        "{:<20}{:>10}{:>16}{:>14}{:>13}{:>14}",
-        "application", "total", "threading lib", "OS/Intel PT", "CPG ingest", "pool overlap"
+        "{:<20}{:>10}{:>16}{:>14}{:>13}{:>12}{:>14}",
+        "application",
+        "total",
+        "threading lib",
+        "OS/Intel PT",
+        "CPG ingest",
+        "pt_decode",
+        "pool overlap"
     );
     for r in rows {
         println!(
-            "{:<20}{:>9.2}x{:>15.2}x{:>13.2}x{:>12.2}x{:>9.2}x/{}w",
-            r.name, r.total, r.threading, r.pt, r.graph, r.graph_overlap, r.ingest_workers
+            "{:<20}{:>9.2}x{:>15.2}x{:>13.2}x{:>12.2}x{:>11.2}x{:>9.2}x/{}w",
+            r.name,
+            r.total,
+            r.threading,
+            r.pt,
+            r.graph,
+            r.pt_decode,
+            r.graph_overlap,
+            r.ingest_workers
         );
+    }
+    if rows.iter().any(|r| r.decoded_branches > 0) {
+        let decoded: u64 = rows.iter().map(|r| r.decoded_branches).sum();
+        let errors: u64 = rows.iter().map(|r| r.decode_errors).sum();
+        println!("online decode: {decoded} branches recovered, {errors} decode errors");
     }
 }
 
@@ -331,10 +360,16 @@ mod tests {
     fn figure6_breakdown_components_do_not_exceed_total() {
         let rows = figure6(InputSize::Tiny, 2, 1);
         for r in &rows {
-            assert!(r.threading >= 0.0 && r.pt >= 0.0 && r.graph >= 0.0);
-            assert!(r.threading + r.pt + r.graph <= r.total + 1e-9, "{:?}", r);
+            assert!(r.threading >= 0.0 && r.pt >= 0.0 && r.graph >= 0.0 && r.pt_decode >= 0.0);
+            assert!(
+                r.threading + r.pt + r.graph + r.pt_decode <= r.total + 1e-9,
+                "{:?}",
+                r
+            );
             assert!(r.graph_overlap >= 1.0, "{:?}", r);
             assert!(r.ingest_workers >= 1, "{:?}", r);
+            // Without INSPECTOR_DECODE_ONLINE the decode stage is inert.
+            assert_eq!(r.decode_errors, 0, "{:?}", r);
         }
     }
 
@@ -401,7 +436,10 @@ mod tests {
                 total: 2.0,
                 threading: 0.5,
                 pt: 0.3,
-                graph: 0.2,
+                graph: 0.15,
+                pt_decode: 0.05,
+                decoded_branches: 1234,
+                decode_errors: 0,
                 graph_overlap: 2.5,
                 ingest_workers: 4,
             }],

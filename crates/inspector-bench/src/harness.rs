@@ -116,7 +116,9 @@ pub fn size_from_env(default: InputSize) -> InputSize {
 ///
 /// * `INSPECTOR_INGEST_THREADS` — ingest-pool width,
 /// * `INSPECTOR_CPG_SHARDS` — streaming-builder lock stripes,
-/// * `INSPECTOR_INGEST_QUEUE_DEPTH` — per-lane bounded-channel capacity.
+/// * `INSPECTOR_INGEST_QUEUE_DEPTH` — per-lane bounded-channel capacity,
+/// * `INSPECTOR_DECODE_ONLINE` — `1`/`true` decodes PT packets on the
+///   ingest workers while the program runs (the `pt_decode` phase).
 ///
 /// Unset or unparsable variables leave the corresponding default untouched;
 /// values are clamped to at least one.
@@ -141,6 +143,21 @@ fn apply_pipeline_knobs(
     if let Some(depth) = knob("INSPECTOR_INGEST_QUEUE_DEPTH") {
         config = config.with_ingest_queue_depth(depth);
     }
+    if let Some(raw) = lookup("INSPECTOR_DECODE_ONLINE") {
+        // Same contract as the numeric knobs: an unrecognized value leaves
+        // the configured default untouched instead of force-disabling.
+        let v = raw.trim();
+        let parsed = if v == "1" || v.eq_ignore_ascii_case("true") {
+            Some(true)
+        } else if v == "0" || v.eq_ignore_ascii_case("false") {
+            Some(false)
+        } else {
+            None
+        };
+        if let Some(on) = parsed {
+            config = config.with_decode_online(on);
+        }
+    }
     config
 }
 
@@ -148,8 +165,11 @@ fn apply_pipeline_knobs(
 /// printed by the figure binaries so every emitted report records them.
 pub fn pipeline_knobs_label(config: &SessionConfig) -> String {
     format!(
-        "ingest_threads={} cpg_shards={} ingest_queue_depth={}",
-        config.ingest_threads, config.cpg_shards, config.ingest_queue_depth
+        "ingest_threads={} cpg_shards={} ingest_queue_depth={} decode_online={}",
+        config.ingest_threads,
+        config.cpg_shards,
+        config.ingest_queue_depth,
+        config.decode_online as u8
     )
 }
 
@@ -227,11 +247,32 @@ mod tests {
             "INSPECTOR_INGEST_THREADS" => Some(" 3 ".into()),
             "INSPECTOR_CPG_SHARDS" => Some("not-a-number".into()),
             "INSPECTOR_INGEST_QUEUE_DEPTH" => Some("64".into()),
+            "INSPECTOR_DECODE_ONLINE" => Some("1".into()),
             _ => None,
         });
         assert_eq!(parsed.ingest_threads, 3);
         assert_eq!(parsed.cpg_shards, base.cpg_shards);
         assert_eq!(parsed.ingest_queue_depth, 64);
+        assert!(parsed.decode_online);
+        // Recognized spellings apply; anything else leaves the configured
+        // default untouched (same contract as the numeric knobs).
+        let on_by_default = base.with_decode_online(true);
+        for (value, expect_from_off, expect_from_on) in [
+            ("true", true, true),
+            ("TRUE", true, true),
+            ("0", false, false),
+            ("false", false, false),
+            ("banana", false, true), // unparsable: default preserved
+        ] {
+            let from_off = apply_pipeline_knobs(base, |name| {
+                (name == "INSPECTOR_DECODE_ONLINE").then(|| value.into())
+            });
+            assert_eq!(from_off.decode_online, expect_from_off, "value {value:?}");
+            let from_on = apply_pipeline_knobs(on_by_default, |name| {
+                (name == "INSPECTOR_DECODE_ONLINE").then(|| value.into())
+            });
+            assert_eq!(from_on.decode_online, expect_from_on, "value {value:?}");
+        }
     }
 
     #[test]

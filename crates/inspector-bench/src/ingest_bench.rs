@@ -1,18 +1,24 @@
 //! Streaming-ingest measurement plumbing shared by the `cpg_ingest` /
-//! `seal_latency` micro-benchmarks and the `bench_ingest` binary that
-//! records the numbers into `BENCH_ingest.json`.
+//! `seal_latency` / `pt_decode` micro-benchmarks and the `bench_ingest`
+//! binary that records the numbers into `BENCH_ingest.json`.
 //!
-//! Everything here measures the same object: [`ShardedCpgBuilder`] fed by a
+//! The CPG half measures one object: [`ShardedCpgBuilder`] fed by a
 //! producer pool whose worker `w` owns the application threads with
 //! `index % pool == w` — the exact lane routing the runtime's ingest pool
 //! uses, so per-thread delivery stays FIFO while different threads'
-//! provenance lands concurrently.
+//! provenance lands concurrently. The decode half measures the other hot
+//! consumer on those lanes: the [`StreamingDecoder`] the decode-online
+//! stage runs per thread, against the batch [`PacketDecoder`] reference.
 
 use std::time::{Duration, Instant};
 
 use inspector_core::graph::{Cpg, CpgBuilder};
 use inspector_core::sharded::{IngestStats, ShardedCpgBuilder};
 use inspector_core::subcomputation::SubComputation;
+use inspector_pt::branch::BranchEvent;
+use inspector_pt::decode::PacketDecoder;
+use inspector_pt::encode::PacketEncoder;
+use inspector_pt::stream::StreamingDecoder;
 
 /// Streams `sequences` into a fresh builder from a `pool`-wide producer
 /// pool and seals. `pool == 1` reproduces the single-ingest-thread
@@ -161,6 +167,111 @@ pub fn measure_batch_ns_per_sub(sequences: &[Vec<SubComputation>], repeats: usiz
     best.as_nanos() as f64 / subs as f64
 }
 
+/// Deterministic mixed branch stream (the `pt_decode` bench input):
+/// conditional-heavy with periodic indirect branches, the shape the
+/// workloads produce. Returns the encoded bytes and the branch count.
+pub fn encoded_branch_stream(branches: u64) -> (Vec<u8>, u64) {
+    let mut enc = PacketEncoder::new();
+    enc.begin(0x40_0000);
+    for i in 0..branches {
+        if i % 16 == 0 {
+            enc.branch(&BranchEvent::Indirect {
+                target: 0x40_0000 + (i % 64) * 16,
+            });
+        } else {
+            enc.branch(&BranchEvent::Conditional { taken: i % 3 == 0 });
+        }
+    }
+    (enc.finish(), branches)
+}
+
+/// One `pt_decode` measurement: batch vs streaming decode of the same byte
+/// stream, the streaming side fed in `chunk_bytes`-sized chunks (the shape
+/// AUX delivery produces).
+#[derive(Debug, Clone)]
+pub struct DecodeThroughput {
+    /// Stream length in bytes.
+    pub bytes: usize,
+    /// Branch events the stream encodes.
+    pub branches: u64,
+    /// Chunk size the streaming decoder was fed with.
+    pub chunk_bytes: usize,
+    /// Best-of-N batch decode time for the whole stream, nanoseconds.
+    pub batch_ns: f64,
+    /// Best-of-N streaming decode time for the whole stream, nanoseconds.
+    pub streaming_ns: f64,
+}
+
+impl DecodeThroughput {
+    fn mib_per_sec(bytes: usize, ns: f64) -> f64 {
+        (bytes as f64 / (1024.0 * 1024.0)) / (ns * 1e-9)
+    }
+
+    /// Batch decode bandwidth in MiB/s.
+    pub fn batch_mib_per_sec(&self) -> f64 {
+        Self::mib_per_sec(self.bytes, self.batch_ns)
+    }
+
+    /// Streaming decode bandwidth in MiB/s.
+    pub fn streaming_mib_per_sec(&self) -> f64 {
+        Self::mib_per_sec(self.bytes, self.streaming_ns)
+    }
+
+    /// Streaming decode rate in branch events per second.
+    pub fn streaming_branches_per_sec(&self) -> f64 {
+        self.branches as f64 / (self.streaming_ns * 1e-9)
+    }
+}
+
+/// Measures batch vs streaming decode throughput over a deterministic
+/// stream of `branches` branch events, best of `repeats`.
+pub fn measure_decode_throughput(
+    branches: u64,
+    chunk_bytes: usize,
+    repeats: usize,
+) -> DecodeThroughput {
+    let (bytes, branches) = encoded_branch_stream(branches);
+    let mut batch_best = Duration::MAX;
+    let mut streaming_best = Duration::MAX;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let events = PacketDecoder::new(&bytes).decode_events().expect("clean");
+        batch_best = batch_best.min(start.elapsed());
+        std::hint::black_box(events);
+
+        let start = Instant::now();
+        let mut dec = StreamingDecoder::new();
+        let mut decoded = 0u64;
+        for chunk in bytes.chunks(chunk_bytes.max(1)) {
+            dec.push(chunk);
+            while let Some(item) = dec.next_event() {
+                item.expect("clean stream");
+                decoded += 1;
+            }
+        }
+        dec.finish();
+        while let Some(item) = dec.next_event() {
+            item.expect("clean stream");
+            decoded += 1;
+        }
+        streaming_best = streaming_best.min(start.elapsed());
+        assert_eq!(dec.stats().errors, 0);
+        assert_eq!(
+            dec.stats().branches,
+            branches,
+            "streaming decode must recover every encoded branch"
+        );
+        std::hint::black_box(decoded);
+    }
+    DecodeThroughput {
+        bytes: bytes.len(),
+        branches,
+        chunk_bytes,
+        batch_ns: batch_best.as_nanos() as f64,
+        streaming_ns: streaming_best.as_nanos() as f64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +292,17 @@ mod tests {
             assert_eq!(cpg.node_count(), reference.node_count(), "pool={pool}");
             assert_eq!(fingerprint(&cpg), fingerprint(&reference), "pool={pool}");
         }
+    }
+
+    #[test]
+    fn decode_throughput_measures_both_decoders() {
+        let t = measure_decode_throughput(5_000, 4096, 1);
+        assert!(t.bytes > 0);
+        assert_eq!(t.branches, 5_000);
+        assert!(t.batch_ns > 0.0 && t.streaming_ns > 0.0);
+        assert!(t.batch_mib_per_sec() > 0.0);
+        assert!(t.streaming_mib_per_sec() > 0.0);
+        assert!(t.streaming_branches_per_sec() > 0.0);
     }
 
     #[test]

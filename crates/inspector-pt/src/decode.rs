@@ -52,10 +52,18 @@ pub struct PacketDecoder<'a> {
 impl<'a> PacketDecoder<'a> {
     /// Creates a decoder over a captured byte stream.
     pub fn new(data: &'a [u8]) -> Self {
+        Self::with_context(data, 0)
+    }
+
+    /// Creates a decoder over a byte stream that continues an earlier one:
+    /// `last_ip` seeds the last-IP decompression context. This is how the
+    /// streaming decoder ([`crate::stream::StreamingDecoder`]) carries the
+    /// IP context across AUX chunk boundaries.
+    pub fn with_context(data: &'a [u8], last_ip: u64) -> Self {
         PacketDecoder {
             data,
             pos: 0,
-            last_ip: 0,
+            last_ip,
         }
     }
 
@@ -64,20 +72,21 @@ impl<'a> PacketDecoder<'a> {
         self.pos
     }
 
+    /// The current last-IP decompression context (what the next IP packet
+    /// will be decompressed against).
+    pub fn last_ip(&self) -> u64 {
+        self.last_ip
+    }
+
     /// Skips forward to the next PSB packet (used to start decoding in the
     /// middle of a wrapped snapshot buffer). Returns `true` if a PSB was
     /// found.
     pub fn sync_to_psb(&mut self) -> bool {
-        while self.pos + 4 <= self.data.len() {
-            if self.data[self.pos] == OPC_ESCAPE
-                && self.data[self.pos + 1] == OPC_PSB
-                && self.data[self.pos + 2] == OPC_ESCAPE
-                && self.data[self.pos + 3] == OPC_PSB
-            {
-                return true;
-            }
-            self.pos += 1;
+        if let Some(i) = crate::packet::find_psb(&self.data[self.pos..]) {
+            self.pos += i;
+            return true;
         }
+        self.pos = self.pos.max(self.data.len().saturating_sub(3));
         false
     }
 
@@ -180,18 +189,25 @@ impl<'a> PacketDecoder<'a> {
         }
         let payload = &self.data[self.pos + 1..self.pos + 1 + nbytes];
         let ip = ip_decompress(self.last_ip, code, payload);
+        // Validate the packet before committing any decoder state: a
+        // failed next_packet must leave position and IP context untouched
+        // (the streaming decoder carries `last_ip` across chunks and would
+        // otherwise resume from a polluted context).
+        let packet = match base {
+            TIP_BASE => Packet::Tip { ip },
+            TIP_PGE_BASE => Packet::TipPge { ip },
+            TIP_PGD_BASE => Packet::TipPgd { ip },
+            FUP_BASE => Packet::Fup { ip },
+            _ => {
+                return Err(DecodeError::UnknownPacket {
+                    offset: start,
+                    byte,
+                })
+            }
+        };
         self.pos += 1 + nbytes;
         self.last_ip = ip;
-        match base {
-            TIP_BASE => Ok(Some(Packet::Tip { ip })),
-            TIP_PGE_BASE => Ok(Some(Packet::TipPge { ip })),
-            TIP_PGD_BASE => Ok(Some(Packet::TipPgd { ip })),
-            FUP_BASE => Ok(Some(Packet::Fup { ip })),
-            _ => Err(DecodeError::UnknownPacket {
-                offset: start,
-                byte,
-            }),
-        }
+        Ok(Some(packet))
     }
 
     /// Decodes the remaining stream into packets.
@@ -222,25 +238,28 @@ impl<'a> PacketDecoder<'a> {
     pub fn decode_events(&mut self) -> Result<Vec<BranchEvent>, DecodeError> {
         let mut out = Vec::new();
         while let Some(p) = self.next_packet()? {
-            match p {
-                Packet::Tnt { bits } => {
-                    out.extend(
-                        bits.into_iter()
-                            .map(|taken| BranchEvent::Conditional { taken }),
-                    );
-                }
-                Packet::Tip { ip } => out.push(BranchEvent::Indirect { target: ip }),
-                Packet::TipPge { ip } => out.push(BranchEvent::TraceStart { ip }),
-                Packet::TipPgd { ip } => out.push(BranchEvent::TraceStop { ip }),
-                Packet::Overflow => out.push(BranchEvent::Overflow),
-                Packet::Pad
-                | Packet::Psb
-                | Packet::PsbEnd
-                | Packet::Fup { .. }
-                | Packet::Mode { .. } => {}
-            }
+            packet_events(p, &mut |e| out.push(e));
         }
         Ok(out)
+    }
+}
+
+/// Feeds the branch events `packet` contributes to a decoded event stream
+/// into `sink` — the single packet→event mapping shared by
+/// [`PacketDecoder::decode_events`] and the streaming decoder
+/// ([`crate::stream::StreamingDecoder`]), so the two paths cannot diverge.
+pub fn packet_events(packet: Packet, sink: &mut impl FnMut(BranchEvent)) {
+    match packet {
+        Packet::Tnt { bits } => {
+            for taken in bits {
+                sink(BranchEvent::Conditional { taken });
+            }
+        }
+        Packet::Tip { ip } => sink(BranchEvent::Indirect { target: ip }),
+        Packet::TipPge { ip } => sink(BranchEvent::TraceStart { ip }),
+        Packet::TipPgd { ip } => sink(BranchEvent::TraceStop { ip }),
+        Packet::Overflow => sink(BranchEvent::Overflow),
+        Packet::Pad | Packet::Psb | Packet::PsbEnd | Packet::Fup { .. } | Packet::Mode { .. } => {}
     }
 }
 
@@ -360,6 +379,29 @@ mod tests {
         let bytes = [OPC_ESCAPE, 0x55];
         let err = PacketDecoder::new(&bytes).decode_events().unwrap_err();
         assert!(matches!(err, DecodeError::UnknownPacket { .. }));
+    }
+
+    #[test]
+    fn failed_packet_leaves_decoder_state_untouched() {
+        // An IP-family header with a valid ipbytes code but an unknown
+        // base (0x2F: code 1, base 0x0F) must error without advancing the
+        // position or polluting the last-IP context.
+        let mut enc = PacketEncoder::new();
+        enc.branch(&BranchEvent::Indirect {
+            target: 0x1234_5678,
+        });
+        let mut bytes = enc.drain();
+        let good_len = bytes.len();
+        bytes.extend_from_slice(&[0x2F, 0xAA, 0xBB]);
+        let mut dec = PacketDecoder::new(&bytes);
+        assert!(dec.next_packet().unwrap().is_some());
+        let (pos, ip) = (dec.position(), dec.last_ip());
+        assert_eq!(pos, good_len);
+        assert_eq!(ip, 0x1234_5678);
+        let err = dec.next_packet().unwrap_err();
+        assert!(matches!(err, DecodeError::UnknownPacket { byte: 0x2F, .. }));
+        assert_eq!(dec.position(), pos, "failed packet must not consume");
+        assert_eq!(dec.last_ip(), ip, "failed packet must not touch context");
     }
 
     #[test]

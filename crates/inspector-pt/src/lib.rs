@@ -21,6 +21,34 @@
 //! The encoder/decoder pair is what gives the evaluation its realistic trace
 //! volumes, bandwidths and compression ratios (Figures 6 and 9).
 //!
+//! # Batch vs streaming decoding
+//!
+//! Two decoders share one packet grammar and one packet→event mapping
+//! ([`decode::packet_events`]):
+//!
+//! * [`decode::PacketDecoder`] is the **batch** decoder: it requires the
+//!   complete byte stream, fails fast ([`decode::DecodeError`]) and is the
+//!   semantic reference.
+//! * [`stream::StreamingDecoder`] is the **online** decoder the runtime's
+//!   ingest workers run while the traced program executes. It accepts AUX
+//!   chunks incrementally and upholds two contracts:
+//!
+//!   1. **Chunk boundaries are invisible.** A packet cut by a chunk
+//!      boundary is carried (deferred), never errored; over *any* chunking
+//!      of a well-formed stream the yielded events are byte-for-byte what
+//!      the batch decoder produces on the concatenated bytes. A truncated
+//!      tail only becomes an error at [`stream::StreamingDecoder::finish`].
+//!   2. **Corruption costs at most one PSB window.** An undecodable header
+//!      surfaces exactly one in-band [`decode::DecodeError::UnknownPacket`];
+//!      the decoder then discards bytes until the next PSB pattern (where
+//!      the IP context is reset by construction) and resumes losing only
+//!      the events between the corruption point and that PSB.
+//!
+//! Producers uphold the matching invariant: [`trace::ThreadTrace`] never
+//! hands out a chunk that ends mid-packet ([`packet::complete_frame_prefix`]
+//! carries partial frames into the next drain), so deferral in practice
+//! only triggers on byte-granular transports.
+//!
 //! ```
 //! use inspector_pt::branch::BranchEvent;
 //! use inspector_pt::encode::PacketEncoder;
@@ -43,6 +71,7 @@ pub mod decode;
 pub mod encode;
 pub mod packet;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 
 pub use aux::{AuxBuffer, AuxMode};
@@ -51,4 +80,5 @@ pub use decode::{DecodeError, PacketDecoder};
 pub use encode::PacketEncoder;
 pub use packet::Packet;
 pub use stats::PtStats;
+pub use stream::{StreamStats, StreamingDecoder};
 pub use trace::ThreadTrace;

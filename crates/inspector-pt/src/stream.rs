@@ -1,0 +1,531 @@
+//! The streaming packet decoder: decode-while-running.
+//!
+//! [`PacketDecoder`](crate::decode::PacketDecoder) needs the complete byte
+//! stream up front; a live session only ever has a *prefix* — AUX chunks
+//! arrive at synchronization boundaries and can be cut at arbitrary byte
+//! offsets. [`StreamingDecoder`] closes that gap (the hwtracer-style
+//! incremental iterator the ROADMAP's "real decoder path" item asks for):
+//!
+//! * [`push`](StreamingDecoder::push) accepts chunks incrementally; a
+//!   packet cut by a chunk boundary is **deferred**, not an error — its
+//!   prefix is carried until the missing bytes arrive;
+//! * corruption surfaces as a single in-band
+//!   [`DecodeError::UnknownPacket`], after which the decoder discards
+//!   garbage up to the next PSB and resumes (at most one PSB window of
+//!   events is lost per corruption);
+//! * over any chunking of any well-formed stream the yielded events are
+//!   exactly what the batch decoder produces on the concatenation of every
+//!   chunk (`tests/streaming_decode.rs` enforces this by property test).
+//!
+//! The equivalence argument: the carry buffer always holds the
+//! still-undecoded suffix, so each pump decodes the same byte sequence the
+//! batch decoder would see, with [`StreamStats::bytes_consumed`] bytes
+//! already committed and `last_ip` carrying the IP-decompression context
+//! across the cut. The only framing divergence a cut can introduce is a
+//! PSB run split into two shorter PSB packets — which contribute no events
+//! and reset the IP context identically.
+
+use std::collections::VecDeque;
+
+use crate::branch::BranchEvent;
+use crate::decode::{packet_events, DecodeError, PacketDecoder};
+use crate::packet::find_psb;
+
+/// Counters of one streaming decode session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Bytes handed to [`StreamingDecoder::push`] so far.
+    pub bytes_pushed: u64,
+    /// Bytes fully consumed (decoded or discarded during resync); the
+    /// difference to `bytes_pushed` is the buffered partial tail.
+    pub bytes_consumed: u64,
+    /// Packets decoded.
+    pub packets: u64,
+    /// Branch events yielded (all kinds, trace markers included).
+    pub events: u64,
+    /// Branch events that correspond to retired branches (conditional +
+    /// indirect) — the number comparable to a recorder's branch count.
+    pub branches: u64,
+    /// Decode errors reported in-band (unknown packets; a truncated tail
+    /// at [`finish`](StreamingDecoder::finish)).
+    pub errors: u64,
+    /// Successful PSB re-synchronisations after corruption.
+    pub resyncs: u64,
+}
+
+/// What stopped a decode pass over the carry buffer.
+enum Stop {
+    /// Every buffered byte decoded.
+    Drained,
+    /// A partial packet at the tail; wait for more bytes.
+    Truncated,
+    /// An undecodable header with the offending byte.
+    Unknown(u8),
+}
+
+/// An incremental PT packet decoder fed by AUX chunks.
+///
+/// Feed bytes with [`push`](Self::push), consume decoded events (and
+/// in-band errors) with [`next_event`](Self::next_event) /
+/// [`events`](Self::events), and call [`finish`](Self::finish) once the
+/// producer is done — only then is a trailing partial packet an error.
+#[derive(Debug)]
+pub struct StreamingDecoder {
+    /// Carry buffer: the not-yet-consumed suffix of the stream.
+    buf: Vec<u8>,
+    /// Last-IP decompression context carried across chunk boundaries.
+    last_ip: u64,
+    /// Decoded events and in-band errors awaiting consumption.
+    pending: VecDeque<Result<BranchEvent, DecodeError>>,
+    /// Discarding garbage until the next PSB.
+    resyncing: bool,
+    /// `finish` was called; no more bytes will arrive.
+    finished: bool,
+    /// When `false`, nothing is queued in `pending`: only [`StreamStats`]
+    /// counters are maintained (the ingest workers' mode — the cross-check
+    /// needs counts, not the event stream).
+    record_events: bool,
+    stats: StreamStats,
+}
+
+impl Default for StreamingDecoder {
+    fn default() -> Self {
+        StreamingDecoder {
+            buf: Vec::new(),
+            last_ip: 0,
+            pending: VecDeque::new(),
+            resyncing: false,
+            finished: false,
+            record_events: true,
+            stats: StreamStats::default(),
+        }
+    }
+}
+
+impl StreamingDecoder {
+    /// Creates a decoder positioned at the start of a stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a decoder that only maintains [`StreamStats`] counters and
+    /// never queues events or in-band errors — no per-event allocation on
+    /// the hot path. [`next_event`](Self::next_event) always returns
+    /// `None`; read the outcome from [`stats`](Self::stats).
+    pub fn counting_only() -> Self {
+        StreamingDecoder {
+            record_events: false,
+            ..Self::default()
+        }
+    }
+
+    /// Appends one AUX chunk and decodes everything now decodable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`finish`](Self::finish).
+    pub fn push(&mut self, chunk: &[u8]) {
+        assert!(!self.finished, "push after finish");
+        self.stats.bytes_pushed += chunk.len() as u64;
+        self.buf.extend_from_slice(chunk);
+        self.pump();
+    }
+
+    /// Marks the end of the stream and flushes: remaining complete packets
+    /// are decoded, a partial packet still buffered becomes an in-band
+    /// [`DecodeError::Truncated`], and garbage awaiting a PSB is dropped.
+    /// Idempotent.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.pump();
+        debug_assert!(self.buf.is_empty(), "finish must drain the carry buffer");
+    }
+
+    /// Removes and returns the next decoded event or in-band error, or
+    /// `None` when everything currently decodable has been consumed.
+    pub fn next_event(&mut self) -> Option<Result<BranchEvent, DecodeError>> {
+        self.pending.pop_front()
+    }
+
+    /// Iterator draining the currently decodable events (hwtracer-style).
+    pub fn events(&mut self) -> impl Iterator<Item = Result<BranchEvent, DecodeError>> + '_ {
+        std::iter::from_fn(move || self.pending.pop_front())
+    }
+
+    /// Bytes buffered as a partial packet (or pending resync tail).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` once [`finish`](Self::finish) has been called.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Decodes as much of the carry buffer as possible.
+    fn pump(&mut self) {
+        loop {
+            if self.resyncing && !self.resync() {
+                return;
+            }
+            let mut committed = 0usize;
+            let (stop, context_ip) = {
+                // Split borrows: the decoder reads `buf` while the event
+                // sink appends to `pending`/`stats` — no intermediate
+                // buffer on the per-event hot path.
+                let StreamingDecoder {
+                    buf,
+                    pending,
+                    stats,
+                    last_ip,
+                    record_events,
+                    ..
+                } = &mut *self;
+                let mut dec = PacketDecoder::with_context(buf.as_slice(), *last_ip);
+                let stop = loop {
+                    match dec.next_packet() {
+                        Ok(Some(packet)) => {
+                            committed = dec.position();
+                            stats.packets += 1;
+                            packet_events(packet, &mut |event| {
+                                stats.events += 1;
+                                if matches!(
+                                    event,
+                                    BranchEvent::Conditional { .. } | BranchEvent::Indirect { .. }
+                                ) {
+                                    stats.branches += 1;
+                                }
+                                if *record_events {
+                                    pending.push_back(Ok(event));
+                                }
+                            });
+                        }
+                        Ok(None) => break Stop::Drained,
+                        Err(DecodeError::Truncated { .. }) => break Stop::Truncated,
+                        Err(DecodeError::UnknownPacket { byte, .. }) => break Stop::Unknown(byte),
+                    }
+                };
+                // A failed next_packet never advances the context, so this
+                // is exactly where the last good packet left it.
+                (stop, dec.last_ip())
+            };
+            self.last_ip = context_ip;
+            self.consume(committed);
+            match stop {
+                Stop::Drained => return,
+                Stop::Truncated => {
+                    if self.finished {
+                        self.stats.errors += 1;
+                        if self.record_events {
+                            self.pending.push_back(Err(DecodeError::Truncated {
+                                offset: self.stats.bytes_consumed as usize,
+                            }));
+                        }
+                        let rest = self.buf.len();
+                        self.consume(rest);
+                    }
+                    return;
+                }
+                Stop::Unknown(byte) => {
+                    // `committed` stopped exactly at the bad packet, so it
+                    // now sits at the head of the carry buffer.
+                    self.stats.errors += 1;
+                    if self.record_events {
+                        self.pending.push_back(Err(DecodeError::UnknownPacket {
+                            offset: self.stats.bytes_consumed as usize,
+                            byte,
+                        }));
+                    }
+                    self.consume(1);
+                    self.resyncing = true;
+                }
+            }
+        }
+    }
+
+    /// Discards garbage up to the next PSB. Returns `true` once
+    /// synchronised; `false` when more bytes are needed (a 3-byte tail is
+    /// kept in case a PSB pattern straddles the chunk boundary).
+    fn resync(&mut self) -> bool {
+        if let Some(i) = find_psb(&self.buf) {
+            self.consume(i);
+            self.resyncing = false;
+            self.stats.resyncs += 1;
+            return true;
+        }
+        let keep = if self.finished {
+            0
+        } else {
+            self.buf.len().min(3)
+        };
+        let drop = self.buf.len() - keep;
+        self.consume(drop);
+        if self.finished {
+            self.resyncing = false;
+        }
+        false
+    }
+
+    /// Drops `n` bytes from the head of the carry buffer.
+    fn consume(&mut self, n: usize) {
+        if n > 0 {
+            self.buf.drain(..n);
+            self.stats.bytes_consumed += n as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{EncoderConfig, PacketEncoder};
+    use crate::packet::{OPC_ESCAPE, OPC_PSB};
+
+    fn encode(events: &[BranchEvent]) -> Vec<u8> {
+        let mut enc = PacketEncoder::new();
+        enc.begin(0x40_0000);
+        for e in events {
+            enc.branch(e);
+        }
+        enc.finish()
+    }
+
+    fn mixed_events(n: u64) -> Vec<BranchEvent> {
+        (0..n)
+            .map(|i| {
+                if i % 9 == 0 {
+                    BranchEvent::Indirect {
+                        target: 0x40_0000 + i * 24,
+                    }
+                } else {
+                    BranchEvent::Conditional { taken: i % 2 == 0 }
+                }
+            })
+            .collect()
+    }
+
+    fn drain_ok(dec: &mut StreamingDecoder) -> Vec<BranchEvent> {
+        dec.events()
+            .map(|item| item.expect("clean stream"))
+            .collect()
+    }
+
+    #[test]
+    fn whole_stream_matches_batch_decoder() {
+        let bytes = encode(&mixed_events(500));
+        let reference = PacketDecoder::new(&bytes).decode_events().unwrap();
+        let mut dec = StreamingDecoder::new();
+        dec.push(&bytes);
+        dec.finish();
+        assert_eq!(drain_ok(&mut dec), reference);
+        assert_eq!(dec.stats().errors, 0);
+        assert_eq!(dec.buffered(), 0);
+        assert_eq!(dec.stats().bytes_consumed, bytes.len() as u64);
+    }
+
+    #[test]
+    fn byte_at_a_time_chunking_matches_batch_decoder() {
+        let bytes = encode(&mixed_events(200));
+        let reference = PacketDecoder::new(&bytes).decode_events().unwrap();
+        let mut dec = StreamingDecoder::new();
+        let mut out = Vec::new();
+        for b in &bytes {
+            dec.push(std::slice::from_ref(b));
+            out.extend(drain_ok(&mut dec));
+        }
+        dec.finish();
+        out.extend(drain_ok(&mut dec));
+        assert_eq!(out, reference);
+        assert_eq!(dec.stats().errors, 0);
+    }
+
+    #[test]
+    fn mid_psb_cut_is_carried_not_errored() {
+        // Cut inside the initial PSB run: the prefix defers, the suffix
+        // completes it, and no error is ever surfaced.
+        let bytes = encode(&[BranchEvent::Conditional { taken: true }]);
+        assert_eq!(&bytes[..2], &[OPC_ESCAPE, OPC_PSB]);
+        let mut dec = StreamingDecoder::new();
+        dec.push(&bytes[..3]); // one PSB pair + a lone escape byte
+        assert!(drain_ok(&mut dec).is_empty());
+        assert!(dec.buffered() > 0, "partial escape must be carried");
+        dec.push(&bytes[3..]);
+        dec.finish();
+        let events = drain_ok(&mut dec);
+        assert!(events.contains(&BranchEvent::Conditional { taken: true }));
+        assert_eq!(dec.stats().errors, 0);
+    }
+
+    #[test]
+    fn branch_counter_matches_encoder_side() {
+        let events = mixed_events(300);
+        let bytes = encode(&events);
+        let mut dec = StreamingDecoder::new();
+        for chunk in bytes.chunks(7) {
+            dec.push(chunk);
+        }
+        dec.finish();
+        while dec.next_event().is_some() {}
+        assert_eq!(dec.stats().branches, events.len() as u64);
+        // Trace start/stop markers are events but not branches.
+        assert_eq!(dec.stats().events, events.len() as u64 + 2);
+    }
+
+    #[test]
+    fn truncated_tail_is_an_error_only_at_finish() {
+        let mut enc = PacketEncoder::new();
+        enc.branch(&BranchEvent::Indirect {
+            target: 0xdead_beef_f00d,
+        });
+        let bytes = enc.drain();
+        let mut dec = StreamingDecoder::new();
+        dec.push(&bytes[..bytes.len() - 2]);
+        assert!(dec.next_event().is_none(), "partial packet must defer");
+        assert!(dec.buffered() > 0);
+        dec.finish();
+        let item = dec.next_event().expect("finish surfaces the truncation");
+        assert!(matches!(item, Err(DecodeError::Truncated { .. })));
+        assert_eq!(dec.stats().errors, 1);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn unknown_packet_reports_once_and_resyncs_at_next_psb() {
+        let mut enc = PacketEncoder::with_config(EncoderConfig {
+            psb_interval_bytes: 64,
+            ..EncoderConfig::default()
+        });
+        enc.begin(0x40_0000);
+        for i in 0..400u64 {
+            enc.branch(&BranchEvent::Indirect {
+                target: i * 0x9999_7777,
+            });
+        }
+        let bytes = enc.finish();
+        // Corrupt the stream between the first two PSBs with an undecodable
+        // escape sequence.
+        let second_psb = 16 + find_psb(&bytes[16..]).expect("periodic PSB");
+        let mut corrupt = bytes[..20].to_vec();
+        corrupt.extend_from_slice(&[OPC_ESCAPE, 0x55]);
+        corrupt.extend_from_slice(&bytes[20..]);
+        let mut dec = StreamingDecoder::new();
+        for chunk in corrupt.chunks(13) {
+            dec.push(chunk);
+        }
+        dec.finish();
+        let mut errors = 0;
+        let mut events = Vec::new();
+        while let Some(item) = dec.next_event() {
+            match item {
+                Ok(e) => events.push(e),
+                Err(e) => {
+                    assert!(matches!(e, DecodeError::UnknownPacket { byte: 0x55, .. }));
+                    errors += 1;
+                }
+            }
+        }
+        assert_eq!(errors, 1, "exactly one in-band error per corruption");
+        assert_eq!(dec.stats().resyncs, 1);
+        // Everything from the resync PSB onwards decodes as if standalone.
+        let resumed = PacketDecoder::new(&bytes[second_psb..])
+            .decode_events()
+            .unwrap();
+        assert!(events.ends_with(&resumed), "suffix after resync intact");
+    }
+
+    #[test]
+    fn corruption_with_no_later_psb_drains_at_finish() {
+        let bytes = encode(&mixed_events(20));
+        let mut corrupt = bytes.clone();
+        corrupt.push(0x03); // bad IP-family header
+        corrupt.extend_from_slice(&[0xAB; 32]); // trailing garbage, no PSB
+        let mut dec = StreamingDecoder::new();
+        dec.push(&corrupt);
+        dec.finish();
+        let errors = dec.events().filter(|i| i.is_err()).count();
+        assert_eq!(errors, 1);
+        assert_eq!(dec.buffered(), 0, "finish drops the un-synced garbage");
+        assert_eq!(dec.stats().resyncs, 0);
+    }
+
+    #[test]
+    fn ip_context_is_carried_across_chunk_cuts() {
+        // Nearby targets compress against last_ip; cutting between the two
+        // TIPs only decodes correctly if the context survives the cut.
+        let mut enc = PacketEncoder::new();
+        enc.branch(&BranchEvent::Indirect {
+            target: 0x7f00_1234_5678,
+        });
+        enc.branch(&BranchEvent::Indirect {
+            target: 0x7f00_1234_9abc,
+        });
+        let bytes = enc.drain();
+        let reference = PacketDecoder::new(&bytes).decode_events().unwrap();
+        for cut in 1..bytes.len() {
+            let mut dec = StreamingDecoder::new();
+            dec.push(&bytes[..cut]);
+            dec.push(&bytes[cut..]);
+            dec.finish();
+            assert_eq!(drain_ok(&mut dec), reference, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn push_after_finish_panics() {
+        let mut dec = StreamingDecoder::new();
+        dec.finish();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dec.push(&[0]);
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn counting_only_keeps_stats_but_queues_nothing() {
+        let events = mixed_events(200);
+        let bytes = encode(&events);
+        let mut corrupt = bytes.clone();
+        corrupt.push(0x03); // trailing corruption: counted, not queued
+        let mut dec = StreamingDecoder::counting_only();
+        for chunk in corrupt.chunks(9) {
+            dec.push(chunk);
+        }
+        dec.finish();
+        assert!(dec.next_event().is_none(), "counting mode queues no items");
+        let stats = dec.stats();
+        assert_eq!(stats.branches, events.len() as u64);
+        assert_eq!(stats.errors, 1);
+        // Identical counters to a recording decoder over the same stream.
+        let mut rec = StreamingDecoder::new();
+        for chunk in corrupt.chunks(9) {
+            rec.push(chunk);
+        }
+        rec.finish();
+        while rec.next_event().is_some() {}
+        assert_eq!(rec.stats(), stats);
+    }
+
+    #[test]
+    fn stats_account_every_pushed_byte() {
+        let bytes = encode(&mixed_events(50));
+        let mut dec = StreamingDecoder::new();
+        for chunk in bytes.chunks(11) {
+            dec.push(chunk);
+        }
+        assert_eq!(dec.stats().bytes_pushed, bytes.len() as u64);
+        assert_eq!(
+            dec.stats().bytes_consumed + dec.buffered() as u64,
+            dec.stats().bytes_pushed
+        );
+        dec.finish();
+        assert_eq!(dec.stats().bytes_consumed, bytes.len() as u64);
+    }
+}

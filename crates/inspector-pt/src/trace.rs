@@ -14,6 +14,7 @@ use crate::aux::{AuxBuffer, AuxMode};
 use crate::branch::BranchEvent;
 use crate::decode::{DecodeError, PacketDecoder};
 use crate::encode::PacketEncoder;
+use crate::packet::{complete_frame_prefix, find_psb};
 use crate::stats::PtStats;
 
 /// Configuration of a per-thread trace.
@@ -124,19 +125,45 @@ impl ThreadTrace {
     /// of all drains plus the tail returned by `finish` decodes to exactly
     /// the same branch-event stream as an undrained run (packet framing may
     /// differ, since a drain forces pending TNT bits into a packet early).
+    ///
+    /// A drained chunk never ends mid-packet: if the collected log ends in
+    /// a partial frame (possible when the AUX transport cuts at arbitrary
+    /// byte offsets), the partial tail is carried into the next drain
+    /// instead of being handed out truncated, so per-chunk consumers (the
+    /// online decode stage) never see a spurious truncation.
     pub fn drain_collected(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.collected)
+        let boundary = complete_frame_prefix(&self.collected);
+        if boundary == self.collected.len() {
+            std::mem::take(&mut self.collected)
+        } else {
+            let tail = self.collected.split_off(boundary);
+            std::mem::replace(&mut self.collected, tail)
+        }
     }
 
     /// Grabs a snapshot of the most recent trace window (snapshot mode):
     /// emits a FUP marking the request point and returns the bytes currently
     /// retained in the AUX buffer.
+    ///
+    /// The window's head may start mid-packet (the ring overwrites oldest
+    /// bytes first; consumers re-sync at the first PSB). For any window
+    /// that contains a PSB — the only kind a consumer can decode at all —
+    /// the tail is guaranteed to end on a packet boundary: the window is
+    /// frame-scanned from that PSB and a partial trailing frame is trimmed
+    /// off rather than returned truncated. A PSB-free window is returned
+    /// as-is (there is no trustworthy framing to trim by).
     pub fn snapshot(&mut self, marker_ip: u64) -> Vec<u8> {
         self.encoder.fup(marker_ip);
         let bytes = self.encoder.drain();
         self.stats.trace_bytes += bytes.len() as u64;
         self.aux.produce(&bytes);
-        self.aux.peek().to_vec()
+        let window = self.aux.peek();
+        // Frame-scan from the first PSB — the only point at which framing
+        // is trustworthy in a wrapped window.
+        match find_psb(window) {
+            Some(start) => window[..start + complete_frame_prefix(&window[start..])].to_vec(),
+            None => window.to_vec(),
+        }
     }
 
     /// Statistics so far.
@@ -306,6 +333,87 @@ mod tests {
         let incremental = ThreadTrace::decode(&drained).unwrap();
         assert_eq!(incremental, reference);
         assert!(!incremental.is_empty());
+    }
+
+    #[test]
+    fn drain_collected_carries_a_partial_packet_into_the_next_drain() {
+        // Regression: a byte-granular AUX transport can leave the collected
+        // log ending mid-packet. The drain must stop at the last packet
+        // boundary and hand the partial tail out with the *next* drain,
+        // never as a truncated chunk.
+        let mut trace = ThreadTrace::new(0x400000);
+        trace.indirect(0xdead_beef);
+        trace.flush();
+        // A TIP packet whose last two bytes have not arrived yet.
+        let mut enc = PacketEncoder::new();
+        enc.branch(&BranchEvent::Indirect {
+            target: 0x7777_1234_5678,
+        });
+        let tip = enc.drain();
+        let (head, tail) = tip.split_at(tip.len() - 2);
+        trace.collected.extend_from_slice(head);
+
+        let first = trace.drain_collected();
+        // The chunk decodes standalone — no spurious truncation error…
+        PacketDecoder::new(&first)
+            .decode_events()
+            .expect("drained chunk must end on a packet boundary");
+        // …because the partial frame stayed buffered.
+        assert!(!trace.collected.is_empty(), "partial tail must be carried");
+
+        trace.collected.extend_from_slice(tail);
+        let second = trace.drain_collected();
+        assert!(trace.collected.is_empty());
+        let mut all = first;
+        all.extend_from_slice(&second);
+        let events = PacketDecoder::new(&all).decode_events().unwrap();
+        assert!(events.contains(&BranchEvent::Indirect {
+            target: 0x7777_1234_5678
+        }));
+    }
+
+    #[test]
+    fn carried_partial_tail_is_flushed_by_finish() {
+        let mut trace = ThreadTrace::new(0x400000);
+        trace.conditional(true);
+        // Leave a partial TIP in the collected log, as above.
+        let mut enc = PacketEncoder::new();
+        enc.branch(&BranchEvent::Indirect { target: 0x1111 });
+        let tip = enc.drain();
+        trace.flush();
+        trace.collected.extend_from_slice(&tip[..tip.len() - 1]);
+        let _ = trace.drain_collected();
+        assert!(!trace.collected.is_empty());
+        // finish() returns everything still buffered, carried tail included.
+        let (log, _) = trace.finish();
+        assert!(log.starts_with(&tip[..tip.len() - 1]));
+    }
+
+    #[test]
+    fn snapshot_window_ends_on_a_packet_boundary() {
+        let mut trace = ThreadTrace::with_config(
+            0,
+            TraceConfig {
+                mode: AuxMode::Snapshot,
+                aux_capacity: 256,
+                flush_every: 8,
+            },
+        );
+        for i in 0..10_000u64 {
+            if i % 5 == 0 {
+                trace.indirect(i * 0x1357);
+            } else {
+                trace.conditional(i % 2 == 0);
+            }
+        }
+        let window = trace.snapshot(0xdead);
+        let mut dec = PacketDecoder::new(&window);
+        if dec.sync_to_psb() {
+            // From the first PSB on, the window must decode without a
+            // truncation at the tail.
+            dec.decode_events()
+                .expect("snapshot window must not end mid-packet");
+        }
     }
 
     #[test]

@@ -51,6 +51,17 @@ pub struct SessionConfig {
     /// the streaming builder relies on. Defaults to
     /// `min(4, available_parallelism)`.
     pub ingest_threads: usize,
+    /// Decode PT packets back into branch events **while the program runs**:
+    /// AUX chunks are routed through the ingest lanes to per-thread
+    /// streaming decoders on the pool workers, which cross-check the
+    /// decoded branch counts against the recorder and attribute the cost as
+    /// the `pt_decode` phase (`RunStats::{decoded_branches, decode_errors,
+    /// decode_time}`). Off by default; the chunks still reach the perf
+    /// session either way. Only effective with [`AuxMode::FullTrace`]: a
+    /// snapshot-mode window wraps mid-packet at its head and is only
+    /// decodable offline after a PSB re-sync, so it bypasses the online
+    /// stage.
+    pub decode_online: bool,
 }
 
 /// Default ingest-pool width: `min(4, available_parallelism)`, at least one.
@@ -77,6 +88,7 @@ impl SessionConfig {
             cpg_shards: 8,
             ingest_queue_depth: 1024,
             ingest_threads: default_ingest_threads(),
+            decode_online: false,
         }
     }
 
@@ -118,6 +130,12 @@ impl SessionConfig {
         self.ingest_queue_depth = depth.max(1);
         self
     }
+
+    /// Returns a copy with online PT decoding switched on or off.
+    pub fn with_decode_online(mut self, on: bool) -> Self {
+        self.decode_online = on;
+        self
+    }
 }
 
 impl Default for SessionConfig {
@@ -147,13 +165,21 @@ mod tests {
             .with_live_snapshots(3)
             .with_ingest_threads(2)
             .with_cpg_shards(16)
-            .with_ingest_queue_depth(64);
+            .with_ingest_queue_depth(64)
+            .with_decode_online(true);
         assert_eq!(c.mode, ExecutionMode::Inspector);
         assert!(c.live_snapshots);
         assert_eq!(c.snapshot_slots, 3);
         assert_eq!(c.ingest_threads, 2);
         assert_eq!(c.cpg_shards, 16);
         assert_eq!(c.ingest_queue_depth, 64);
+        assert!(c.decode_online);
+    }
+
+    #[test]
+    fn online_decode_defaults_off() {
+        assert!(!SessionConfig::inspector().decode_online);
+        assert!(!SessionConfig::native().decode_online);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use inspector_mem::addr::VirtAddr;
 use inspector_mem::thread_mem::{ThreadMemory, TrackingMode};
 use inspector_perf::cgroup::ProcessId;
 use inspector_perf::event::PerfEvent;
+use inspector_pt::aux::AuxMode;
 use inspector_pt::branch::BranchEvent;
 use inspector_pt::trace::{ThreadTrace, TraceConfig};
 
@@ -342,12 +343,49 @@ impl ThreadCtx {
             trace.flush();
             let chunk = trace.drain_collected();
             if !chunk.is_empty() {
-                self.shared.perf.submit(PerfEvent::Aux {
-                    pid: self.pid,
-                    data: chunk,
-                });
+                self.submit_aux(chunk);
             }
         }
+    }
+
+    /// Routes one AUX chunk to its consumer. With online decoding off the
+    /// chunk goes straight into the perf session; with it on, the chunk
+    /// travels this thread's ingest lane instead, so the pool worker runs
+    /// it through the thread's streaming decoder **in recording order**
+    /// (the lane is the same FIFO that carries the sub-computations) and
+    /// forwards the bytes to the perf session afterwards.
+    ///
+    /// Only full-trace streams are decodable from the start; a
+    /// snapshot-mode window wraps mid-packet at its head and would report
+    /// spurious errors, so it always takes the direct path (offline
+    /// consumers re-sync it at a PSB).
+    fn submit_aux(&mut self, data: Vec<u8>) {
+        if self.shared.config.decode_online && self.shared.config.aux_mode == AuxMode::FullTrace {
+            if let Some(tx) = &self.ingest {
+                match tx.send(IngestMsg::Aux {
+                    thread: self.thread,
+                    pid: self.pid,
+                    data,
+                }) {
+                    Ok(()) => return,
+                    // The run is already over (receiver gone): fall back to
+                    // the direct path so late AUX data is still accounted,
+                    // as before online decoding existed.
+                    Err(std::sync::mpsc::SendError(IngestMsg::Aux { data, .. })) => {
+                        self.shared.perf.submit(PerfEvent::Aux {
+                            pid: self.pid,
+                            data,
+                        });
+                        return;
+                    }
+                    Err(_) => unreachable!("send returns the message it rejected"),
+                }
+            }
+        }
+        self.shared.perf.submit(PerfEvent::Aux {
+            pid: self.pid,
+            data,
+        });
     }
 
     // ----- thread management -------------------------------------------------
@@ -440,10 +478,10 @@ impl ThreadCtx {
             None => (Vec::new(), Default::default()),
         };
         if mode == ExecutionMode::Inspector && !tail.is_empty() {
-            self.shared.perf.submit(PerfEvent::Aux {
-                pid: self.pid,
-                data: tail,
-            });
+            // The tail takes the same route as every other chunk; it lands
+            // on this thread's lane *before* the Done message below, so the
+            // decode stage sees the complete stream when it cross-checks.
+            self.submit_aux(tail);
         }
         self.recorder.on_thread_exit();
         if mode == ExecutionMode::Inspector {

@@ -50,6 +50,13 @@
 //! equivalence suite in `tests/streaming_equivalence.rs` and the
 //! `tests/incremental_data_edges.rs` property suite enforce that.
 //!
+//! With [`SessionConfig::decode_online`] (env knob `INSPECTOR_DECODE_ONLINE`
+//! in the bench harness) the AUX chunks also travel the ingest lanes, and
+//! each pool worker decodes its threads' PT packets back into branch events
+//! **while the program runs** ([`inspector_pt::stream::StreamingDecoder`]),
+//! cross-checking the decoded branch counts against the recorder; the cost
+//! appears as the `pt_decode` phase of the Figure 6 breakdown.
+//!
 //! ```
 //! use inspector_runtime::{ExecutionMode, InspectorSession, SessionConfig};
 //! use inspector_runtime::sync::InspMutex;

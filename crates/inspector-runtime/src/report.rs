@@ -46,6 +46,28 @@ pub struct RunStats {
     pub graph_ingest_cpu_time: Duration,
     /// Number of ingest-pool workers that drained the provenance channel.
     pub ingest_workers: usize,
+    /// Branch events decoded back out of the PT packet stream by the online
+    /// decode stage (conditional + indirect; trace start/stop markers and
+    /// overflow gaps excluded, so the number is directly comparable to
+    /// `pt.branches`). Zero when [`SessionConfig::decode_online`] is off.
+    ///
+    /// [`SessionConfig::decode_online`]: crate::SessionConfig::decode_online
+    pub decoded_branches: u64,
+    /// Decode errors the streaming decoders reported (unknown packets,
+    /// truncated tails). Zero on a healthy run.
+    pub decode_errors: u64,
+    /// Threads whose clean decode (no errors, no AUX loss) still disagreed
+    /// with the recorder's branch count — the online control-flow
+    /// cross-check. Zero unless the encoder and recorder diverge.
+    pub decode_mismatches: u64,
+    /// AUX payload bytes pushed through the online decoders.
+    pub decode_bytes: u64,
+    /// CPU time of the online decode stage, summed across ingest workers
+    /// (the `pt_decode` phase). Like graph ingestion it is overlapped with
+    /// application execution; attributing it separately lets Figure 6 show
+    /// what decode-while-running costs.
+    #[serde(with = "duration_nanos")]
+    pub decode_time: Duration,
 }
 
 impl RunStats {
@@ -69,6 +91,13 @@ impl RunStats {
     /// hides.
     pub fn graph_time(&self) -> Duration {
         self.graph_ingest_time
+    }
+
+    /// Time attributable to online PT decoding (the `pt_decode` phase):
+    /// the ingest workers' summed streaming-decode time. Zero when
+    /// `decode_online` is off.
+    pub fn pt_decode_time(&self) -> Duration {
+        self.decode_time
     }
 
     /// Overlap factor of the ingest pool: summed worker busy time over the
@@ -105,6 +134,9 @@ pub struct PhaseBreakdown {
     pub pt_overhead: f64,
     /// Portion attributed to streaming CPG construction (`graph_ingest`).
     pub graph_overhead: f64,
+    /// Portion attributed to online PT decoding (`pt_decode`). Zero unless
+    /// the run decoded while running.
+    pub decode_overhead: f64,
 }
 
 impl PhaseBreakdown {
@@ -114,22 +146,26 @@ impl PhaseBreakdown {
         let threading = stats.threading_lib_time().as_secs_f64();
         let pt = stats.pt_time().as_secs_f64();
         let graph = stats.graph_time().as_secs_f64();
+        let decode = stats.pt_decode_time().as_secs_f64();
         let extra = (total_overhead - 1.0).max(0.0);
-        let denom = threading + pt + graph;
-        let (threading_overhead, pt_overhead, graph_overhead) = if denom <= f64::EPSILON {
-            (0.0, 0.0, 0.0)
-        } else {
-            (
-                extra * threading / denom,
-                extra * pt / denom,
-                extra * graph / denom,
-            )
-        };
+        let denom = threading + pt + graph + decode;
+        let (threading_overhead, pt_overhead, graph_overhead, decode_overhead) =
+            if denom <= f64::EPSILON {
+                (0.0, 0.0, 0.0, 0.0)
+            } else {
+                (
+                    extra * threading / denom,
+                    extra * pt / denom,
+                    extra * graph / denom,
+                    extra * decode / denom,
+                )
+            };
         PhaseBreakdown {
             total_overhead,
             threading_overhead,
             pt_overhead,
             graph_overhead,
+            decode_overhead,
         }
     }
 }
@@ -201,6 +237,29 @@ mod tests {
             (b.threading_overhead + b.pt_overhead + b.graph_overhead - 2.0).abs() < 1e-9,
             "components must sum to the extra overhead"
         );
+    }
+
+    #[test]
+    fn breakdown_includes_pt_decode_share() {
+        let mut stats = RunStats::default();
+        stats.mem.fault_time = Duration::from_millis(25);
+        stats.pt.encode_time = Duration::from_millis(25);
+        stats.graph_ingest_time = Duration::from_millis(25);
+        stats.decode_time = Duration::from_millis(25);
+        let b = PhaseBreakdown::split(3.0, &stats);
+        assert!((b.decode_overhead - 0.5).abs() < 1e-9);
+        assert!(
+            (b.threading_overhead + b.pt_overhead + b.graph_overhead + b.decode_overhead - 2.0)
+                .abs()
+                < 1e-9,
+            "components must sum to the extra overhead"
+        );
+        // Without online decoding the share vanishes and the split is
+        // unchanged from the three-phase behaviour.
+        stats.decode_time = Duration::ZERO;
+        let b = PhaseBreakdown::split(3.0, &stats);
+        assert_eq!(b.decode_overhead, 0.0);
+        assert!((b.threading_overhead + b.pt_overhead + b.graph_overhead - 2.0).abs() < 1e-9);
     }
 
     #[test]

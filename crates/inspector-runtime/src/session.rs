@@ -24,8 +24,17 @@
 //! (`graph_ingest_cpu_time`: total construction CPU) and as a max
 //! (`graph_ingest_time`: the critical-path share the overlap could not
 //! hide), so Figure 6 can report the overlap factor.
+//!
+//! With [`SessionConfig::decode_online`] the lanes additionally carry the
+//! threads' AUX chunks: each worker keeps one
+//! [`StreamingDecoder`] per thread it serves, decodes the PT packets back
+//! into branch events **while the application runs**, cross-checks the
+//! decoded branch count against the recorder when the thread reports done,
+//! and forwards the bytes to the perf session. The cost is attributed as
+//! the `pt_decode` phase (`RunStats::{decoded_branches, decode_errors,
+//! decode_time, ...}`).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
@@ -47,6 +56,7 @@ use inspector_perf::cgroup::{Cgroup, ProcessId};
 use inspector_perf::event::PerfEvent;
 use inspector_perf::session::TraceSession;
 use inspector_pt::stats::PtStats;
+use inspector_pt::stream::StreamingDecoder;
 
 use crate::config::{ExecutionMode, SessionConfig};
 use crate::ctx::ThreadCtx;
@@ -72,6 +82,19 @@ pub(crate) struct ThreadDone {
 pub(crate) enum IngestMsg {
     /// One retired sub-computation, handed off by value.
     Sub(SubComputation),
+    /// One AUX chunk, routed through the lane when
+    /// [`SessionConfig::decode_online`] is set: the worker pushes it
+    /// through the producing thread's streaming decoder (the lane's FIFO
+    /// is per-thread recording order) and then forwards the bytes to the
+    /// perf session.
+    Aux {
+        /// The producing thread — the decoder key.
+        thread: ThreadId,
+        /// The backing process — the perf attribution.
+        pid: ProcessId,
+        /// The PT packet bytes.
+        data: Vec<u8>,
+    },
     /// A thread finished; carries its statistics.
     Done(ThreadDone),
     /// Flush barrier: acknowledged once every message queued before it on
@@ -159,30 +182,102 @@ impl Drop for SenderGuard<'_> {
     }
 }
 
+/// Aggregates of one worker's online-decode stage (the `pt_decode` phase).
+#[derive(Debug, Default)]
+pub(crate) struct DecodeAgg {
+    /// Time spent inside the streaming decoders.
+    pub(crate) time: Duration,
+    /// AUX payload bytes decoded.
+    pub(crate) bytes: u64,
+    /// Branch events decoded (conditional + indirect).
+    pub(crate) branches: u64,
+    /// In-band decode errors.
+    pub(crate) errors: u64,
+    /// Threads whose clean decode disagreed with the recorder.
+    pub(crate) mismatches: u64,
+}
+
+impl DecodeAgg {
+    /// Folds one finished per-thread decoder into the aggregate.
+    fn absorb(&mut self, stats: inspector_pt::StreamStats) {
+        self.bytes += stats.bytes_consumed;
+        self.branches += stats.branches;
+        self.errors += stats.errors;
+    }
+}
+
+/// What one pool worker hands back when its lane disconnects.
+pub(crate) struct WorkerOutcome {
+    /// Exit statistics of the threads that reported on this lane.
+    pub(crate) done: Vec<ThreadDone>,
+    /// Time spent applying sub-computations to the sharded builder
+    /// (blocking on the empty lane is overlap, not cost).
+    pub(crate) busy: Duration,
+    /// Online-decode aggregates (zeroed when `decode_online` is off — no
+    /// Aux messages are routed through the lanes then).
+    pub(crate) decode: DecodeAgg,
+}
+
 /// One pool worker's ingest loop: applies every sub-computation streamed on
-/// its lane to the sharded builder and collects per-thread statistics.
-/// Returns the collected stats and the time this worker spent actually
-/// ingesting (blocking on the empty lane is overlap, not cost).
-fn ingest_loop(
-    rx: Receiver<IngestMsg>,
-    builder: Arc<ShardedCpgBuilder>,
-) -> (Vec<ThreadDone>, Duration) {
+/// its lane to the sharded builder, runs routed AUX chunks through
+/// per-thread streaming decoders (decode-while-running), and collects
+/// per-thread statistics.
+fn ingest_loop(rx: Receiver<IngestMsg>, shared: Arc<Shared>) -> WorkerOutcome {
     let mut done = Vec::new();
     let mut busy = Duration::ZERO;
+    let mut decode = DecodeAgg::default();
+    let mut decoders: HashMap<ThreadId, StreamingDecoder> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             IngestMsg::Sub(sub) => {
                 let start = Instant::now();
-                builder.ingest(sub);
+                shared.builder.ingest(sub);
                 busy += start.elapsed();
             }
-            IngestMsg::Done(stats) => done.push(stats),
+            IngestMsg::Aux { thread, pid, data } => {
+                let start = Instant::now();
+                // Counting mode: the cross-check needs the decoders'
+                // counters, not the event stream, so nothing is queued.
+                let dec = decoders
+                    .entry(thread)
+                    .or_insert_with(StreamingDecoder::counting_only);
+                dec.push(&data);
+                decode.time += start.elapsed();
+                // Decode borrowed the bytes; the perf session takes them
+                // whole, exactly as the direct (decode-off) path would.
+                shared.perf.submit(PerfEvent::Aux { pid, data });
+            }
+            IngestMsg::Done(stats) => {
+                if let Some(mut dec) = decoders.remove(&stats.thread) {
+                    let start = Instant::now();
+                    dec.finish();
+                    decode.time += start.elapsed();
+                    let s = dec.stats();
+                    // Cross-check: on a loss- and error-free stream the
+                    // decoded branches must equal what the recorder saw.
+                    if s.errors == 0
+                        && stats.pt.bytes_lost == 0
+                        && stats.pt.gaps == 0
+                        && s.branches != stats.pt.branches
+                    {
+                        decode.mismatches += 1;
+                    }
+                    decode.absorb(s);
+                }
+                done.push(stats);
+            }
             IngestMsg::Barrier(ack) => {
                 let _ = ack.send(());
             }
         }
     }
-    (done, busy)
+    // Threads that never reported Done (the app closure panicked mid-run):
+    // still account their partial decode work, without a cross-check.
+    for (_, mut dec) in decoders {
+        dec.finish();
+        decode.absorb(dec.stats());
+    }
+    WorkerOutcome { done, busy, decode }
 }
 
 /// Handle for taking consistent snapshots while the traced program runs
@@ -387,11 +482,11 @@ impl InspectorSession {
         for lane in 0..lanes {
             let (tx, rx) = std::sync::mpsc::sync_channel::<IngestMsg>(depth);
             senders.push(tx);
-            let builder = Arc::clone(&self.shared.builder);
+            let shared = Arc::clone(&self.shared);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("inspector-cpg-ingest-{lane}"))
-                    .spawn(move || ingest_loop(rx, builder))
+                    .spawn(move || ingest_loop(rx, shared))
                     .expect("failed to spawn CPG ingest worker"),
             );
         }
@@ -409,14 +504,20 @@ impl InspectorSession {
         let mut done = Vec::new();
         let mut busy_total = Duration::ZERO;
         let mut busy_max = Duration::ZERO;
+        let mut decode = DecodeAgg::default();
         for worker in workers {
-            let (worker_done, busy) = worker.join().expect("CPG ingest worker panicked");
-            done.extend(worker_done);
-            busy_total += busy;
-            busy_max = busy_max.max(busy);
+            let outcome = worker.join().expect("CPG ingest worker panicked");
+            done.extend(outcome.done);
+            busy_total += outcome.busy;
+            busy_max = busy_max.max(outcome.busy);
+            decode.time += outcome.decode.time;
+            decode.bytes += outcome.decode.bytes;
+            decode.branches += outcome.decode.branches;
+            decode.errors += outcome.decode.errors;
+            decode.mismatches += outcome.decode.mismatches;
         }
         let wall_time = start.elapsed();
-        self.assemble_report(wall_time, done, busy_total, busy_max, lanes)
+        self.assemble_report(wall_time, done, busy_total, busy_max, lanes, decode)
     }
 
     fn assemble_report(
@@ -426,6 +527,7 @@ impl InspectorSession {
         ingest_busy_total: Duration,
         ingest_busy_max: Duration,
         ingest_workers: usize,
+        decode: DecodeAgg,
     ) -> RunReport {
         done.sort_by_key(|o| o.thread);
         let mut stats = RunStats {
@@ -434,6 +536,11 @@ impl InspectorSession {
             graph_ingest_time: ingest_busy_max,
             graph_ingest_cpu_time: ingest_busy_total,
             ingest_workers,
+            decoded_branches: decode.branches,
+            decode_errors: decode.errors,
+            decode_mismatches: decode.mismatches,
+            decode_bytes: decode.bytes,
+            decode_time: decode.time,
             ..RunStats::default()
         };
         for o in &done {
@@ -759,6 +866,83 @@ mod tests {
         assert!(monitor.latest().expect("still stored").cpg.node_count() > 0);
         assert!(monitor.consume_oldest().is_some());
         assert_eq!(monitor.stored(), 0);
+    }
+
+    #[test]
+    fn online_decode_cross_checks_the_recorder() {
+        let session = InspectorSession::new(
+            SessionConfig::inspector()
+                .with_decode_online(true)
+                .with_ingest_threads(2),
+        );
+        let lock = Arc::new(InspMutex::new());
+        let report = session.run(|ctx| {
+            let lock2 = Arc::clone(&lock);
+            let worker = ctx.spawn(move |ctx| {
+                for i in 0..500u64 {
+                    ctx.branch(i % 2 == 0);
+                    if i % 50 == 0 {
+                        lock2.lock(ctx);
+                        lock2.unlock(ctx);
+                    }
+                }
+            });
+            for i in 0..500u64 {
+                ctx.call(0x40_0000 + i * 16);
+                if i % 50 == 0 {
+                    lock.lock(ctx);
+                    lock.unlock(ctx);
+                }
+            }
+            ctx.join(worker);
+        });
+        assert_eq!(report.stats.decode_errors, 0);
+        assert_eq!(report.stats.decode_mismatches, 0);
+        assert!(report.stats.decoded_branches > 0);
+        // Every recorded branch is decoded back out of the packet stream.
+        assert_eq!(report.stats.decoded_branches, report.stats.pt.branches);
+        assert!(report.stats.decode_bytes > 0);
+        assert!(report.stats.pt_decode_time() > Duration::ZERO);
+        // The AUX bytes still reached the perf session through the workers.
+        assert_eq!(
+            session.shared.perf.stats().aux_bytes,
+            report.stats.decode_bytes
+        );
+    }
+
+    #[test]
+    fn snapshot_mode_bypasses_online_decode() {
+        // A snapshot-mode window wraps mid-packet at its head; decoding it
+        // online would report spurious errors, so the stage must stay
+        // inert and the window must still reach the perf session.
+        let mut config = SessionConfig::inspector().with_decode_online(true);
+        config.aux_mode = inspector_pt::AuxMode::Snapshot;
+        config.aux_capacity = 256;
+        let session = InspectorSession::new(config);
+        let report = session.run(|ctx| {
+            for i in 0..10_000u64 {
+                ctx.branch(i % 2 == 0);
+            }
+        });
+        assert_eq!(report.stats.decode_errors, 0, "healthy run, no errors");
+        assert_eq!(report.stats.decode_mismatches, 0);
+        assert_eq!(report.stats.decoded_branches, 0, "stage bypassed");
+        assert!(session.shared.perf.stats().aux_bytes > 0);
+    }
+
+    #[test]
+    fn decode_off_leaves_decode_counters_zero() {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let report = session.run(|ctx| {
+            for i in 0..100u64 {
+                ctx.branch(i % 3 == 0);
+            }
+        });
+        assert!(report.stats.pt.branches >= 100);
+        assert_eq!(report.stats.decoded_branches, 0);
+        assert_eq!(report.stats.decode_errors, 0);
+        assert_eq!(report.stats.decode_bytes, 0);
+        assert_eq!(report.stats.decode_time, Duration::ZERO);
     }
 
     #[test]

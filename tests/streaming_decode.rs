@@ -1,0 +1,430 @@
+//! Round-trip suite for the streaming PT decoder: over **any** chunking of
+//! **any** encoded branch stream, [`StreamingDecoder`] must yield exactly
+//! the events the batch [`PacketDecoder`] produces on the concatenated
+//! bytes (property-tested); after corruption it must report exactly one
+//! error, resynchronise at the next PSB, and lose at most one PSB window —
+//! and a real [`InspectorSession`] run with `decode_online` must decode
+//! every recorded branch without perturbing the graph.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use inspector::prelude::*;
+use inspector::pt::branch::BranchEvent;
+use inspector::pt::decode::{DecodeError, PacketDecoder};
+use inspector::pt::encode::{EncoderConfig, PacketEncoder};
+use inspector::pt::stream::StreamingDecoder;
+use inspector::pt::trace::ThreadTrace;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Derives one branch event from a random seed: mostly conditionals (as in
+/// real traces), with indirect branches and returns mixed in, including
+/// far-apart targets that defeat last-IP compression.
+fn event_from_seed(seed: u64) -> BranchEvent {
+    match seed % 10 {
+        0 => BranchEvent::Indirect {
+            target: 0x40_0000 + (seed >> 4) % 0x10_0000,
+        },
+        1 => BranchEvent::Return {
+            target: (seed >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        },
+        2 => BranchEvent::Indirect {
+            target: seed, // arbitrary 64-bit targets
+        },
+        _ => BranchEvent::Conditional {
+            taken: seed & 1 == 0,
+        },
+    }
+}
+
+/// Encodes `seeds` as branch events with the given periodic-PSB interval
+/// (0 disables periodic PSBs), begin/finish markers included.
+fn encode_seeds(seeds: &[u64], psb_interval_bytes: usize) -> Vec<u8> {
+    let mut enc = PacketEncoder::with_config(EncoderConfig {
+        psb_interval_bytes,
+        ..EncoderConfig::default()
+    });
+    enc.begin(0x40_0000);
+    for &s in seeds {
+        enc.branch(&event_from_seed(s));
+    }
+    enc.finish()
+}
+
+/// Streams `bytes` through a fresh decoder cut at `cut_points`, asserting a
+/// clean decode, and returns the yielded events.
+fn stream_with_cuts(bytes: &[u8], cut_points: &[usize]) -> Vec<BranchEvent> {
+    let mut cuts: Vec<usize> = cut_points.to_vec();
+    cuts.push(bytes.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut dec = StreamingDecoder::new();
+    let mut out = Vec::new();
+    let mut prev = 0;
+    for &cut in &cuts {
+        dec.push(&bytes[prev..cut]);
+        prev = cut;
+        for item in dec.events() {
+            out.push(item.expect("well-formed stream must decode cleanly"));
+        }
+    }
+    dec.push(&bytes[prev..]);
+    dec.finish();
+    for item in dec.events() {
+        out.push(item.expect("well-formed stream must decode cleanly"));
+    }
+    assert_eq!(dec.stats().errors, 0);
+    assert_eq!(dec.buffered(), 0, "finish must consume the whole stream");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Property: streaming ≡ batch for any chunking (the tentpole contract)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn streaming_equals_batch_for_any_chunking(
+        seeds in vec(any::<u64>(), 1..300),
+        raw_cuts in vec(any::<u64>(), 0..24),
+        psb_sel in 0u64..4,
+    ) {
+        // Sweep PSB density so cuts land inside PSB runs, TNT runs and TIP
+        // payloads alike.
+        let psb_interval = [0usize, 64, 256, 4096][psb_sel as usize];
+        let bytes = encode_seeds(&seeds, psb_interval);
+        let reference = PacketDecoder::new(&bytes).decode_events().unwrap();
+        // Random cut offsets, explicitly including mid-packet positions.
+        let cuts: Vec<usize> = raw_cuts
+            .iter()
+            .map(|&c| (c as usize) % (bytes.len() + 1))
+            .collect();
+        let streamed = stream_with_cuts(&bytes, &cuts);
+        prop_assert_eq!(streamed, reference);
+    }
+
+    #[test]
+    fn single_byte_chunks_equal_batch(seeds in vec(any::<u64>(), 1..80)) {
+        // The worst chunking there is: every packet is cut at every offset.
+        let bytes = encode_seeds(&seeds, 128);
+        let reference = PacketDecoder::new(&bytes).decode_events().unwrap();
+        let cuts: Vec<usize> = (0..bytes.len()).collect();
+        let streamed = stream_with_cuts(&bytes, &cuts);
+        prop_assert_eq!(streamed, reference);
+    }
+
+    #[test]
+    fn thread_trace_drains_stream_decode(
+        seeds in vec(any::<u64>(), 1..400),
+        drain_every in 1u64..64,
+    ) {
+        // The producer side of the pipeline: a ThreadTrace drained at
+        // irregular boundaries must stream-decode to the same events as the
+        // undrained log — and every drained chunk must decode standalone
+        // (no partial tail is ever handed out).
+        let mut trace = ThreadTrace::new(0x40_0000);
+        let mut dec = StreamingDecoder::new();
+        for (i, &s) in seeds.iter().enumerate() {
+            trace.record(event_from_seed(s));
+            if i as u64 % drain_every == drain_every - 1 {
+                trace.flush();
+                let chunk = trace.drain_collected();
+                PacketDecoder::new(&chunk)
+                    .decode_events()
+                    .expect("drained chunks end on packet boundaries");
+                dec.push(&chunk);
+            }
+        }
+        let (tail, _) = trace.finish();
+        dec.push(&tail);
+        dec.finish();
+        let streamed: Vec<BranchEvent> =
+            dec.events().map(|i| i.expect("clean stream")).collect();
+        prop_assert_eq!(dec.stats().errors, 0);
+        // Conditionals and indirect transfers survive byte-exactly; only
+        // the Return/Indirect distinction is lost (both are TIPs), exactly
+        // as in the batch decoder.
+        let expected: Vec<BranchEvent> = seeds
+            .iter()
+            .map(|&s| match event_from_seed(s) {
+                BranchEvent::Return { target } => BranchEvent::Indirect { target },
+                e => e,
+            })
+            .collect();
+        let branches: Vec<BranchEvent> = streamed
+            .iter()
+            .copied()
+            .filter(|e| {
+                matches!(
+                    e,
+                    BranchEvent::Conditional { .. } | BranchEvent::Indirect { .. }
+                )
+            })
+            .collect();
+        prop_assert_eq!(branches, expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption recovery: one error, one resync, at most one PSB window lost
+// ---------------------------------------------------------------------------
+
+/// Decodes `bytes` packet-by-packet and returns each packet's start offset
+/// together with whether it is a PSB.
+fn packet_starts(bytes: &[u8]) -> Vec<(usize, bool)> {
+    let mut dec = PacketDecoder::new(bytes);
+    let mut out = Vec::new();
+    loop {
+        let pos = dec.position();
+        match dec.next_packet() {
+            Ok(Some(p)) => out.push((pos, p.mnemonic() == "PSB")),
+            Ok(None) => break,
+            Err(e) => panic!("clean stream failed to decode: {e}"),
+        }
+    }
+    out
+}
+
+/// Builds a PSB-dense stream whose TIP payload bytes can never fake a PSB
+/// pattern (no `0x82` bytes), so resync points are unambiguous.
+fn psb_dense_stream() -> Vec<u8> {
+    let mut enc = PacketEncoder::with_config(EncoderConfig {
+        psb_interval_bytes: 96,
+        ..EncoderConfig::default()
+    });
+    enc.begin(0x40_0000);
+    for i in 0..600u64 {
+        if i % 4 == 0 {
+            enc.branch(&BranchEvent::Indirect {
+                target: 0x40_0000 + (i % 64) * 8,
+            });
+        } else {
+            enc.branch(&BranchEvent::Conditional { taken: i % 2 == 0 });
+        }
+    }
+    enc.finish()
+}
+
+/// Runs a corrupted stream through the streaming decoder in small chunks
+/// and splits the outcome into events and errors.
+fn stream_corrupt(
+    bytes: &[u8],
+) -> (
+    Vec<BranchEvent>,
+    Vec<DecodeError>,
+    inspector::pt::StreamStats,
+) {
+    let mut dec = StreamingDecoder::new();
+    let mut events = Vec::new();
+    let mut errors = Vec::new();
+    for chunk in bytes.chunks(17) {
+        dec.push(chunk);
+        for item in dec.events() {
+            match item {
+                Ok(e) => events.push(e),
+                Err(e) => errors.push(e),
+            }
+        }
+    }
+    dec.finish();
+    for item in dec.events() {
+        match item {
+            Ok(e) => events.push(e),
+            Err(e) => errors.push(e),
+        }
+    }
+    (events, errors, dec.stats())
+}
+
+#[test]
+fn inserted_garbage_costs_one_error_and_at_most_one_psb_window() {
+    let clean = psb_dense_stream();
+    let reference = PacketDecoder::new(&clean).decode_events().unwrap();
+    let starts = packet_starts(&clean);
+    let psbs: Vec<usize> = starts
+        .iter()
+        .filter(|(_, is_psb)| *is_psb)
+        .map(|(pos, _)| *pos)
+        .collect();
+    assert!(psbs.len() >= 3, "need several PSB windows, got {psbs:?}");
+
+    // Corrupt at a packet boundary strictly inside the second PSB window.
+    let in_window = starts
+        .iter()
+        .map(|(pos, _)| *pos)
+        .find(|&pos| pos > psbs[1] + 20 && pos < psbs[2])
+        .expect("packet inside the second window");
+    let mut corrupt = clean[..in_window].to_vec();
+    corrupt.push(0x03); // undecodable IP-family header
+    corrupt.extend_from_slice(&clean[in_window..]);
+
+    let (events, errors, stats) = stream_corrupt(&corrupt);
+
+    // Exactly one in-band error, and it names the bad byte.
+    assert_eq!(errors.len(), 1, "errors: {errors:?}");
+    assert!(matches!(
+        errors[0],
+        DecodeError::UnknownPacket { byte: 0x03, .. }
+    ));
+    assert_eq!(stats.resyncs, 1);
+
+    // The decode is the clean prefix + everything from the resync PSB on.
+    let mut expected = PacketDecoder::new(&clean[..in_window])
+        .decode_events()
+        .unwrap();
+    expected.extend(
+        PacketDecoder::new(&clean[psbs[2]..])
+            .decode_events()
+            .unwrap(),
+    );
+    assert_eq!(events, expected);
+
+    // Lost events are bounded by one PSB window.
+    let window_events = PacketDecoder::new(&clean[psbs[1]..psbs[2]])
+        .decode_events()
+        .unwrap()
+        .len();
+    let lost = reference.len() - events.len();
+    assert!(
+        lost <= window_events,
+        "lost {lost} events, window holds {window_events}"
+    );
+}
+
+#[test]
+fn flipped_escape_costs_one_error_and_resyncs() {
+    let clean = psb_dense_stream();
+    let starts = packet_starts(&clean);
+    let psbs: Vec<usize> = starts
+        .iter()
+        .filter(|(_, is_psb)| *is_psb)
+        .map(|(pos, _)| *pos)
+        .collect();
+    let in_window = starts
+        .iter()
+        .map(|(pos, _)| *pos)
+        .find(|&pos| pos > psbs[1] && pos < psbs[2])
+        .unwrap();
+    // Flip the packet header into an unknown escape sequence.
+    let mut corrupt = clean[..in_window].to_vec();
+    corrupt.extend_from_slice(&[0x02, 0x55]);
+    corrupt.extend_from_slice(&clean[in_window..]);
+
+    let (events, errors, stats) = stream_corrupt(&corrupt);
+    assert_eq!(errors.len(), 1);
+    assert!(matches!(
+        errors[0],
+        DecodeError::UnknownPacket { byte: 0x55, .. }
+    ));
+    assert_eq!(stats.resyncs, 1);
+    // The stream resumes intact from the next PSB.
+    let resumed = PacketDecoder::new(&clean[psbs[2]..])
+        .decode_events()
+        .unwrap();
+    assert!(events.ends_with(&resumed));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: decode-while-running inside a real session
+// ---------------------------------------------------------------------------
+
+/// A deterministic single-threaded workload (no sync-object ids anywhere,
+/// so two runs produce bit-identical graphs).
+fn run_deterministic(decode_online: bool) -> RunReport {
+    let session =
+        InspectorSession::new(SessionConfig::inspector().with_decode_online(decode_online));
+    let region = session.map_region("data", 4 * 4096);
+    let base = region.base();
+    session.run(move |ctx| {
+        ctx.set_pc(0x40_1000);
+        for i in 0..3_000u64 {
+            ctx.branch(i % 3 == 0);
+            if i % 32 == 0 {
+                ctx.call(0x40_2000 + (i % 16) * 64);
+            }
+            ctx.write_u64(base.add((i % 4) * 4096), i);
+        }
+    })
+}
+
+/// Order-independent fingerprint of a graph's nodes and edges.
+fn fingerprint(cpg: &Cpg) -> (BTreeSet<String>, BTreeSet<String>) {
+    (
+        cpg.nodes().map(|n| format!("{:?}", n.id)).collect(),
+        cpg.edges().map(|e| format!("{e:?}")).collect(),
+    )
+}
+
+#[test]
+fn online_decode_recovers_every_branch_and_leaves_the_graph_unchanged() {
+    let on = run_deterministic(true);
+    let off = run_deterministic(false);
+
+    // The decode stage observed the full control flow, cleanly.
+    assert!(on.stats.decoded_branches > 0);
+    assert_eq!(on.stats.decoded_branches, on.stats.pt.branches);
+    assert_eq!(on.stats.decode_errors, 0);
+    assert_eq!(on.stats.decode_mismatches, 0);
+    assert!(on.stats.decode_bytes > 0);
+    assert!(on.stats.decode_time > std::time::Duration::ZERO);
+
+    // …and decoding is a pure observer: the provenance graph is identical
+    // to a run with decoding off.
+    assert_eq!(on.cpg.node_count(), off.cpg.node_count());
+    assert_eq!(fingerprint(&on.cpg), fingerprint(&off.cpg));
+    on.cpg.validate().expect("CPG invariants");
+
+    // The decode-off run spends nothing on pt_decode.
+    assert_eq!(off.stats.decoded_branches, 0);
+    assert_eq!(off.stats.decode_time, std::time::Duration::ZERO);
+
+    // The pt_decode phase shows up in the Figure 6 breakdown.
+    let breakdown = inspector::runtime::report::PhaseBreakdown::split(2.0, &on.stats);
+    assert!(
+        breakdown.decode_overhead > 0.0,
+        "nonzero pt_decode share expected, got {breakdown:?}"
+    );
+}
+
+#[test]
+fn online_decode_cross_check_holds_under_concurrency() {
+    let session = InspectorSession::new(
+        SessionConfig::inspector()
+            .with_decode_online(true)
+            .with_ingest_threads(3),
+    );
+    let counter = session.map_region("counter", 8).base();
+    let lock = Arc::new(InspMutex::new());
+    let report = session.run(move |ctx| {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            handles.push(ctx.spawn(move |ctx| {
+                for i in 0..200u64 {
+                    ctx.branch(i % 2 == 0);
+                    if i % 20 == 0 {
+                        lock.lock(ctx);
+                        let v = ctx.read_u64(counter);
+                        ctx.write_u64(counter, v + 1);
+                        lock.unlock(ctx);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            ctx.join(h);
+        }
+    });
+    assert_eq!(report.stats.decode_errors, 0);
+    assert_eq!(report.stats.decode_mismatches, 0);
+    assert_eq!(report.stats.decoded_branches, report.stats.pt.branches);
+    assert!(report.stats.pt.branches >= 4 * 200);
+    report.cpg.validate().expect("CPG invariants");
+    // Whatever the interleaving, the workload's semantics held too.
+    assert_eq!(session.image().read_u64_direct(counter), 4 * 10);
+}
