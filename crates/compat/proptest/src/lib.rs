@@ -6,9 +6,25 @@
 //! the `prop_assert_*` macros. Each property runs a fixed number of
 //! deterministic cases (seeded per test body by case index); there is no
 //! shrinking — a failing case panics with the ordinary assert message.
+//!
+//! Like the real proptest, the case count is overridable through the
+//! `PROPTEST_CASES` environment variable (the nightly CI workflow runs the
+//! property suites with `PROPTEST_CASES=2048`); unset or unparsable values
+//! fall back to [`NUM_CASES`].
 
-/// Number of cases each property is executed with.
+/// Number of cases each property is executed with unless overridden via
+/// `PROPTEST_CASES`.
 pub const NUM_CASES: u32 = 64;
+
+/// The effective case count: `PROPTEST_CASES` when set to a positive
+/// integer, [`NUM_CASES`] otherwise.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(NUM_CASES)
+}
 
 /// Deterministic RNG driving case generation.
 pub mod test_runner {
@@ -153,7 +169,8 @@ pub mod prelude {
 }
 
 /// Declares property tests: each `fn name(pat in strategy, ...) { body }`
-/// becomes a `#[test]` running [`NUM_CASES`] deterministic cases.
+/// becomes a `#[test]` running [`cases()`](crate::cases) deterministic
+/// cases (`PROPTEST_CASES` overrides the default [`NUM_CASES`]).
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
@@ -161,7 +178,7 @@ macro_rules! proptest {
             $(#[$attr])*
             fn $name() {
                 let mut __rng = $crate::test_runner::TestRng::default();
-                for __case in 0..$crate::NUM_CASES {
+                for __case in 0..$crate::cases() {
                     let _ = __case;
                     $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
                     $body

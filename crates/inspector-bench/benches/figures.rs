@@ -33,7 +33,7 @@ fn bench_spawn_cost_ablation(c: &mut Criterion) {
     group.bench_function("without_spawn_cost", |b| {
         let mut config = SessionConfig::inspector();
         config.charge_spawn_cost = false;
-        b.iter(|| workload.execute(config, 2, InputSize::Tiny));
+        b.iter(|| workload.execute(config.clone(), 2, InputSize::Tiny));
     });
     group.finish();
 }

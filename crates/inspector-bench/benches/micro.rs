@@ -294,9 +294,34 @@ fn bench_seal_latency(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cpg_spill(c: &mut Criterion) {
+    // Streaming construction with the spill stage bounding the resident
+    // window, vs the keep-everything baseline (threshold 0) over the same
+    // sequences: the throughput price of O(active window) memory.
+    let mut group = c.benchmark_group("cpg_spill");
+    let sequences = recorded_sequences(4);
+    let subs: usize = sequences.iter().map(|s| s.len()).sum();
+    group.throughput(Throughput::Elements(subs as u64));
+    for threshold in [0usize, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("threshold", threshold),
+            &sequences,
+            |b, sequences| {
+                b.iter(|| {
+                    inspector_bench::ingest_bench::measure_build_with_spill(
+                        sequences, 1, 8, threshold,
+                    )
+                    .cpg
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_vector_clocks, bench_fault_path, bench_pt_codec, bench_pt_decode, bench_cpg_build, bench_cpg_ingest, bench_seal_latency
+    targets = bench_vector_clocks, bench_fault_path, bench_pt_codec, bench_pt_decode, bench_cpg_build, bench_cpg_ingest, bench_seal_latency, bench_cpg_spill
 }
 criterion_main!(micro);

@@ -1,19 +1,30 @@
 //! Records the streaming-ingest perf baseline into `BENCH_ingest.json`:
 //! the `cpg_ingest` pool-size × shard-count × workload grid, the
-//! `seal_latency` sweep (ns per sub-computation), and the `pt_decode`
-//! batch-vs-streaming decode throughput (MiB/s).
+//! `seal_latency` sweep (ns per sub-computation), the `pt_decode`
+//! batch-vs-streaming decode throughput (MiB/s), and the `spill`
+//! threshold sweep (spill bandwidth + peak resident window + process RSS
+//! high-water mark).
 //!
 //! Run `--quick` (or set `INSPECTOR_BENCH_QUICK=1`) for the CI smoke shape;
 //! set `INSPECTOR_BENCH_OUT` to change the output path (default
 //! `BENCH_ingest.json` in the current directory). The file is the perf
 //! trajectory artefact: every PR's CI run uploads one, so regressions in
 //! ingest throughput or seal latency show up as a diff.
+//!
+//! `--check <baseline.json>` additionally compares the freshly measured
+//! numbers against a committed artefact and exits nonzero when any shared
+//! metric regressed by more than 30% — the CI `bench-smoke` regression
+//! gate. The comparison is skipped (exit 0, with a notice) when the
+//! baseline was recorded on a machine with a different
+//! `available_parallelism`, so multi-core runners do not flag noise against
+//! the 1-core reference artefact.
 
 use std::fmt::Write as _;
 
+use inspector_bench::check::{compare, parse_metrics, CheckOutcome};
 use inspector_bench::ingest_bench::{
     measure_batch_ns_per_sub, measure_decode_throughput, measure_grid_cell, measure_pooled_build,
-    GridCell,
+    measure_spill_cell, peak_rss_kib, GridCell,
 };
 use inspector_core::testing::lock_heavy_sequences;
 
@@ -26,14 +37,35 @@ struct WorkloadSpec {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick")
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick")
         || std::env::var("INSPECTOR_BENCH_QUICK")
             .map(|v| v == "1")
             .unwrap_or(false);
+    let check_baseline = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).cloned().expect("--check needs a path"));
+    // Read the baseline *before* any artefact is written: the default out
+    // path is the baseline's own path, and a gate that compares a file
+    // against itself always passes.
+    let baseline = check_baseline.as_ref().map(|path| {
+        let json =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        (path.clone(), parse_metrics(&json))
+    });
     let out_path =
         std::env::var("INSPECTOR_BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".into());
-    let repeats = if quick { 2 } else { 5 };
-    let iterations = if quick { 80 } else { 200 };
+    // `--quick` narrows the *sweep* (fewer pools/shards/lengths/chunks and
+    // fewer grid repeats) but never the *shape* of an individual
+    // measurement: the regression gate compares quick runs against the
+    // committed full baseline, and a cell is only comparable when it
+    // measured the same workload at the same length. Best-of-2 is also too
+    // noisy for the 30% gate on a loaded 1-core runner, so the cheap
+    // sections keep best-of-5 even under --quick.
+    let repeats = if quick { 3 } else { 5 };
+    let cheap_repeats = 5;
+    let iterations = 200;
     let pools: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4] };
     let shard_counts: &[usize] = if quick { &[8] } else { &[1, 4, 8] };
 
@@ -68,7 +100,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"bench\": \"cpg_ingest + seal_latency + pt_decode\","
+        "  \"bench\": \"cpg_ingest + seal_latency + pt_decode + spill\","
     );
     let _ = writeln!(json, "  \"unit\": \"ns_per_subcomputation\",");
     let _ = writeln!(json, "  \"pt_decode_unit\": \"mib_per_sec\",");
@@ -139,13 +171,15 @@ fn main() {
     // Seal latency vs run length under complete delivery: the per-sub seal
     // cost must stay (near-)flat because everything resolved at ingest.
     json.push_str("  \"seal_latency\": [\n");
-    let lengths: &[u64] = if quick { &[50, 400] } else { &[50, 200, 800] };
+    // Quick sweeps a subset of the full lengths so both points stay
+    // comparable under the gate.
+    let lengths: &[u64] = if quick { &[50, 200] } else { &[50, 200, 800] };
     for (li, &len) in lengths.iter().enumerate() {
         let sequences = lock_heavy_sequences(4, len, 32, 16);
         let subs: usize = sequences.iter().map(|s| s.len()).sum();
         let mut best_seal = f64::MAX;
         let mut data_at_seal = 0;
-        for _ in 0..repeats {
+        for _ in 0..cheap_repeats {
             let build = measure_pooled_build(&sequences, 1, 8);
             best_seal = best_seal.min(build.seal_time.as_nanos() as f64 / subs as f64);
             data_at_seal = data_at_seal.max(build.stats.data_resolved_at_seal);
@@ -170,10 +204,11 @@ fn main() {
     // Decode-while-running throughput: the streaming decoder fed at AUX
     // chunk granularities vs the batch reference over the same stream.
     json.push_str("  \"pt_decode\": [\n");
-    let decode_branches: u64 = if quick { 50_000 } else { 200_000 };
+    // Same stream length in both shapes — see the comparability note above.
+    let decode_branches: u64 = 200_000;
     let chunk_sizes: &[usize] = if quick { &[4096] } else { &[512, 4096, 65536] };
     for (ci, &chunk) in chunk_sizes.iter().enumerate() {
-        let t = measure_decode_throughput(decode_branches, chunk, repeats);
+        let t = measure_decode_throughput(decode_branches, chunk, cheap_repeats);
         eprintln!(
             "pt_decode/chunk{}: {} branches, {} bytes, batch {:.0} MiB/s, \
              streaming {:.0} MiB/s ({:.2e} branches/s)",
@@ -198,10 +233,84 @@ fn main() {
             if ci + 1 < chunk_sizes.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    // Spill sweep: the same pooled build with the spill stage bounding the
+    // resident window. Throughput cost (ns/sub vs threshold 0), spill write
+    // bandwidth, and how small the peak resident window gets.
+    json.push_str("  \"spill\": [\n");
+    let spill_iterations = if quick { 200 } else { 400 };
+    let spill_sequences = lock_heavy_sequences(4, spill_iterations, 32, 16);
+    let thresholds: &[usize] = if quick { &[0, 32] } else { &[0, 8, 64, 512] };
+    for (ti, &threshold) in thresholds.iter().enumerate() {
+        let cell = measure_spill_cell(&spill_sequences, 1, 8, threshold, repeats);
+        eprintln!(
+            "spill/threshold={threshold}: {} subs, total {:.0} ns/sub, \
+             spilled {} ({} bytes, {:.0} MiB/s), peak resident {}",
+            cell.subcomputations,
+            cell.total_ns_per_sub,
+            cell.spilled_subs,
+            cell.spill_bytes,
+            cell.spill_mib_per_sec,
+            cell.peak_resident_subs
+        );
+        if threshold > 0 {
+            assert!(
+                cell.spilled_subs > 0,
+                "a positive threshold must actually spill on this workload"
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"threshold\": {}, \"subcomputations\": {}, \
+             \"total_ns_per_sub\": {:.1}, \"spill_mib_per_sec\": {:.1}, \
+             \"spilled_subs\": {}, \"spill_bytes\": {}, \"peak_resident_subs\": {}}}{}",
+            cell.threshold,
+            cell.subcomputations,
+            cell.total_ns_per_sub,
+            cell.spill_mib_per_sec,
+            cell.spilled_subs,
+            cell.spill_bytes,
+            cell.peak_resident_subs,
+            if ti + 1 < thresholds.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let rss = peak_rss_kib().unwrap_or(0);
+    eprintln!("peak RSS (VmHWM): {rss} KiB");
+    let _ = writeln!(json, "  \"peak_rss_kib\": {rss}");
+    json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("write BENCH_ingest.json");
     eprintln!("wrote {out_path}");
+
+    // Regression gate: compare the fresh numbers against the committed
+    // baseline (read before the artefact was written). Running after the
+    // write means a failing gate still leaves the new numbers on disk for
+    // inspection/upload.
+    if let Some((baseline_path, baseline)) = baseline {
+        let current = parse_metrics(&json);
+        match compare(&current, &baseline, 0.30) {
+            CheckOutcome::Skipped(reason) => {
+                eprintln!("bench check SKIPPED vs {baseline_path}: {reason}");
+            }
+            CheckOutcome::Passed(compared) => {
+                eprintln!(
+                    "bench check PASSED vs {baseline_path}: {compared} shared metrics within 30%"
+                );
+            }
+            CheckOutcome::Failed(regressions) => {
+                eprintln!(
+                    "bench check FAILED vs {baseline_path}: {} metric(s) regressed >30%:",
+                    regressions.len()
+                );
+                for r in &regressions {
+                    eprintln!("  {r}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// Prints the headline comparison: 4-wide pool vs the single-ingest-thread

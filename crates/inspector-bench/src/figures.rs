@@ -93,6 +93,11 @@ pub struct Fig6Row {
     /// Share attributed to online PT decoding (the `pt_decode` phase).
     /// Zero unless the run set `INSPECTOR_DECODE_ONLINE`/`decode_online`.
     pub pt_decode: f64,
+    /// Share attributed to the spill stage (`spill` phase). Zero unless the
+    /// run set `INSPECTOR_SPILL_THRESHOLD`/`spill_threshold`.
+    pub spill: f64,
+    /// Sub-computations the spill stage moved to disk (0 with spilling off).
+    pub spilled_subs: u64,
     /// Branch events the decode stage recovered from the packet stream
     /// (0 when decoding offline).
     pub decoded_branches: u64,
@@ -122,6 +127,8 @@ pub fn figure6(size: InputSize, threads: usize, repeats: usize) -> Vec<Fig6Row> 
                 pt: b.pt_overhead,
                 graph: b.graph_overhead,
                 pt_decode: b.decode_overhead,
+                spill: b.spill_overhead,
+                spilled_subs: m.report.stats.spilled_subs,
                 decoded_branches: m.report.stats.decoded_branches,
                 decode_errors: m.report.stats.decode_errors,
                 graph_overlap: m.report.stats.ingest_overlap_factor(),
@@ -135,24 +142,26 @@ pub fn figure6(size: InputSize, threads: usize, repeats: usize) -> Vec<Fig6Row> 
 pub fn print_figure6(rows: &[Fig6Row]) {
     println!("Figure 6: overhead breakdown at {BREAKDOWN_THREADS} threads (ratio over native)");
     println!(
-        "{:<20}{:>10}{:>16}{:>14}{:>13}{:>12}{:>14}",
+        "{:<20}{:>10}{:>16}{:>14}{:>13}{:>12}{:>9}{:>14}",
         "application",
         "total",
         "threading lib",
         "OS/Intel PT",
         "CPG ingest",
         "pt_decode",
+        "spill",
         "pool overlap"
     );
     for r in rows {
         println!(
-            "{:<20}{:>9.2}x{:>15.2}x{:>13.2}x{:>12.2}x{:>11.2}x{:>9.2}x/{}w",
+            "{:<20}{:>9.2}x{:>15.2}x{:>13.2}x{:>12.2}x{:>11.2}x{:>8.2}x{:>9.2}x/{}w",
             r.name,
             r.total,
             r.threading,
             r.pt,
             r.graph,
             r.pt_decode,
+            r.spill,
             r.graph_overlap,
             r.ingest_workers
         );
@@ -161,6 +170,10 @@ pub fn print_figure6(rows: &[Fig6Row]) {
         let decoded: u64 = rows.iter().map(|r| r.decoded_branches).sum();
         let errors: u64 = rows.iter().map(|r| r.decode_errors).sum();
         println!("online decode: {decoded} branches recovered, {errors} decode errors");
+    }
+    if rows.iter().any(|r| r.spilled_subs > 0) {
+        let spilled: u64 = rows.iter().map(|r| r.spilled_subs).sum();
+        println!("spill stage: {spilled} sub-computations moved to disk during the runs");
     }
 }
 
@@ -360,9 +373,15 @@ mod tests {
     fn figure6_breakdown_components_do_not_exceed_total() {
         let rows = figure6(InputSize::Tiny, 2, 1);
         for r in &rows {
-            assert!(r.threading >= 0.0 && r.pt >= 0.0 && r.graph >= 0.0 && r.pt_decode >= 0.0);
             assert!(
-                r.threading + r.pt + r.graph + r.pt_decode <= r.total + 1e-9,
+                r.threading >= 0.0
+                    && r.pt >= 0.0
+                    && r.graph >= 0.0
+                    && r.pt_decode >= 0.0
+                    && r.spill >= 0.0
+            );
+            assert!(
+                r.threading + r.pt + r.graph + r.pt_decode + r.spill <= r.total + 1e-9,
                 "{:?}",
                 r
             );
@@ -438,6 +457,8 @@ mod tests {
                 pt: 0.3,
                 graph: 0.15,
                 pt_decode: 0.05,
+                spill: 0.02,
+                spilled_subs: 17,
                 decoded_branches: 1234,
                 decode_errors: 0,
                 graph_overlap: 2.5,

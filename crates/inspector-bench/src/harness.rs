@@ -62,9 +62,9 @@ pub fn measure_overhead(
     let mut inspector_times = Vec::with_capacity(repeats);
     let mut last_report = None;
     for _ in 0..repeats {
-        let native = workload.execute(native_config, threads, size);
+        let native = workload.execute(native_config.clone(), threads, size);
         native_times.push(native.report.stats.wall_time);
-        let tracked = workload.execute(inspector_config, threads, size);
+        let tracked = workload.execute(inspector_config.clone(), threads, size);
         inspector_times.push(tracked.report.stats.wall_time);
         last_report = Some(tracked.report);
     }
@@ -112,64 +112,28 @@ pub fn size_from_env(default: InputSize) -> InputSize {
 }
 
 /// Applies the streaming-pipeline knobs from the environment to a session
-/// configuration:
+/// configuration (`INSPECTOR_INGEST_THREADS`, `INSPECTOR_CPG_SHARDS`,
+/// `INSPECTOR_INGEST_QUEUE_DEPTH`, `INSPECTOR_DECODE_ONLINE`,
+/// `INSPECTOR_SPILL_THRESHOLD`, `INSPECTOR_SPILL_DIR`).
 ///
-/// * `INSPECTOR_INGEST_THREADS` — ingest-pool width,
-/// * `INSPECTOR_CPG_SHARDS` — streaming-builder lock stripes,
-/// * `INSPECTOR_INGEST_QUEUE_DEPTH` — per-lane bounded-channel capacity,
-/// * `INSPECTOR_DECODE_ONLINE` — `1`/`true` decodes PT packets on the
-///   ingest workers while the program runs (the `pt_decode` phase).
-///
-/// Unset or unparsable variables leave the corresponding default untouched;
-/// values are clamped to at least one.
+/// Parsing lives in [`SessionConfig::apply_env`] — one contract for every
+/// consumer: unset, unrecognized or (for the structural knobs) zero values
+/// leave the configured default untouched.
 pub fn pipeline_config_from_env(config: SessionConfig) -> SessionConfig {
-    apply_pipeline_knobs(config, |name| std::env::var(name).ok())
-}
-
-/// [`pipeline_config_from_env`] with the variable lookup injected, so tests
-/// can exercise the parsing without mutating (or depending on) the process
-/// environment.
-fn apply_pipeline_knobs(
-    mut config: SessionConfig,
-    lookup: impl Fn(&str) -> Option<String>,
-) -> SessionConfig {
-    let knob = |name: &str| -> Option<usize> { lookup(name)?.trim().parse().ok() };
-    if let Some(workers) = knob("INSPECTOR_INGEST_THREADS") {
-        config = config.with_ingest_threads(workers);
-    }
-    if let Some(shards) = knob("INSPECTOR_CPG_SHARDS") {
-        config = config.with_cpg_shards(shards);
-    }
-    if let Some(depth) = knob("INSPECTOR_INGEST_QUEUE_DEPTH") {
-        config = config.with_ingest_queue_depth(depth);
-    }
-    if let Some(raw) = lookup("INSPECTOR_DECODE_ONLINE") {
-        // Same contract as the numeric knobs: an unrecognized value leaves
-        // the configured default untouched instead of force-disabling.
-        let v = raw.trim();
-        let parsed = if v == "1" || v.eq_ignore_ascii_case("true") {
-            Some(true)
-        } else if v == "0" || v.eq_ignore_ascii_case("false") {
-            Some(false)
-        } else {
-            None
-        };
-        if let Some(on) = parsed {
-            config = config.with_decode_online(on);
-        }
-    }
-    config
+    config.apply_env()
 }
 
 /// One-line description of the pipeline knobs a configuration runs with,
 /// printed by the figure binaries so every emitted report records them.
 pub fn pipeline_knobs_label(config: &SessionConfig) -> String {
     format!(
-        "ingest_threads={} cpg_shards={} ingest_queue_depth={} decode_online={}",
+        "ingest_threads={} cpg_shards={} ingest_queue_depth={} decode_online={} \
+         spill_threshold={}",
         config.ingest_threads,
         config.cpg_shards,
         config.ingest_queue_depth,
-        config.decode_online as u8
+        config.decode_online as u8,
+        config.spill_threshold
     )
 }
 
@@ -239,40 +203,25 @@ mod tests {
 
     #[test]
     fn pipeline_knobs_parse_and_fall_back() {
+        // Parsing itself is unit-tested in inspector-runtime's config
+        // module; here we only verify the delegation surface the figure
+        // binaries use.
         let base = SessionConfig::inspector();
-        // No variables set: the configuration is unchanged.
-        assert_eq!(apply_pipeline_knobs(base, |_| None), base);
-        // Unparsable values are ignored, parsable ones applied.
-        let parsed = apply_pipeline_knobs(base, |name| match name {
+        let parsed = base.clone().apply_env_with(|name| match name {
             "INSPECTOR_INGEST_THREADS" => Some(" 3 ".into()),
             "INSPECTOR_CPG_SHARDS" => Some("not-a-number".into()),
             "INSPECTOR_INGEST_QUEUE_DEPTH" => Some("64".into()),
             "INSPECTOR_DECODE_ONLINE" => Some("1".into()),
+            "INSPECTOR_SPILL_THRESHOLD" => Some("32".into()),
             _ => None,
         });
         assert_eq!(parsed.ingest_threads, 3);
         assert_eq!(parsed.cpg_shards, base.cpg_shards);
         assert_eq!(parsed.ingest_queue_depth, 64);
         assert!(parsed.decode_online);
-        // Recognized spellings apply; anything else leaves the configured
-        // default untouched (same contract as the numeric knobs).
-        let on_by_default = base.with_decode_online(true);
-        for (value, expect_from_off, expect_from_on) in [
-            ("true", true, true),
-            ("TRUE", true, true),
-            ("0", false, false),
-            ("false", false, false),
-            ("banana", false, true), // unparsable: default preserved
-        ] {
-            let from_off = apply_pipeline_knobs(base, |name| {
-                (name == "INSPECTOR_DECODE_ONLINE").then(|| value.into())
-            });
-            assert_eq!(from_off.decode_online, expect_from_off, "value {value:?}");
-            let from_on = apply_pipeline_knobs(on_by_default, |name| {
-                (name == "INSPECTOR_DECODE_ONLINE").then(|| value.into())
-            });
-            assert_eq!(from_on.decode_online, expect_from_on, "value {value:?}");
-        }
+        assert_eq!(parsed.spill_threshold, 32);
+        let label = pipeline_knobs_label(&parsed);
+        assert!(label.contains("spill_threshold=32"));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use inspector_core::graph::{Cpg, CpgBuilder};
 use inspector_core::sharded::{IngestStats, ShardedCpgBuilder};
+use inspector_core::spill::SpillSettings;
 use inspector_core::subcomputation::SubComputation;
 use inspector_pt::branch::BranchEvent;
 use inspector_pt::decode::PacketDecoder;
@@ -25,6 +26,17 @@ use inspector_pt::stream::StreamingDecoder;
 /// baseline shape (PR 1's pipeline).
 pub fn ingest_with_pool(sequences: &[Vec<SubComputation>], pool: usize, shards: usize) -> Cpg {
     measure_pooled_build(sequences, pool, shards).cpg
+}
+
+/// A bench-unique spill directory under the system temp dir.
+fn bench_spill_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "inspector-bench-spill-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
 }
 
 /// One timed pooled build, with the phases split out.
@@ -46,7 +58,20 @@ pub fn measure_pooled_build(
     pool: usize,
     shards: usize,
 ) -> PooledBuild {
-    let builder = ShardedCpgBuilder::with_shards(shards);
+    measure_build_with_spill(sequences, pool, shards, 0)
+}
+
+/// [`measure_pooled_build`] with the spill stage enabled at `threshold`
+/// (0 keeps everything resident — the plain pooled build).
+pub fn measure_build_with_spill(
+    sequences: &[Vec<SubComputation>],
+    pool: usize,
+    shards: usize,
+    spill_threshold: usize,
+) -> PooledBuild {
+    let spill =
+        (spill_threshold > 0).then(|| SpillSettings::new(spill_threshold, bench_spill_dir()));
+    let builder = ShardedCpgBuilder::with_shards_and_spill(shards, spill);
     let ingest_start = Instant::now();
     if pool <= 1 {
         for seq in sequences {
@@ -148,6 +173,84 @@ pub fn measure_grid_cell(
         seal_ns_per_sub: best_seal.as_nanos() as f64 / subs as f64,
         data_resolved_at_seal,
     }
+}
+
+/// One row of the `spill` section in `BENCH_ingest.json`: a pooled build
+/// with the spill stage enabled, so the artefact tracks what bounding
+/// resident memory costs (throughput) and buys (peak resident window).
+#[derive(Debug, Clone)]
+pub struct SpillCell {
+    /// Spill threshold the build ran with (0 = spilling off).
+    pub threshold: usize,
+    /// Best-of-N total construction time (ingest + seal) per
+    /// sub-computation, nanoseconds.
+    pub total_ns_per_sub: f64,
+    /// Spill-stage write bandwidth, MiB of encoded records per second of
+    /// spill time (best repeat). Zero when nothing spilled.
+    pub spill_mib_per_sec: f64,
+    /// Sub-computations spilled (worst repeat — they should all match).
+    pub spilled_subs: u64,
+    /// Bytes appended to the spill segments.
+    pub spill_bytes: u64,
+    /// Largest resident sub-computation count observed.
+    pub peak_resident_subs: u64,
+    /// Total sub-computations streamed.
+    pub subcomputations: usize,
+}
+
+/// Measures one spill cell: `repeats` pooled builds with the spill stage at
+/// `threshold`, keeping the best total time and the best spill bandwidth.
+pub fn measure_spill_cell(
+    sequences: &[Vec<SubComputation>],
+    pool: usize,
+    shards: usize,
+    threshold: usize,
+    repeats: usize,
+) -> SpillCell {
+    let subs: usize = sequences.iter().map(|s| s.len()).sum();
+    let mut best_total = Duration::MAX;
+    let mut best_mib_per_sec = 0.0f64;
+    let mut spilled_subs = 0;
+    let mut spill_bytes = 0;
+    let mut peak_resident = 0;
+    for _ in 0..repeats.max(1) {
+        let build = measure_build_with_spill(sequences, pool, shards, threshold);
+        assert_eq!(build.cpg.node_count(), subs, "spilled build lost nodes");
+        best_total = best_total.min(build.ingest_time + build.seal_time);
+        let spill_secs = build.stats.spill_time.as_secs_f64();
+        if build.stats.spill_bytes > 0 && spill_secs > 0.0 {
+            let mib = build.stats.spill_bytes as f64 / (1024.0 * 1024.0);
+            best_mib_per_sec = best_mib_per_sec.max(mib / spill_secs);
+        }
+        spilled_subs = spilled_subs.max(build.stats.spilled_subs);
+        spill_bytes = spill_bytes.max(build.stats.spill_bytes);
+        peak_resident = peak_resident.max(build.stats.peak_resident_subs);
+    }
+    SpillCell {
+        threshold,
+        total_ns_per_sub: best_total.as_nanos() as f64 / subs as f64,
+        spill_mib_per_sec: best_mib_per_sec,
+        spilled_subs,
+        spill_bytes,
+        peak_resident_subs: peak_resident,
+        subcomputations: subs,
+    }
+}
+
+/// Peak resident-set size of this process in KiB (`VmHWM` from
+/// `/proc/self/status`), `None` where the file is unavailable (non-Linux).
+/// Recorded alongside the spill section so the artefact pairs the builder's
+/// logical window with the process-level high-water mark.
+pub fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status.lines().find_map(|line| {
+        line.strip_prefix("VmHWM:")?
+            .trim()
+            .trim_end_matches("kB")
+            .trim()
+            .parse()
+            .ok()
+    })
 }
 
 /// Best-of-N batch (`CpgBuilder::build`) construction time per
@@ -303,6 +406,40 @@ mod tests {
         assert!(t.batch_mib_per_sec() > 0.0);
         assert!(t.streaming_mib_per_sec() > 0.0);
         assert!(t.streaming_branches_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn spilled_pooled_build_matches_plain_build() {
+        let sequences = inspector_core::testing::lock_heavy_sequences(4, 15, 8, 8);
+        let plain = measure_pooled_build(&sequences, 2, 4);
+        let spilled = measure_build_with_spill(&sequences, 2, 4, 1);
+        let fingerprint =
+            |cpg: &Cpg| -> BTreeSet<String> { cpg.edges().map(|e| format!("{e:?}")).collect() };
+        assert_eq!(spilled.cpg.node_count(), plain.cpg.node_count());
+        assert_eq!(fingerprint(&spilled.cpg), fingerprint(&plain.cpg));
+        assert!(spilled.stats.spilled_subs > 0);
+        assert_eq!(plain.stats.spilled_subs, 0);
+    }
+
+    #[test]
+    fn spill_cell_reports_bounded_window() {
+        let sequences = inspector_core::testing::lock_heavy_sequences(4, 20, 8, 8);
+        let cell = measure_spill_cell(&sequences, 1, 4, 1, 1);
+        assert!(cell.total_ns_per_sub > 0.0);
+        assert!(cell.spilled_subs > 0);
+        assert!(cell.spill_bytes > 0);
+        assert!(cell.spill_mib_per_sec > 0.0);
+        assert!(
+            cell.peak_resident_subs < cell.subcomputations as u64,
+            "spilling must keep the window below the trace length"
+        );
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_kib().unwrap_or(0) > 0);
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! scale with threads and input size, and how large/compressible the logs
 //! are.
 
+pub mod check;
 pub mod figures;
 pub mod harness;
 pub mod ingest_bench;

@@ -31,7 +31,12 @@
 //!   page write index is maintained so the final
 //!   [`seal`](sharded::ShardedCpgBuilder::seal) only resolves cross-shard
 //!   data-dependence edges. Peak memory tracks the in-flight
-//!   sub-computations, not a second copy of the whole trace.
+//!   sub-computations, not a second copy of the whole trace — and with
+//!   [`spill::SpillSettings`] it is bounded to an *active window*: sealed-off
+//!   consistent prefixes are encoded into length-prefixed, append-only
+//!   per-shard segment files (see [`spill`] for the on-disk format), faulted
+//!   back in on demand for live snapshots, and concatenated back into the
+//!   final graph at seal.
 //! * [`graph::CpgBuilder`] — the **batch** reference. It buffers every
 //!   thread's full sequence and derives all edges in one offline pass; it is
 //!   the oracle the streaming path is tested against (the two produce
@@ -58,6 +63,7 @@ pub mod query;
 pub mod recorder;
 pub mod sharded;
 pub mod snapshot;
+pub mod spill;
 pub mod subcomputation;
 pub mod taint;
 pub mod testing;
@@ -69,5 +75,6 @@ pub use graph::{Cpg, CpgBuilder, DependenceEdge, EdgeKind};
 pub use ids::{PageId, SubId, SyncObjectId, ThreadId, ThunkId};
 pub use recorder::{SyncClockRegistry, ThreadRecorder};
 pub use sharded::{IngestStats, ShardedCpgBuilder};
+pub use spill::{SpillSettings, SpillStore};
 pub use subcomputation::SubComputation;
 pub use thunk::Thunk;

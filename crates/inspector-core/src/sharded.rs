@@ -33,16 +33,33 @@
 //!   [`Cpg`]. End-of-run latency no longer scales with the number of
 //!   sub-computations' dependences, only with the moves.
 //!
+//! * **Bounded resident memory (spill).** With
+//!   [`SpillSettings`] the builder keeps only an *active window* of
+//!   sub-computations in memory: whenever a shard's resident count crosses
+//!   the spill threshold, the consistent prefix of each of its threads —
+//!   every sub whose causal frontier is fully delivered, i.e. exactly the
+//!   region the frontier wait-index can never touch again — is encoded into
+//!   the shard's append-only [`SpillStore`] together with the stripe-local
+//!   (control + data) edges into it, and evicted. The release and page-write
+//!   indexes keep only `(α, clock)` entries, so spilled writers still
+//!   resolve future readers; live snapshots fault spilled nodes back in
+//!   through the store's `SubId → (segment, offset)` index; and
+//!   [`seal`](ShardedCpgBuilder::seal) concatenates the segments back into
+//!   the final graph instead of moving nodes, making peak resident memory
+//!   O(active window) instead of O(trace length) (paper §VI).
+//!
 //! The streamed graph is node- and edge-identical to the batch result — the
 //! same candidate-selection and dominance-pruning kernel
 //! ([`crate::graph`]'s `prune_superseded_writers`) runs over the same
-//! indexed data, only earlier — which `tests/streaming_equivalence.rs` and
-//! the `incremental_data_edges` property suite enforce across workloads,
-//! thread counts and delivery interleavings.
+//! indexed data, only earlier — which `tests/streaming_equivalence.rs`, the
+//! `incremental_data_edges` property suite and the `spill_equivalence`
+//! property suite enforce across workloads, thread counts, delivery
+//! interleavings and spill thresholds.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -52,7 +69,8 @@ use crate::graph::{
     ordered_before, prune_superseded_writers, Cpg, CpgBuilder, DependenceEdge, EdgeKind,
 };
 use crate::ids::{PageId, SubId, SyncObjectId, ThreadId};
-use crate::subcomputation::SubComputation;
+use crate::spill::{SpillSettings, SpillStore};
+use crate::subcomputation::{SubComputation, SyncPoint};
 
 /// Default number of lock stripes.
 const DEFAULT_SHARDS: usize = 8;
@@ -82,6 +100,18 @@ pub struct IngestStats {
     /// Largest number of readers ever parked while waiting for their causal
     /// frontier.
     pub peak_parked_readers: u64,
+    /// Sub-computations moved out of memory into the spill segments. Zero
+    /// unless the builder was created with [`SpillSettings`].
+    pub spilled_subs: u64,
+    /// Bytes appended to the spill segments (record framing included).
+    pub spill_bytes: u64,
+    /// CPU time spent encoding and appending spill records.
+    pub spill_time: Duration,
+    /// Largest number of sub-computations ever resident in memory at once.
+    /// With spilling enabled this is the measured active window — bounded by
+    /// the threshold plus whatever the causal frontier kept pinned — rather
+    /// than the trace length.
+    pub peak_resident_subs: u64,
 }
 
 /// An acquire-terminated boundary whose successor sub-computation has been
@@ -111,12 +141,43 @@ struct PendingReader {
     read_set: Vec<PageId>,
 }
 
+/// One thread's stored execution sequence inside a shard: the live suffix
+/// plus enough metadata about the spilled prefix to keep ingesting.
+#[derive(Debug, Default)]
+struct ThreadSeq {
+    /// Number of sub-computations already spilled to disk; the live suffix
+    /// starts at α = `base`.
+    base: u64,
+    /// Identity and terminator of the newest *spilled* sub-computation, so
+    /// the next ingest can still emit its control edge and recognise an
+    /// acquire-terminated predecessor after the prefix left memory.
+    spilled_tail: Option<(SubId, Option<SyncPoint>)>,
+    /// Resident sub-computations, in α order.
+    live: Vec<SubComputation>,
+}
+
+impl ThreadSeq {
+    /// Total sub-computations ingested for this thread (spilled + live).
+    fn len(&self) -> u64 {
+        self.base + self.live.len() as u64
+    }
+
+    /// Identity and terminator of the most recently ingested
+    /// sub-computation, whether it is still resident or already spilled.
+    fn last_info(&self) -> Option<(SubId, Option<SyncPoint>)> {
+        self.live
+            .last()
+            .map(|sub| (sub.id, sub.terminator))
+            .or(self.spilled_tail)
+    }
+}
+
 /// One thread-keyed lock stripe: node storage plus the control and data
 /// edges emitted on ingest.
 #[derive(Debug, Default)]
 struct Shard {
     /// Per-thread execution sequences in ingest (= α) order.
-    sequences: BTreeMap<ThreadId, Vec<SubComputation>>,
+    sequences: BTreeMap<ThreadId, ThreadSeq>,
     /// Intra-thread program-order edges, emitted on ingest.
     control_edges: Vec<DependenceEdge>,
     /// Data-dependence edges into readers stored in this stripe, emitted
@@ -124,6 +185,16 @@ struct Shard {
     /// common resolve-at-own-ingest path appends under the lock it already
     /// holds instead of re-taking the sync stripe.
     data_edges: Vec<DependenceEdge>,
+    /// Append-only on-disk store for sealed-off prefixes (`None` when
+    /// spilling is disabled).
+    spill: Option<SpillStore>,
+    /// Ingests into this stripe since the last spill attempt. Attempts are
+    /// amortised to one per `threshold` ingests: a cut computation takes
+    /// the sync stripe and clones the frontier, which must not be paid per
+    /// ingest — neither on the happy path (batch ~threshold nodes per
+    /// attempt instead of one) nor when the stripe head is pinned by an
+    /// incomplete frontier and every attempt would be a no-op.
+    ingests_since_spill: usize,
 }
 
 /// One writing sub-computation in the page index: its α and its clock,
@@ -347,9 +418,9 @@ impl SyncState {
         }
     }
 
-    /// Counter snapshot; the data-edge counters live in builder-level
-    /// atomics (they are updated off this stripe's lock) and are filled in
-    /// by the caller.
+    /// Counter snapshot; the data-edge and spill counters live in
+    /// builder-level atomics (they are updated off this stripe's lock) and
+    /// are filled in by the caller.
     fn snapshot(&self, data_resolved_at_ingest: u64, data_resolved_at_seal: u64) -> IngestStats {
         IngestStats {
             ingested: self.ingested,
@@ -359,6 +430,7 @@ impl SyncState {
             data_resolved_at_seal,
             peak_parked_acquires: self.peak_parked,
             peak_parked_readers: self.peak_parked_readers,
+            ..IngestStats::default()
         }
     }
 }
@@ -395,11 +467,24 @@ pub struct ShardedCpgBuilder {
     /// Page-keyed write-index stripes (same stripe count as `shards`).
     pages: Vec<Mutex<PageShard>>,
     sync: Mutex<SyncState>,
+    /// Spill configuration; `None` (or threshold 0) keeps every node
+    /// resident until the seal.
+    spill: Option<SpillSettings>,
     /// Data edges resolved during ingestion (updated lock-free from the
     /// resolution paths).
     data_at_ingest: AtomicU64,
     /// Data edges the seal-time safety net resolved.
     data_at_seal: AtomicU64,
+    /// Sub-computations spilled to disk in the current build.
+    spilled_subs: AtomicU64,
+    /// Bytes appended to the spill segments in the current build.
+    spill_bytes: AtomicU64,
+    /// Nanoseconds spent in the spill stage in the current build.
+    spill_time_nanos: AtomicU64,
+    /// Sub-computations currently resident in the shards.
+    resident: AtomicU64,
+    /// Largest `resident` value observed in the current build.
+    peak_resident: AtomicU64,
     /// Final counters of the most recently sealed build.
     last_sealed: Mutex<Option<IngestStats>>,
     /// Number of `ingest()` calls currently in flight (quiesce guard).
@@ -421,18 +506,64 @@ impl ShardedCpgBuilder {
     /// Creates a builder with `shards` lock stripes (at least one) in both
     /// the thread-keyed node family and the page-keyed index family.
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_and_spill(shards, None)
+    }
+
+    /// Creates a builder with `shards` lock stripes and, when `spill` names
+    /// a positive threshold, an on-disk [`SpillStore`] per shard under
+    /// `spill.dir`. The directory should be dedicated to this builder —
+    /// segment file names only encode the shard index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spill directory (or a segment file in it) cannot be
+    /// created.
+    pub fn with_shards_and_spill(shards: usize, spill: Option<SpillSettings>) -> Self {
         let shards = shards.max(1);
+        let spill = spill.filter(|s| s.threshold > 0);
         ShardedCpgBuilder {
-            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..shards)
+                .map(|i| {
+                    let store = spill.as_ref().map(|s| {
+                        SpillStore::create(&s.dir, i, s.segment_bytes)
+                            .expect("create spill segment directory")
+                    });
+                    Mutex::new(Shard {
+                        spill: store,
+                        ..Shard::default()
+                    })
+                })
+                .collect(),
             pages: (0..shards)
                 .map(|_| Mutex::new(PageShard::default()))
                 .collect(),
             sync: Mutex::new(SyncState::default()),
+            spill,
             data_at_ingest: AtomicU64::new(0),
             data_at_seal: AtomicU64::new(0),
+            spilled_subs: AtomicU64::new(0),
+            spill_bytes: AtomicU64::new(0),
+            spill_time_nanos: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            peak_resident: AtomicU64::new(0),
             last_sealed: Mutex::new(None),
             active_producers: AtomicUsize::new(0),
         }
+    }
+
+    /// The spill threshold, when spilling is enabled.
+    fn spill_threshold(&self) -> Option<usize> {
+        self.spill.as_ref().map(|s| s.threshold)
+    }
+
+    /// Folds the builder-level atomic counters into a [`SyncState`]
+    /// snapshot.
+    fn fill_builder_counters(&self, mut stats: IngestStats) -> IngestStats {
+        stats.spilled_subs = self.spilled_subs.load(Ordering::Acquire);
+        stats.spill_bytes = self.spill_bytes.load(Ordering::Acquire);
+        stats.spill_time = Duration::from_nanos(self.spill_time_nanos.load(Ordering::Acquire));
+        stats.peak_resident_subs = self.peak_resident.load(Ordering::Acquire);
+        stats
     }
 
     /// Number of lock stripes.
@@ -470,10 +601,11 @@ impl ShardedCpgBuilder {
     /// Counters of the build currently in progress (reset by
     /// [`seal`](Self::seal)).
     pub fn stats(&self) -> IngestStats {
-        self.sync.lock().snapshot(
+        let snapshot = self.sync.lock().snapshot(
             self.data_at_ingest.load(Ordering::Acquire),
             self.data_at_seal.load(Ordering::Acquire),
-        )
+        );
+        self.fill_builder_counters(snapshot)
     }
 
     /// Final counters of the most recently sealed build, if any. Unlike
@@ -523,21 +655,23 @@ impl ShardedCpgBuilder {
             let shard = &mut *guard;
             let seq = shard.sequences.entry(thread).or_default();
             assert_eq!(
-                seq.len() as u64,
+                seq.len(),
                 alpha,
                 "sub-computations of {thread} must be ingested in α order"
             );
             // The edge target of an acquire is the sub-computation that
             // *starts* after the acquire returns — i.e. this one, whenever
-            // its predecessor ended in an acquire.
-            let acquired = seq
-                .last()
-                .and_then(|prev| prev.terminator)
+            // its predecessor ended in an acquire. The predecessor may
+            // already have been spilled; its identity and terminator live on
+            // in the sequence's tail metadata.
+            let prev_info = seq.last_info();
+            let acquired = prev_info
+                .and_then(|(_, terminator)| terminator)
                 .filter(|sp| matches!(sp.kind, SyncKind::Acquire | SyncKind::ReleaseAcquire))
                 .map(|sp| sp.object);
-            if let Some(prev) = seq.last() {
+            if let Some((prev_id, _)) = prev_info {
                 shard.control_edges.push(DependenceEdge {
-                    src: prev.id,
+                    src: prev_id,
                     dst: sub.id,
                     kind: EdgeKind::Control,
                     object: None,
@@ -617,7 +751,25 @@ impl ShardedCpgBuilder {
                 );
                 self.data_at_ingest.fetch_add(emitted, Ordering::AcqRel);
             }
-            shard.sequences.entry(thread).or_default().push(sub);
+            shard.sequences.entry(thread).or_default().live.push(sub);
+            let resident = self.resident.fetch_add(1, Ordering::AcqRel) + 1;
+            self.peak_resident.fetch_max(resident, Ordering::AcqRel);
+
+            // Spill stage: once a full window of ingests has landed in this
+            // stripe since the last attempt, move the consistent prefix —
+            // everything the wait-index can never touch again — out to
+            // disk. Amortising attempts to one per `threshold` ingests
+            // keeps the peak resident window at O(threshold + whatever the
+            // frontier pins) while paying the cut computation (sync-stripe
+            // lock + frontier clone) a bounded number of times per node.
+            if let Some(threshold) = self.spill_threshold() {
+                shard.ingests_since_spill += 1;
+                let stripe_resident: usize = shard.sequences.values().map(|s| s.live.len()).sum();
+                if shard.ingests_since_spill >= threshold && stripe_resident >= threshold {
+                    shard.ingests_since_spill = 0;
+                    self.spill_shard(shard);
+                }
+            }
         }
 
         // Parked readers whose frontier this ingest completed (skewed
@@ -688,19 +840,119 @@ impl ShardedCpgBuilder {
         emitted
     }
 
-    /// Runs `f` over the per-thread sequences ingested so far, with every
-    /// stripe locked for the duration. Used by the live-snapshot facility to
-    /// obtain a stable view without cloning the store.
+    /// Spills the consistent prefix of every thread stored in `shard`: each
+    /// sub-computation whose causal frontier is fully delivered has had all
+    /// of its sync and data edges emitted (the wait-index can never touch it
+    /// again), so its node and the stripe-local edges into it move to the
+    /// shard's append-only [`SpillStore`] and leave memory.
+    ///
+    /// Coverage of a sub's clock by the frontier is monotone along a
+    /// thread's sequence (clocks only grow), so the spillable region is
+    /// always a prefix. A reader popped off the wait-index but not yet
+    /// appended by its owning producer may be spilled here before its edges
+    /// land; those edges simply stay in the live stripe and join the same
+    /// final graph at seal — nothing is emitted twice.
+    fn spill_shard(&self, shard: &mut Shard) {
+        let started = Instant::now();
+        let frontier = self.sync.lock().frontier.clone();
+        let store = shard.spill.as_mut().expect("spill stage enabled");
+        let bytes_before = store.bytes_written();
+        let mut spilled = 0u64;
+        for (&thread, seq) in shard.sequences.iter_mut() {
+            let cut = seq
+                .live
+                .iter()
+                .position(|sub| first_unmet(&frontier, thread, &sub.clock).is_some())
+                .unwrap_or(seq.live.len());
+            for sub in seq.live.drain(..cut) {
+                store.append_node(&sub).expect("append spill node record");
+                seq.spilled_tail = Some((sub.id, sub.terminator));
+                spilled += 1;
+            }
+            seq.base += cut as u64;
+        }
+        if spilled > 0 {
+            // Move the stripe-local edges whose destination is below the
+            // cut: no further edge into those readers can ever be emitted.
+            let bases: HashMap<ThreadId, u64> = shard
+                .sequences
+                .iter()
+                .map(|(&t, seq)| (t, seq.base))
+                .collect();
+            let below_cut = |id: SubId| bases.get(&id.thread).is_some_and(|&base| id.alpha < base);
+            for edges in [&mut shard.control_edges, &mut shard.data_edges] {
+                let mut keep = Vec::with_capacity(edges.len());
+                for edge in edges.drain(..) {
+                    if below_cut(edge.dst) {
+                        store.append_edge(&edge).expect("append spill edge record");
+                    } else {
+                        keep.push(edge);
+                    }
+                }
+                *edges = keep;
+            }
+            self.resident.fetch_sub(spilled, Ordering::AcqRel);
+            self.spilled_subs.fetch_add(spilled, Ordering::AcqRel);
+            self.spill_bytes
+                .fetch_add(store.bytes_written() - bytes_before, Ordering::AcqRel);
+        }
+        self.spill_time_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::AcqRel);
+    }
+
+    /// Runs `f` over the complete per-thread sequences ingested so far, with
+    /// every stripe locked for the duration. Used by the live-snapshot
+    /// facility to obtain a stable view; without spilling nothing is cloned.
+    /// Threads with a spilled prefix are faulted back in from the spill
+    /// segments first, so the view always starts at α = 0 — snapshots and
+    /// taint queries see spilled history transparently.
     pub fn with_sequences<R>(
         &self,
         f: impl FnOnce(&BTreeMap<ThreadId, &[SubComputation]>) -> R,
     ) -> R {
         let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        // Fault spilled prefixes into owned storage: one sequential segment
+        // replay per shard (not a seek per node — the stripe locks are held
+        // for the duration, so the fault path must scale with segment
+        // count, not trace length). Only shards that actually spilled pay.
+        let mut faulted: Vec<(ThreadId, Vec<SubComputation>)> = Vec::new();
+        for guard in &guards {
+            let spilled_any = guard.sequences.values().any(|seq| seq.base > 0);
+            if !spilled_any {
+                continue;
+            }
+            let store = guard.spill.as_ref().expect("spilled prefix has a store");
+            let (nodes, _) = store.replay().expect("replay spill segments");
+            // Within one thread the replay yields α order, so bucketing by
+            // thread gives each prefix already sorted.
+            let mut by_thread: BTreeMap<ThreadId, Vec<SubComputation>> = BTreeMap::new();
+            for sub in nodes {
+                by_thread.entry(sub.id.thread).or_default().push(sub);
+            }
+            for (&t, seq) in &guard.sequences {
+                if seq.base == 0 {
+                    continue;
+                }
+                let mut full = by_thread.remove(&t).unwrap_or_default();
+                assert_eq!(
+                    full.len() as u64,
+                    seq.base,
+                    "replayed prefix must cover every spilled sub of {t}"
+                );
+                full.extend(seq.live.iter().cloned());
+                faulted.push((t, full));
+            }
+        }
         let mut map: BTreeMap<ThreadId, &[SubComputation]> = BTreeMap::new();
         for guard in &guards {
             for (&t, seq) in &guard.sequences {
-                map.insert(t, seq.as_slice());
+                if seq.base == 0 {
+                    map.insert(t, seq.live.as_slice());
+                }
             }
+        }
+        for (t, full) in &faulted {
+            map.insert(*t, full.as_slice());
         }
         f(&map)
     }
@@ -805,11 +1057,23 @@ impl ShardedCpgBuilder {
         let mut edges: Vec<DependenceEdge> = Vec::new();
         for stripe in &self.shards {
             let mut shard = stripe.lock();
+            // Spilled prefixes first: the segments are concatenated back
+            // into the final graph (one sequential replay per shard), then
+            // deleted so the store is empty for the next build.
+            if let Some(store) = shard.spill.as_mut() {
+                let (spilled_nodes, mut spilled_edges) =
+                    store.drain_all().expect("replay spill segments");
+                for sub in spilled_nodes {
+                    nodes.insert(sub.id, sub);
+                }
+                edges.append(&mut spilled_edges);
+            }
             for (_, seq) in std::mem::take(&mut shard.sequences) {
-                for sub in seq {
+                for sub in seq.live {
                     nodes.insert(sub.id, sub);
                 }
             }
+            shard.ingests_since_spill = 0;
             edges.append(&mut shard.control_edges);
             edges.append(&mut shard.data_edges);
         }
@@ -821,13 +1085,19 @@ impl ShardedCpgBuilder {
         {
             let mut st = self.sync.lock();
             edges.append(&mut st.edges);
-            *self.last_sealed.lock() = Some(st.snapshot(
+            let snapshot = st.snapshot(
                 self.data_at_ingest.load(Ordering::Acquire),
                 self.data_at_seal.load(Ordering::Acquire),
-            ));
+            );
+            *self.last_sealed.lock() = Some(self.fill_builder_counters(snapshot));
             *st = SyncState::default();
             self.data_at_ingest.store(0, Ordering::Release);
             self.data_at_seal.store(0, Ordering::Release);
+            self.spilled_subs.store(0, Ordering::Release);
+            self.spill_bytes.store(0, Ordering::Release);
+            self.spill_time_nanos.store(0, Ordering::Release);
+            self.resident.store(0, Ordering::Release);
+            self.peak_resident.store(0, Ordering::Release);
         }
 
         Cpg::from_parts(nodes, edges)
@@ -1053,6 +1323,157 @@ mod tests {
         let second = subs.next().unwrap();
         streaming.ingest(second);
         streaming.ingest(first);
+    }
+
+    fn spill_settings(threshold: usize, tag: &str) -> SpillSettings {
+        use std::sync::atomic::AtomicU64;
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "inspector-sharded-spill-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        SpillSettings {
+            threshold,
+            dir,
+            // Small segments so the tests exercise segment rolling too.
+            segment_bytes: 512,
+        }
+    }
+
+    #[test]
+    fn spilled_build_matches_batch_graph() {
+        let sequences = lock_heavy_sequences(4);
+        let mut batch = CpgBuilder::new();
+        for seq in &sequences {
+            batch.add_thread(seq.clone());
+        }
+        let reference = batch.build();
+
+        for threshold in [1usize, 2, 8] {
+            let streaming = ShardedCpgBuilder::with_shards_and_spill(
+                3,
+                Some(spill_settings(threshold, "match")),
+            );
+            let mut cursors: Vec<std::vec::IntoIter<SubComputation>> = sequences
+                .clone()
+                .into_iter()
+                .map(|s| s.into_iter())
+                .collect();
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                for cursor in &mut cursors {
+                    if let Some(sub) = cursor.next() {
+                        streaming.ingest(sub);
+                        progressed = true;
+                    }
+                }
+            }
+            let sealed = streaming.seal();
+            assert_eq!(
+                sealed.node_count(),
+                reference.node_count(),
+                "threshold={threshold}"
+            );
+            assert_eq!(
+                edge_set(&sealed),
+                edge_set(&reference),
+                "threshold={threshold}"
+            );
+            let stats = streaming.last_sealed_stats().expect("sealed");
+            assert!(stats.spilled_subs > 0, "threshold={threshold}: {stats:?}");
+            assert!(stats.spill_bytes > 0, "threshold={threshold}: {stats:?}");
+            assert_eq!(stats.sync_resolved_at_seal, 0, "threshold={threshold}");
+            assert_eq!(stats.data_resolved_at_seal, 0, "threshold={threshold}");
+        }
+    }
+
+    #[test]
+    fn spill_threshold_one_bounds_resident_window() {
+        // Causal delivery with threshold 1: the lock-heavy generator records
+        // its threads one after another (each thread's clocks cover all of
+        // its predecessors'), so delivering whole threads in forward order
+        // keeps every sub's frontier complete on arrival — it spills right
+        // after ingestion and the peak resident count is a small active
+        // window, not the trace length.
+        let sequences = lock_heavy_sequences(4);
+        let total: usize = sequences.iter().map(|s| s.len()).sum();
+        let streaming =
+            ShardedCpgBuilder::with_shards_and_spill(2, Some(spill_settings(1, "window")));
+        for seq in sequences {
+            for sub in seq {
+                streaming.ingest(sub);
+            }
+        }
+        let stats = streaming.stats();
+        assert!(stats.spilled_subs > 0, "{stats:?}");
+        assert!(
+            stats.peak_resident_subs < total as u64 / 4,
+            "peak resident {} should be far below the {} ingested",
+            stats.peak_resident_subs,
+            total
+        );
+        let sealed = streaming.seal();
+        assert_eq!(sealed.node_count(), total);
+        assert!(sealed.validate().is_ok());
+    }
+
+    #[test]
+    fn with_sequences_faults_spilled_prefixes_back_in() {
+        let sequences = lock_heavy_sequences(2);
+        let expected: usize = sequences.iter().map(|s| s.len()).sum();
+        let streaming =
+            ShardedCpgBuilder::with_shards_and_spill(2, Some(spill_settings(1, "fault")));
+        let mut cursors: Vec<std::vec::IntoIter<SubComputation>> =
+            sequences.into_iter().map(|s| s.into_iter()).collect();
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for cursor in &mut cursors {
+                if let Some(sub) = cursor.next() {
+                    streaming.ingest(sub);
+                    progressed = true;
+                }
+            }
+        }
+        assert!(streaming.stats().spilled_subs > 0);
+        // The live view still exposes every sub-computation from α = 0, in
+        // order, with spilled nodes transparently faulted back in.
+        streaming.with_sequences(|map| {
+            let seen: usize = map.values().map(|s| s.len()).sum();
+            assert_eq!(seen, expected);
+            for (&t, seq) in map {
+                for (i, sub) in seq.iter().enumerate() {
+                    assert_eq!(sub.id, SubId::new(t, i as u64));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn spilling_builder_is_reusable_after_seal() {
+        let sequences = lock_heavy_sequences(2);
+        let streaming =
+            ShardedCpgBuilder::with_shards_and_spill(2, Some(spill_settings(2, "reuse")));
+        let mut first: Option<std::collections::BTreeSet<String>> = None;
+        for _ in 0..2 {
+            for seq in sequences.clone() {
+                for sub in seq {
+                    streaming.ingest(sub);
+                }
+            }
+            let sealed = streaming.seal();
+            let fingerprint = edge_set(&sealed);
+            if let Some(prev) = &first {
+                assert_eq!(&fingerprint, prev);
+            }
+            first = Some(fingerprint);
+            let stats = streaming.last_sealed_stats().expect("sealed");
+            assert!(stats.spilled_subs > 0);
+            // Counters are per build.
+            assert_eq!(streaming.stats().spilled_subs, 0);
+        }
     }
 
     #[test]

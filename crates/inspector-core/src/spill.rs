@@ -1,0 +1,686 @@
+//! Spill-to-disk storage for sealed-off consistent prefixes of the
+//! streaming CPG build (§VI: bounding resident memory for long runs).
+//!
+//! Without spilling, every ingested [`SubComputation`] stays resident in its
+//! shard until [`seal`](crate::sharded::ShardedCpgBuilder::seal), so peak
+//! memory grows linearly with execution length. This module gives each shard
+//! an **append-only spill store**: once a consistent prefix of a thread's
+//! sequence can never be touched again (its causal frontier is fully
+//! delivered, so every sync/data edge into it has been emitted — see
+//! [`crate::sharded`]), the finished sub-computations and their
+//! stripe-local edges are encoded into **length-prefixed records** appended
+//! to per-shard **segment files**, and evicted from memory.
+//!
+//! # On-disk format
+//!
+//! A spill store owns a sequence of segment files
+//! (`shard-<k>-seg-<n>.spill` under the configured directory); a segment is
+//! closed and a new one started once it exceeds
+//! [`SpillSettings::segment_bytes`]. Every record is
+//!
+//! ```text
+//! [u32 payload_len (LE)] [u8 tag] [payload...]
+//! ```
+//!
+//! with tag `0` for a node record (a fully encoded [`SubComputation`]:
+//! id, vector clock, read/write sets, thunk list, terminator) and tag `1`
+//! for an edge record (a [`DependenceEdge`]). The encoding is exact — a
+//! decoded record compares equal to the original — because the seal-time
+//! reload must reproduce a graph that is node- and edge-identical to the
+//! batch oracle.
+//!
+//! A small in-memory index maps every spilled node's [`SubId`] to its
+//! `(segment, offset)`, so live snapshots and taint queries taken while the
+//! program runs can still **fault spilled nodes back in**
+//! ([`SpillStore::fault_node`]) without replaying whole segments; the seal
+//! replays everything once, sequentially ([`SpillStore::drain_all`]).
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::clock::VectorClock;
+use crate::event::{BranchKind, SyncKind};
+use crate::graph::{DependenceEdge, EdgeKind};
+use crate::ids::{PageId, SubId, SyncObjectId, ThreadId, ThunkId};
+use crate::subcomputation::{SubComputation, SyncPoint};
+use crate::thunk::{Thunk, ThunkList};
+
+/// Default segment-roll size: 1 MiB keeps individual files small enough to
+/// replay incrementally while amortising file creation.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 1 << 20;
+
+/// Configuration of the spill stage, carried by the builder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillSettings {
+    /// Spill a shard once it holds at least this many resident
+    /// sub-computations (0 disables spilling; enforced by the builder).
+    pub threshold: usize,
+    /// Directory the per-shard segment files are created in.
+    pub dir: PathBuf,
+    /// Roll to a new segment file once the current one exceeds this size.
+    pub segment_bytes: u64,
+}
+
+impl SpillSettings {
+    /// Settings with the default segment size.
+    pub fn new(threshold: usize, dir: impl Into<PathBuf>) -> Self {
+        SpillSettings {
+            threshold,
+            dir: dir.into(),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+        }
+    }
+}
+
+/// Record tags.
+const TAG_NODE: u8 = 0;
+const TAG_EDGE: u8 = 1;
+
+// ---------------------------------------------------------------------------
+// Primitive encoding (little-endian, length-prefixed collections)
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_sub_id(buf: &mut Vec<u8>, id: SubId) {
+    put_u32(buf, id.thread.index() as u32);
+    put_u64(buf, id.alpha);
+}
+
+/// Cursor over an encoded payload. All `take_*` methods fail loudly on a
+/// truncated or malformed record: spill files are process-local and written
+/// by this module, so corruption indicates a bug, not expected input.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        slice
+    }
+
+    fn take_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn take_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn take_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    fn take_sub_id(&mut self) -> SubId {
+        let thread = ThreadId::new(self.take_u32());
+        let alpha = self.take_u64();
+        SubId::new(thread, alpha)
+    }
+
+    fn exhausted(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn sync_kind_code(kind: SyncKind) -> u8 {
+    match kind {
+        SyncKind::Release => 1,
+        SyncKind::Acquire => 2,
+        SyncKind::ReleaseAcquire => 3,
+    }
+}
+
+fn sync_kind_from(code: u8) -> SyncKind {
+    match code {
+        1 => SyncKind::Release,
+        2 => SyncKind::Acquire,
+        3 => SyncKind::ReleaseAcquire,
+        other => panic!("corrupt spill record: sync kind {other}"),
+    }
+}
+
+fn branch_kind_code(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::ConditionalTaken => 1,
+        BranchKind::ConditionalNotTaken => 2,
+        BranchKind::Indirect => 3,
+        BranchKind::Return => 4,
+    }
+}
+
+fn branch_kind_from(code: u8) -> BranchKind {
+    match code {
+        1 => BranchKind::ConditionalTaken,
+        2 => BranchKind::ConditionalNotTaken,
+        3 => BranchKind::Indirect,
+        4 => BranchKind::Return,
+        other => panic!("corrupt spill record: branch kind {other}"),
+    }
+}
+
+fn edge_kind_code(kind: EdgeKind) -> u8 {
+    match kind {
+        EdgeKind::Control => 1,
+        EdgeKind::Synchronization => 2,
+        EdgeKind::Data => 3,
+    }
+}
+
+fn edge_kind_from(code: u8) -> EdgeKind {
+    match code {
+        1 => EdgeKind::Control,
+        2 => EdgeKind::Synchronization,
+        3 => EdgeKind::Data,
+        other => panic!("corrupt spill record: edge kind {other}"),
+    }
+}
+
+/// Encodes one node payload (without the record framing).
+///
+/// The vector clock is stored as its dense component vector — including
+/// zero and trailing-zero components — so the decoded clock is
+/// representation-identical, not just order-equivalent (equivalence suites
+/// fingerprint nodes through `Debug`).
+fn encode_node(buf: &mut Vec<u8>, sub: &SubComputation) {
+    put_sub_id(buf, sub.id);
+    let clock_len = sub.clock.len();
+    put_u32(buf, clock_len as u32);
+    for i in 0..clock_len {
+        put_u64(buf, sub.clock.get(ThreadId::new(i as u32)));
+    }
+    put_u32(buf, sub.read_set.len() as u32);
+    for page in &sub.read_set {
+        put_u64(buf, page.number());
+    }
+    put_u32(buf, sub.write_set.len() as u32);
+    for page in &sub.write_set {
+        put_u64(buf, page.number());
+    }
+    put_u32(buf, sub.thunks.len() as u32);
+    for thunk in sub.thunks.iter() {
+        put_u64(buf, thunk.id.beta);
+        put_u64(buf, thunk.entry_ip);
+        match thunk.terminator {
+            None => buf.push(0),
+            Some(b) => {
+                buf.push(branch_kind_code(b.kind));
+                put_u64(buf, b.ip);
+            }
+        }
+    }
+    match sub.terminator {
+        None => buf.push(0),
+        Some(sp) => {
+            buf.push(sync_kind_code(sp.kind));
+            put_u64(buf, sp.object.raw());
+        }
+    }
+}
+
+fn decode_node(cursor: &mut Cursor<'_>) -> SubComputation {
+    let id = cursor.take_sub_id();
+    let clock_len = cursor.take_u32() as usize;
+    let mut clock = VectorClock::with_capacity(clock_len);
+    for i in 0..clock_len {
+        let v = cursor.take_u64();
+        clock.set(ThreadId::new(i as u32), v);
+    }
+    let mut sub = SubComputation::new(id, clock);
+    for _ in 0..cursor.take_u32() {
+        sub.read_set.insert(PageId::new(cursor.take_u64()));
+    }
+    for _ in 0..cursor.take_u32() {
+        sub.write_set.insert(PageId::new(cursor.take_u64()));
+    }
+    let thunks = cursor.take_u32();
+    let mut list = ThunkList::new();
+    for _ in 0..thunks {
+        let beta = cursor.take_u64();
+        let entry_ip = cursor.take_u64();
+        let mut thunk = Thunk::open(ThunkId::new(id, beta), entry_ip);
+        match cursor.take_u8() {
+            0 => {}
+            code => {
+                let ip = cursor.take_u64();
+                thunk.close(branch_kind_from(code), ip);
+            }
+        }
+        list.push(thunk);
+    }
+    sub.thunks = list;
+    sub.terminator = match cursor.take_u8() {
+        0 => None,
+        code => {
+            let kind = sync_kind_from(code);
+            let object = SyncObjectId::new(cursor.take_u64());
+            Some(SyncPoint { object, kind })
+        }
+    };
+    sub
+}
+
+fn encode_edge(buf: &mut Vec<u8>, edge: &DependenceEdge) {
+    put_sub_id(buf, edge.src);
+    put_sub_id(buf, edge.dst);
+    buf.push(edge_kind_code(edge.kind));
+    match edge.object {
+        None => buf.push(0),
+        Some(obj) => {
+            buf.push(1);
+            put_u64(buf, obj.raw());
+        }
+    }
+    put_u32(buf, edge.pages.len() as u32);
+    for page in &edge.pages {
+        put_u64(buf, page.number());
+    }
+}
+
+fn decode_edge(cursor: &mut Cursor<'_>) -> DependenceEdge {
+    let src = cursor.take_sub_id();
+    let dst = cursor.take_sub_id();
+    let kind = edge_kind_from(cursor.take_u8());
+    let object = match cursor.take_u8() {
+        0 => None,
+        _ => Some(SyncObjectId::new(cursor.take_u64())),
+    };
+    let pages = (0..cursor.take_u32())
+        .map(|_| PageId::new(cursor.take_u64()))
+        .collect();
+    DependenceEdge {
+        src,
+        dst,
+        kind,
+        object,
+        pages,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-shard store
+// ---------------------------------------------------------------------------
+
+/// Location of a spilled node: segment index and byte offset of its record's
+/// length prefix.
+type NodeLocation = (u32, u64);
+
+/// Append-only spill store of one shard: open segment writer, the segment
+/// file list, and the node fault-in index.
+#[derive(Debug)]
+pub struct SpillStore {
+    dir: PathBuf,
+    shard: usize,
+    segment_bytes: u64,
+    /// Paths of all segments written so far (index = segment number).
+    segments: Vec<PathBuf>,
+    /// Writer for the last segment in `segments`.
+    current: Option<File>,
+    /// Bytes written to the current segment.
+    current_len: u64,
+    /// Fault-in index over spilled nodes.
+    index: HashMap<SubId, NodeLocation>,
+    /// Total payload + framing bytes appended since the last reset.
+    bytes_written: u64,
+    /// Node records appended since the last reset.
+    nodes_spilled: u64,
+    /// Reusable record-encoding buffer.
+    scratch: Vec<u8>,
+}
+
+impl SpillStore {
+    /// Creates the store for shard `shard`, creating `dir` if needed.
+    pub fn create(dir: &Path, shard: usize, segment_bytes: u64) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(SpillStore {
+            dir: dir.to_path_buf(),
+            shard,
+            segment_bytes: segment_bytes.max(1),
+            segments: Vec::new(),
+            current: None,
+            current_len: 0,
+            index: HashMap::new(),
+            bytes_written: 0,
+            nodes_spilled: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Number of nodes currently spilled.
+    pub fn spilled_nodes(&self) -> u64 {
+        self.nodes_spilled
+    }
+
+    /// Bytes appended (framing included) since the last reset.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Number of segment files written since the last reset.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Returns `true` if `id` has been spilled (and not drained since).
+    pub fn contains(&self, id: SubId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    fn segment_path(&self, segment: usize) -> PathBuf {
+        self.dir
+            .join(format!("shard-{}-seg-{segment}.spill", self.shard))
+    }
+
+    /// Ensures a writable segment with room is open, rolling if needed.
+    /// Returns the (segment, offset) the next record will land at.
+    fn writer_position(&mut self) -> std::io::Result<NodeLocation> {
+        let needs_new = match self.current {
+            None => true,
+            Some(_) => self.current_len >= self.segment_bytes,
+        };
+        if needs_new {
+            let path = self.segment_path(self.segments.len());
+            let file = OpenOptions::new()
+                .create(true)
+                .truncate(true)
+                .write(true)
+                .open(&path)?;
+            self.segments.push(path);
+            self.current = Some(file);
+            self.current_len = 0;
+        }
+        Ok((self.segments.len() as u32 - 1, self.current_len))
+    }
+
+    /// Frames and appends the scratch buffer as one record.
+    fn append_record(&mut self) -> std::io::Result<()> {
+        let len = self.scratch.len() as u32;
+        let file = self.current.as_mut().expect("writer open");
+        file.write_all(&len.to_le_bytes())?;
+        file.write_all(&self.scratch)?;
+        let total = 4 + self.scratch.len() as u64;
+        self.current_len += total;
+        self.bytes_written += total;
+        Ok(())
+    }
+
+    /// Appends one finished sub-computation and registers it in the
+    /// fault-in index.
+    pub fn append_node(&mut self, sub: &SubComputation) -> std::io::Result<()> {
+        let location = self.writer_position()?;
+        self.scratch.clear();
+        self.scratch.push(TAG_NODE);
+        encode_node(&mut self.scratch, sub);
+        self.append_record()?;
+        self.index.insert(sub.id, location);
+        self.nodes_spilled += 1;
+        Ok(())
+    }
+
+    /// Appends one stripe-local edge (its destination is below the shard's
+    /// spill cut, so no further edge into that destination can appear).
+    pub fn append_edge(&mut self, edge: &DependenceEdge) -> std::io::Result<()> {
+        self.writer_position()?;
+        self.scratch.clear();
+        self.scratch.push(TAG_EDGE);
+        encode_edge(&mut self.scratch, edge);
+        self.append_record()
+    }
+
+    /// Reads one spilled node back in through the index, without touching
+    /// the rest of its segment. Returns `None` for ids that were never
+    /// spilled.
+    pub fn fault_node(&self, id: SubId) -> std::io::Result<Option<SubComputation>> {
+        let Some(&(segment, offset)) = self.index.get(&id) else {
+            return Ok(None);
+        };
+        let mut file = File::open(&self.segments[segment as usize])?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut len = [0u8; 4];
+        file.read_exact(&mut len)?;
+        let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+        file.read_exact(&mut payload)?;
+        let mut cursor = Cursor::new(&payload);
+        assert_eq!(cursor.take_u8(), TAG_NODE, "index points at a node record");
+        let sub = decode_node(&mut cursor);
+        assert!(cursor.exhausted(), "trailing bytes in node record");
+        Ok(Some(sub))
+    }
+
+    /// Replays every record of every segment in append order without
+    /// consuming the store. Within one thread, node records appear in α
+    /// order (prefixes only ever grow), so callers can bucket by thread and
+    /// get sorted sequences for free. Used by the live-snapshot fault path
+    /// — one sequential read per shard instead of a seek per node.
+    pub fn replay(&self) -> std::io::Result<(Vec<SubComputation>, Vec<DependenceEdge>)> {
+        let mut nodes = Vec::with_capacity(self.nodes_spilled as usize);
+        let mut edges = Vec::new();
+        for path in &self.segments {
+            let bytes = std::fs::read(path)?;
+            let mut pos = 0usize;
+            while pos < bytes.len() {
+                let len =
+                    u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+                pos += 4;
+                let mut cursor = Cursor::new(&bytes[pos..pos + len]);
+                pos += len;
+                match cursor.take_u8() {
+                    TAG_NODE => nodes.push(decode_node(&mut cursor)),
+                    TAG_EDGE => edges.push(decode_edge(&mut cursor)),
+                    other => panic!("corrupt spill record: tag {other}"),
+                }
+                assert!(cursor.exhausted(), "trailing bytes in spill record");
+            }
+        }
+        Ok((nodes, edges))
+    }
+
+    /// Replays every record of every segment in append order, then deletes
+    /// the segment files and resets the store for the next build. This is
+    /// the seal path: segments are concatenated back into the final graph
+    /// instead of nodes being moved out of memory.
+    pub fn drain_all(&mut self) -> std::io::Result<(Vec<SubComputation>, Vec<DependenceEdge>)> {
+        // Make sure everything is on disk before replaying.
+        self.current = None;
+        let drained = self.replay()?;
+        self.remove_files();
+        self.index.clear();
+        self.current_len = 0;
+        self.bytes_written = 0;
+        self.nodes_spilled = 0;
+        Ok(drained)
+    }
+
+    /// Best-effort deletion of this shard's segment files.
+    fn remove_files(&mut self) {
+        self.current = None;
+        for path in self.segments.drain(..) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        self.remove_files();
+        // The directory is shared by all shards of one builder; removing it
+        // succeeds only for the last store standing, which is exactly the
+        // clean-up we want.
+        let _ = std::fs::remove_dir(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AccessKind, SyncKind};
+    use crate::recorder::{SyncClockRegistry, ThreadRecorder};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "inspector-spill-test-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn recorded_subs() -> Vec<SubComputation> {
+        let registry = SyncClockRegistry::shared();
+        let lock = SyncObjectId::new(7);
+        let mut rec = ThreadRecorder::new(ThreadId::new(2), Arc::clone(&registry));
+        for i in 0..6u64 {
+            rec.on_synchronization(lock, SyncKind::Acquire);
+            rec.on_memory_access(PageId::new(i % 3), AccessKind::Read);
+            rec.on_memory_access(PageId::new(10 + i), AccessKind::Write);
+            rec.on_branch(crate::event::BranchKind::ConditionalTaken, 0x40_0000 + i);
+            rec.on_synchronization(lock, SyncKind::Release);
+        }
+        rec.finish()
+    }
+
+    #[test]
+    fn node_codec_roundtrip_is_exact() {
+        for sub in recorded_subs() {
+            let mut buf = Vec::new();
+            encode_node(&mut buf, &sub);
+            let mut cursor = Cursor::new(&buf);
+            let decoded = decode_node(&mut cursor);
+            assert!(cursor.exhausted());
+            assert_eq!(decoded, sub);
+            // Representation-exact, not just Eq: the equivalence suites
+            // fingerprint through Debug.
+            assert_eq!(format!("{decoded:?}"), format!("{sub:?}"));
+        }
+    }
+
+    #[test]
+    fn edge_codec_roundtrip_is_exact() {
+        let edges = [
+            DependenceEdge {
+                src: SubId::new(ThreadId::new(0), 3),
+                dst: SubId::new(ThreadId::new(1), 9),
+                kind: EdgeKind::Data,
+                object: None,
+                pages: vec![PageId::new(4), PageId::new(7)],
+            },
+            DependenceEdge {
+                src: SubId::new(ThreadId::new(5), 0),
+                dst: SubId::new(ThreadId::new(5), 1),
+                kind: EdgeKind::Control,
+                object: None,
+                pages: Vec::new(),
+            },
+            DependenceEdge {
+                src: SubId::new(ThreadId::new(2), 2),
+                dst: SubId::new(ThreadId::new(0), 8),
+                kind: EdgeKind::Synchronization,
+                object: Some(SyncObjectId::new(41)),
+                pages: Vec::new(),
+            },
+        ];
+        for edge in edges {
+            let mut buf = Vec::new();
+            encode_edge(&mut buf, &edge);
+            let mut cursor = Cursor::new(&buf);
+            let decoded = decode_edge(&mut cursor);
+            assert!(cursor.exhausted());
+            assert_eq!(decoded, edge);
+        }
+    }
+
+    #[test]
+    fn store_appends_faults_and_drains() {
+        let dir = unique_dir("store");
+        let subs = recorded_subs();
+        let mut store = SpillStore::create(&dir, 0, DEFAULT_SEGMENT_BYTES).unwrap();
+        for sub in &subs {
+            store.append_node(sub).unwrap();
+        }
+        let edge = DependenceEdge {
+            src: subs[0].id,
+            dst: subs[1].id,
+            kind: EdgeKind::Control,
+            object: None,
+            pages: Vec::new(),
+        };
+        store.append_edge(&edge).unwrap();
+        assert_eq!(store.spilled_nodes(), subs.len() as u64);
+        assert!(store.bytes_written() > 0);
+
+        // Random-access fault-in through the index.
+        for sub in &subs {
+            assert!(store.contains(sub.id));
+            let faulted = store.fault_node(sub.id).unwrap().expect("spilled");
+            assert_eq!(&faulted, sub);
+        }
+        assert!(store
+            .fault_node(SubId::new(ThreadId::new(9), 99))
+            .unwrap()
+            .is_none());
+
+        // Sequential replay returns everything in append order and resets.
+        let (nodes, edges) = store.drain_all().unwrap();
+        assert_eq!(nodes, subs);
+        assert_eq!(edges, vec![edge]);
+        assert_eq!(store.spilled_nodes(), 0);
+        assert_eq!(store.segment_count(), 0);
+        let (nodes, edges) = store.drain_all().unwrap();
+        assert!(nodes.is_empty() && edges.is_empty());
+        drop(store);
+        assert!(!dir.exists(), "store drop removes the spill directory");
+    }
+
+    #[test]
+    fn segments_roll_at_the_configured_size() {
+        let dir = unique_dir("roll");
+        let subs = recorded_subs();
+        // A tiny segment size forces a roll on (almost) every record.
+        let mut store = SpillStore::create(&dir, 3, 16).unwrap();
+        for sub in &subs {
+            store.append_node(sub).unwrap();
+        }
+        assert!(
+            store.segment_count() >= subs.len(),
+            "expected one segment per record at segment_bytes=16, got {}",
+            store.segment_count()
+        );
+        // Fault-in still works across segment boundaries.
+        for sub in &subs {
+            assert_eq!(store.fault_node(sub.id).unwrap().as_ref(), Some(sub));
+        }
+        let (nodes, _) = store.drain_all().unwrap();
+        assert_eq!(nodes, subs);
+    }
+
+    #[test]
+    fn store_is_reusable_after_drain() {
+        let dir = unique_dir("reuse");
+        let subs = recorded_subs();
+        let mut store = SpillStore::create(&dir, 1, 64).unwrap();
+        for round in 0..3 {
+            for sub in &subs {
+                store.append_node(sub).unwrap();
+            }
+            let (nodes, edges) = store.drain_all().unwrap();
+            assert_eq!(nodes, subs, "round {round}");
+            assert!(edges.is_empty());
+        }
+    }
+}

@@ -1,4 +1,12 @@
 //! Session configuration.
+//!
+//! Every pipeline knob is also exposed as an `INSPECTOR_*` environment
+//! variable through [`SessionConfig::apply_env`], so harnesses and CI can
+//! sweep configurations without recompiling. Parsing is deliberately
+//! conservative: an unset, unparsable or out-of-range value leaves the
+//! configured default untouched instead of silently clamping or disabling.
+
+use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
 
@@ -16,7 +24,7 @@ pub enum ExecutionMode {
 }
 
 /// Configuration of an [`crate::InspectorSession`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionConfig {
     /// Execution mode.
     pub mode: ExecutionMode,
@@ -62,6 +70,18 @@ pub struct SessionConfig {
     /// decodable offline after a PSB re-sync, so it bypasses the online
     /// stage.
     pub decode_online: bool,
+    /// Spill sealed-off consistent prefixes of the streaming CPG build to
+    /// disk once a shard holds this many resident sub-computations, bounding
+    /// peak memory to the active window for long runs (§VI). `0` (the
+    /// default) keeps everything resident until the seal. The cost is
+    /// attributed as the `spill` phase (`RunStats::{spilled_subs,
+    /// spill_bytes, spill_time}`).
+    pub spill_threshold: usize,
+    /// Directory for the per-shard spill segment files. `None` (the
+    /// default) puts them in a unique directory under the system temp dir;
+    /// either way each session uses its own subdirectory and removes it
+    /// with the builder.
+    pub spill_dir: Option<PathBuf>,
 }
 
 /// Default ingest-pool width: `min(4, available_parallelism)`, at least one.
@@ -89,6 +109,8 @@ impl SessionConfig {
             ingest_queue_depth: 1024,
             ingest_threads: default_ingest_threads(),
             decode_online: false,
+            spill_threshold: 0,
+            spill_dir: None,
         }
     }
 
@@ -136,6 +158,90 @@ impl SessionConfig {
         self.decode_online = on;
         self
     }
+
+    /// Returns a copy with the given spill threshold (0 disables spilling).
+    pub fn with_spill_threshold(mut self, threshold: usize) -> Self {
+        self.spill_threshold = threshold;
+        self
+    }
+
+    /// Returns a copy with the given spill directory.
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Applies the streaming-pipeline knobs from the process environment:
+    ///
+    /// * `INSPECTOR_INGEST_THREADS` — ingest-pool width,
+    /// * `INSPECTOR_CPG_SHARDS` — streaming-builder lock stripes,
+    /// * `INSPECTOR_INGEST_QUEUE_DEPTH` — per-lane bounded-channel capacity,
+    /// * `INSPECTOR_DECODE_ONLINE` — `1`/`true` decodes PT packets on the
+    ///   ingest workers while the program runs (the `pt_decode` phase),
+    /// * `INSPECTOR_SPILL_THRESHOLD` — per-shard resident sub-computation
+    ///   count that triggers a spill-to-disk cut (`0` explicitly disables
+    ///   spilling — unlike the knobs above, zero is this knob's documented
+    ///   "off" value and is applied),
+    /// * `INSPECTOR_SPILL_DIR` — directory for the spill segment files.
+    ///
+    /// Unset or unrecognized values leave the corresponding configured
+    /// default untouched. For the three structural knobs
+    /// (`INGEST_THREADS`, `CPG_SHARDS`, `INGEST_QUEUE_DEPTH`) a zero is
+    /// treated as unrecognized too: they have no meaningful zero
+    /// configuration, so `FOO=0` keeps the default rather than being
+    /// silently clamped to 1.
+    pub fn apply_env(self) -> Self {
+        self.apply_env_with(|name| std::env::var(name).ok())
+    }
+
+    /// [`apply_env`](Self::apply_env) with the variable lookup injected, so
+    /// tests can exercise the parsing without mutating (or depending on)
+    /// the process environment.
+    pub fn apply_env_with(mut self, lookup: impl Fn(&str) -> Option<String>) -> Self {
+        // Structural knobs: parse failures *and* zero leave the default.
+        let knob = |name: &str| -> Option<usize> {
+            lookup(name)?
+                .trim()
+                .parse()
+                .ok()
+                .filter(|&value: &usize| value > 0)
+        };
+        if let Some(workers) = knob("INSPECTOR_INGEST_THREADS") {
+            self = self.with_ingest_threads(workers);
+        }
+        if let Some(shards) = knob("INSPECTOR_CPG_SHARDS") {
+            self = self.with_cpg_shards(shards);
+        }
+        if let Some(depth) = knob("INSPECTOR_INGEST_QUEUE_DEPTH") {
+            self = self.with_ingest_queue_depth(depth);
+        }
+        if let Some(on) = lookup("INSPECTOR_DECODE_ONLINE").and_then(|raw| parse_bool(&raw)) {
+            self = self.with_decode_online(on);
+        }
+        // Spill threshold: zero is a meaningful value (explicitly off).
+        if let Some(threshold) =
+            lookup("INSPECTOR_SPILL_THRESHOLD").and_then(|raw| raw.trim().parse::<usize>().ok())
+        {
+            self = self.with_spill_threshold(threshold);
+        }
+        if let Some(dir) = lookup("INSPECTOR_SPILL_DIR").filter(|d| !d.trim().is_empty()) {
+            self = self.with_spill_dir(dir.trim());
+        }
+        self
+    }
+}
+
+/// Parses a boolean knob: `1`/`true` and `0`/`false` (case-insensitive);
+/// anything else is unrecognized and leaves the configured default.
+fn parse_bool(raw: &str) -> Option<bool> {
+    let v = raw.trim();
+    if v == "1" || v.eq_ignore_ascii_case("true") {
+        Some(true)
+    } else if v == "0" || v.eq_ignore_ascii_case("false") {
+        Some(false)
+    } else {
+        None
+    }
 }
 
 impl Default for SessionConfig {
@@ -166,7 +272,9 @@ mod tests {
             .with_ingest_threads(2)
             .with_cpg_shards(16)
             .with_ingest_queue_depth(64)
-            .with_decode_online(true);
+            .with_decode_online(true)
+            .with_spill_threshold(128)
+            .with_spill_dir("/tmp/spill");
         assert_eq!(c.mode, ExecutionMode::Inspector);
         assert!(c.live_snapshots);
         assert_eq!(c.snapshot_slots, 3);
@@ -174,12 +282,16 @@ mod tests {
         assert_eq!(c.cpg_shards, 16);
         assert_eq!(c.ingest_queue_depth, 64);
         assert!(c.decode_online);
+        assert_eq!(c.spill_threshold, 128);
+        assert_eq!(c.spill_dir, Some(PathBuf::from("/tmp/spill")));
     }
 
     #[test]
-    fn online_decode_defaults_off() {
+    fn online_decode_and_spill_default_off() {
         assert!(!SessionConfig::inspector().decode_online);
         assert!(!SessionConfig::native().decode_online);
+        assert_eq!(SessionConfig::inspector().spill_threshold, 0);
+        assert_eq!(SessionConfig::inspector().spill_dir, None);
     }
 
     #[test]
@@ -202,5 +314,111 @@ mod tests {
     #[test]
     fn default_is_inspector() {
         assert_eq!(SessionConfig::default().mode, ExecutionMode::Inspector);
+    }
+
+    #[test]
+    fn env_knobs_apply_when_recognized() {
+        let parsed = SessionConfig::inspector().apply_env_with(|name| match name {
+            "INSPECTOR_INGEST_THREADS" => Some(" 3 ".into()),
+            "INSPECTOR_CPG_SHARDS" => Some("16".into()),
+            "INSPECTOR_INGEST_QUEUE_DEPTH" => Some("64".into()),
+            "INSPECTOR_DECODE_ONLINE" => Some("1".into()),
+            "INSPECTOR_SPILL_THRESHOLD" => Some("256".into()),
+            "INSPECTOR_SPILL_DIR" => Some("/tmp/spill-env".into()),
+            _ => None,
+        });
+        assert_eq!(parsed.ingest_threads, 3);
+        assert_eq!(parsed.cpg_shards, 16);
+        assert_eq!(parsed.ingest_queue_depth, 64);
+        assert!(parsed.decode_online);
+        assert_eq!(parsed.spill_threshold, 256);
+        assert_eq!(parsed.spill_dir, Some(PathBuf::from("/tmp/spill-env")));
+    }
+
+    #[test]
+    fn env_knobs_without_variables_leave_config_unchanged() {
+        let base = SessionConfig::inspector();
+        assert_eq!(base.clone().apply_env_with(|_| None), base);
+    }
+
+    #[test]
+    fn unrecognized_structural_knob_values_keep_the_configured_default() {
+        // A deliberately non-default base, so "default untouched" is
+        // distinguishable from "reset to the preset".
+        let base = SessionConfig::inspector()
+            .with_ingest_threads(3)
+            .with_cpg_shards(5)
+            .with_ingest_queue_depth(77);
+        for bad in ["", "  ", "not-a-number", "-1", "2.5"] {
+            let parsed = base.clone().apply_env_with(|name| match name {
+                "INSPECTOR_INGEST_THREADS"
+                | "INSPECTOR_CPG_SHARDS"
+                | "INSPECTOR_INGEST_QUEUE_DEPTH" => Some(bad.into()),
+                _ => None,
+            });
+            assert_eq!(parsed.ingest_threads, 3, "value {bad:?}");
+            assert_eq!(parsed.cpg_shards, 5, "value {bad:?}");
+            assert_eq!(parsed.ingest_queue_depth, 77, "value {bad:?}");
+        }
+    }
+
+    #[test]
+    fn zero_structural_knob_values_keep_the_configured_default() {
+        // Zero has no meaningful configuration for these knobs; it must not
+        // be silently clamped to 1 (the regression PR 3 fixed only for
+        // INSPECTOR_DECODE_ONLINE).
+        let base = SessionConfig::inspector()
+            .with_ingest_threads(3)
+            .with_cpg_shards(5)
+            .with_ingest_queue_depth(77);
+        let parsed = base.clone().apply_env_with(|name| match name {
+            "INSPECTOR_INGEST_THREADS"
+            | "INSPECTOR_CPG_SHARDS"
+            | "INSPECTOR_INGEST_QUEUE_DEPTH" => Some("0".into()),
+            _ => None,
+        });
+        assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn decode_online_spellings_and_fallback() {
+        let base = SessionConfig::inspector();
+        let on_by_default = base.clone().with_decode_online(true);
+        for (value, expect_from_off, expect_from_on) in [
+            ("true", true, true),
+            ("TRUE", true, true),
+            ("0", false, false),
+            ("false", false, false),
+            ("banana", false, true), // unrecognized: default preserved
+        ] {
+            let from_off = base
+                .clone()
+                .apply_env_with(|name| (name == "INSPECTOR_DECODE_ONLINE").then(|| value.into()));
+            assert_eq!(from_off.decode_online, expect_from_off, "value {value:?}");
+            let from_on = on_by_default
+                .clone()
+                .apply_env_with(|name| (name == "INSPECTOR_DECODE_ONLINE").then(|| value.into()));
+            assert_eq!(from_on.decode_online, expect_from_on, "value {value:?}");
+        }
+    }
+
+    #[test]
+    fn spill_threshold_zero_is_explicitly_off() {
+        // Unlike the structural knobs, 0 is the spill knob's documented
+        // "disable" value: it must override a nonzero configured default.
+        let base = SessionConfig::inspector().with_spill_threshold(64);
+        let parsed = base
+            .clone()
+            .apply_env_with(|name| (name == "INSPECTOR_SPILL_THRESHOLD").then(|| "0".into()));
+        assert_eq!(parsed.spill_threshold, 0);
+        // Unrecognized values still keep the default.
+        let parsed = base
+            .clone()
+            .apply_env_with(|name| (name == "INSPECTOR_SPILL_THRESHOLD").then(|| "lots".into()));
+        assert_eq!(parsed.spill_threshold, 64);
+        // An empty spill dir is unrecognized.
+        let parsed =
+            base.apply_env_with(|name| (name == "INSPECTOR_SPILL_DIR").then(|| "  ".into()));
+        assert_eq!(parsed.spill_dir, None);
     }
 }

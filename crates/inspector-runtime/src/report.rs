@@ -68,6 +68,26 @@ pub struct RunStats {
     /// what decode-while-running costs.
     #[serde(with = "duration_nanos")]
     pub decode_time: Duration,
+    /// Sub-computations the spill stage moved out of memory into on-disk
+    /// segments during the run. Zero unless
+    /// [`SessionConfig::spill_threshold`] is set.
+    ///
+    /// [`SessionConfig::spill_threshold`]: crate::SessionConfig::spill_threshold
+    pub spilled_subs: u64,
+    /// Bytes appended to the spill segments (record framing included).
+    pub spill_bytes: u64,
+    /// Largest number of sub-computations resident in the streaming builder
+    /// at any point of the run. With spilling enabled this is the measured
+    /// active window — the memory bound §VI asks for — rather than the
+    /// trace length.
+    pub peak_resident_subs: u64,
+    /// CPU time of the spill stage (consistent-cut computation, record
+    /// encoding and segment appends), summed across ingest workers (the
+    /// `spill` phase). A subset of the workers' graph-ingest busy time,
+    /// attributed separately so Figure 6 can show what bounding memory
+    /// costs.
+    #[serde(with = "duration_nanos")]
+    pub spill_time: Duration,
 }
 
 impl RunStats {
@@ -98,6 +118,13 @@ impl RunStats {
     /// `decode_online` is off.
     pub fn pt_decode_time(&self) -> Duration {
         self.decode_time
+    }
+
+    /// Time attributable to the spill stage (the `spill` phase): cut
+    /// computation, record encoding and segment appends. Zero when
+    /// `spill_threshold` is 0.
+    pub fn spill_phase_time(&self) -> Duration {
+        self.spill_time
     }
 
     /// Overlap factor of the ingest pool: summed worker busy time over the
@@ -137,27 +164,40 @@ pub struct PhaseBreakdown {
     /// Portion attributed to online PT decoding (`pt_decode`). Zero unless
     /// the run decoded while running.
     pub decode_overhead: f64,
+    /// Portion attributed to the spill stage (`spill`). Zero unless the run
+    /// bounded shard memory via `spill_threshold`.
+    pub spill_overhead: f64,
 }
 
 impl PhaseBreakdown {
     /// Splits `total_overhead` (ratio of inspector to native wall time) into
     /// the components proportionally to the time each subsystem spent.
+    ///
+    /// Spilling runs *inside* the ingest workers' timed busy loop (unlike
+    /// online decode, which is timed separately), so its time is carved out
+    /// of the graph share rather than added next to it — otherwise the
+    /// graph+spill phases would be double-counted against threading/PT.
+    /// With a multi-worker pool the carve-out is approximate (`spill_time`
+    /// is summed across workers while `graph_time` is the busiest worker),
+    /// hence the clamp to zero.
     pub fn split(total_overhead: f64, stats: &RunStats) -> Self {
         let threading = stats.threading_lib_time().as_secs_f64();
         let pt = stats.pt_time().as_secs_f64();
-        let graph = stats.graph_time().as_secs_f64();
+        let spill = stats.spill_phase_time().as_secs_f64();
+        let graph = (stats.graph_time().as_secs_f64() - spill).max(0.0);
         let decode = stats.pt_decode_time().as_secs_f64();
         let extra = (total_overhead - 1.0).max(0.0);
-        let denom = threading + pt + graph + decode;
-        let (threading_overhead, pt_overhead, graph_overhead, decode_overhead) =
+        let denom = threading + pt + graph + decode + spill;
+        let (threading_overhead, pt_overhead, graph_overhead, decode_overhead, spill_overhead) =
             if denom <= f64::EPSILON {
-                (0.0, 0.0, 0.0, 0.0)
+                (0.0, 0.0, 0.0, 0.0, 0.0)
             } else {
                 (
                     extra * threading / denom,
                     extra * pt / denom,
                     extra * graph / denom,
                     extra * decode / denom,
+                    extra * spill / denom,
                 )
             };
         PhaseBreakdown {
@@ -166,6 +206,7 @@ impl PhaseBreakdown {
             pt_overhead,
             graph_overhead,
             decode_overhead,
+            spill_overhead,
         }
     }
 }
@@ -259,6 +300,39 @@ mod tests {
         stats.decode_time = Duration::ZERO;
         let b = PhaseBreakdown::split(3.0, &stats);
         assert_eq!(b.decode_overhead, 0.0);
+        assert!((b.threading_overhead + b.pt_overhead + b.graph_overhead - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_includes_spill_share() {
+        // Spill time is a subset of the workers' graph time, so the split
+        // carves it out of the graph share instead of double-counting it:
+        // graph 50 ms of which 25 ms was spilling → 25/25 after the carve.
+        let mut stats = RunStats::default();
+        stats.mem.fault_time = Duration::from_millis(25);
+        stats.pt.encode_time = Duration::from_millis(25);
+        stats.graph_ingest_time = Duration::from_millis(50);
+        stats.spill_time = Duration::from_millis(25);
+        let b = PhaseBreakdown::split(3.0, &stats);
+        assert!((b.spill_overhead - 0.5).abs() < 1e-9);
+        assert!((b.graph_overhead - 0.5).abs() < 1e-9);
+        assert!(
+            (b.threading_overhead + b.pt_overhead + b.graph_overhead + b.spill_overhead - 2.0)
+                .abs()
+                < 1e-9,
+            "components must sum to the extra overhead"
+        );
+        // A pool can sum more spill time than the busiest worker's total:
+        // the graph share clamps at zero instead of going negative.
+        stats.spill_time = Duration::from_millis(80);
+        let b = PhaseBreakdown::split(3.0, &stats);
+        assert_eq!(b.graph_overhead, 0.0);
+        assert!(b.spill_overhead > 0.0);
+        // Without spilling the share vanishes and the split is unchanged.
+        stats.graph_ingest_time = Duration::from_millis(50);
+        stats.spill_time = Duration::ZERO;
+        let b = PhaseBreakdown::split(3.0, &stats);
+        assert_eq!(b.spill_overhead, 0.0);
         assert!((b.threading_overhead + b.pt_overhead + b.graph_overhead - 2.0).abs() < 1e-9);
     }
 

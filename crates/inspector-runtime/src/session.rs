@@ -66,6 +66,29 @@ use crate::report::{RunReport, RunStats};
 /// materialised lazily, so a generous reservation costs nothing.
 const HEAP_BYTES: u64 = 256 << 20;
 
+/// Resolves the spill configuration for a session's streaming builder:
+/// `None` when spilling is off (threshold 0 or a native run, which never
+/// ingests), otherwise a session-unique subdirectory under the configured
+/// [`SessionConfig::spill_dir`] (or the system temp dir), so concurrent
+/// sessions never collide on segment files.
+fn spill_settings_for(config: &SessionConfig) -> Option<inspector_core::spill::SpillSettings> {
+    use std::sync::atomic::AtomicU64 as SeqCounter;
+    static NEXT_SPILL_DIR: SeqCounter = SeqCounter::new(0);
+    if config.spill_threshold == 0 || config.mode != ExecutionMode::Inspector {
+        return None;
+    }
+    let base = config.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+    let unique = base.join(format!(
+        "inspector-spill-{}-{}",
+        std::process::id(),
+        NEXT_SPILL_DIR.fetch_add(1, Ordering::Relaxed)
+    ));
+    Some(inspector_core::spill::SpillSettings::new(
+        config.spill_threshold,
+        unique,
+    ))
+}
+
 /// Everything a thread reports when it exits (its sub-computations have
 /// already been streamed one by one).
 #[derive(Debug)]
@@ -365,19 +388,23 @@ impl InspectorSession {
         let allocator = HeapAllocator::new(heap_region);
         let cgroup = Arc::new(Cgroup::new("inspector"));
         let perf = TraceSession::new(cgroup);
+        let slots = config.snapshot_slots.max(1);
+        let builder = Arc::new(ShardedCpgBuilder::with_shards_and_spill(
+            config.cpg_shards,
+            spill_settings_for(&config),
+        ));
         let shared = Arc::new(Shared {
             config,
             image,
             registry: SyncClockRegistry::shared(),
             perf,
             allocator,
-            builder: Arc::new(ShardedCpgBuilder::with_shards(config.cpg_shards)),
+            builder,
             next_thread: AtomicU32::new(0),
             next_pid: AtomicU64::new(1),
             spawned_threads: AtomicU64::new(0),
             ingest_tx: Mutex::new(None),
         });
-        let slots = config.snapshot_slots.max(1);
         InspectorSession {
             shared,
             monitor_ring: Arc::new(Mutex::new(SnapshotRing::new(slots))),
@@ -386,7 +413,7 @@ impl InspectorSession {
 
     /// The session configuration.
     pub fn config(&self) -> SessionConfig {
-        self.shared.config
+        self.shared.config.clone()
     }
 
     /// The shared memory image (for direct initialisation of input data
@@ -561,6 +588,15 @@ impl InspectorSession {
             // toward both the critical-path and the CPU attribution.
             stats.graph_ingest_time += seal;
             stats.graph_ingest_cpu_time += seal;
+            // Spill-stage attribution from the sealed build's counters. The
+            // workers' busy time already includes the encode cost (spilling
+            // happens inside `ingest`); reporting it separately lets the
+            // Figure 6 breakdown show what bounding memory costs.
+            let ingest = self.shared.builder.last_sealed_stats().unwrap_or_default();
+            stats.spilled_subs = ingest.spilled_subs;
+            stats.spill_bytes = ingest.spill_bytes;
+            stats.spill_time = ingest.spill_time;
+            stats.peak_resident_subs = ingest.peak_resident_subs;
             cpg
         } else {
             Cpg::default()
@@ -943,6 +979,60 @@ mod tests {
         assert_eq!(report.stats.decode_errors, 0);
         assert_eq!(report.stats.decode_bytes, 0);
         assert_eq!(report.stats.decode_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn spill_threshold_bounds_resident_subs_and_preserves_graph() {
+        let run = |config: SessionConfig| {
+            let session = InspectorSession::new(config);
+            let region = session.map_region("counter", 8);
+            let base = region.base();
+            let lock = Arc::new(InspMutex::new());
+            session.run(move |ctx| {
+                for i in 0..60u64 {
+                    lock.lock(ctx);
+                    let v = ctx.read_u64(base);
+                    ctx.write_u64(base, v + i);
+                    lock.unlock(ctx);
+                }
+            })
+        };
+        let plain = run(SessionConfig::inspector());
+        let spilled = run(SessionConfig::inspector().with_spill_threshold(1));
+
+        // The spill stage fired and bounded the resident window.
+        assert!(spilled.stats.spilled_subs > 0, "{:?}", spilled.stats);
+        assert!(spilled.stats.spill_bytes > 0);
+        assert!(
+            spilled.stats.peak_resident_subs < spilled.stats.recorder.subcomputations / 2,
+            "peak resident {} vs {} recorded",
+            spilled.stats.peak_resident_subs,
+            spilled.stats.recorder.subcomputations
+        );
+        // And the graph is unchanged: same nodes, same edge multiset.
+        assert_eq!(spilled.cpg.node_count(), plain.cpg.node_count());
+        let fingerprint = |cpg: &Cpg| -> std::collections::BTreeSet<String> {
+            cpg.edges().map(|e| format!("{e:?}")).collect()
+        };
+        assert_eq!(fingerprint(&spilled.cpg), fingerprint(&plain.cpg));
+        assert!(spilled.cpg.validate().is_ok());
+    }
+
+    #[test]
+    fn spill_off_leaves_spill_counters_zero() {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let report = session.run(|ctx| {
+            for i in 0..20u64 {
+                ctx.branch(i % 2 == 0);
+                let obj = crate::ctx::fresh_sync_id();
+                ctx.sync_boundary(obj, SyncKind::Release);
+            }
+        });
+        assert_eq!(report.stats.spilled_subs, 0);
+        assert_eq!(report.stats.spill_bytes, 0);
+        assert_eq!(report.stats.spill_time, Duration::ZERO);
+        // The resident peak is still measured (it is the whole build here).
+        assert!(report.stats.peak_resident_subs > 0);
     }
 
     #[test]

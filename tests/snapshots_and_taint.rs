@@ -63,6 +63,102 @@ fn snapshot_ring_overwrites_but_latest_is_usable() {
 }
 
 #[test]
+fn live_snapshots_fault_spilled_nodes_back_in() {
+    // Spill threshold 1: by the time the snapshot is taken, most of the
+    // recorded history has left memory. The snapshot must still cover it —
+    // spilled nodes are faulted back in from the segment files
+    // transparently — and stay a consistent, valid cut.
+    let session = InspectorSession::new(
+        SessionConfig::inspector()
+            .with_live_snapshots(2)
+            .with_spill_threshold(1),
+    );
+    let data = session.map_region("data", 4096).base();
+    let monitor = session.live_monitor();
+    let monitor_for_run = monitor.clone();
+    let lock = Arc::new(InspMutex::new());
+
+    let report = session.run(move |ctx| {
+        for i in 0..32u64 {
+            lock.lock(ctx);
+            let v = ctx.read_u64(data);
+            ctx.write_u64(data, v + i);
+            lock.unlock(ctx);
+            if i == 31 {
+                monitor_for_run.take_snapshot();
+            }
+        }
+    });
+
+    assert!(report.stats.spilled_subs > 0, "{:?}", report.stats);
+    let snapshot = monitor.latest().expect("snapshot taken");
+    snapshot.cpg.validate().expect("consistent snapshot");
+    // The snapshot was cut after the last write: it must reach deep into
+    // the spilled history, far beyond the resident window.
+    assert!(
+        snapshot.cpg.node_count() as u64 > report.stats.peak_resident_subs,
+        "snapshot ({} nodes) should cover spilled history (window was {})",
+        snapshot.cpg.node_count(),
+        report.stats.peak_resident_subs
+    );
+    // And per-thread sequences in the snapshot start at α = 0 — the faulted
+    // prefix really is there, not just the live suffix.
+    for thread in snapshot.cpg.threads() {
+        let seq = snapshot.cpg.thread_sequence(thread);
+        assert_eq!(seq.first().map(|id| id.alpha), Some(0), "thread {thread}");
+    }
+}
+
+#[test]
+fn taint_propagates_through_a_spill_active_snapshot() {
+    // Take a mid-run snapshot while spilling is active, then run the taint
+    // policy over the snapshot's CPG: the flow from the tainted input page
+    // to the derived page crosses sub-computations that were spilled and
+    // faulted back in.
+    let session = InspectorSession::new(
+        SessionConfig::inspector()
+            .with_live_snapshots(2)
+            .with_spill_threshold(1),
+    );
+    let secret = session.map_input("secret.bin", &[5u8; 4096]);
+    let secret_base = secret.base();
+    let secret_pages = secret.page_count() as u64;
+    let derived = session.map_region("derived", 8).base();
+    let monitor = session.live_monitor();
+    let monitor_for_run = monitor.clone();
+
+    let report = session.run(move |ctx| {
+        let mut acc = 0u64;
+        for i in 0..64 {
+            acc += ctx.read_u8(secret_base.add(i)) as u64;
+        }
+        ctx.write_u64(derived, acc);
+        // Several boundaries so the read/write subs retire (and spill)
+        // before the snapshot is cut.
+        for _ in 0..8 {
+            let obj = inspector::runtime::ctx::fresh_sync_id();
+            ctx.sync_boundary(obj, inspector::core::event::SyncKind::Release);
+        }
+        monitor_for_run.take_snapshot();
+    });
+    assert!(report.stats.spilled_subs > 0, "{:?}", report.stats);
+
+    let snapshot = monitor.latest().expect("snapshot taken");
+    snapshot.cpg.validate().expect("consistent snapshot");
+    let mut tracker = TaintTracker::new().with_control_flow(true);
+    tracker.taint_page_range(
+        PageId::new(secret_base.raw() / 4096),
+        secret_pages,
+        TaintLabel(3),
+    );
+    let taint = tracker.propagate(&snapshot.cpg);
+    assert!(
+        taint.page_is_tainted(PageId::new(derived.raw() / 4096)),
+        "taint must flow through spilled-and-faulted nodes"
+    );
+}
+
+#[test]
 fn taint_from_mapped_input_reaches_derived_output_only() {
     let session = InspectorSession::new(SessionConfig::inspector());
     let secret = session.map_input("secret.bin", &[9u8; 4096]);

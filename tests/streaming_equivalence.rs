@@ -219,10 +219,17 @@ fn rebatch(cpg: &Cpg) -> Cpg {
 fn real_session_graphs_match_batch_rebuild() {
     // Sweep worker count × ingest-pool width: the graph must be identical
     // regardless of how many ingest workers drained the provenance lanes.
+    // The base config honours the CI knob matrix (`INSPECTOR_DECODE_ONLINE`,
+    // `INSPECTOR_SPILL_THRESHOLD`, ...) so every documented env combination
+    // actually exercises this equivalence property; the pool width stays an
+    // explicit sweep.
     for workers in [1usize, 4, 8] {
         for pool in [1usize, 4] {
-            let session =
-                InspectorSession::new(SessionConfig::inspector().with_ingest_threads(pool));
+            let session = InspectorSession::new(
+                SessionConfig::inspector()
+                    .apply_env()
+                    .with_ingest_threads(pool),
+            );
             let counter = session.map_region("counter", 8).base();
             let staging = session.map_region("staging", 4096 * 8).base();
             let lock = Arc::new(InspMutex::new());
