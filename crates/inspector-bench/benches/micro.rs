@@ -7,7 +7,9 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use inspector_bench::ingest_bench::{encoded_branch_stream, ingest_with_pool};
+use inspector_bench::ingest_bench::{
+    encoded_branch_stream, ingest_with_pool, ingest_with_pool_batched,
+};
 use inspector_core::clock::VectorClock;
 use inspector_core::graph::CpgBuilder;
 use inspector_core::ids::ThreadId;
@@ -253,6 +255,39 @@ fn bench_cpg_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sync_contention(c: &mut Criterion) {
+    // The de-contended ingest hot path under the most synchronization-heavy
+    // shape we have: an interleaved ping-pong where *every* sub-computation
+    // is an acquire or release on one lock, so the old global sync stripe
+    // serialized every producer. With the partitioned state the remaining
+    // shared point is the one semantic release stripe; the pool sweep
+    // exposes what contention is left, and the batch sweep shows the lane
+    // transport amortising stripe locking.
+    let mut group = c.benchmark_group("sync_contention");
+    let sequences = inspector_core::testing::ping_pong_sequences(8, 100);
+    let subs: usize = sequences.iter().map(|s| s.len()).sum();
+    group.throughput(Throughput::Elements(subs as u64));
+    for pool in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("ping_pong_pool", pool),
+            &sequences,
+            |b, sequences| {
+                b.iter(|| ingest_with_pool(sequences, pool, 8));
+            },
+        );
+    }
+    for batch in [1usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("ping_pong_pool4_batch", batch),
+            &sequences,
+            |b, sequences| {
+                b.iter(|| ingest_with_pool_batched(sequences, 4, 8, batch));
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_seal_latency(c: &mut Criterion) {
     // Seal cost after *complete* delivery: every synchronization and data
     // edge was already resolved during ingestion (`data_resolved_at_seal ==
@@ -322,6 +357,6 @@ fn bench_cpg_spill(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_vector_clocks, bench_fault_path, bench_pt_codec, bench_pt_decode, bench_cpg_build, bench_cpg_ingest, bench_seal_latency, bench_cpg_spill
+    targets = bench_vector_clocks, bench_fault_path, bench_pt_codec, bench_pt_decode, bench_cpg_build, bench_cpg_ingest, bench_sync_contention, bench_seal_latency, bench_cpg_spill
 }
 criterion_main!(micro);

@@ -23,10 +23,12 @@ use std::fmt::Write as _;
 
 use inspector_bench::check::{compare, parse_metrics, CheckOutcome};
 use inspector_bench::ingest_bench::{
-    measure_batch_ns_per_sub, measure_decode_throughput, measure_grid_cell, measure_pooled_build,
-    measure_spill_cell, peak_rss_kib, GridCell,
+    measure_batch_ns_per_sub, measure_decode_throughput, measure_grid_cell,
+    measure_index_residency, measure_pooled_build, measure_spill_cell, peak_rss_kib, GridCell,
 };
 use inspector_core::testing::lock_heavy_sequences;
+use inspector_runtime::sync::InspMutex;
+use inspector_runtime::{InspectorSession, SessionConfig};
 
 struct WorkloadSpec {
     name: &'static str,
@@ -71,7 +73,7 @@ fn main() {
 
     // The lock-heavy shape is the acceptance baseline (it matches the
     // `cpg_ingest` micro-bench and the equivalence suite); `wide_pages`
-    // stresses the page-striped write index instead of the sync stripe.
+    // stresses the page-striped write index instead of the release stripes.
     let workloads = [
         WorkloadSpec {
             name: "lock_heavy",
@@ -169,33 +171,124 @@ fn main() {
     json.push_str("  ],\n");
 
     // Seal latency vs run length under complete delivery: the per-sub seal
-    // cost must stay (near-)flat because everything resolved at ingest.
+    // cost must stay (near-)flat because everything resolved at ingest and
+    // the frontier GC keeps the indexes O(threads).
     json.push_str("  \"seal_latency\": [\n");
     // Quick sweeps a subset of the full lengths so both points stay
     // comparable under the gate.
     let lengths: &[u64] = if quick { &[50, 200] } else { &[50, 200, 800] };
-    for (li, &len) in lengths.iter().enumerate() {
-        let sequences = lock_heavy_sequences(4, len, 32, 16);
-        let subs: usize = sequences.iter().map(|s| s.len()).sum();
-        let mut best_seal = f64::MAX;
-        let mut data_at_seal = 0;
-        for _ in 0..cheap_repeats {
-            let build = measure_pooled_build(&sequences, 1, 8);
-            best_seal = best_seal.min(build.seal_time.as_nanos() as f64 / subs as f64);
-            data_at_seal = data_at_seal.max(build.stats.data_resolved_at_seal);
+    // The flatness gate below compares two minima against a 1.25x bound;
+    // best-of-5 is too noisy for that on a loaded 1-core runner, and the
+    // repeats are *interleaved across lengths* so environmental drift
+    // (CPU steal, frequency) inflates every cell's affected repeat
+    // equally instead of skewing whichever length happened to run during
+    // the slow period — the minima then pair up fairly.
+    let seal_repeats = 7;
+    let seal_inputs: Vec<(
+        u64,
+        Vec<Vec<inspector_core::subcomputation::SubComputation>>,
+        usize,
+    )> = lengths
+        .iter()
+        .map(|&len| {
+            let sequences = lock_heavy_sequences(4, len, 32, 16);
+            let subs: usize = sequences.iter().map(|s| s.len()).sum();
+            (len, sequences, subs)
+        })
+        .collect();
+    let mut best_seal = vec![f64::MAX; seal_inputs.len()];
+    let mut data_at_seal = vec![0u64; seal_inputs.len()];
+    for _ in 0..seal_repeats {
+        for (i, (_, sequences, subs)) in seal_inputs.iter().enumerate() {
+            let build = measure_pooled_build(sequences, 1, 8);
+            best_seal[i] = best_seal[i].min(build.seal_time.as_nanos() as f64 / *subs as f64);
+            data_at_seal[i] = data_at_seal[i].max(build.stats.data_resolved_at_seal);
         }
+    }
+    let mut seal_by_length: Vec<(u64, f64)> = Vec::new();
+    for (i, (len, _, subs)) in seal_inputs.iter().enumerate() {
+        let best = best_seal[i];
         eprintln!(
-            "seal_latency/{len} iters: {subs} subs, seal {best_seal:.0} ns/sub, \
-             data_resolved_at_seal={data_at_seal}"
+            "seal_latency/{len} iters: {subs} subs, seal {best:.0} ns/sub, \
+             data_resolved_at_seal={}",
+            data_at_seal[i]
         );
         assert_eq!(
-            data_at_seal, 0,
+            data_at_seal[i], 0,
             "complete delivery must leave nothing for the seal"
         );
+        seal_by_length.push((*len, best));
         let _ = writeln!(
             json,
             "    {{\"iterations\": {len}, \"subcomputations\": {subs}, \
-             \"seal_ns_per_sub\": {best_seal:.1}, \"data_resolved_at_seal\": {data_at_seal}}}{}",
+             \"seal_ns_per_sub\": {best:.1}, \"data_resolved_at_seal\": {}}}{}",
+            data_at_seal[i],
+            if i + 1 < seal_inputs.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    // Flatness gates: with the frontier GC and the streaming seal (k-way
+    // merge into the sorted node store, fused adjacency build, deferred
+    // index teardown) the per-sub seal cost carries no event-proportional
+    // term — 404 vs 1604 subs measures dead flat and must stay within
+    // 1.25x. The 6404-sub cell additionally pays a constant-per-sub
+    // LLC-capacity cost once the graph outgrows this container's cache
+    // (~90 ns/sub here, stable across runs; it neither shrinks with
+    // algorithmic work nor grows further at 12808 subs), so its gate is
+    // 1.6x — still far below the ≈2.4x that reintroducing the old
+    // O(events) index teardown would produce on today's faster base.
+    let cell = |want: u64| {
+        seal_by_length
+            .iter()
+            .find(|(l, _)| *l == want)
+            .map(|&(_, ns)| ns)
+    };
+    if let (Some(short), Some(mid)) = (cell(50), cell(200)) {
+        let ratio = mid / short.max(f64::MIN_POSITIVE);
+        eprintln!("seal_latency flatness: 200-iter/50-iter = {ratio:.2}x");
+        assert!(
+            ratio <= 1.25,
+            "seal ns/sub must stay flat over run length: {mid:.0} at 200 iters vs \
+             {short:.0} at 50 iters ({ratio:.2}x > 1.25x)"
+        );
+    }
+    if let (Some(short), Some(long)) = (cell(50), cell(800)) {
+        let ratio = long / short.max(f64::MIN_POSITIVE);
+        eprintln!("seal_latency flatness: 800-iter/50-iter = {ratio:.2}x");
+        assert!(
+            ratio <= 1.6,
+            "seal ns/sub grew superlinearly: {long:.0} at 800 iters vs \
+             {short:.0} at 50 iters ({ratio:.2}x > 1.6x)"
+        );
+    }
+
+    // Index residency vs run length: the frontier GC keeps the live
+    // release / page-write indexes O(threads) while the GC'd counters
+    // absorb the O(events) bulk.
+    json.push_str("  \"index_residency\": [\n");
+    for (li, &len) in lengths.iter().enumerate() {
+        let cell = measure_index_residency(4, len);
+        eprintln!(
+            "index_residency/{} rounds: {} subs, release live {} / gcd {}, \
+             page live {} / gcd {}",
+            cell.iterations,
+            cell.subcomputations,
+            cell.release_entries_live,
+            cell.release_entries_gcd,
+            cell.page_entries_live,
+            cell.page_entries_gcd
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"iterations\": {}, \"subcomputations\": {}, \
+             \"release_entries_live\": {}, \"release_entries_gcd\": {}, \
+             \"page_entries_live\": {}, \"page_entries_gcd\": {}}}{}",
+            cell.iterations,
+            cell.subcomputations,
+            cell.release_entries_live,
+            cell.release_entries_gcd,
+            cell.page_entries_live,
+            cell.page_entries_gcd,
             if li + 1 < lengths.len() { "," } else { "" }
         );
     }
@@ -239,7 +332,10 @@ fn main() {
     // resident window. Throughput cost (ns/sub vs threshold 0), spill write
     // bandwidth, and how small the peak resident window gets.
     json.push_str("  \"spill\": [\n");
-    let spill_iterations = if quick { 200 } else { 400 };
+    // Same length in both shapes: the spill section is gated now, and a
+    // cell is only comparable when it measured the same workload at the
+    // same length (see the comparability note above).
+    let spill_iterations = 400;
     let spill_sequences = lock_heavy_sequences(4, spill_iterations, 32, 16);
     let thresholds: &[usize] = if quick { &[0, 32] } else { &[0, 8, 64, 512] };
     for (ti, &threshold) in thresholds.iter().enumerate() {
@@ -276,6 +372,14 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    // Ingest-pool overlap factor from one contended session: summed worker
+    // busy time over the busiest worker. ≈ 1.0 on a 1-core container;
+    // printed (and recorded, ungated) so multi-core bench-smoke logs
+    // surface ingest-side contention regressions — a de-contended hot path
+    // must overlap, not serialize, once real cores sit under the pool.
+    let (overlap, pool_width) = measure_overlap_factor();
+    eprintln!("ingest_overlap_factor: {overlap:.2} (pool={pool_width}, {parallelism} cores)");
+    let _ = writeln!(json, "  \"ingest_overlap_factor\": {overlap:.2},");
     let rss = peak_rss_kib().unwrap_or(0);
     eprintln!("peak RSS (VmHWM): {rss} KiB");
     let _ = writeln!(json, "  \"peak_rss_kib\": {rss}");
@@ -311,6 +415,39 @@ fn main() {
             }
         }
     }
+}
+
+/// Runs one contended multi-worker session with a 4-wide ingest pool and
+/// returns `(graph_ingest_cpu_time / graph_ingest_time, pool width)` — the
+/// pool's overlap factor (see `RunStats::ingest_overlap_factor`).
+fn measure_overlap_factor() -> (f64, usize) {
+    use std::sync::Arc;
+    let session = InspectorSession::new(SessionConfig::inspector().with_ingest_threads(4));
+    let region = session.map_region("cells", 4096 * 8);
+    let base = region.base();
+    let lock = Arc::new(InspMutex::new());
+    let report = session.run(move |ctx| {
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let lock = Arc::clone(&lock);
+            handles.push(ctx.spawn(move |ctx| {
+                for i in 0..150u64 {
+                    lock.lock(ctx);
+                    let slot = base.add((i % 8) * 4096);
+                    let v = ctx.read_u64(slot);
+                    ctx.write_u64(slot, v + w);
+                    lock.unlock(ctx);
+                }
+            }));
+        }
+        for h in handles {
+            ctx.join(h);
+        }
+    });
+    (
+        report.stats.ingest_overlap_factor(),
+        report.stats.ingest_workers,
+    )
 }
 
 /// Prints the headline comparison: 4-wide pool vs the single-ingest-thread

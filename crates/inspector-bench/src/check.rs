@@ -46,6 +46,15 @@ pub struct DecodeMetric {
     pub streaming_mib_per_sec: f64,
 }
 
+/// One `spill` sweep point (threshold 0 is the keep-everything baseline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillMetric {
+    /// Spill threshold the build ran with.
+    pub threshold: u64,
+    /// Total construction time per sub-computation, nanoseconds.
+    pub total_ns_per_sub: f64,
+}
+
 /// The metrics extracted from one `BENCH_ingest.json`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BenchMetrics {
@@ -59,6 +68,8 @@ pub struct BenchMetrics {
     pub seal_points: Vec<SealMetric>,
     /// `pt_decode` throughput points.
     pub decode_points: Vec<DecodeMetric>,
+    /// `spill` threshold sweep points.
+    pub spill_points: Vec<SpillMetric>,
 }
 
 /// Extracts the value following `"key":` on `line`, up to the next comma or
@@ -90,10 +101,11 @@ fn field_str(line: &str, key: &str) -> Option<String> {
 /// Parses the metrics out of a `BENCH_ingest.json` document.
 ///
 /// The scanner keys off the distinguishing field of each row kind
-/// (`total_ns_per_sub` + `pool` for grid cells, `iterations` for seal
-/// points, `chunk_bytes` for decode points) and tracks the current workload
-/// from the preceding `"workload"` line, so it tolerates sections being
-/// reordered, extended or partially absent.
+/// (`total_ns_per_sub` + `pool` for grid cells, `iterations` +
+/// `seal_ns_per_sub` for seal points, `chunk_bytes` for decode points,
+/// `threshold` + `total_ns_per_sub` for spill points) and tracks the
+/// current workload from the preceding `"workload"` line, so it tolerates
+/// sections being reordered, extended or partially absent.
 pub fn parse_metrics(json: &str) -> BenchMetrics {
     let mut metrics = BenchMetrics::default();
     let mut workload = String::new();
@@ -137,6 +149,15 @@ pub fn parse_metrics(json: &str) -> BenchMetrics {
                 chunk_bytes: chunk,
                 batch_mib_per_sec: batch,
                 streaming_mib_per_sec: streaming,
+            });
+        }
+        if let (Some(threshold), Some(total)) = (
+            field_u64(line, "threshold"),
+            field_f64(line, "total_ns_per_sub"),
+        ) {
+            metrics.spill_points.push(SpillMetric {
+                threshold,
+                total_ns_per_sub: total,
             });
         }
     }
@@ -244,6 +265,25 @@ pub fn compare(current: &BenchMetrics, baseline: &BenchMetrics, tolerance: f64) 
             });
         }
     }
+    for point in &current.spill_points {
+        let Some(base) = baseline
+            .spill_points
+            .iter()
+            .find(|b| b.threshold == point.threshold)
+        else {
+            continue;
+        };
+        compared += 1;
+        let ratio = worse_high(point.total_ns_per_sub, base.total_ns_per_sub);
+        if ratio > 1.0 + tolerance {
+            regressions.push(Regression {
+                metric: format!("spill/threshold={} (ns/sub)", point.threshold),
+                baseline: base.total_ns_per_sub,
+                current: point.total_ns_per_sub,
+                ratio,
+            });
+        }
+    }
     for point in &current.decode_points {
         let Some(base) = baseline
             .decode_points
@@ -291,6 +331,16 @@ mod tests {
     use super::*;
 
     fn artefact(parallelism: u64, ingest_ns: f64, seal_ns: f64, decode_mib: f64) -> String {
+        artefact_with_spill(parallelism, ingest_ns, seal_ns, decode_mib, 2000.0)
+    }
+
+    fn artefact_with_spill(
+        parallelism: u64,
+        ingest_ns: f64,
+        seal_ns: f64,
+        decode_mib: f64,
+        spill_ns: f64,
+    ) -> String {
         format!(
             r#"{{
   "bench": "cpg_ingest + seal_latency + pt_decode",
@@ -309,6 +359,9 @@ mod tests {
   ],
   "pt_decode": [
     {{"chunk_bytes": 4096, "bytes": 100, "branches": 50, "batch_mib_per_sec": 200.0, "streaming_mib_per_sec": {decode_mib}, "streaming_branches_per_sec": 1}}
+  ],
+  "spill": [
+    {{"threshold": 8, "subcomputations": 3204, "total_ns_per_sub": {spill_ns}, "spill_mib_per_sec": 60.0, "spilled_subs": 3200, "spill_bytes": 370948, "peak_resident_subs": 11}}
   ]
 }}
 "#
@@ -330,6 +383,30 @@ mod tests {
         assert_eq!(m.decode_points.len(), 1);
         assert!((m.decode_points[0].streaming_mib_per_sec - 110.0).abs() < 1e-9);
         assert!((m.decode_points[0].batch_mib_per_sec - 200.0).abs() < 1e-9);
+        assert_eq!(m.spill_points.len(), 1);
+        assert_eq!(m.spill_points[0].threshold, 8);
+        assert!((m.spill_points[0].total_ns_per_sub - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spill_regression_beyond_tolerance_fails() {
+        let baseline = parse_metrics(&artefact_with_spill(1, 1000.0, 50.0, 100.0, 2000.0));
+        // Only the spill section regressed (2x slower): previously this was
+        // uncovered by the gate.
+        let current = parse_metrics(&artefact_with_spill(1, 1000.0, 50.0, 100.0, 4000.0));
+        match compare(&current, &baseline, 0.30) {
+            CheckOutcome::Failed(regressions) => {
+                assert_eq!(regressions.len(), 1, "{regressions:?}");
+                assert!(regressions[0].metric.contains("spill/threshold=8"));
+            }
+            other => panic!("expected spill regression, got {other:?}"),
+        }
+        // Within tolerance passes.
+        let current = parse_metrics(&artefact_with_spill(1, 1000.0, 50.0, 100.0, 2400.0));
+        assert!(matches!(
+            compare(&current, &baseline, 0.30),
+            CheckOutcome::Passed(_)
+        ));
     }
 
     #[test]
@@ -400,6 +477,7 @@ mod tests {
         current.ingest_cells[0].workload = "other".into();
         current.seal_points[0].iterations = 999;
         current.decode_points[0].chunk_bytes = 1;
+        current.spill_points[0].threshold = 999;
         assert!(matches!(
             compare(&current, &baseline, 0.30),
             CheckOutcome::Skipped(_)

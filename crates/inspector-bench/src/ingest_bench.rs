@@ -16,6 +16,7 @@ use inspector_core::graph::{Cpg, CpgBuilder};
 use inspector_core::sharded::{IngestStats, ShardedCpgBuilder};
 use inspector_core::spill::SpillSettings;
 use inspector_core::subcomputation::SubComputation;
+use inspector_core::testing::announce_all;
 use inspector_pt::branch::BranchEvent;
 use inspector_pt::decode::PacketDecoder;
 use inspector_pt::encode::PacketEncoder;
@@ -26,6 +27,50 @@ use inspector_pt::stream::StreamingDecoder;
 /// baseline shape (PR 1's pipeline).
 pub fn ingest_with_pool(sequences: &[Vec<SubComputation>], pool: usize, shards: usize) -> Cpg {
     measure_pooled_build(sequences, pool, shards).cpg
+}
+
+/// [`ingest_with_pool`] with the `SubBatch` transport shape: each producer
+/// hands the builder α-contiguous batches of up to `batch` sub-computations
+/// per call, so stripe locking amortises as it does on the runtime's lanes.
+pub fn ingest_with_pool_batched(
+    sequences: &[Vec<SubComputation>],
+    pool: usize,
+    shards: usize,
+    batch: usize,
+) -> Cpg {
+    let builder = ShardedCpgBuilder::with_shards(shards);
+    announce_all(&builder, sequences);
+    let batch = batch.max(1);
+    std::thread::scope(|scope| {
+        for worker in 0..pool.max(1) {
+            let builder = &builder;
+            let lanes: Vec<Vec<SubComputation>> = sequences
+                .iter()
+                .enumerate()
+                .filter(|(t, _)| t % pool.max(1) == worker)
+                .map(|(_, seq)| seq.clone())
+                .collect();
+            scope.spawn(move || {
+                let mut cursors: Vec<std::iter::Peekable<std::vec::IntoIter<SubComputation>>> =
+                    lanes
+                        .into_iter()
+                        .map(|s| s.into_iter().peekable())
+                        .collect();
+                let mut progressed = true;
+                while progressed {
+                    progressed = false;
+                    for cursor in &mut cursors {
+                        let chunk: Vec<SubComputation> = cursor.by_ref().take(batch).collect();
+                        if !chunk.is_empty() {
+                            builder.ingest_batch(chunk);
+                            progressed = true;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    builder.seal()
 }
 
 /// A bench-unique spill directory under the system temp dir.
@@ -72,6 +117,7 @@ pub fn measure_build_with_spill(
     let spill =
         (spill_threshold > 0).then(|| SpillSettings::new(spill_threshold, bench_spill_dir()));
     let builder = ShardedCpgBuilder::with_shards_and_spill(shards, spill);
+    announce_all(&builder, sequences);
     let ingest_start = Instant::now();
     if pool <= 1 {
         for seq in sequences {
@@ -237,6 +283,60 @@ pub fn measure_spill_cell(
     }
 }
 
+/// One `index_residency` row in `BENCH_ingest.json`: live vs GC'd release
+/// and page-write index entries after fully ingesting an interleaved
+/// ping-pong run of the given length, measured right before the seal. With
+/// the frontier GC the live counts stay flat as `iterations` grows while
+/// the GC'd counts absorb the O(events) bulk — the memory-bound claim for
+/// unbounded runs.
+#[derive(Debug, Clone)]
+pub struct ResidencyCell {
+    /// Ping-pong rounds per thread.
+    pub iterations: u64,
+    /// Total sub-computations streamed.
+    pub subcomputations: usize,
+    /// Release-index entries still live at the end of ingestion.
+    pub release_entries_live: u64,
+    /// Release-index entries the frontier GC dropped.
+    pub release_entries_gcd: u64,
+    /// Page-write-index entries still live at the end of ingestion.
+    pub page_entries_live: u64,
+    /// Page-write-index entries the frontier GC dropped.
+    pub page_entries_gcd: u64,
+}
+
+/// Ingests a `threads`-way interleaved ping-pong run of `rounds` rounds
+/// (causal round-robin delivery) and reports the index residency.
+pub fn measure_index_residency(threads: u32, rounds: u64) -> ResidencyCell {
+    let sequences = inspector_core::testing::ping_pong_sequences(threads, rounds);
+    let subs: usize = sequences.iter().map(|s| s.len()).sum();
+    let builder = ShardedCpgBuilder::with_shards(8);
+    announce_all(&builder, &sequences);
+    let mut cursors: Vec<std::vec::IntoIter<SubComputation>> =
+        sequences.into_iter().map(|s| s.into_iter()).collect();
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for cursor in &mut cursors {
+            if let Some(sub) = cursor.next() {
+                builder.ingest(sub);
+                progressed = true;
+            }
+        }
+    }
+    let stats = builder.stats();
+    let cpg = builder.seal();
+    assert_eq!(cpg.node_count(), subs, "residency build lost nodes");
+    ResidencyCell {
+        iterations: rounds,
+        subcomputations: subs,
+        release_entries_live: stats.release_entries_live,
+        release_entries_gcd: stats.release_entries_gcd,
+        page_entries_live: stats.page_entries_live,
+        page_entries_gcd: stats.page_entries_gcd,
+    }
+}
+
 /// Peak resident-set size of this process in KiB (`VmHWM` from
 /// `/proc/self/status`), `None` where the file is unavailable (non-Linux).
 /// Recorded alongside the spill section so the artefact pairs the builder's
@@ -395,6 +495,42 @@ mod tests {
             assert_eq!(cpg.node_count(), reference.node_count(), "pool={pool}");
             assert_eq!(fingerprint(&cpg), fingerprint(&reference), "pool={pool}");
         }
+    }
+
+    #[test]
+    fn batched_pooled_build_matches_batch() {
+        let sequences = inspector_core::testing::lock_heavy_sequences(4, 15, 8, 8);
+        let mut batch = CpgBuilder::new();
+        for seq in &sequences {
+            batch.add_thread(seq.clone());
+        }
+        let reference = batch.build();
+        let fingerprint =
+            |cpg: &Cpg| -> BTreeSet<String> { cpg.edges().map(|e| format!("{e:?}")).collect() };
+        for (pool, chunk) in [(1usize, 8usize), (2, 1), (4, 16)] {
+            let cpg = ingest_with_pool_batched(&sequences, pool, 4, chunk);
+            assert_eq!(
+                fingerprint(&cpg),
+                fingerprint(&reference),
+                "pool={pool} chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_residency_stays_flat_across_run_lengths() {
+        let short = measure_index_residency(2, 50);
+        let long = measure_index_residency(2, 400);
+        assert!(long.subcomputations > 4 * short.subcomputations);
+        assert!(long.release_entries_gcd > short.release_entries_gcd);
+        // The live index does not grow with the run length (8x the events,
+        // same O(threads) residual — slack for GC cadence only).
+        assert!(
+            long.release_entries_live <= short.release_entries_live * 2 + 256,
+            "live release entries grew with run length: {} vs {}",
+            long.release_entries_live,
+            short.release_entries_live
+        );
     }
 
     #[test]

@@ -81,6 +81,41 @@ impl VectorClock {
         out
     }
 
+    /// Lowers `self` to the component-wise minimum of `self` and `other`
+    /// (the lattice meet), treating missing entries as zero on both sides.
+    ///
+    /// Used by the streaming builder's index GC: the meet over every
+    /// thread's published clock is a lower bound on the clock of any
+    /// sub-computation that can still query the release / page-write
+    /// indexes, so index entries superseded below the meet are dead.
+    pub fn floor(&mut self, other: &VectorClock) {
+        if self.entries.len() > other.entries.len() {
+            self.entries.truncate(other.entries.len());
+        }
+        for (i, v) in self.entries.iter_mut().enumerate() {
+            let o = other.entries[i];
+            if o < *v {
+                *v = o;
+            }
+        }
+    }
+
+    /// Lowers `self` by the *nonzero* components of `other` only.
+    ///
+    /// A zero component of `other` means "this clock never observed that
+    /// thread" — such a clock can never select one of that thread's index
+    /// entries, so (unlike [`floor`](Self::floor)) it must not drag the
+    /// bound for that thread to zero. Used for parked entries when the GC
+    /// computes its reference floor.
+    pub fn floor_nonzero(&mut self, other: &VectorClock) {
+        for (t, k) in other.iter() {
+            let idx = t.index();
+            if idx < self.entries.len() && k < self.entries[idx] {
+                self.entries[idx] = k;
+            }
+        }
+    }
+
     /// Number of non-trailing-zero components stored.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -260,6 +295,31 @@ mod tests {
         assert_eq!(c.get(t(1)), 2);
         assert_eq!(c.get(t(3)), 4);
         assert_eq!(c.get(t(0)), 0);
+    }
+
+    #[test]
+    fn floor_takes_componentwise_minimum_with_implicit_zeros() {
+        let mut a: VectorClock = vec![(t(0), 3), (t(1), 5), (t(2), 2)].into_iter().collect();
+        let b: VectorClock = vec![(t(0), 4), (t(1), 1)].into_iter().collect();
+        a.floor(&b);
+        assert_eq!(a.get(t(0)), 3);
+        assert_eq!(a.get(t(1)), 1);
+        // b's missing component is implicitly zero and wins the minimum.
+        assert_eq!(a.get(t(2)), 0);
+    }
+
+    #[test]
+    fn floor_nonzero_ignores_unobserved_components() {
+        let mut a: VectorClock = vec![(t(0), 3), (t(1), 5)].into_iter().collect();
+        let b: VectorClock = vec![(t(1), 2)].into_iter().collect();
+        a.floor_nonzero(&b);
+        // t(0) untouched: b never observed thread 0.
+        assert_eq!(a.get(t(0)), 3);
+        assert_eq!(a.get(t(1)), 2);
+        // Components beyond a's width stay implicitly zero.
+        let c: VectorClock = vec![(t(7), 9)].into_iter().collect();
+        a.floor_nonzero(&c);
+        assert_eq!(a.get(t(7)), 0);
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! Lock-free publication of per-thread ingest progress: the **epoch
+//! frontier array** backing [`crate::sharded::ShardedCpgBuilder`].
+//!
+//! Before this module existed the builder kept the frontier — how many
+//! sub-computations each thread has contiguously delivered — inside one
+//! global `Mutex<SyncState>`, which every ingest had to take. The frontier
+//! is the *only* piece of state the resolve paths read for **every**
+//! thread, so it is exactly the state that must not live behind a shared
+//! lock. This array gives each thread a private slot:
+//!
+//! * an **epoch word** (`AtomicU64`): the delivered sub-computation count.
+//!   It is monotone — a thread's sub-computations arrive in α order, and
+//!   the owning node stripe serializes its writers — so a plain atomic
+//!   load is always consistent: once a reader observes `epoch[u] >= k`,
+//!   that remains true forever. Monotonicity is what lets the hot resolve
+//!   path ([`first_unmet`](crate::sharded)-style checks) read single words
+//!   with no seqlock and no retry loop.
+//! * a **clock slot** (the latest ingested sub-computation's vector
+//!   clock). Multi-word, so it sits behind a per-slot mutex — but the
+//!   writer is always the thread's serialized ingest path and the only
+//!   readers are the rare index-GC passes, so the lock is private, not a
+//!   point of contention. The slot is published *before* the owning
+//!   sub-computation resolves any of its own edges; the index GC relies on
+//!   that ordering (see `reference_floor` in [`crate::sharded`]).
+//!
+//! The array grows lock-free: thread slots live in doubling-sized segments
+//! installed with a compare-and-swap, so looking up a slot is two loads and
+//! no allocation once its segment exists. Segments are only freed when the
+//! array is dropped, which is what makes handing out `&FrontierSlot`
+//! references safe.
+//!
+//! Thread ids are assumed **dense** — the session allocates them from a
+//! counter starting at zero — because a segment is sized by the largest id
+//! it covers and the floor scans walk every allocated slot: publishing
+//! under an arbitrary sparse id (say `u32::MAX`) would materialise a
+//! gigantic segment and make every GC sweep scan it. Nothing in the
+//! provenance model needs sparse ids; keep them dense.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::clock::VectorClock;
+use crate::ids::ThreadId;
+
+/// Slots in the first segment; segment `k` holds `BASE << k` slots, so
+/// [`SEGMENTS`] doubling segments cover every representable [`ThreadId`]
+/// while an idle array allocates nothing.
+const BASE: usize = 64;
+
+/// `BASE * (2^27 - 1) > u32::MAX`: enough segments for any thread id.
+const SEGMENTS: usize = 27;
+
+/// One thread's published ingest state.
+#[derive(Debug)]
+pub struct FrontierSlot {
+    /// Contiguously delivered sub-computation count (the thread's epoch).
+    epoch: AtomicU64,
+    /// Vector clock of the thread's most recently ingested
+    /// sub-computation. Monotone along the thread (clocks only grow).
+    clock: Mutex<VectorClock>,
+    /// Set by [`EpochFrontier::announce`]: the thread has been created (and
+    /// may have inherited clock components from its creator) but has not
+    /// ingested anything yet. Announced slots participate in the GC floor
+    /// so entries a newborn thread could still reference stay alive.
+    announced: AtomicBool,
+}
+
+impl FrontierSlot {
+    fn new() -> Self {
+        FrontierSlot {
+            epoch: AtomicU64::new(0),
+            clock: Mutex::new(VectorClock::new()),
+            announced: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A lock-free, growable array of per-thread [`FrontierSlot`]s.
+#[derive(Debug)]
+pub struct EpochFrontier {
+    segments: [AtomicPtr<Segment>; SEGMENTS],
+}
+
+#[derive(Debug)]
+struct Segment {
+    slots: Box<[FrontierSlot]>,
+}
+
+/// Maps a thread index to its `(segment, offset)` position. Segment `k`
+/// spans global indexes `[BASE*(2^k - 1), BASE*(2^(k+1) - 1))`.
+fn position(index: usize) -> (usize, usize) {
+    let n = index / BASE + 1;
+    let k = (usize::BITS - 1 - n.leading_zeros()) as usize;
+    (k, index - BASE * ((1 << k) - 1))
+}
+
+impl EpochFrontier {
+    /// Creates an empty array (every thread at epoch 0, clock zero).
+    pub fn new() -> Self {
+        EpochFrontier {
+            segments: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }
+    }
+
+    /// The slot for `thread`, if its segment has been materialised.
+    fn slot(&self, thread: ThreadId) -> Option<&FrontierSlot> {
+        let (seg, off) = position(thread.index());
+        let ptr = self.segments[seg].load(Ordering::Acquire);
+        if ptr.is_null() {
+            return None;
+        }
+        // Segments are only deallocated in Drop, so a loaded non-null
+        // pointer stays valid for the lifetime of &self.
+        Some(unsafe { &(*ptr).slots[off] })
+    }
+
+    /// The slot for `thread`, materialising its segment if needed.
+    fn slot_or_insert(&self, thread: ThreadId) -> &FrontierSlot {
+        let (seg, off) = position(thread.index());
+        let cell = &self.segments[seg];
+        let mut ptr = cell.load(Ordering::Acquire);
+        if ptr.is_null() {
+            let fresh = Box::into_raw(Box::new(Segment {
+                slots: (0..BASE << seg).map(|_| FrontierSlot::new()).collect(),
+            }));
+            match cell.compare_exchange(
+                std::ptr::null_mut(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => ptr = fresh,
+                Err(winner) => {
+                    // Another thread installed the segment first.
+                    drop(unsafe { Box::from_raw(fresh) });
+                    ptr = winner;
+                }
+            }
+        }
+        unsafe { &(*ptr).slots[off] }
+    }
+
+    /// The published epoch (delivered sub-computation count) of `thread`.
+    /// Lock-free; monotone, so a stale read only under-reports.
+    pub fn epoch(&self, thread: ThreadId) -> u64 {
+        self.slot(thread)
+            .map(|s| s.epoch.load(Ordering::Acquire))
+            .unwrap_or(0)
+    }
+
+    /// Publishes that `thread` has delivered `to` sub-computations.
+    /// Monotone (`fetch_max`), so racing late writers cannot regress it —
+    /// though the owning node stripe serializes writers anyway.
+    pub fn advance(&self, thread: ThreadId, to: u64) {
+        self.slot_or_insert(thread)
+            .epoch
+            .fetch_max(to, Ordering::AcqRel);
+    }
+
+    /// Publishes `thread`'s latest ingested clock. Called *before* the
+    /// owning sub-computation resolves any of its own edges, so the GC
+    /// floor always covers in-flight own-resolutions.
+    pub fn publish_clock(&self, thread: ThreadId, clock: &VectorClock) {
+        self.slot_or_insert(thread).clock.lock().clone_from(clock);
+    }
+
+    /// Announces a thread that exists but has not ingested yet, publishing
+    /// the clock it inherits from its creator. Must be called before the
+    /// creator's post-spawn provenance is ingested — the creator's own
+    /// published clock covers the inherited components until then.
+    pub fn announce(&self, thread: ThreadId, inherited: &VectorClock) {
+        let slot = self.slot_or_insert(thread);
+        slot.clock.lock().clone_from(inherited);
+        slot.announced.store(true, Ordering::Release);
+    }
+
+    /// Componentwise minimum of every *active* thread's published clock
+    /// (`None` if no thread has published anything yet). An active thread
+    /// is one with a nonzero epoch or an announcement; its published clock
+    /// lower-bounds the clock of every sub-computation it can still
+    /// produce or still has pending, which is what makes the minimum a
+    /// sound GC floor.
+    pub fn published_clock_floor(&self) -> Option<VectorClock> {
+        let mut floor: Option<VectorClock> = None;
+        self.for_each_active(|_, slot| {
+            let clock = slot.clock.lock();
+            match &mut floor {
+                None => floor = Some(clock.clone()),
+                Some(f) => f.floor(&clock),
+            }
+        });
+        floor
+    }
+
+    /// Runs `f` over every slot with a nonzero epoch or an announcement.
+    fn for_each_active(&self, mut f: impl FnMut(ThreadId, &FrontierSlot)) {
+        for seg in 0..SEGMENTS {
+            // Segments materialise on demand, so a low segment may still be
+            // null while a higher one exists — scan them all.
+            let ptr = self.segments[seg].load(Ordering::Acquire);
+            if ptr.is_null() {
+                continue;
+            }
+            let base = BASE * ((1 << seg) - 1);
+            let segment = unsafe { &*ptr };
+            for (off, slot) in segment.slots.iter().enumerate() {
+                if slot.epoch.load(Ordering::Acquire) > 0 || slot.announced.load(Ordering::Acquire)
+                {
+                    f(ThreadId::new((base + off) as u32), slot);
+                }
+            }
+        }
+    }
+
+    /// Resets every slot to epoch 0 / zero clock (the seal path; callers
+    /// must have quiesced every producer).
+    pub fn reset(&self) {
+        for seg in 0..SEGMENTS {
+            let ptr = self.segments[seg].load(Ordering::Acquire);
+            if ptr.is_null() {
+                continue;
+            }
+            let segment = unsafe { &*ptr };
+            for slot in segment.slots.iter() {
+                slot.epoch.store(0, Ordering::Release);
+                slot.announced.store(false, Ordering::Release);
+                *slot.clock.lock() = VectorClock::new();
+            }
+        }
+    }
+}
+
+impl Default for EpochFrontier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for EpochFrontier {
+    fn drop(&mut self) {
+        for cell in &self.segments {
+            let ptr = cell.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !ptr.is_null() {
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+// The raw segment pointers own plain heap data; the atomics make the
+// container itself safe to share.
+unsafe impl Send for EpochFrontier {}
+unsafe impl Sync for EpochFrontier {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_maps_doubling_segments() {
+        assert_eq!(position(0), (0, 0));
+        assert_eq!(position(63), (0, 63));
+        assert_eq!(position(64), (1, 0));
+        assert_eq!(position(191), (1, 127));
+        assert_eq!(position(192), (2, 0));
+        // The largest ThreadId still lands inside the segment range.
+        let (seg, _) = position(u32::MAX as usize);
+        assert!(seg < SEGMENTS);
+    }
+
+    #[test]
+    fn unpublished_threads_read_zero() {
+        let f = EpochFrontier::new();
+        assert_eq!(f.epoch(ThreadId::new(0)), 0);
+        assert_eq!(f.epoch(ThreadId::new(1000)), 0);
+        assert!(f.published_clock_floor().is_none());
+    }
+
+    #[test]
+    fn advance_is_monotone() {
+        let f = EpochFrontier::new();
+        let t = ThreadId::new(3);
+        f.advance(t, 5);
+        f.advance(t, 2); // late writer cannot regress
+        assert_eq!(f.epoch(t), 5);
+        f.advance(t, 9);
+        assert_eq!(f.epoch(t), 9);
+    }
+
+    #[test]
+    fn clock_floor_is_componentwise_min_over_active_threads() {
+        let f = EpochFrontier::new();
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let c0: VectorClock = vec![(t0, 4), (t1, 2)].into_iter().collect();
+        let c1: VectorClock = vec![(t0, 3), (t1, 7)].into_iter().collect();
+        f.advance(t0, 1);
+        f.publish_clock(t0, &c0);
+        f.advance(t1, 1);
+        f.publish_clock(t1, &c1);
+        let floor = f.published_clock_floor().expect("two active threads");
+        assert_eq!(floor.get(t0), 3);
+        assert_eq!(floor.get(t1), 2);
+        // A thread with a published clock but epoch 0 is not active.
+        let t9 = ThreadId::new(9);
+        f.publish_clock(t9, &VectorClock::new());
+        let floor = f.published_clock_floor().expect("still two");
+        assert_eq!(floor.get(t0), 3);
+    }
+
+    #[test]
+    fn announced_threads_join_the_floor_before_their_first_ingest() {
+        let f = EpochFrontier::new();
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        f.advance(t0, 1);
+        f.publish_clock(t0, &vec![(t0, 9)].into_iter().collect());
+        // Announce a newborn thread carrying inherited components: the
+        // floor must drop to its inherited clock even though it has not
+        // ingested anything yet.
+        f.announce(t1, &vec![(t0, 2), (t1, 1)].into_iter().collect());
+        let floor = f.published_clock_floor().expect("active + announced");
+        assert_eq!(floor.get(t0), 2);
+    }
+
+    #[test]
+    fn reset_clears_epochs_and_clocks() {
+        let f = EpochFrontier::new();
+        let t = ThreadId::new(70); // second segment
+        f.advance(t, 3);
+        f.publish_clock(t, &vec![(t, 3)].into_iter().collect());
+        f.reset();
+        assert_eq!(f.epoch(t), 0);
+        assert!(f.published_clock_floor().is_none());
+    }
+
+    #[test]
+    fn concurrent_publication_from_many_threads() {
+        let f = EpochFrontier::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let f = &f;
+                scope.spawn(move || {
+                    let id = ThreadId::new(t * 40); // spread across segments
+                    for i in 1..=100 {
+                        f.advance(id, i);
+                    }
+                });
+            }
+        });
+        for t in 0..8u32 {
+            assert_eq!(f.epoch(ThreadId::new(t * 40)), 100);
+        }
+    }
+}

@@ -103,33 +103,141 @@ pub struct CpgStats {
     pub pages_written: u64,
 }
 
+/// Cheap multiply-xor hasher for the adjacency spans' [`SubId`] keys:
+/// SipHash dominates the `from_parts` profile on the seal's critical path,
+/// and these maps never see untrusted keys.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FastIdHasher(u64);
+
+impl std::hash::Hasher for FastIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+}
+
+type FastIdState = std::hash::BuildHasherDefault<FastIdHasher>;
+
+/// Flat (CSR-style) adjacency index: edge positions grouped by endpoint in
+/// one shared order vector, with per-node `(offset, len)` spans. Two
+/// allocations for the whole graph instead of one `Vec` per node, which
+/// keeps the per-node cost of [`Cpg::from_parts`] flat as graphs grow —
+/// the streaming seal builds this on the run's critical path.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub(crate) struct AdjacencyIndex {
+    /// node → `(offset, len)` into `order`.
+    spans: HashMap<SubId, (usize, usize), FastIdState>,
+    /// Edge indexes grouped by endpoint.
+    order: Vec<usize>,
+}
+
+impl AdjacencyIndex {
+    /// Builds the successor and predecessor indexes over `edges` in one
+    /// fused sweep (the edge vector is the largest thing the seal touches,
+    /// so passes over it are what the critical path pays for): one shared
+    /// counting pass, one prefix-sum pass over each span table, one shared
+    /// fill pass.
+    fn build_pair(edges: &[DependenceEdge]) -> (Self, Self) {
+        let hint = edges.len().min(1024);
+        let mut successors = AdjacencyIndex {
+            spans: HashMap::with_capacity_and_hasher(hint, FastIdState::default()),
+            order: Vec::new(),
+        };
+        let mut predecessors = AdjacencyIndex {
+            spans: HashMap::with_capacity_and_hasher(hint, FastIdState::default()),
+            order: Vec::new(),
+        };
+        for e in edges {
+            successors.spans.entry(e.src).or_insert((0, 0)).1 += 1;
+            predecessors.spans.entry(e.dst).or_insert((0, 0)).1 += 1;
+        }
+        for index in [&mut successors, &mut predecessors] {
+            let mut offset = 0usize;
+            for span in index.spans.values_mut() {
+                let len = span.1;
+                *span = (offset, 0); // len doubles as the fill cursor below
+                offset += len;
+            }
+            index.order = vec![0usize; edges.len()];
+        }
+        for (i, e) in edges.iter().enumerate() {
+            let span = successors.spans.get_mut(&e.src).expect("counted above");
+            successors.order[span.0 + span.1] = i;
+            span.1 += 1;
+            let span = predecessors.spans.get_mut(&e.dst).expect("counted above");
+            predecessors.order[span.0 + span.1] = i;
+            span.1 += 1;
+        }
+        (successors, predecessors)
+    }
+
+    /// The edge positions incident to `id` (empty if none).
+    fn of(&self, id: SubId) -> &[usize] {
+        match self.spans.get(&id) {
+            Some(&(offset, len)) => &self.order[offset..offset + len],
+            None => &[],
+        }
+    }
+}
+
 /// The Concurrent Provenance Graph.
+///
+/// The node store is a flat vector sorted by [`SubId`] — a binary-search
+/// map. The graph is built once and never mutated, so the sorted-vector
+/// layout costs nothing over a tree while letting the streaming seal hand
+/// its already-merged-in-order nodes over without building one (the tree
+/// bulk build was the largest remaining per-node cost on the seal's
+/// critical path).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Cpg {
-    pub(crate) nodes: BTreeMap<SubId, SubComputation>,
+    /// Vertices, sorted by id and duplicate-free.
+    pub(crate) nodes: Vec<SubComputation>,
     pub(crate) edges: Vec<DependenceEdge>,
-    pub(crate) successors: HashMap<SubId, Vec<usize>>,
-    pub(crate) predecessors: HashMap<SubId, Vec<usize>>,
+    pub(crate) successors: AdjacencyIndex,
+    pub(crate) predecessors: AdjacencyIndex,
 }
 
 impl Cpg {
-    /// Assembles a graph from a finished node and edge set, building the
-    /// adjacency indexes. Used by both builders.
+    /// Assembles a graph from a finished node map and edge set, building
+    /// the adjacency indexes. Used by the batch builder.
     pub(crate) fn from_parts(
         nodes: BTreeMap<SubId, SubComputation>,
         edges: Vec<DependenceEdge>,
     ) -> Self {
-        let mut cpg = Cpg {
+        Self::from_sorted_nodes(nodes.into_values().collect(), edges)
+    }
+
+    /// Assembles a graph from nodes already sorted by id (the streaming
+    /// seal's k-way merge yields exactly that) and the edge set.
+    pub(crate) fn from_sorted_nodes(
+        nodes: Vec<SubComputation>,
+        edges: Vec<DependenceEdge>,
+    ) -> Self {
+        debug_assert!(
+            nodes.windows(2).all(|w| w[0].id < w[1].id),
+            "node store must be sorted by id and duplicate-free"
+        );
+        let (successors, predecessors) = AdjacencyIndex::build_pair(&edges);
+        Cpg {
             nodes,
             edges,
-            successors: HashMap::new(),
-            predecessors: HashMap::new(),
-        };
-        for (i, e) in cpg.edges.iter().enumerate() {
-            cpg.successors.entry(e.src).or_default().push(i);
-            cpg.predecessors.entry(e.dst).or_default().push(i);
+            successors,
+            predecessors,
         }
-        cpg
     }
 
     /// Number of vertices.
@@ -142,14 +250,17 @@ impl Cpg {
         self.edges.len()
     }
 
-    /// Looks up a vertex.
+    /// Looks up a vertex (binary search over the sorted node store).
     pub fn node(&self, id: SubId) -> Option<&SubComputation> {
-        self.nodes.get(&id)
+        self.nodes
+            .binary_search_by(|n| n.id.cmp(&id))
+            .ok()
+            .map(|i| &self.nodes[i])
     }
 
     /// Iterates over all vertices in `(thread, α)` order.
     pub fn nodes(&self) -> impl Iterator<Item = &SubComputation> {
-        self.nodes.values()
+        self.nodes.iter()
     }
 
     /// Iterates over all edges.
@@ -164,26 +275,21 @@ impl Cpg {
 
     /// Outgoing edges of a vertex.
     pub fn outgoing(&self, id: SubId) -> impl Iterator<Item = &DependenceEdge> {
-        self.successors
-            .get(&id)
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.edges[i])
+        self.successors.of(id).iter().map(move |&i| &self.edges[i])
     }
 
     /// Incoming edges of a vertex.
     pub fn incoming(&self, id: SubId) -> impl Iterator<Item = &DependenceEdge> {
         self.predecessors
-            .get(&id)
-            .into_iter()
-            .flatten()
+            .of(id)
+            .iter()
             .map(move |&i| &self.edges[i])
     }
 
     /// Returns `true` if `a` happens-before `b` according to the recorded
     /// vector clocks (falling back to program order within a thread).
     pub fn happens_before(&self, a: SubId, b: SubId) -> bool {
-        match (self.nodes.get(&a), self.nodes.get(&b)) {
+        match (self.node(a), self.node(b)) {
             (Some(x), Some(y)) => x.happens_before(y),
             _ => false,
         }
@@ -191,15 +297,15 @@ impl Cpg {
 
     /// All threads that contributed at least one vertex.
     pub fn threads(&self) -> BTreeSet<ThreadId> {
-        self.nodes.keys().map(|id| id.thread).collect()
+        self.nodes.iter().map(|n| n.id.thread).collect()
     }
 
     /// The execution sequence `L_t` of one thread.
     pub fn thread_sequence(&self, thread: ThreadId) -> Vec<SubId> {
         self.nodes
-            .keys()
+            .iter()
+            .map(|n| n.id)
             .filter(|id| id.thread == thread)
-            .copied()
             .collect()
     }
 
@@ -217,7 +323,7 @@ impl Cpg {
                 EdgeKind::Data => stats.data_edges += 1,
             }
         }
-        for n in self.nodes.values() {
+        for n in &self.nodes {
             stats.branches += n.thunks.branches() as u64;
             stats.pages_read += n.read_set.len() as u64;
             stats.pages_written += n.write_set.len() as u64;
@@ -229,7 +335,7 @@ impl Cpg {
     /// contains a cycle (which would indicate a recording bug — the CPG must
     /// be a DAG).
     pub fn topological_order(&self) -> Option<Vec<SubId>> {
-        let mut indegree: BTreeMap<SubId, usize> = self.nodes.keys().map(|&id| (id, 0)).collect();
+        let mut indegree: BTreeMap<SubId, usize> = self.nodes.iter().map(|n| (n.id, 0)).collect();
         for e in &self.edges {
             *indegree.get_mut(&e.dst)? += 1;
         }
@@ -260,7 +366,7 @@ impl Cpg {
     /// exists, and every edge respects the happens-before order.
     pub fn validate(&self) -> Result<(), CpgValidationError> {
         for e in &self.edges {
-            if !self.nodes.contains_key(&e.src) || !self.nodes.contains_key(&e.dst) {
+            if self.node(e.src).is_none() || self.node(e.dst).is_none() {
                 return Err(CpgValidationError::DanglingEdge {
                     src: e.src,
                     dst: e.dst,

@@ -24,13 +24,16 @@
 //! * [`sharded::ShardedCpgBuilder`] — the **streaming** path the runtime
 //!   uses. Sub-computations are drained out of each recorder as they retire
 //!   ([`recorder::ThreadRecorder::drain_retired`]) and ingested **by value**
-//!   into lock-striped shards keyed by thread id. Control edges and
-//!   synchronization edges are applied during ingestion (an acquire's
-//!   candidate releases are pinned by its vector clock, so edges are emitted
-//!   as soon as the causal frontier is fully delivered), and a per-shard
-//!   page write index is maintained so the final
-//!   [`seal`](sharded::ShardedCpgBuilder::seal) only resolves cross-shard
-//!   data-dependence edges. Peak memory tracks the in-flight
+//!   — singly or as α-contiguous batches — into lock-striped shards keyed
+//!   by thread id. All three edge kinds are applied during ingestion (an
+//!   acquire's candidate releases and a reader's candidate writers are
+//!   pinned by its vector clock, so edges are emitted as soon as the
+//!   causal frontier is fully delivered), against synchronization state
+//!   that is fully partitioned — the release index striped by object, the
+//!   wait indexes striped by awaited thread, per-thread frontiers in a
+//!   lock-free epoch array ([`frontier`]) — so no global lock sits on the
+//!   ingest path, and the release/page-write indexes are frontier-GC'd
+//!   down to O(threads) live entries. Peak memory tracks the in-flight
 //!   sub-computations, not a second copy of the whole trace — and with
 //!   [`spill::SpillSettings`] it is bounded to an *active window*: sealed-off
 //!   consistent prefixes are encoded into length-prefixed, append-only
@@ -57,6 +60,7 @@
 
 pub mod clock;
 pub mod event;
+pub mod frontier;
 pub mod graph;
 pub mod ids;
 pub mod query;

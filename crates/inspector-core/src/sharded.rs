@@ -11,9 +11,19 @@
 //!   per-thread sequences (moved in **by value** — no clone on the ingest
 //!   path) and the control edges. The page-granularity write index lives in
 //!   a second family of `N` stripes keyed by *page*, so concurrent
-//!   producers touching disjoint data contend on neither family. The small
-//!   synchronization/frontier bookkeeping still goes through one shared
-//!   stripe, but its critical section is O(small) per ingest.
+//!   producers touching disjoint data contend on neither family.
+//! * **Partitioned synchronization state — no global lock.** The release
+//!   index is striped by [`SyncObjectId`], parked acquires/readers are
+//!   striped by the thread whose frontier they wait on, and per-thread
+//!   ingest progress is published through a lock-free
+//!   [`EpochFrontier`] array (one atomic epoch word plus a clock slot per
+//!   thread). The common-case ingest therefore touches only its own node
+//!   stripe, the page stripes its write set maps to, and at most one
+//!   release stripe — there is no mutex every producer must take. Parking
+//!   closes its race with the frontier publisher by re-checking the epoch
+//!   under the wait-stripe lock; the publisher stores the epoch before
+//!   taking the same stripe, so an entry is either parked while provably
+//!   unmet or resolved by its own producer.
 //! * **Ingest-time edges — all three kinds.** Control edges are emitted
 //!   immediately (per-thread delivery is FIFO, so the predecessor is always
 //!   there). Synchronization *and* data-dependence edges are resolved
@@ -26,13 +36,29 @@
 //!   whose frontier is still in flight are parked; parked entries resolve
 //!   the moment a later ingest completes their frontier, off every lock on
 //!   the ingesting producer's own thread.
+//! * **Frontier-GC'd indexes.** A release or page-write entry is dead once
+//!   it is *provably superseded* for every clock that can still query the
+//!   index. The one-dimensional window argument: an entry of thread `u` at
+//!   `α_e` with successor `α_{e'}` is selected by a destination `dst` only
+//!   if `dst.clock[u]` lies in `(α_e + 1, α_{e'} + 1]` — anything larger
+//!   prefers the successor, anything smaller does not see the entry at
+//!   all. The GC therefore computes a **reference floor** (the
+//!   componentwise minimum over every live thread's published clock and
+//!   every parked entry's clock) and drops the prefix whose successors sit
+//!   strictly below it. Index memory is O(objects × threads) and
+//!   O(pages × threads) on unbounded runs, not O(events), and the
+//!   end-of-run seal no longer tears down event-proportional indexes.
+//! * **Batched ingest.** [`ShardedCpgBuilder::ingest_batch`] applies one
+//!   thread's α-contiguous retirement batch while taking each stripe lock
+//!   once per batch, so channel transport and lock traffic amortise across
+//!   the batch ([`ingest`](ShardedCpgBuilder::ingest) is the batch of one).
 //! * **O(edges-still-to-emit) seal.** [`ShardedCpgBuilder::seal`] only has
 //!   to resolve whatever stayed parked (nothing, on complete runs — the
 //!   last ingest already resolved it), fanning independent reader groups
 //!   across a scoped thread pool, and then moves the nodes into the final
-//!   [`Cpg`]. End-of-run latency no longer scales with the number of
-//!   sub-computations' dependences, only with the moves.
-//!
+//!   [`Cpg`] via one sorted bulk build. End-of-run latency no longer
+//!   scales with the number of sub-computations' dependences, only with
+//!   the moves.
 //! * **Bounded resident memory (spill).** With
 //!   [`SpillSettings`] the builder keeps only an *active window* of
 //!   sub-computations in memory: whenever a shard's resident count crosses
@@ -40,31 +66,37 @@
 //!   every sub whose causal frontier is fully delivered, i.e. exactly the
 //!   region the frontier wait-index can never touch again — is encoded into
 //!   the shard's append-only [`SpillStore`] together with the stripe-local
-//!   (control + data) edges into it, and evicted. The release and page-write
-//!   indexes keep only `(α, clock)` entries, so spilled writers still
-//!   resolve future readers; live snapshots fault spilled nodes back in
-//!   through the store's `SubId → (segment, offset)` index; and
+//!   (control + data) edges into it, and evicted. The cut reads the epoch
+//!   frontier lock-free (monotone, so a stale read only keeps a sub
+//!   resident one extra round). The release and page-write indexes keep
+//!   only `(α, clock)` entries, so spilled writers still resolve future
+//!   readers; live snapshots fault spilled nodes back in through the
+//!   store's `SubId → (segment, offset)` index; and
 //!   [`seal`](ShardedCpgBuilder::seal) concatenates the segments back into
 //!   the final graph instead of moving nodes, making peak resident memory
 //!   O(active window) instead of O(trace length) (paper §VI).
 //!
-//! The streamed graph is node- and edge-identical to the batch result — the
+//! Lock order is `node stripe → page stripe → release stripe → wait
+//! stripe`; no path takes any pair in the opposite order, no family is
+//! taken twice at once, and no path ever holds two node stripes. The
+//! streamed graph is node- and edge-identical to the batch result — the
 //! same candidate-selection and dominance-pruning kernel
 //! ([`crate::graph`]'s `prune_superseded_writers`) runs over the same
 //! indexed data, only earlier — which `tests/streaming_equivalence.rs`, the
-//! `incremental_data_edges` property suite and the `spill_equivalence`
-//! property suite enforce across workloads, thread counts, delivery
-//! interleavings and spill thresholds.
+//! `incremental_data_edges` property suite, the `spill_equivalence` suite
+//! and the `index_gc` suite enforce across workloads, thread counts,
+//! delivery interleavings, spill thresholds and GC aggressiveness.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::clock::VectorClock;
 use crate::event::SyncKind;
+use crate::frontier::EpochFrontier;
 use crate::graph::{
     ordered_before, prune_superseded_writers, Cpg, CpgBuilder, DependenceEdge, EdgeKind,
 };
@@ -74,6 +106,11 @@ use crate::subcomputation::{SubComputation, SyncPoint};
 
 /// Default number of lock stripes.
 const DEFAULT_SHARDS: usize = 8;
+
+/// Default number of index appends a release/page stripe accumulates
+/// between GC passes. Small enough to keep the indexes near their O(threads)
+/// floor, large enough to amortise the reference-floor computation.
+pub const DEFAULT_INDEX_GC_INTERVAL: usize = 64;
 
 /// Counters describing how a streamed build progressed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,6 +137,15 @@ pub struct IngestStats {
     /// Largest number of readers ever parked while waiting for their causal
     /// frontier.
     pub peak_parked_readers: u64,
+    /// Release-index entries currently live (appended minus GC'd).
+    pub release_entries_live: u64,
+    /// Release-index entries the frontier GC dropped as provably
+    /// superseded. `live + gcd` is the total ever appended.
+    pub release_entries_gcd: u64,
+    /// Page-write-index entries currently live.
+    pub page_entries_live: u64,
+    /// Page-write-index entries the frontier GC dropped.
+    pub page_entries_gcd: u64,
     /// Sub-computations moved out of memory into the spill segments. Zero
     /// unless the builder was created with [`SpillSettings`].
     pub spilled_subs: u64,
@@ -112,6 +158,22 @@ pub struct IngestStats {
     /// the threshold plus whatever the causal frontier kept pinned — rather
     /// than the trace length.
     pub peak_resident_subs: u64,
+}
+
+/// Debug-build profile of stripe-lock acquisitions, by family. All zeros in
+/// release builds. There is no "global" family because the builder has no
+/// global lock — the contention test in this module asserts the per-family
+/// counts a pooled run is allowed to produce.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockCounts {
+    /// Thread-keyed node stripe acquisitions.
+    pub node: u64,
+    /// Page-keyed write-index stripe acquisitions.
+    pub page: u64,
+    /// Object-keyed release stripe acquisitions.
+    pub release: u64,
+    /// Thread-keyed wait stripe acquisitions.
+    pub wait: u64,
 }
 
 /// An acquire-terminated boundary whose successor sub-computation has been
@@ -183,17 +245,17 @@ struct Shard {
     /// Data-dependence edges into readers stored in this stripe, emitted
     /// when each reader's frontier completed. Kept stripe-local so the
     /// common resolve-at-own-ingest path appends under the lock it already
-    /// holds instead of re-taking the sync stripe.
+    /// holds instead of re-taking any shared stripe.
     data_edges: Vec<DependenceEdge>,
     /// Append-only on-disk store for sealed-off prefixes (`None` when
     /// spilling is disabled).
     spill: Option<SpillStore>,
     /// Ingests into this stripe since the last spill attempt. Attempts are
-    /// amortised to one per `threshold` ingests: a cut computation takes
-    /// the sync stripe and clones the frontier, which must not be paid per
-    /// ingest — neither on the happy path (batch ~threshold nodes per
-    /// attempt instead of one) nor when the stripe head is pinned by an
-    /// incomplete frontier and every attempt would be a no-op.
+    /// amortised to one per `threshold` ingests so the cut computation is
+    /// not paid per ingest — neither on the happy path (batch ~threshold
+    /// nodes per attempt instead of one) nor when the stripe head is
+    /// pinned by an incomplete frontier and every attempt would be a
+    /// no-op.
     ingests_since_spill: usize,
 }
 
@@ -210,121 +272,25 @@ struct PageShard {
     /// lock nesting during resolution); one `Arc`'d clock is shared by all
     /// of a sub-computation's entries, so a wide write set costs one clone.
     writers: HashMap<PageId, BTreeMap<ThreadId, Vec<WriterEntry>>>,
+    /// Entries appended since the last GC pass over this stripe.
+    appended_since_gc: usize,
 }
 
-/// Parked entries indexed by the *one* unmet `(thread, frontier)`
-/// requirement they are registered under.
-///
-/// An entry's causal frontier is a conjunction of per-thread thresholds;
-/// instead of rescanning every parked entry on every ingest (quadratic as
-/// soon as delivery skews — e.g. one pool worker running a full scheduler
-/// quantum ahead of another), an entry is parked under its first unmet
-/// threshold and re-examined only when that threshold is crossed, at which
-/// point it either resolves or re-parks under its next unmet threshold.
-/// Total re-examinations per entry are bounded by its clock width.
-#[derive(Debug)]
-struct WaitIndex<T> {
-    /// thread → needed frontier value → entries waiting for exactly that.
-    by_thread: HashMap<ThreadId, BTreeMap<u64, Vec<T>>>,
-    len: usize,
-}
-
-impl<T> Default for WaitIndex<T> {
-    fn default() -> Self {
-        WaitIndex {
-            by_thread: HashMap::new(),
-            len: 0,
-        }
-    }
-}
-
-impl<T> WaitIndex<T> {
-    /// Parks `entry` until `frontier[thread] >= needed`. Returns the new
-    /// number of parked entries.
-    fn park(&mut self, thread: ThreadId, needed: u64, entry: T) -> usize {
-        self.by_thread
-            .entry(thread)
-            .or_default()
-            .entry(needed)
-            .or_default()
-            .push(entry);
-        self.len += 1;
-        self.len
-    }
-
-    /// Removes and returns every entry whose registered requirement is met
-    /// by `frontier[thread] == reached`.
-    fn take_met(&mut self, thread: ThreadId, reached: u64) -> Vec<T> {
-        let Some(tree) = self.by_thread.get_mut(&thread) else {
-            return Vec::new();
-        };
-        if tree.first_key_value().is_none_or(|(&k, _)| k > reached) {
-            return Vec::new();
-        }
-        let rest = tree.split_off(&(reached + 1));
-        let met: Vec<T> = std::mem::replace(tree, rest)
-            .into_values()
-            .flatten()
-            .collect();
-        self.len -= met.len();
-        met
-    }
-
-    /// Removes and returns everything still parked (the seal-time path).
-    fn drain_all(&mut self) -> Vec<T> {
-        let drained: Vec<T> = std::mem::take(&mut self.by_thread)
-            .into_values()
-            .flat_map(|tree| tree.into_values())
-            .flatten()
-            .collect();
-        self.len = 0;
-        drained
-    }
-}
-
-/// The first `(thread, threshold)` requirement of `clock` that `frontier`
-/// does not meet yet, ignoring the entry's own thread (its own prefix is
-/// delivered by FIFO). `None` means the causal frontier is complete: every
-/// sub-computation that can precede one carrying this clock has been
-/// ingested — a sub of thread `u` precedes it iff its clock is dominated,
-/// which forces its α below `clock[u]`, so frontier coverage of the clock
-/// is completeness.
-fn first_unmet(
-    frontier: &HashMap<ThreadId, u64>,
-    own: ThreadId,
-    clock: &VectorClock,
-) -> Option<(ThreadId, u64)> {
-    clock
-        .iter()
-        .find(|&(u, k)| u != own && k != 0 && frontier.get(&u).copied().unwrap_or(0) < k)
-}
-
-/// Cross-shard synchronization-edge and frontier state. Touched once per
-/// ingested sub-computation; all operations are O(small) so a single stripe
-/// suffices.
+/// One object-keyed lock stripe of the release index, with the
+/// synchronization edges resolved against it (appended under the same lock
+/// the resolution already holds).
 #[derive(Debug, Default)]
-struct SyncState {
-    /// Contiguously ingested sub-computation count per thread.
-    frontier: HashMap<ThreadId, u64>,
+struct ReleaseShard {
     /// Release index: object → releasing thread → `(α, clock)` of each
     /// release-terminated sub-computation, in execution order.
     releases: HashMap<SyncObjectId, BTreeMap<ThreadId, Vec<(u64, VectorClock)>>>,
-    /// Acquires awaiting a complete causal frontier, indexed by their first
-    /// unmet threshold.
-    parked_acquires: WaitIndex<PendingAcquire>,
-    /// Readers awaiting a complete causal frontier, indexed by their first
-    /// unmet threshold.
-    parked_readers: WaitIndex<PendingReader>,
-    /// Synchronization edges emitted so far.
+    /// Synchronization edges emitted so far against this stripe's objects.
     edges: Vec<DependenceEdge>,
-    resolved_at_ingest: u64,
-    resolved_at_seal: u64,
-    peak_parked: u64,
-    peak_parked_readers: u64,
-    ingested: u64,
+    /// Entries appended since the last GC pass over this stripe.
+    appended_since_gc: usize,
 }
 
-impl SyncState {
+impl ReleaseShard {
     /// Emits the synchronization edges into `p.dst`, mirroring the batch
     /// builder's candidate selection exactly: per releasing thread, the
     /// latest release that happens-before the acquirer; dominated candidates
@@ -367,72 +333,111 @@ impl SyncState {
         }
         emitted
     }
+}
 
-    /// Files an acquire: resolved immediately when its frontier is already
-    /// complete, parked under its first unmet threshold otherwise.
-    fn file_acquire(&mut self, p: PendingAcquire) {
-        match first_unmet(&self.frontier, p.dst.thread, &p.clock) {
-            None => {
-                let emitted = self.resolve(&p);
-                self.resolved_at_ingest += emitted;
+/// Parked entries indexed by the *one* unmet `(thread, frontier)`
+/// requirement they are registered under.
+///
+/// An entry's causal frontier is a conjunction of per-thread thresholds;
+/// instead of rescanning every parked entry on every ingest (quadratic as
+/// soon as delivery skews — e.g. one pool worker running a full scheduler
+/// quantum ahead of another), an entry is parked under its first unmet
+/// threshold and re-examined only when that threshold is crossed, at which
+/// point it either resolves or re-parks under its next unmet threshold.
+/// Total re-examinations per entry are bounded by its clock width.
+#[derive(Debug)]
+struct WaitIndex<T> {
+    /// thread → needed frontier value → entries waiting for exactly that.
+    by_thread: HashMap<ThreadId, BTreeMap<u64, Vec<T>>>,
+    len: usize,
+}
+
+impl<T> Default for WaitIndex<T> {
+    fn default() -> Self {
+        WaitIndex {
+            by_thread: HashMap::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> WaitIndex<T> {
+    /// Parks `entry` until `frontier[thread] >= needed`.
+    fn park(&mut self, thread: ThreadId, needed: u64, entry: T) {
+        self.by_thread
+            .entry(thread)
+            .or_default()
+            .entry(needed)
+            .or_default()
+            .push(entry);
+        self.len += 1;
+    }
+
+    /// Removes and returns every entry whose registered requirement is met
+    /// by `frontier[thread] == reached`.
+    fn take_met(&mut self, thread: ThreadId, reached: u64) -> Vec<T> {
+        let Some(tree) = self.by_thread.get_mut(&thread) else {
+            return Vec::new();
+        };
+        if tree.first_key_value().is_none_or(|(&k, _)| k > reached) {
+            return Vec::new();
+        }
+        let rest = tree.split_off(&(reached + 1));
+        let met: Vec<T> = std::mem::replace(tree, rest)
+            .into_values()
+            .flatten()
+            .collect();
+        self.len -= met.len();
+        met
+    }
+
+    /// Removes and returns everything still parked (the seal-time path).
+    fn drain_all(&mut self) -> Vec<T> {
+        let drained: Vec<T> = std::mem::take(&mut self.by_thread)
+            .into_values()
+            .flat_map(|tree| tree.into_values())
+            .flatten()
+            .collect();
+        self.len = 0;
+        drained
+    }
+
+    /// Runs `f` over every parked entry (the GC reference-floor scan).
+    fn for_each(&self, mut f: impl FnMut(&T)) {
+        for tree in self.by_thread.values() {
+            for entries in tree.values() {
+                for entry in entries {
+                    f(entry);
+                }
             }
-            Some((u, k)) => {
-                let parked = self.parked_acquires.park(u, k, p);
-                self.peak_parked = self.peak_parked.max(parked as u64);
-            }
         }
     }
+}
 
-    /// Files a reader: returned for immediate resolution (outside the sync
-    /// stripe — data resolution walks the page stripes, which must never
-    /// nest inside it) when its frontier is complete, parked otherwise.
-    fn file_reader(&mut self, r: PendingReader, ready: &mut Vec<PendingReader>) {
-        match first_unmet(&self.frontier, r.dst.thread, &r.clock) {
-            None => ready.push(r),
-            Some((u, k)) => self.park_reader(u, k, r),
-        }
-    }
+/// One thread-keyed wait stripe: the acquires and readers parked on the
+/// frontiers of the threads this stripe covers.
+#[derive(Debug, Default)]
+struct WaitShard {
+    acquires: WaitIndex<PendingAcquire>,
+    readers: WaitIndex<PendingReader>,
+}
 
-    /// Parks a reader under requirement `(u, k)`, tracking the peak. The
-    /// single parking site — `ingest`'s clone-free fast path shares it.
-    fn park_reader(&mut self, u: ThreadId, k: u64, r: PendingReader) {
-        let parked = self.parked_readers.park(u, k, r);
-        self.peak_parked_readers = self.peak_parked_readers.max(parked as u64);
-    }
-
-    /// Re-examines everything parked on `thread`'s frontier after it
-    /// advanced to `reached`: each met entry either resolves now or
-    /// re-parks under its next unmet threshold. Ready readers are pushed to
-    /// `ready` for resolution outside the lock.
-    fn frontier_advanced(
-        &mut self,
-        thread: ThreadId,
-        reached: u64,
-        ready: &mut Vec<PendingReader>,
-    ) {
-        for p in self.parked_acquires.take_met(thread, reached) {
-            self.file_acquire(p);
-        }
-        for r in self.parked_readers.take_met(thread, reached) {
-            self.file_reader(r, ready);
-        }
-    }
-
-    /// Counter snapshot; the data-edge and spill counters live in
-    /// builder-level atomics (they are updated off this stripe's lock) and
-    /// are filled in by the caller.
-    fn snapshot(&self, data_resolved_at_ingest: u64, data_resolved_at_seal: u64) -> IngestStats {
-        IngestStats {
-            ingested: self.ingested,
-            sync_resolved_at_ingest: self.resolved_at_ingest,
-            sync_resolved_at_seal: self.resolved_at_seal,
-            data_resolved_at_ingest,
-            data_resolved_at_seal,
-            peak_parked_acquires: self.peak_parked,
-            peak_parked_readers: self.peak_parked_readers,
-            ..IngestStats::default()
-        }
-    }
+/// The first `(thread, threshold)` requirement of `clock` that the epoch
+/// frontier does not meet yet, ignoring the entry's own thread (its own
+/// prefix is delivered by FIFO). `None` means the causal frontier is
+/// complete: every sub-computation that can precede one carrying this clock
+/// has been ingested — a sub of thread `u` precedes it iff its clock is
+/// dominated, which forces its α below `clock[u]`, so frontier coverage of
+/// the clock is completeness. Epoch reads are lock-free; monotonicity makes
+/// a `None` answer stable forever.
+fn first_unmet(
+    frontier: &EpochFrontier,
+    own: ThreadId,
+    clock: &VectorClock,
+) -> Option<(ThreadId, u64)> {
+    clock
+        .iter()
+        .find(|&(u, k)| u != own && k != 0 && frontier.epoch(u) < k)
 }
 
 /// RAII registration of an in-flight `ingest()` call, backing the quiesce
@@ -452,29 +457,84 @@ impl Drop for ProducerGuard<'_> {
     }
 }
 
+/// Lock families, for the debug-build acquisition profile.
+#[cfg(debug_assertions)]
+mod lock_family {
+    pub const NODE: usize = 0;
+    pub const PAGE: usize = 1;
+    pub const RELEASE: usize = 2;
+    pub const WAIT: usize = 3;
+}
+
 /// Streaming, lock-striped builder producing the same [`Cpg`] as
 /// [`CpgBuilder`] without buffering the whole trace twice.
 ///
 /// Ingestion is internally synchronized: any number of producer threads may
-/// call [`ingest`](Self::ingest) concurrently, as long as each *thread's*
-/// sub-computations arrive in α order (which a per-thread FIFO hand-off —
-/// e.g. the runtime's lane-per-worker ingest pool routing by
-/// `ThreadId % pool` — guarantees).
+/// call [`ingest`](Self::ingest) / [`ingest_batch`](Self::ingest_batch)
+/// concurrently, as long as each *thread's* sub-computations arrive in α
+/// order (which a per-thread FIFO hand-off — e.g. the runtime's
+/// lane-per-worker ingest pool routing by `ThreadId % pool` — guarantees).
+///
+/// With index GC enabled (the default), every thread must be made known to
+/// the builder via [`announce_thread`](Self::announce_thread) before its
+/// delivery can lag behind other threads': an unannounced thread that has
+/// not delivered anything yet is invisible to the GC's reference floor, so
+/// entries its late-delivered sub-computations still reference (through
+/// inherited or joined clock components) could be dropped. The runtime
+/// announces every context at creation — and spawned children additionally
+/// from the parent, with the inherited clock, *before* the spawn release.
+/// Workloads where no thread's clocks ever reference a later-delivered
+/// thread (e.g. sequentially recorded generators) are safe without
+/// announcements.
 #[derive(Debug)]
 pub struct ShardedCpgBuilder {
     /// Thread-keyed node stripes.
     shards: Vec<Mutex<Shard>>,
     /// Page-keyed write-index stripes (same stripe count as `shards`).
     pages: Vec<Mutex<PageShard>>,
-    sync: Mutex<SyncState>,
+    /// Object-keyed release stripes (same stripe count as `shards`).
+    releases: Vec<Mutex<ReleaseShard>>,
+    /// Thread-keyed wait stripes for parked acquires/readers.
+    waits: Vec<Mutex<WaitShard>>,
+    /// Lock-free per-thread frontier + published-clock array.
+    frontier: EpochFrontier,
     /// Spill configuration; `None` (or threshold 0) keeps every node
     /// resident until the seal.
     spill: Option<SpillSettings>,
+    /// Index appends per release/page stripe between GC passes
+    /// (0 disables index GC).
+    index_gc_interval: usize,
+    /// Sub-computations ingested in the current build.
+    ingested: AtomicU64,
+    /// Synchronization edges resolved during ingestion.
+    sync_at_ingest: AtomicU64,
+    /// Synchronization edges the seal-time safety net resolved.
+    sync_at_seal: AtomicU64,
     /// Data edges resolved during ingestion (updated lock-free from the
     /// resolution paths).
     data_at_ingest: AtomicU64,
     /// Data edges the seal-time safety net resolved.
     data_at_seal: AtomicU64,
+    /// Currently parked acquires / readers, and their high-water marks.
+    parked_acquires: AtomicU64,
+    parked_readers: AtomicU64,
+    peak_parked_acquires: AtomicU64,
+    peak_parked_readers: AtomicU64,
+    /// Entries popped off a wait stripe whose resolution has not finished:
+    /// they are in no index, so a nonzero count vetoes the GC floor.
+    resolving: AtomicU64,
+    /// Monotone pop counter. A pop that starts *and* finishes (possibly
+    /// re-parking its entries into already-scanned stripes) while the GC
+    /// floor sweep is in progress would be invisible to both `resolving`
+    /// checks; the generation comparison spanning the sweep vetoes such
+    /// rounds.
+    pop_generation: AtomicU64,
+    /// Live / GC'd release-index entry counts.
+    release_entries: AtomicU64,
+    release_entries_gcd: AtomicU64,
+    /// Live / GC'd page-write-index entry counts.
+    page_entries: AtomicU64,
+    page_entries_gcd: AtomicU64,
     /// Sub-computations spilled to disk in the current build.
     spilled_subs: AtomicU64,
     /// Bytes appended to the spill segments in the current build.
@@ -489,6 +549,9 @@ pub struct ShardedCpgBuilder {
     last_sealed: Mutex<Option<IngestStats>>,
     /// Number of `ingest()` calls currently in flight (quiesce guard).
     active_producers: AtomicUsize,
+    /// Per-family lock-acquisition counters (debug builds only).
+    #[cfg(debug_assertions)]
+    lock_profile: [AtomicU64; 4],
 }
 
 impl Default for ShardedCpgBuilder {
@@ -503,8 +566,9 @@ impl ShardedCpgBuilder {
         Self::with_shards(DEFAULT_SHARDS)
     }
 
-    /// Creates a builder with `shards` lock stripes (at least one) in both
-    /// the thread-keyed node family and the page-keyed index family.
+    /// Creates a builder with `shards` lock stripes (at least one) in the
+    /// thread-keyed node family, the page-keyed index family, the
+    /// object-keyed release family and the thread-keyed wait family.
     pub fn with_shards(shards: usize) -> Self {
         Self::with_shards_and_spill(shards, None)
     }
@@ -537,10 +601,30 @@ impl ShardedCpgBuilder {
             pages: (0..shards)
                 .map(|_| Mutex::new(PageShard::default()))
                 .collect(),
-            sync: Mutex::new(SyncState::default()),
+            releases: (0..shards)
+                .map(|_| Mutex::new(ReleaseShard::default()))
+                .collect(),
+            waits: (0..shards)
+                .map(|_| Mutex::new(WaitShard::default()))
+                .collect(),
+            frontier: EpochFrontier::new(),
             spill,
+            index_gc_interval: DEFAULT_INDEX_GC_INTERVAL,
+            ingested: AtomicU64::new(0),
+            sync_at_ingest: AtomicU64::new(0),
+            sync_at_seal: AtomicU64::new(0),
             data_at_ingest: AtomicU64::new(0),
             data_at_seal: AtomicU64::new(0),
+            parked_acquires: AtomicU64::new(0),
+            parked_readers: AtomicU64::new(0),
+            peak_parked_acquires: AtomicU64::new(0),
+            peak_parked_readers: AtomicU64::new(0),
+            resolving: AtomicU64::new(0),
+            pop_generation: AtomicU64::new(0),
+            release_entries: AtomicU64::new(0),
+            release_entries_gcd: AtomicU64::new(0),
+            page_entries: AtomicU64::new(0),
+            page_entries_gcd: AtomicU64::new(0),
             spilled_subs: AtomicU64::new(0),
             spill_bytes: AtomicU64::new(0),
             spill_time_nanos: AtomicU64::new(0),
@@ -548,22 +632,27 @@ impl ShardedCpgBuilder {
             peak_resident: AtomicU64::new(0),
             last_sealed: Mutex::new(None),
             active_producers: AtomicUsize::new(0),
+            #[cfg(debug_assertions)]
+            lock_profile: std::array::from_fn(|_| AtomicU64::new(0)),
         }
+    }
+
+    /// Sets how many index appends a release/page stripe accumulates
+    /// between GC passes; `0` disables index GC entirely (the pre-GC
+    /// behaviour: indexes grow with the event count). Exclusive access,
+    /// so call it before the builder is shared with producers.
+    pub fn set_index_gc_interval(&mut self, every: usize) {
+        self.index_gc_interval = every;
+    }
+
+    /// The configured index-GC interval (0 = disabled).
+    pub fn index_gc_interval(&self) -> usize {
+        self.index_gc_interval
     }
 
     /// The spill threshold, when spilling is enabled.
     fn spill_threshold(&self) -> Option<usize> {
         self.spill.as_ref().map(|s| s.threshold)
-    }
-
-    /// Folds the builder-level atomic counters into a [`SyncState`]
-    /// snapshot.
-    fn fill_builder_counters(&self, mut stats: IngestStats) -> IngestStats {
-        stats.spilled_subs = self.spilled_subs.load(Ordering::Acquire);
-        stats.spill_bytes = self.spill_bytes.load(Ordering::Acquire);
-        stats.spill_time = Duration::from_nanos(self.spill_time_nanos.load(Ordering::Acquire));
-        stats.peak_resident_subs = self.peak_resident.load(Ordering::Acquire);
-        stats
     }
 
     /// Number of lock stripes.
@@ -579,6 +668,64 @@ impl ShardedCpgBuilder {
     /// The stripe a page's write index lives in.
     fn page_stripe(&self, page: PageId) -> usize {
         page.number() as usize % self.pages.len()
+    }
+
+    /// The stripe a synchronization object's releases live in.
+    fn release_stripe(&self, object: SyncObjectId) -> usize {
+        object.raw() as usize % self.releases.len()
+    }
+
+    /// The stripe entries waiting on `thread`'s frontier are parked in.
+    fn wait_stripe(&self, thread: ThreadId) -> usize {
+        thread.index() % self.waits.len()
+    }
+
+    #[cfg(debug_assertions)]
+    fn note_lock(&self, family: usize) {
+        self.lock_profile[family].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn lock_shard(&self, index: usize) -> MutexGuard<'_, Shard> {
+        #[cfg(debug_assertions)]
+        self.note_lock(lock_family::NODE);
+        self.shards[index].lock()
+    }
+
+    fn lock_page(&self, index: usize) -> MutexGuard<'_, PageShard> {
+        #[cfg(debug_assertions)]
+        self.note_lock(lock_family::PAGE);
+        self.pages[index].lock()
+    }
+
+    fn lock_release(&self, index: usize) -> MutexGuard<'_, ReleaseShard> {
+        #[cfg(debug_assertions)]
+        self.note_lock(lock_family::RELEASE);
+        self.releases[index].lock()
+    }
+
+    fn lock_wait(&self, index: usize) -> MutexGuard<'_, WaitShard> {
+        #[cfg(debug_assertions)]
+        self.note_lock(lock_family::WAIT);
+        self.waits[index].lock()
+    }
+
+    /// The debug-build per-family lock-acquisition counts (all zeros in
+    /// release builds). Cumulative across builds; the contention test uses
+    /// a fresh builder per scenario.
+    pub fn lock_counts(&self) -> LockCounts {
+        #[cfg(debug_assertions)]
+        {
+            LockCounts {
+                node: self.lock_profile[lock_family::NODE].load(Ordering::Relaxed),
+                page: self.lock_profile[lock_family::PAGE].load(Ordering::Relaxed),
+                release: self.lock_profile[lock_family::RELEASE].load(Ordering::Relaxed),
+                wait: self.lock_profile[lock_family::WAIT].load(Ordering::Relaxed),
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            LockCounts::default()
+        }
     }
 
     /// Groups a page set by index stripe, so a wide set locks each touched
@@ -598,14 +745,31 @@ impl ShardedCpgBuilder {
         by_stripe
     }
 
+    /// Snapshot of every builder-level counter.
+    fn counters_snapshot(&self) -> IngestStats {
+        IngestStats {
+            ingested: self.ingested.load(Ordering::Acquire),
+            sync_resolved_at_ingest: self.sync_at_ingest.load(Ordering::Acquire),
+            sync_resolved_at_seal: self.sync_at_seal.load(Ordering::Acquire),
+            data_resolved_at_ingest: self.data_at_ingest.load(Ordering::Acquire),
+            data_resolved_at_seal: self.data_at_seal.load(Ordering::Acquire),
+            peak_parked_acquires: self.peak_parked_acquires.load(Ordering::Acquire),
+            peak_parked_readers: self.peak_parked_readers.load(Ordering::Acquire),
+            release_entries_live: self.release_entries.load(Ordering::Acquire),
+            release_entries_gcd: self.release_entries_gcd.load(Ordering::Acquire),
+            page_entries_live: self.page_entries.load(Ordering::Acquire),
+            page_entries_gcd: self.page_entries_gcd.load(Ordering::Acquire),
+            spilled_subs: self.spilled_subs.load(Ordering::Acquire),
+            spill_bytes: self.spill_bytes.load(Ordering::Acquire),
+            spill_time: Duration::from_nanos(self.spill_time_nanos.load(Ordering::Acquire)),
+            peak_resident_subs: self.peak_resident.load(Ordering::Acquire),
+        }
+    }
+
     /// Counters of the build currently in progress (reset by
     /// [`seal`](Self::seal)).
     pub fn stats(&self) -> IngestStats {
-        let snapshot = self.sync.lock().snapshot(
-            self.data_at_ingest.load(Ordering::Acquire),
-            self.data_at_seal.load(Ordering::Acquire),
-        );
-        self.fill_builder_counters(snapshot)
+        self.counters_snapshot()
     }
 
     /// Final counters of the most recently sealed build, if any. Unlike
@@ -617,142 +781,297 @@ impl ShardedCpgBuilder {
 
     /// Number of sub-computations ingested so far.
     pub fn ingested_nodes(&self) -> u64 {
-        self.sync.lock().ingested
+        self.ingested.load(Ordering::Acquire)
     }
 
-    /// Ingests one retired sub-computation **by value**.
-    ///
-    /// Control edges are applied immediately; the release/acquire and page
-    /// write indexes are updated; any synchronization or data-dependence
-    /// edge whose causal frontier became complete — this sub-computation's
-    /// own, or one parked earlier — is emitted before the call returns.
+    /// Makes a not-yet-ingesting thread visible to the index GC's reference
+    /// floor, carrying the clock it inherits from its creator. The runtime
+    /// calls this at thread creation, *before* the creating thread emits
+    /// any post-spawn provenance: a spawned thread's sub-computations carry
+    /// the creator's clock components, and until the newborn publishes its
+    /// own clock only this announcement keeps the GC from dropping index
+    /// entries it can still reference. Threads whose first sub-computation
+    /// carries no foreign clock components need no announcement.
+    pub fn announce_thread(&self, thread: ThreadId, inherited: &VectorClock) {
+        self.frontier.announce(thread, inherited);
+    }
+
+    /// Ingests one retired sub-computation **by value** — the batch of one;
+    /// see [`ingest_batch`](Self::ingest_batch). A reused thread-local
+    /// buffer keeps this path allocation-free.
     ///
     /// # Panics
     ///
     /// Panics if a thread's sub-computations are delivered out of α order.
     pub fn ingest(&self, sub: SubComputation) {
+        thread_local! {
+            static SINGLE: std::cell::RefCell<Vec<SubComputation>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        SINGLE.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            // A panicking ingest (α-order violation) leaves its sub behind;
+            // clear on entry so the next call from this thread cannot form
+            // a phantom batch with it.
+            buf.clear();
+            buf.push(sub);
+            self.ingest_run(&mut buf);
+        });
+    }
+
+    /// Ingests one thread's α-contiguous batch of retired sub-computations
+    /// **by value**: one node-stripe lock for the whole batch, each touched
+    /// page stripe locked once per batch, one release-stripe lock per
+    /// release. Control edges are applied immediately; the release and page
+    /// write indexes are updated; any synchronization or data-dependence
+    /// edge whose causal frontier became complete — a batch member's own,
+    /// or one parked earlier — is emitted before the call returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch mixes threads, is not contiguous in α, or is
+    /// delivered out of α order with respect to earlier ingests.
+    pub fn ingest_batch(&self, mut batch: Vec<SubComputation>) {
+        self.ingest_run(&mut batch);
+    }
+
+    /// The ingest body: drains `batch` (leaving its capacity to the
+    /// caller, which is what keeps [`ingest`](Self::ingest) reusing one
+    /// buffer).
+    fn ingest_run(&self, batch: &mut Vec<SubComputation>) {
+        if batch.is_empty() {
+            return;
+        }
         let _quiesce = ProducerGuard::enter(&self.active_producers);
-        let thread = sub.id.thread;
-        let alpha = sub.id.alpha;
-
-        let releases = sub
-            .terminator
-            .filter(|sp| matches!(sp.kind, SyncKind::Release | SyncKind::ReleaseAcquire))
-            .map(|sp| sp.object);
-
-        let mut ready_readers = Vec::new();
-        {
-            // The shard stripe is held across the sync-state update below so
-            // an ingest is atomic: two producers delivering the same
-            // thread's consecutive sub-computations serialize on the stripe,
-            // and the later one cannot reach the sync state first (which
-            // would regress the frontier and unsort the release index).
-            // Lock order is always thread stripe → page stripe → sync; no
-            // path takes any pair in the opposite order, the page stripes
-            // are leaf locks taken one at a time, and no path ever holds
-            // two thread stripes.
-            let mut guard = self.shards[self.shard_for(thread)].lock();
-            let shard = &mut *guard;
-            let seq = shard.sequences.entry(thread).or_default();
+        let thread = batch[0].id.thread;
+        let first_alpha = batch[0].id.alpha;
+        let batch_len = batch.len();
+        for (i, sub) in batch.iter().enumerate() {
             assert_eq!(
-                seq.len(),
-                alpha,
+                sub.id.thread, thread,
+                "an ingest batch must carry a single thread's sub-computations"
+            );
+            assert_eq!(
+                sub.id.alpha,
+                first_alpha + i as u64,
+                "an ingest batch must be contiguous in α"
+            );
+        }
+        let delivered = first_alpha + batch_len as u64;
+
+        let mut popped_acquires: Vec<PendingAcquire> = Vec::new();
+        let mut popped_readers: Vec<PendingReader> = Vec::new();
+        {
+            // Lock order: the node stripe is held across the whole batch
+            // (two producers delivering the same thread's consecutive
+            // sub-computations serialize here, so the frontier publication
+            // below stays in α order); page, release and wait stripes are
+            // taken transiently underneath it, never two of one family at
+            // once and never in reverse order.
+            let mut guard = self.lock_shard(self.shard_for(thread));
+            let shard = &mut *guard;
+            let (stored, mut prev_info) = {
+                let seq = shard.sequences.entry(thread).or_default();
+                (seq.len(), seq.last_info())
+            };
+            assert_eq!(
+                stored, first_alpha,
                 "sub-computations of {thread} must be ingested in α order"
             );
-            // The edge target of an acquire is the sub-computation that
-            // *starts* after the acquire returns — i.e. this one, whenever
-            // its predecessor ended in an acquire. The predecessor may
-            // already have been spilled; its identity and terminator live on
-            // in the sequence's tail metadata.
-            let prev_info = seq.last_info();
-            let acquired = prev_info
-                .and_then(|(_, terminator)| terminator)
-                .filter(|sp| matches!(sp.kind, SyncKind::Acquire | SyncKind::ReleaseAcquire))
-                .map(|sp| sp.object);
-            if let Some((prev_id, _)) = prev_info {
-                shard.control_edges.push(DependenceEdge {
-                    src: prev_id,
-                    dst: sub.id,
-                    kind: EdgeKind::Control,
-                    object: None,
-                    pages: Vec::new(),
-                });
+
+            // Control edges (per-thread delivery is FIFO, so the
+            // predecessor is always known; it may already have been
+            // spilled — its identity lives on in the sequence's tail
+            // metadata).
+            let first_prev_terminator = prev_info.and_then(|(_, terminator)| terminator);
+            for sub in batch.iter() {
+                if let Some((prev_id, _)) = prev_info {
+                    shard.control_edges.push(DependenceEdge {
+                        src: prev_id,
+                        dst: sub.id,
+                        kind: EdgeKind::Control,
+                        object: None,
+                        pages: Vec::new(),
+                    });
+                }
+                prev_info = Some((sub.id, sub.terminator));
             }
-            // Publish the writes into the page-striped index *before* the
-            // frontier bump below: the moment `frontier[thread]` covers α,
-            // every write of α is queryable by a resolving reader. All of
-            // the sub's entries share one Arc'd clock, and a wide write set
-            // locks each touched stripe once instead of once per page.
-            if !sub.write_set.is_empty() {
+
+            // Publish the batch's writes into the page-striped index
+            // *before* the frontier advance below: the moment the epoch
+            // covers an α, every write of that α is queryable by a
+            // resolving reader. Publishing *early* (before the epoch
+            // covers it) is equally safe — candidate selection compares
+            // exact clocks/αs, so an entry can never be chosen by a reader
+            // it does not happen-before. Each touched stripe is locked
+            // once for the whole batch, and all of a sub's entries share
+            // one Arc'd clock.
+            let mut writes_by_stripe: BTreeMap<usize, Vec<(PageId, u64, Arc<VectorClock>)>> =
+                BTreeMap::new();
+            for sub in batch.iter() {
+                if sub.write_set.is_empty() {
+                    continue;
+                }
                 let clock = Arc::new(sub.clock.clone());
-                for (index, pages) in self.group_by_stripe(&sub.write_set) {
-                    let mut stripe = self.pages[index].lock();
-                    for page in pages {
-                        stripe
-                            .writers
-                            .entry(page)
-                            .or_default()
-                            .entry(thread)
-                            .or_default()
-                            .push((alpha, Arc::clone(&clock)));
-                    }
+                for &page in &sub.write_set {
+                    writes_by_stripe
+                        .entry(self.page_stripe(page))
+                        .or_default()
+                        .push((page, sub.id.alpha, Arc::clone(&clock)));
                 }
             }
-            let mut own_ready = false;
-            {
-                let mut st = self.sync.lock();
-                st.ingested += 1;
-                st.frontier.insert(thread, alpha + 1);
-                if let Some(object) = releases {
-                    st.releases
+            for (index, writes) in writes_by_stripe {
+                let appended = writes.len();
+                let mut stripe = self.lock_page(index);
+                for (page, alpha, clock) in writes {
+                    stripe
+                        .writers
+                        .entry(page)
+                        .or_default()
+                        .entry(thread)
+                        .or_default()
+                        .push((alpha, clock));
+                }
+                self.page_entries
+                    .fetch_add(appended as u64, Ordering::AcqRel);
+                stripe.appended_since_gc += appended;
+                if self.index_gc_interval > 0 && stripe.appended_since_gc >= self.index_gc_interval
+                {
+                    stripe.appended_since_gc = 0;
+                    self.gc_index_stripe(
+                        &mut stripe.writers,
+                        |e| e.0,
+                        &self.page_entries,
+                        &self.page_entries_gcd,
+                    );
+                }
+            }
+
+            // Release publication, likewise before the frontier covers the
+            // releasing sub-computations.
+            for sub in batch.iter() {
+                let released = sub
+                    .terminator
+                    .filter(|sp| matches!(sp.kind, SyncKind::Release | SyncKind::ReleaseAcquire))
+                    .map(|sp| sp.object);
+                if let Some(object) = released {
+                    let mut stripe = self.lock_release(self.release_stripe(object));
+                    stripe
+                        .releases
                         .entry(object)
                         .or_default()
                         .entry(thread)
                         .or_default()
-                        .push((alpha, sub.clock.clone()));
+                        .push((sub.id.alpha, sub.clock.clone()));
+                    self.release_entries.fetch_add(1, Ordering::AcqRel);
+                    stripe.appended_since_gc += 1;
+                    if self.index_gc_interval > 0
+                        && stripe.appended_since_gc >= self.index_gc_interval
+                    {
+                        stripe.appended_since_gc = 0;
+                        self.gc_index_stripe(
+                            &mut stripe.releases,
+                            |e| e.0,
+                            &self.release_entries,
+                            &self.release_entries_gcd,
+                        );
+                    }
                 }
+            }
+
+            // File each member: publish its clock first — the GC floor
+            // must cover a sub-computation *before* it can resolve
+            // anything — then resolve or park its acquire, and its reader
+            // side. A reader whose frontier is complete resolves in place,
+            // borrowing the sub (still holding our node stripe but no
+            // shared stripe; its clock and read set are only cloned when
+            // it actually has to park); candidates are exact, so resolving
+            // member i before member j > i publishes nothing wrong — j's
+            // entries can never precede i.
+            self.ingested.fetch_add(batch_len as u64, Ordering::AcqRel);
+            let mut prev_terminator = first_prev_terminator;
+            for sub in batch.iter() {
+                self.frontier.publish_clock(thread, &sub.clock);
+                // The edge target of an acquire is the sub-computation
+                // that *starts* after the acquire returns — i.e. this one,
+                // whenever its predecessor ended in an acquire.
+                let acquired = prev_terminator
+                    .filter(|sp| matches!(sp.kind, SyncKind::Acquire | SyncKind::ReleaseAcquire))
+                    .map(|sp| sp.object);
+                prev_terminator = sub.terminator;
                 if let Some(object) = acquired {
-                    st.file_acquire(PendingAcquire {
+                    self.file_acquire(PendingAcquire {
                         dst: sub.id,
                         clock: sub.clock.clone(),
                         object,
                     });
                 }
                 if !sub.read_set.is_empty() {
-                    // The common causal-delivery case resolves this reader
-                    // in place below, borrowing the sub — its clock and
-                    // read set are only cloned when it actually has to park.
-                    match first_unmet(&st.frontier, thread, &sub.clock) {
-                        None => own_ready = true,
-                        Some((u, k)) => st.park_reader(
-                            u,
-                            k,
-                            PendingReader {
+                    let mut ready = false;
+                    match first_unmet(&self.frontier, thread, &sub.clock) {
+                        None => ready = true,
+                        Some(_) => {
+                            let pending = PendingReader {
                                 dst: sub.id,
                                 clock: sub.clock.clone(),
                                 read_set: sub.read_set.iter().copied().collect(),
-                            },
-                        ),
+                            };
+                            // The frontier may cross the threshold while
+                            // the parking loop takes the wait stripe; the
+                            // entry then comes straight back and resolves
+                            // borrowed, like the fast path.
+                            if self.try_park_reader(pending).is_some() {
+                                ready = true;
+                            }
+                        }
+                    }
+                    if ready {
+                        let emitted = self.resolve_reader_into(
+                            sub.id,
+                            &sub.clock,
+                            &sub.read_set,
+                            &mut shard.data_edges,
+                        );
+                        self.data_at_ingest.fetch_add(emitted, Ordering::AcqRel);
                     }
                 }
-                st.frontier_advanced(thread, alpha + 1, &mut ready_readers);
             }
 
-            if own_ready {
-                // Still holding our own thread stripe (but no longer the
-                // sync stripe): resolve against the page stripes and append
-                // the edges right here — this reader's node lives in this
-                // stripe, and no clone of its clock or read set is needed.
-                let emitted = self.resolve_reader_into(
-                    sub.id,
-                    &sub.clock,
-                    &sub.read_set,
-                    &mut shard.data_edges,
-                );
-                self.data_at_ingest.fetch_add(emitted, Ordering::AcqRel);
+            // The epoch now covers the whole batch: its writes and
+            // releases are published, so other producers' readers and
+            // acquirers may pin candidates in them from here on.
+            self.frontier.advance(thread, delivered);
+
+            // Entries parked on this thread's frontier that the batch
+            // completed. The resolving refcount rises before the stripe
+            // unlocks so the GC floor never loses sight of a popped entry.
+            {
+                let mut ws = self.lock_wait(self.wait_stripe(thread));
+                let acquires = ws.acquires.take_met(thread, delivered);
+                let readers = ws.readers.take_met(thread, delivered);
+                if !acquires.is_empty() || !readers.is_empty() {
+                    self.resolving
+                        .fetch_add((acquires.len() + readers.len()) as u64, Ordering::AcqRel);
+                    self.pop_generation.fetch_add(1, Ordering::AcqRel);
+                    self.parked_acquires
+                        .fetch_sub(acquires.len() as u64, Ordering::AcqRel);
+                    self.parked_readers
+                        .fetch_sub(readers.len() as u64, Ordering::AcqRel);
+                    popped_acquires = acquires;
+                    popped_readers = readers;
+                }
             }
-            shard.sequences.entry(thread).or_default().live.push(sub);
-            let resident = self.resident.fetch_add(1, Ordering::AcqRel) + 1;
+
+            // Store the batch (draining the caller's buffer, keeping its
+            // capacity) and run the spill stage.
+            shard
+                .sequences
+                .entry(thread)
+                .or_default()
+                .live
+                .append(batch);
+            let resident =
+                self.resident.fetch_add(batch_len as u64, Ordering::AcqRel) + batch_len as u64;
             self.peak_resident.fetch_max(resident, Ordering::AcqRel);
 
             // Spill stage: once a full window of ingests has landed in this
@@ -760,10 +1079,10 @@ impl ShardedCpgBuilder {
             // everything the wait-index can never touch again — out to
             // disk. Amortising attempts to one per `threshold` ingests
             // keeps the peak resident window at O(threshold + whatever the
-            // frontier pins) while paying the cut computation (sync-stripe
-            // lock + frontier clone) a bounded number of times per node.
+            // frontier pins) while paying the cut computation a bounded
+            // number of times per node.
             if let Some(threshold) = self.spill_threshold() {
-                shard.ingests_since_spill += 1;
+                shard.ingests_since_spill += batch_len;
                 let stripe_resident: usize = shard.sequences.values().map(|s| s.live.len()).sum();
                 if shard.ingests_since_spill >= threshold && stripe_resident >= threshold {
                     shard.ingests_since_spill = 0;
@@ -772,20 +1091,93 @@ impl ShardedCpgBuilder {
             }
         }
 
-        // Parked readers whose frontier this ingest completed (skewed
-        // delivery only) resolve with no lock held: each popped reader is
-        // owned by exactly one producer, and its candidate set is pinned —
-        // writers ingested after the frontier became covered cannot
-        // happen-before it, so they can never join (or change) the prefix
-        // the page-stripe partition point selects.
-        for r in &ready_readers {
+        // Parked entries whose frontier this batch completed resolve with
+        // no lock held: each popped entry is owned by exactly one producer,
+        // and its candidate set is pinned — writers/releases ingested after
+        // the frontier became covered cannot happen-before it, so they can
+        // never join (or change) the prefix the stripe partition point
+        // selects. An entry may re-park under its next unmet threshold.
+        let in_flight = (popped_acquires.len() + popped_readers.len()) as u64;
+        for p in popped_acquires {
+            self.file_acquire(p);
+        }
+        for r in popped_readers {
+            self.file_reader_owned(r);
+        }
+        if in_flight > 0 {
+            self.resolving.fetch_sub(in_flight, Ordering::AcqRel);
+        }
+    }
+
+    /// Resolves an acquire whose causal frontier is complete, or parks it
+    /// under its first unmet threshold. Takes release and wait stripes
+    /// only, so it is safe both under a node stripe (own ingest) and off
+    /// every lock (popped entries, seal).
+    fn file_acquire(&self, p: PendingAcquire) {
+        loop {
+            let Some((u, k)) = first_unmet(&self.frontier, p.dst.thread, &p.clock) else {
+                self.resolve_acquire(&p, false);
+                return;
+            };
+            let mut ws = self.lock_wait(self.wait_stripe(u));
+            // Re-check under the stripe lock: the epoch publisher stores
+            // the frontier *before* taking this stripe to pop, so an entry
+            // parked while the requirement is provably unmet here is
+            // guaranteed to be seen by the pop that crosses it.
+            if self.frontier.epoch(u) >= k {
+                continue;
+            }
+            ws.acquires.park(u, k, p);
+            let now = self.parked_acquires.fetch_add(1, Ordering::AcqRel) + 1;
+            self.peak_parked_acquires.fetch_max(now, Ordering::AcqRel);
+            return;
+        }
+    }
+
+    /// Emits the synchronization edges of a frontier-complete acquire,
+    /// against (and into) the release stripe of its object.
+    fn resolve_acquire(&self, p: &PendingAcquire, at_seal: bool) {
+        let emitted = self.lock_release(self.release_stripe(p.object)).resolve(p);
+        let counter = if at_seal {
+            &self.sync_at_seal
+        } else {
+            &self.sync_at_ingest
+        };
+        counter.fetch_add(emitted, Ordering::AcqRel);
+    }
+
+    /// Parks `r` under its first unmet threshold, or hands it back
+    /// (`Some`) when the frontier completed while parking — the caller
+    /// then owns resolution.
+    fn try_park_reader(&self, r: PendingReader) -> Option<PendingReader> {
+        loop {
+            let Some((u, k)) = first_unmet(&self.frontier, r.dst.thread, &r.clock) else {
+                return Some(r);
+            };
+            let mut ws = self.lock_wait(self.wait_stripe(u));
+            if self.frontier.epoch(u) >= k {
+                continue;
+            }
+            ws.readers.park(u, k, r);
+            let now = self.parked_readers.fetch_add(1, Ordering::AcqRel) + 1;
+            self.peak_parked_readers.fetch_max(now, Ordering::AcqRel);
+            return None;
+        }
+    }
+
+    /// Files a popped (owned) reader: resolves it against the page stripes
+    /// when its frontier is complete, re-parks it otherwise. Runs with no
+    /// lock held.
+    fn file_reader_owned(&self, r: PendingReader) {
+        if let Some(r) = self.try_park_reader(r) {
             let mut edges = Vec::new();
             let emitted = self.resolve_reader_into(r.dst, &r.clock, &r.read_set, &mut edges);
             self.data_at_ingest.fetch_add(emitted, Ordering::AcqRel);
-            self.shards[self.shard_for(r.dst.thread)]
-                .lock()
-                .data_edges
-                .append(&mut edges);
+            if !edges.is_empty() {
+                self.lock_shard(self.shard_for(r.dst.thread))
+                    .data_edges
+                    .append(&mut edges);
+            }
         }
     }
 
@@ -807,7 +1199,7 @@ impl ShardedCpgBuilder {
         // pages out of page order cannot change the emitted edges).
         let mut per_writer_pages: BTreeMap<SubId, Vec<PageId>> = BTreeMap::new();
         for (index, pages) in self.group_by_stripe(read_set) {
-            let stripe = self.pages[index].lock();
+            let stripe = self.lock_page(index);
             for page in pages {
                 let Some(by_thread) = stripe.writers.get(&page) else {
                     continue;
@@ -840,6 +1232,75 @@ impl ShardedCpgBuilder {
         emitted
     }
 
+    /// The componentwise lower bound on every clock that can still query
+    /// the release / page-write indexes, or `None` when it cannot be
+    /// established this round.
+    ///
+    /// Three populations bound it:
+    /// * every active or announced thread's published clock — clocks only
+    ///   grow along a thread, and acquiring a synchronization object only
+    ///   *joins* (raises) them, so any future sub-computation of thread
+    ///   `v` dominates `v`'s published clock componentwise;
+    /// * every parked entry's clock, via its **nonzero** components only —
+    ///   a zero component can never select that thread's index entries;
+    /// * entries popped off a wait stripe whose edges have not landed are
+    ///   in no index and invisible to both scans, so a nonzero `resolving`
+    ///   refcount vetoes the round (the refcount rises inside the stripe
+    ///   lock, so a pop racing the scan is always caught by the re-check).
+    ///   Own-ingest resolutions need no refcount: a sub-computation's
+    ///   clock is published *before* it resolves anything, so the thread
+    ///   scan already covers it.
+    fn reference_floor(&self) -> Option<VectorClock> {
+        if self.resolving.load(Ordering::Acquire) > 0 {
+            return None;
+        }
+        let generation = self.pop_generation.load(Ordering::Acquire);
+        let mut floor = self.frontier.published_clock_floor()?;
+        for index in 0..self.waits.len() {
+            let ws = self.lock_wait(index);
+            ws.acquires.for_each(|p| floor.floor_nonzero(&p.clock));
+            ws.readers.for_each(|r| floor.floor_nonzero(&r.clock));
+        }
+        // A pop that started *and* completed during the sweep may have
+        // re-parked its entries into stripes already scanned; the
+        // generation comparison vetoes such rounds even though the
+        // refcount is back to zero.
+        if self.resolving.load(Ordering::Acquire) > 0
+            || self.pop_generation.load(Ordering::Acquire) != generation
+        {
+            return None;
+        }
+        Some(floor)
+    }
+
+    /// Prunes provably superseded entries of one index stripe (release or
+    /// page-write — both store per-`(key, thread)` α-ordered entry lists)
+    /// behind the reference floor, moving the dropped count from the live
+    /// counter to the GC'd counter. Called amortised (once per
+    /// [`Self::index_gc_interval`] appends per stripe) with the stripe
+    /// lock held.
+    fn gc_index_stripe<K, E>(
+        &self,
+        index: &mut HashMap<K, BTreeMap<ThreadId, Vec<E>>>,
+        alpha_of: impl Fn(&E) -> u64,
+        live: &AtomicU64,
+        gcd: &AtomicU64,
+    ) {
+        let Some(floor) = self.reference_floor() else {
+            return;
+        };
+        let mut dropped = 0u64;
+        for by_thread in index.values_mut() {
+            for (&u, entries) in by_thread.iter_mut() {
+                dropped += prune_index_list(entries, floor.get(u), &alpha_of) as u64;
+            }
+        }
+        if dropped > 0 {
+            live.fetch_sub(dropped, Ordering::AcqRel);
+            gcd.fetch_add(dropped, Ordering::AcqRel);
+        }
+    }
+
     /// Spills the consistent prefix of every thread stored in `shard`: each
     /// sub-computation whose causal frontier is fully delivered has had all
     /// of its sync and data edges emitted (the wait-index can never touch it
@@ -848,13 +1309,14 @@ impl ShardedCpgBuilder {
     ///
     /// Coverage of a sub's clock by the frontier is monotone along a
     /// thread's sequence (clocks only grow), so the spillable region is
-    /// always a prefix. A reader popped off the wait-index but not yet
-    /// appended by its owning producer may be spilled here before its edges
-    /// land; those edges simply stay in the live stripe and join the same
-    /// final graph at seal — nothing is emitted twice.
+    /// always a prefix, and the epoch reads are lock-free — a stale read
+    /// only keeps a sub resident one extra round. A reader popped off the
+    /// wait-index but not yet appended by its owning producer may be
+    /// spilled here before its edges land; those edges simply stay in the
+    /// live stripe and join the same final graph at seal — nothing is
+    /// emitted twice.
     fn spill_shard(&self, shard: &mut Shard) {
         let started = Instant::now();
-        let frontier = self.sync.lock().frontier.clone();
         let store = shard.spill.as_mut().expect("spill stage enabled");
         let bytes_before = store.bytes_written();
         let mut spilled = 0u64;
@@ -862,7 +1324,7 @@ impl ShardedCpgBuilder {
             let cut = seq
                 .live
                 .iter()
-                .position(|sub| first_unmet(&frontier, thread, &sub.clock).is_some())
+                .position(|sub| first_unmet(&self.frontier, thread, &sub.clock).is_some())
                 .unwrap_or(seq.live.len());
             for sub in seq.live.drain(..cut) {
                 store.append_node(&sub).expect("append spill node record");
@@ -910,7 +1372,7 @@ impl ShardedCpgBuilder {
         &self,
         f: impl FnOnce(&BTreeMap<ThreadId, &[SubComputation]>) -> R,
     ) -> R {
-        let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        let guards: Vec<_> = (0..self.shards.len()).map(|i| self.lock_shard(i)).collect();
         // Fault spilled prefixes into owned storage: one sequential segment
         // replay per shard (not a seek per node — the stripe locks are held
         // for the duration, so the fault path must scale with segment
@@ -960,11 +1422,14 @@ impl ShardedCpgBuilder {
     /// Finishes the graph: resolves whatever synchronization and
     /// data-dependence edges are still parked (nothing, on complete runs —
     /// the final ingest already resolved them), and moves every node into
-    /// the final [`Cpg`]. Parked readers are independent of each other, so
-    /// they are fanned out per owning shard across a scoped thread pool.
-    /// The builder is left completely empty — node store, indexes *and*
-    /// counters — ready for another run; the finished build's counters
-    /// remain available through [`last_sealed_stats`](Self::last_sealed_stats).
+    /// the final [`Cpg`] via one sorted bulk build (per-shard sequences are
+    /// already sorted runs, so the collect is near-linear and the per-sub
+    /// seal cost stays flat as runs grow). Parked readers are independent
+    /// of each other, so they are fanned out per owning shard across a
+    /// scoped thread pool. The builder is left completely empty — node
+    /// store, indexes, frontier *and* counters — ready for another run;
+    /// the finished build's counters remain available through
+    /// [`last_sealed_stats`](Self::last_sealed_stats).
     ///
     /// # Quiescence
     ///
@@ -984,17 +1449,20 @@ impl ShardedCpgBuilder {
             );
         }
 
-        // Deferred synchronization edges, then the parked readers (taken out
-        // so resolution can run without the sync stripe).
-        let pending_readers = {
-            let mut st = self.sync.lock();
-            let pending = st.parked_acquires.drain_all();
-            for p in &pending {
-                let emitted = st.resolve(p);
-                st.resolved_at_seal += emitted;
-            }
-            st.parked_readers.drain_all()
-        };
+        // Deferred synchronization edges, then the parked readers (drained
+        // out of every wait stripe so resolution can run lock-free).
+        let mut pending_acquires: Vec<PendingAcquire> = Vec::new();
+        let mut pending_readers: Vec<PendingReader> = Vec::new();
+        for index in 0..self.waits.len() {
+            let mut ws = self.lock_wait(index);
+            pending_acquires.extend(ws.acquires.drain_all());
+            pending_readers.extend(ws.readers.drain_all());
+        }
+        self.parked_acquires.store(0, Ordering::Release);
+        self.parked_readers.store(0, Ordering::Release);
+        for p in &pending_acquires {
+            self.resolve_acquire(p, true);
+        }
 
         // Parked readers are pairwise independent: fan them out per owning
         // shard across a scoped pool. On complete runs this is empty and the
@@ -1049,59 +1517,178 @@ impl ShardedCpgBuilder {
                 }
             }
         }
-
         self.data_at_seal
             .fetch_add(seal_data_emitted, Ordering::AcqRel);
 
-        let mut nodes: BTreeMap<SubId, SubComputation> = BTreeMap::new();
+        // Per-shard node runs, as *iterators*: a shard's live sequences
+        // iterate in (thread, α) order, so without spilling a run streams
+        // straight out of the drained map; a spill replay interleaves
+        // threads, so such shards fall back to one per-run adaptive sort
+        // over their (still mostly sorted) contents. The runs feed the
+        // k-way merge below without an intermediate per-run buffer.
+        let mut runs: Vec<NodeIter> = Vec::new();
+        let mut total_nodes = 0usize;
         let mut edges: Vec<DependenceEdge> = Vec::new();
-        for stripe in &self.shards {
-            let mut shard = stripe.lock();
+        for index in 0..self.shards.len() {
+            let mut shard = self.lock_shard(index);
             // Spilled prefixes first: the segments are concatenated back
             // into the final graph (one sequential replay per shard), then
             // deleted so the store is empty for the next build.
-            if let Some(store) = shard.spill.as_mut() {
-                let (spilled_nodes, mut spilled_edges) =
-                    store.drain_all().expect("replay spill segments");
-                for sub in spilled_nodes {
-                    nodes.insert(sub.id, sub);
+            let spilled_nodes = match shard.spill.as_mut() {
+                Some(store) => {
+                    let (nodes, mut spilled_edges) =
+                        store.drain_all().expect("replay spill segments");
+                    edges.append(&mut spilled_edges);
+                    nodes
                 }
-                edges.append(&mut spilled_edges);
-            }
-            for (_, seq) in std::mem::take(&mut shard.sequences) {
-                for sub in seq.live {
-                    nodes.insert(sub.id, sub);
-                }
-            }
+                None => Vec::new(),
+            };
+            let sequences = std::mem::take(&mut shard.sequences);
             shard.ingests_since_spill = 0;
             edges.append(&mut shard.control_edges);
             edges.append(&mut shard.data_edges);
+            drop(shard);
+
+            let live: usize = sequences.values().map(|seq| seq.live.len()).sum();
+            total_nodes += spilled_nodes.len() + live;
+            if spilled_nodes.is_empty() {
+                if live > 0 {
+                    runs.push(Box::new(sequences.into_values().flat_map(|seq| seq.live)));
+                }
+            } else {
+                let mut run: Vec<SubComputation> = Vec::with_capacity(spilled_nodes.len() + live);
+                run.extend(spilled_nodes);
+                for (_, seq) in sequences {
+                    run.extend(seq.live);
+                }
+                run.sort_by_key(|sub| sub.id);
+                runs.push(Box::new(run.into_iter()));
+            }
         }
-        for stripe in &self.pages {
-            stripe.lock().writers.clear();
+        // Index teardown: dropping the release / page-write entries (one
+        // heap clock each) is the one remaining event-proportional seal
+        // cost, so when the indexes are large — long runs where the GC
+        // could not prune (threads that never observed each other
+        // legitimately pin entries) — the drained maps are handed to a
+        // detached drop thread instead of being freed on the caller's
+        // critical path. Small indexes drop inline; a thread spawn would
+        // cost more than the frees.
+        let mut drained_pages = Vec::with_capacity(self.pages.len());
+        for index in 0..self.pages.len() {
+            let mut stripe = self.lock_page(index);
+            drained_pages.push(std::mem::take(&mut stripe.writers));
+            stripe.appended_since_gc = 0;
+        }
+        let mut drained_releases = Vec::with_capacity(self.releases.len());
+        for index in 0..self.releases.len() {
+            let mut stripe = self.lock_release(index);
+            drained_releases.push(std::mem::take(&mut stripe.releases));
+            stripe.appended_since_gc = 0;
+            edges.append(&mut stripe.edges);
+        }
+        let live_entries = self.release_entries.load(Ordering::Acquire)
+            + self.page_entries.load(Ordering::Acquire);
+        if live_entries >= 4096 {
+            std::thread::spawn(move || drop((drained_pages, drained_releases)));
+        } else {
+            drop((drained_pages, drained_releases));
         }
         edges.append(&mut seal_data_edges);
 
-        {
-            let mut st = self.sync.lock();
-            edges.append(&mut st.edges);
-            let snapshot = st.snapshot(
-                self.data_at_ingest.load(Ordering::Acquire),
-                self.data_at_seal.load(Ordering::Acquire),
-            );
-            *self.last_sealed.lock() = Some(self.fill_builder_counters(snapshot));
-            *st = SyncState::default();
-            self.data_at_ingest.store(0, Ordering::Release);
-            self.data_at_seal.store(0, Ordering::Release);
-            self.spilled_subs.store(0, Ordering::Release);
-            self.spill_bytes.store(0, Ordering::Release);
-            self.spill_time_nanos.store(0, Ordering::Release);
-            self.resident.store(0, Ordering::Release);
-            self.peak_resident.store(0, Ordering::Release);
+        *self.last_sealed.lock() = Some(self.counters_snapshot());
+        self.frontier.reset();
+        for counter in [
+            &self.ingested,
+            &self.sync_at_ingest,
+            &self.sync_at_seal,
+            &self.data_at_ingest,
+            &self.data_at_seal,
+            &self.parked_acquires,
+            &self.parked_readers,
+            &self.peak_parked_acquires,
+            &self.peak_parked_readers,
+            &self.resolving,
+            &self.release_entries,
+            &self.release_entries_gcd,
+            &self.page_entries,
+            &self.page_entries_gcd,
+            &self.spilled_subs,
+            &self.spill_bytes,
+            &self.spill_time_nanos,
+            &self.resident,
+            &self.peak_resident,
+        ] {
+            counter.store(0, Ordering::Release);
         }
 
-        Cpg::from_parts(nodes, edges)
+        // K-way merge of the sorted runs (k = live shard count), streamed
+        // straight into the graph's sorted node store: one buffering pass,
+        // no tree build, no sort — each node moves a constant number of
+        // times and the per-sub seal cost stays flat as runs grow.
+        let mut nodes: Vec<SubComputation> = Vec::with_capacity(total_nodes);
+        nodes.extend(MergeSortedRuns::new(runs));
+        debug_assert_eq!(nodes.len(), total_nodes, "merge must preserve every node");
+        Cpg::from_sorted_nodes(nodes, edges)
     }
+}
+
+/// One per-shard node source of the seal's k-way merge.
+type NodeIter = Box<dyn Iterator<Item = SubComputation>>;
+
+/// Streaming k-way merge of per-shard node runs, each sorted by [`SubId`].
+/// `k` is the shard count, so picking the minimum front is a constant-cost
+/// scan.
+struct MergeSortedRuns {
+    fronts: Vec<Option<SubComputation>>,
+    rests: Vec<NodeIter>,
+}
+
+impl MergeSortedRuns {
+    fn new(mut runs: Vec<NodeIter>) -> Self {
+        let fronts = runs.iter_mut().map(|run| run.next()).collect();
+        MergeSortedRuns {
+            fronts,
+            rests: runs,
+        }
+    }
+}
+
+impl Iterator for MergeSortedRuns {
+    type Item = SubComputation;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut min: Option<usize> = None;
+        for (i, front) in self.fronts.iter().enumerate() {
+            if let Some(sub) = front {
+                if min.is_none_or(|m| sub.id < self.fronts[m].as_ref().expect("front set").id) {
+                    min = Some(i);
+                }
+            }
+        }
+        let i = min?;
+        let out = self.fronts[i].take();
+        self.fronts[i] = self.rests[i].next();
+        out
+    }
+}
+
+/// Drops the provably dead prefix of one `(object|page, thread)` index
+/// list, given the reference floor's component for the writing thread.
+///
+/// An entry at α has own clock component `α + 1` (the recorder convention),
+/// and a destination clock selects entry `e` over its successor `e'` only
+/// while `dst.clock[u] ≤ α_{e'} + 1`; once every queryable clock sits
+/// strictly above that window, `e` is dead. The droppable region is a
+/// prefix because α grows along the list, and the *last* entry is never
+/// dropped (a future destination may still pin it). Returns the number of
+/// entries dropped.
+fn prune_index_list<T>(entries: &mut Vec<T>, floor_u: u64, alpha_of: impl Fn(&T) -> u64) -> usize {
+    let q = entries.partition_point(|e| alpha_of(e) + 1 < floor_u);
+    let dead = q.saturating_sub(1);
+    if dead > 0 {
+        entries.drain(..dead);
+    }
+    dead
 }
 
 #[cfg(test)]
@@ -1168,6 +1755,52 @@ mod tests {
         assert_eq!(sealed.node_count(), reference.node_count());
         assert_eq!(edge_set(&sealed), edge_set(&reference));
         assert!(sealed.validate().is_ok());
+    }
+
+    #[test]
+    fn batched_ingest_matches_per_sub_ingest() {
+        // Chunking each thread's sequence into arbitrary α-contiguous
+        // batches must produce the same graph as one sub per call.
+        let sequences = lock_heavy_sequences(4);
+        let mut batch = CpgBuilder::new();
+        for seq in &sequences {
+            batch.add_thread(seq.clone());
+        }
+        let reference = batch.build();
+
+        for chunk in [1usize, 3, 7, 64] {
+            let streaming = ShardedCpgBuilder::with_shards(3);
+            for seq in sequences.clone() {
+                let mut seq = seq.into_iter().peekable();
+                while seq.peek().is_some() {
+                    let batch: Vec<SubComputation> = seq.by_ref().take(chunk).collect();
+                    streaming.ingest_batch(batch);
+                }
+            }
+            let sealed = streaming.seal();
+            assert_eq!(edge_set(&sealed), edge_set(&reference), "chunk={chunk}");
+            let stats = streaming.last_sealed_stats().expect("sealed");
+            assert_eq!(stats.sync_resolved_at_seal, 0, "chunk={chunk}");
+            assert_eq!(stats.data_resolved_at_seal, 0, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "single thread")]
+    fn mixed_thread_batches_are_rejected() {
+        let sequences = lock_heavy_sequences(2);
+        let builder = ShardedCpgBuilder::new();
+        let mixed = vec![sequences[0][0].clone(), sequences[1][0].clone()];
+        builder.ingest_batch(mixed);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous in α")]
+    fn gapped_batches_are_rejected() {
+        let sequences = lock_heavy_sequences(1);
+        let builder = ShardedCpgBuilder::new();
+        let gapped = vec![sequences[0][0].clone(), sequences[0][2].clone()];
+        builder.ingest_batch(gapped);
     }
 
     #[test]
@@ -1283,6 +1916,168 @@ mod tests {
         let stats = streaming.last_sealed_stats().expect("sealed");
         assert_eq!(stats.sync_resolved_at_seal, 0);
         assert_eq!(stats.data_resolved_at_seal, 0);
+    }
+
+    #[test]
+    fn pooled_ingest_takes_only_stripe_local_locks() {
+        // The de-contention claim, asserted through the debug lock
+        // profile: a pooled run over threads that never synchronize and
+        // touch disjoint pages acquires node and page stripes only — no
+        // release stripe, no wait stripe, and (structurally) there is no
+        // global lock left to count.
+        use crate::event::AccessKind;
+        use crate::recorder::{SyncClockRegistry, ThreadRecorder};
+        let registry = SyncClockRegistry::shared();
+        let sequences: Vec<Vec<SubComputation>> = (0..4u32)
+            .map(|t| {
+                let mut rec = ThreadRecorder::new(ThreadId::new(t), Arc::clone(&registry));
+                for i in 0..10u64 {
+                    // Distinct per-thread object would count as a release;
+                    // use none: single open sub per thread with writes only.
+                    rec.on_memory_access(PageId::new(t as u64 * 64 + i), AccessKind::Write);
+                }
+                rec.finish()
+            })
+            .collect();
+        let subs: u64 = sequences.iter().map(|s| s.len() as u64).sum();
+
+        let streaming = ShardedCpgBuilder::with_shards(4);
+        std::thread::scope(|scope| {
+            for seq in sequences {
+                let streaming = &streaming;
+                scope.spawn(move || {
+                    for sub in seq {
+                        streaming.ingest(sub);
+                    }
+                });
+            }
+        });
+        let counts = streaming.lock_counts();
+        if cfg!(debug_assertions) {
+            assert_eq!(counts.node, subs, "one node-stripe lock per ingest");
+            assert!(counts.page > 0, "writes must hit the page stripes");
+            assert_eq!(counts.release, 0, "no sync ops → no release stripe");
+            // The pop probe takes the ingesting thread's *own* wait stripe
+            // once per batch (the mutex is the park/pop handoff, so it
+            // cannot be elided) — stripe-local, never a shared point.
+            assert_eq!(counts.wait, subs, "one own-stripe pop probe per batch");
+        } else {
+            assert_eq!(counts, LockCounts::default());
+        }
+        let sealed = streaming.seal();
+        assert_eq!(sealed.node_count() as u64, subs);
+    }
+
+    #[test]
+    fn release_index_gc_keeps_ping_pong_entries_bounded() {
+        // A long two-thread ping-pong on one lock: without GC the release
+        // index grows with the event count; with it, the live entries stay
+        // O(threads). The interleaved generator makes the threads observe
+        // each other (a sequentially recorded pair legitimately pins the
+        // unobserved thread's entries forever), and causal round-robin
+        // delivery keeps frontiers complete.
+        let iterations = 600u64;
+        let sequences = crate::testing::ping_pong_sequences(2, iterations);
+        let streaming = ShardedCpgBuilder::with_shards(2);
+        let mut cursors: Vec<std::vec::IntoIter<SubComputation>> =
+            sequences.into_iter().map(|s| s.into_iter()).collect();
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for cursor in &mut cursors {
+                if let Some(sub) = cursor.next() {
+                    streaming.ingest(sub);
+                    progressed = true;
+                }
+            }
+        }
+        let stats = streaming.stats();
+        assert!(
+            stats.release_entries_gcd > 0,
+            "GC must have dropped superseded releases: {stats:?}"
+        );
+        assert!(
+            stats.page_entries_gcd > 0,
+            "GC must have dropped superseded writers: {stats:?}"
+        );
+        // O(threads) with slack for the GC cadence (one pass per
+        // DEFAULT_INDEX_GC_INTERVAL appends), not O(events).
+        let bound = 2 * (2 * DEFAULT_INDEX_GC_INTERVAL as u64 + 8);
+        assert!(
+            stats.release_entries_live < bound,
+            "release index {} should stay below {} (events: {})",
+            stats.release_entries_live,
+            bound,
+            stats.ingested
+        );
+        assert!(
+            stats.page_entries_live < bound + 16,
+            "page index {} should stay bounded",
+            stats.page_entries_live
+        );
+        assert!(streaming.seal().validate().is_ok());
+    }
+
+    #[test]
+    fn gc_disabled_keeps_every_index_entry() {
+        let sequences = crate::testing::lock_heavy_sequences(2, 100, 4, 4);
+        let mut streaming = ShardedCpgBuilder::with_shards(2);
+        streaming.set_index_gc_interval(0);
+        for seq in sequences {
+            for sub in seq {
+                streaming.ingest(sub);
+            }
+        }
+        let stats = streaming.stats();
+        assert_eq!(stats.release_entries_gcd, 0);
+        assert_eq!(stats.page_entries_gcd, 0);
+        // Every release-terminated sub left an entry.
+        assert!(stats.release_entries_live as usize >= 100);
+    }
+
+    #[test]
+    fn aggressive_gc_preserves_batch_equivalence() {
+        // GC after every single append (interval 1), across adversarial
+        // delivery: the graph must still match the batch oracle exactly.
+        let sequences = lock_heavy_sequences(4);
+        let mut batch = CpgBuilder::new();
+        for seq in &sequences {
+            batch.add_thread(seq.clone());
+        }
+        let reference = batch.build();
+
+        for order in [false, true] {
+            let mut streaming = ShardedCpgBuilder::with_shards(3);
+            streaming.set_index_gc_interval(1);
+            let mut seqs = sequences.clone();
+            if order {
+                // Whole threads in reverse order: maximal parking.
+                seqs.reverse();
+                for seq in seqs {
+                    for sub in seq {
+                        streaming.ingest(sub);
+                    }
+                }
+            } else {
+                let mut cursors: Vec<std::vec::IntoIter<SubComputation>> =
+                    seqs.into_iter().map(|s| s.into_iter()).collect();
+                let mut progressed = true;
+                while progressed {
+                    progressed = false;
+                    for cursor in &mut cursors {
+                        if let Some(sub) = cursor.next() {
+                            streaming.ingest(sub);
+                            progressed = true;
+                        }
+                    }
+                }
+            }
+            let sealed = streaming.seal();
+            assert_eq!(edge_set(&sealed), edge_set(&reference), "order={order}");
+            let stats = streaming.last_sealed_stats().expect("sealed");
+            assert_eq!(stats.sync_resolved_at_seal, 0);
+            assert_eq!(stats.data_resolved_at_seal, 0);
+        }
     }
 
     #[test]

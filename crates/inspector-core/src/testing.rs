@@ -35,6 +35,53 @@ pub fn lock_heavy_sequences(
         .collect()
 }
 
+/// Records a genuinely *interleaved* ping-pong execution: the threads take
+/// turns acquiring one global lock in a global round-robin schedule, each
+/// reading the previous holder's page and writing its own, so every
+/// thread's vector clock continuously tracks every other thread's progress.
+///
+/// This is the adversarial shape for the release / page-write index GC:
+/// unlike [`lock_heavy_sequences`] (which records the threads one after
+/// another, so earlier threads never observe later ones and legitimately
+/// pin their index entries forever), mutual observation lets the reference
+/// floor advance and the live index entries stay O(threads) instead of
+/// O(events).
+pub fn ping_pong_sequences(threads: u32, rounds: u64) -> Vec<Vec<SubComputation>> {
+    let registry = SyncClockRegistry::shared();
+    let lock = SyncObjectId::new(1);
+    let mut recs: Vec<ThreadRecorder> = (0..threads)
+        .map(|t| ThreadRecorder::new(ThreadId::new(t), Arc::clone(&registry)))
+        .collect();
+    for _ in 0..rounds {
+        for (t, rec) in recs.iter_mut().enumerate() {
+            rec.on_synchronization(lock, SyncKind::Acquire);
+            let prev = (t + threads as usize - 1) % threads as usize;
+            rec.on_memory_access(PageId::new(prev as u64), AccessKind::Read);
+            rec.on_memory_access(PageId::new(t as u64), AccessKind::Write);
+            rec.on_synchronization(lock, SyncKind::Release);
+        }
+    }
+    recs.into_iter().map(|r| r.finish()).collect()
+}
+
+/// Announces every thread of `sequences` to `builder` (first-sub clocks)
+/// before delivery starts — the index-GC contract shared by every harness
+/// that drives the builder directly with skewed or pooled interleavings: a
+/// thread the builder has never heard of is invisible to the GC's
+/// reference floor, so entries its late-delivered sub-computations still
+/// reference could be dropped. The runtime announces every context at
+/// creation; direct drivers call this instead.
+pub fn announce_all(
+    builder: &crate::sharded::ShardedCpgBuilder,
+    sequences: &[Vec<SubComputation>],
+) {
+    for seq in sequences {
+        if let Some(first) = seq.first() {
+            builder.announce_thread(first.id.thread, &first.clock);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,5 +95,18 @@ mod tests {
         // Per thread: one prologue sub + 2 per iteration (acquire + release
         // boundaries), plus the trailing sub closed at thread exit.
         assert_eq!(a[0].len(), 1 + 2 * 5);
+    }
+
+    #[test]
+    fn ping_pong_threads_observe_each_other() {
+        let seqs = ping_pong_sequences(2, 3);
+        assert_eq!(seqs.len(), 2);
+        // The interleaving entangles the clocks in *both* directions —
+        // thread 0's later sub-computations have observed thread 1's
+        // earlier ones, unlike the sequentially recorded lock_heavy shape.
+        let late0 = seqs[0].last().unwrap();
+        assert!(late0.clock.get(crate::ids::ThreadId::new(1)) > 0);
+        let late1 = seqs[1].last().unwrap();
+        assert!(late1.clock.get(crate::ids::ThreadId::new(0)) > 0);
     }
 }

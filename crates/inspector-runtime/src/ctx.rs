@@ -120,6 +120,14 @@ impl ThreadCtx {
         };
         let mem = ThreadMemory::new(Arc::clone(&shared.image), tracking);
         let recorder = ThreadRecorder::new(thread, Arc::clone(&shared.registry));
+        if shared.config.mode == ExecutionMode::Inspector {
+            // Every context announces itself before it can emit provenance
+            // (spawned children are additionally announced by their parent
+            // with the inherited clock, *before* the spawn release): the
+            // builder's index GC must know about a thread before any of
+            // its sub-computations' clocks can reference index entries.
+            shared.builder.announce_thread(thread, &recorder.clock());
+        }
         let trace = match shared.config.mode {
             ExecutionMode::Inspector => Some(ThreadTrace::with_config(
                 0x40_0000 + thread.index() as u64 * 0x1000,
@@ -323,15 +331,36 @@ impl ThreadCtx {
     }
 
     /// Streams the sub-computations retired since the last flush into the
-    /// session's CPG pipeline, by value.
+    /// session's CPG pipeline, by value — as one `SubBatch` per boundary
+    /// (chunked at [`SessionConfig::ingest_batch`]), so channel
+    /// synchronization and the builder's stripe locking amortise across
+    /// the batch instead of being paid per sub-computation.
+    ///
+    /// A send can only fail after the session dropped the receiver (run
+    /// already over); provenance is then discarded, matching the old
+    /// post-run behaviour.
+    ///
+    /// [`SessionConfig::ingest_batch`]: crate::SessionConfig::ingest_batch
     fn flush_retired(&mut self) {
         if let Some(tx) = &self.ingest {
-            for sub in self.recorder.drain_retired() {
-                // A send can only fail after the session dropped the
-                // receiver (run already over); provenance is then discarded,
-                // matching the old post-run behaviour.
-                let _ = tx.send(IngestMsg::Sub(sub));
+            let mut retired = self.recorder.drain_retired();
+            if retired.is_empty() {
+                return;
             }
+            let cap = self.shared.config.ingest_batch.max(1);
+            if cap == 1 {
+                // Batching disabled: one message per sub-computation, the
+                // pre-batching transport.
+                for sub in retired {
+                    let _ = tx.send(IngestMsg::Sub(sub));
+                }
+                return;
+            }
+            while retired.len() > cap {
+                let rest = retired.split_off(cap);
+                let _ = tx.send(IngestMsg::SubBatch(std::mem::replace(&mut retired, rest)));
+            }
+            let _ = tx.send(IngestMsg::SubBatch(retired));
         }
     }
 
@@ -405,6 +434,15 @@ impl ThreadCtx {
         let exit_object = fresh_sync_id();
 
         if self.mode() == ExecutionMode::Inspector {
+            // Announce the child to the streaming builder *before* the
+            // spawn release: the child's post-acquire sub-computations
+            // inherit this thread's current clock components, and the
+            // announcement keeps the builder's index GC from dropping
+            // entries the child can still reference before it publishes a
+            // clock of its own.
+            self.shared
+                .builder
+                .announce_thread(child_thread, &self.recorder.clock());
             // The parent's updates so far happen-before everything the child
             // does: release the start object before forking.
             self.sync_boundary(start_object, SyncKind::Release);

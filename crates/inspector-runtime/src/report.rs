@@ -68,6 +68,15 @@ pub struct RunStats {
     /// what decode-while-running costs.
     #[serde(with = "duration_nanos")]
     pub decode_time: Duration,
+    /// Release- and page-write-index entries the streaming builder's
+    /// frontier GC dropped as provably superseded during the run. Nonzero
+    /// on any run with enough synchronization/write traffic to cross the
+    /// GC cadence; together with `index_entries_live` it shows the index
+    /// residency staying O(objects × threads) instead of O(events).
+    pub index_entries_gcd: u64,
+    /// Release- and page-write-index entries still live when the run
+    /// sealed.
+    pub index_entries_live: u64,
     /// Sub-computations the spill stage moved out of memory into on-disk
     /// segments during the run. Zero unless
     /// [`SessionConfig::spill_threshold`] is set.

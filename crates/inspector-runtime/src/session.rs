@@ -6,7 +6,10 @@
 //!
 //! Every [`ThreadCtx`] drains its recorder at each synchronization boundary
 //! and sends the retired sub-computations **by value** through a bounded
-//! channel lane. The channel is fanned out across an **ingest-thread pool**
+//! channel lane — as one `SubBatch` message per boundary (chunked at
+//! [`SessionConfig::ingest_batch`]), so channel synchronization and the
+//! builder's stripe locking amortise across whatever retired together.
+//! The channel is fanned out across an **ingest-thread pool**
 //! ([`SessionConfig::ingest_threads`] workers, spawned per
 //! [`InspectorSession::run`]): each worker owns one SPSC lane, and an
 //! application thread always sends on lane `ThreadId % pool`, so one
@@ -105,6 +108,11 @@ pub(crate) struct ThreadDone {
 pub(crate) enum IngestMsg {
     /// One retired sub-computation, handed off by value.
     Sub(SubComputation),
+    /// One thread's α-contiguous batch of retired sub-computations —
+    /// everything one synchronization boundary drained, chunked at
+    /// [`SessionConfig::ingest_batch`]. One channel rendezvous and one
+    /// stripe-lock round per batch instead of per sub-computation.
+    SubBatch(Vec<SubComputation>),
     /// One AUX chunk, routed through the lane when
     /// [`SessionConfig::decode_online`] is set: the worker pushes it
     /// through the producing thread's streaming decoder (the lane's FIFO
@@ -255,6 +263,11 @@ fn ingest_loop(rx: Receiver<IngestMsg>, shared: Arc<Shared>) -> WorkerOutcome {
             IngestMsg::Sub(sub) => {
                 let start = Instant::now();
                 shared.builder.ingest(sub);
+                busy += start.elapsed();
+            }
+            IngestMsg::SubBatch(batch) => {
+                let start = Instant::now();
+                shared.builder.ingest_batch(batch);
                 busy += start.elapsed();
             }
             IngestMsg::Aux { thread, pid, data } => {
@@ -597,6 +610,8 @@ impl InspectorSession {
             stats.spill_bytes = ingest.spill_bytes;
             stats.spill_time = ingest.spill_time;
             stats.peak_resident_subs = ingest.peak_resident_subs;
+            stats.index_entries_gcd = ingest.release_entries_gcd + ingest.page_entries_gcd;
+            stats.index_entries_live = ingest.release_entries_live + ingest.page_entries_live;
             cpg
         } else {
             Cpg::default()
@@ -1016,6 +1031,100 @@ mod tests {
         };
         assert_eq!(fingerprint(&spilled.cpg), fingerprint(&plain.cpg));
         assert!(spilled.cpg.validate().is_ok());
+    }
+
+    #[test]
+    fn batched_transport_matches_unbatched_transport() {
+        // The same workload under batch caps 1 (one message per sub), 2
+        // (chunking exercised) and the default. Workers are joined
+        // immediately after spawning so the lock-acquisition schedule —
+        // and therefore the happens-before order — is deterministic across
+        // runs; sync-object ids still differ per run, so the cross-run
+        // comparison is on id-independent aggregates, and each run is
+        // additionally checked against its own batch-oracle rebuild.
+        let run = |config: SessionConfig| {
+            let session = InspectorSession::new(config);
+            let region = session.map_region("counter", 8);
+            let base = region.base();
+            let lock = Arc::new(InspMutex::new());
+            let report = session.run(move |ctx| {
+                for _ in 0..3 {
+                    let lock = Arc::clone(&lock);
+                    let h = ctx.spawn(move |ctx| {
+                        for _ in 0..10u64 {
+                            lock.lock(ctx);
+                            let v = ctx.read_u64(base);
+                            ctx.write_u64(base, v + 1);
+                            lock.unlock(ctx);
+                        }
+                    });
+                    ctx.join(h);
+                }
+            });
+            assert!(report.cpg.validate().is_ok());
+            // Per-run oracle: the streamed graph equals the batch rebuild
+            // of its own recorded sequences — transport cannot have
+            // reordered, dropped or duplicated anything.
+            let mut oracle = inspector_core::graph::CpgBuilder::new();
+            for thread in report.cpg.threads() {
+                let seq: Vec<SubComputation> = report
+                    .cpg
+                    .thread_sequence(thread)
+                    .into_iter()
+                    .map(|id| report.cpg.node(id).expect("listed node").clone())
+                    .collect();
+                oracle.add_thread(seq);
+            }
+            let oracle = oracle.build();
+            let fingerprint = |cpg: &Cpg| -> std::collections::BTreeSet<String> {
+                cpg.edges().map(|e| format!("{e:?}")).collect()
+            };
+            assert_eq!(fingerprint(&report.cpg), fingerprint(&oracle));
+            report
+        };
+        let reference = run(SessionConfig::inspector().with_ingest_batch(1));
+        for cap in [2usize, 64] {
+            let batched = run(SessionConfig::inspector().with_ingest_batch(cap));
+            assert_eq!(
+                batched.cpg.node_count(),
+                reference.cpg.node_count(),
+                "cap={cap}"
+            );
+            assert_eq!(batched.cpg.stats(), reference.cpg.stats(), "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn index_gc_is_reported_for_contended_runs() {
+        // Enough same-lock traffic to cross the GC cadence: the run report
+        // must show entries dropped and a bounded live index.
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let region = session.map_region("cell", 8);
+        let base = region.base();
+        let lock = Arc::new(InspMutex::new());
+        let report = session.run(move |ctx| {
+            let lock2 = Arc::clone(&lock);
+            let worker = ctx.spawn(move |ctx| {
+                for i in 0..200u64 {
+                    lock2.lock(ctx);
+                    ctx.write_u64(base, i);
+                    lock2.unlock(ctx);
+                }
+            });
+            for _ in 0..200u64 {
+                lock.lock(ctx);
+                let _ = ctx.read_u64(base);
+                lock.unlock(ctx);
+            }
+            ctx.join(worker);
+        });
+        assert!(
+            report.stats.index_entries_gcd > 0,
+            "expected GC'd index entries, got {:?}",
+            report.stats
+        );
+        assert!(report.stats.index_entries_live > 0);
+        assert!(report.cpg.validate().is_ok());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use inspector::core::ids::{PageId, SyncObjectId, ThreadId};
 use inspector::core::recorder::{SyncClockRegistry, ThreadRecorder};
 use inspector::core::sharded::ShardedCpgBuilder;
 use inspector::core::subcomputation::SubComputation;
+use inspector::core::testing::announce_all;
 use proptest::prelude::*;
 
 /// splitmix64, so each proptest case expands one seed into a full random
@@ -74,6 +75,7 @@ fn stream_random_interleaving(
     sequences: Vec<Vec<SubComputation>>,
     seed: u64,
 ) {
+    announce_all(builder, &sequences);
     let mut rng = Rng(seed ^ 0xDEAD_BEEF);
     let mut cursors: Vec<std::vec::IntoIter<SubComputation>> =
         sequences.into_iter().map(|s| s.into_iter()).collect();
@@ -133,6 +135,7 @@ proptest! {
         let reference = batch_build(&sequences);
 
         let streaming = ShardedCpgBuilder::with_shards(4);
+        announce_all(&streaming, &sequences);
         for seq in sequences.into_iter().rev() {
             for sub in seq {
                 streaming.ingest(sub);

@@ -18,6 +18,7 @@ use inspector::core::recorder::{SyncClockRegistry, ThreadRecorder};
 use inspector::core::sharded::ShardedCpgBuilder;
 use inspector::core::spill::SpillSettings;
 use inspector::core::subcomputation::SubComputation;
+use inspector::core::testing::announce_all;
 use inspector::prelude::*;
 use proptest::prelude::*;
 
@@ -79,6 +80,7 @@ fn stream_random_interleaving(
     sequences: Vec<Vec<SubComputation>>,
     seed: u64,
 ) {
+    announce_all(builder, &sequences);
     let mut rng = Rng(seed ^ 0xDEAD_BEEF);
     let mut cursors: Vec<std::vec::IntoIter<SubComputation>> =
         sequences.into_iter().map(|s| s.into_iter()).collect();
@@ -171,6 +173,7 @@ proptest! {
         for pool in [1usize, 2, 4] {
             let streaming =
                 ShardedCpgBuilder::with_shards_and_spill(4, Some(spill_settings(1)));
+            announce_all(&streaming, &sequences);
             std::thread::scope(|scope| {
                 for worker in 0..pool {
                     let streaming = &streaming;

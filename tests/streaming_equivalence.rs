@@ -13,6 +13,7 @@ use inspector::core::ids::{PageId, SyncObjectId, ThreadId};
 use inspector::core::recorder::{SyncClockRegistry, ThreadRecorder};
 use inspector::core::sharded::ShardedCpgBuilder;
 use inspector::core::subcomputation::SubComputation;
+use inspector::core::testing::announce_all;
 use inspector::prelude::*;
 
 // ---------------------------------------------------------------------------
@@ -124,6 +125,7 @@ fn batch_build(sequences: &[Vec<SubComputation>]) -> Cpg {
 /// Streams the sequences round-robin across threads (FIFO per thread).
 fn stream_round_robin(sequences: Vec<Vec<SubComputation>>, shards: usize) -> Cpg {
     let builder = ShardedCpgBuilder::with_shards(shards);
+    announce_all(&builder, &sequences);
     let mut cursors: Vec<std::vec::IntoIter<SubComputation>> =
         sequences.into_iter().map(|s| s.into_iter()).collect();
     let mut progressed = true;
@@ -143,6 +145,7 @@ fn stream_round_robin(sequences: Vec<Vec<SubComputation>>, shards: usize) -> Cpg
 /// most adversarial delivery the per-thread FIFO contract allows.
 fn stream_thread_at_a_time_reversed(sequences: Vec<Vec<SubComputation>>, shards: usize) -> Cpg {
     let builder = ShardedCpgBuilder::with_shards(shards);
+    announce_all(&builder, &sequences);
     for seq in sequences.into_iter().rev() {
         for sub in seq {
             builder.ingest(sub);
@@ -307,6 +310,7 @@ fn concurrent_pool_ingestion_matches_batch() {
 
     for shards in [1usize, 4, 8] {
         let builder = ShardedCpgBuilder::with_shards(shards);
+        announce_all(&builder, &sequences);
         std::thread::scope(|scope| {
             for worker in 0..4usize {
                 let builder = &builder;
