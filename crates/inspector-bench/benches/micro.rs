@@ -21,7 +21,9 @@ use inspector_perf::compress::lz_compress;
 use inspector_pt::branch::BranchEvent;
 use inspector_pt::decode::PacketDecoder;
 use inspector_pt::encode::PacketEncoder;
+use inspector_pt::packet::{find_psb, find_psb_naive};
 use inspector_pt::stream::StreamingDecoder;
+use inspector_pt::window::decode_windowed_into;
 
 fn bench_vector_clocks(c: &mut Criterion) {
     let mut group = c.benchmark_group("vector_clock");
@@ -167,6 +169,48 @@ fn bench_pt_decode(c: &mut Criterion) {
                     events += 1;
                 }
                 events
+            });
+        });
+    }
+    // The parallel PSB-window path swept over its fan-out; `windows = 1`
+    // prices the scanner + resequencer machinery against `streaming` above.
+    for windows in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("windowed", windows),
+            &windows,
+            |b, &windows| {
+                b.iter(|| {
+                    let mut events = 0u64;
+                    let stats = decode_windowed_into(&bytes, windows, true, &mut |item| {
+                        item.unwrap();
+                        events += 1;
+                    });
+                    assert_eq!(stats.errors, 0);
+                    events
+                });
+            },
+        );
+    }
+    // The PSB-boundary scan the window scanner runs over every AUX chunk:
+    // the swar word-at-a-time scan against the byte-at-a-time reference.
+    // Same walk shape for both — restart one past each hit, like a decoder
+    // resynchronising repeatedly.
+    for (name, scan) in [
+        ("find_psb_swar", find_psb as fn(&[u8]) -> Option<usize>),
+        (
+            "find_psb_naive",
+            find_psb_naive as fn(&[u8]) -> Option<usize>,
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut pos = 0usize;
+                let mut found = 0u64;
+                while let Some(i) = scan(&bytes[pos..]) {
+                    found += 1;
+                    pos += i + 1;
+                }
+                found
             });
         });
     }

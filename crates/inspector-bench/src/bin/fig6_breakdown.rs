@@ -15,4 +15,15 @@ fn main() {
     eprintln!("running figure 6 (size={size:?}, threads={threads}, repeats={repeats}) ...");
     let rows = figure6(size, threads, repeats);
     print_figure6(&rows);
+    // The decode-online cross-check is the end-to-end correctness gate for
+    // the decode stage (serial or windowed): every workload's decoded
+    // branch count must equal the recorder's own count on lossless runs.
+    for r in &rows {
+        assert_eq!(r.decode_errors, 0, "decode errors in {}: {r:?}", r.name);
+        assert_eq!(
+            r.decode_mismatches, 0,
+            "decode cross-check mismatches in {}: {r:?}",
+            r.name
+        );
+    }
 }

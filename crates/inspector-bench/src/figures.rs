@@ -103,6 +103,11 @@ pub struct Fig6Row {
     pub decoded_branches: u64,
     /// Decode errors the streaming decoders reported (must be 0).
     pub decode_errors: u64,
+    /// Lossless runs where the decoded branch count disagreed with the
+    /// recorder's own count (must be 0 — the decode-online cross-check).
+    pub decode_mismatches: u64,
+    /// PSB windows the decode stage fanned out (0 = serial decode).
+    pub decode_windows: u64,
     /// Overlap factor of the ingest pool: summed per-worker ingest time
     /// over the busiest worker's time (`RunStats::ingest_overlap_factor`).
     /// 1.0 means one worker did all construction; higher means the pool
@@ -131,6 +136,8 @@ pub fn figure6(size: InputSize, threads: usize, repeats: usize) -> Vec<Fig6Row> 
                 spilled_subs: m.report.stats.spilled_subs,
                 decoded_branches: m.report.stats.decoded_branches,
                 decode_errors: m.report.stats.decode_errors,
+                decode_mismatches: m.report.stats.decode_mismatches,
+                decode_windows: m.report.stats.decode_windows,
                 graph_overlap: m.report.stats.ingest_overlap_factor(),
                 ingest_workers: m.report.stats.ingest_workers,
             }
@@ -169,7 +176,17 @@ pub fn print_figure6(rows: &[Fig6Row]) {
     if rows.iter().any(|r| r.decoded_branches > 0) {
         let decoded: u64 = rows.iter().map(|r| r.decoded_branches).sum();
         let errors: u64 = rows.iter().map(|r| r.decode_errors).sum();
-        println!("online decode: {decoded} branches recovered, {errors} decode errors");
+        let mismatches: u64 = rows.iter().map(|r| r.decode_mismatches).sum();
+        let windows: u64 = rows.iter().map(|r| r.decode_windows).sum();
+        println!(
+            "online decode: {decoded} branches recovered, {errors} decode errors, \
+             {mismatches} cross-check mismatches{}",
+            if windows > 0 {
+                format!(" ({windows} PSB windows fanned out)")
+            } else {
+                String::new()
+            }
+        );
     }
     if rows.iter().any(|r| r.spilled_subs > 0) {
         let spilled: u64 = rows.iter().map(|r| r.spilled_subs).sum();
@@ -387,8 +404,10 @@ mod tests {
             );
             assert!(r.graph_overlap >= 1.0, "{:?}", r);
             assert!(r.ingest_workers >= 1, "{:?}", r);
-            // Without INSPECTOR_DECODE_ONLINE the decode stage is inert.
+            // Without INSPECTOR_DECODE_ONLINE the decode stage is inert;
+            // with it (the CI knob matrix), the cross-check must hold.
             assert_eq!(r.decode_errors, 0, "{:?}", r);
+            assert_eq!(r.decode_mismatches, 0, "{:?}", r);
         }
     }
 
@@ -461,6 +480,8 @@ mod tests {
                 spilled_subs: 17,
                 decoded_branches: 1234,
                 decode_errors: 0,
+                decode_mismatches: 0,
+                decode_windows: 3,
                 graph_overlap: 2.5,
                 ingest_workers: 4,
             }],

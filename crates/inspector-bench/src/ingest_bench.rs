@@ -21,6 +21,7 @@ use inspector_pt::branch::BranchEvent;
 use inspector_pt::decode::PacketDecoder;
 use inspector_pt::encode::PacketEncoder;
 use inspector_pt::stream::StreamingDecoder;
+use inspector_pt::window::decode_windowed_into;
 
 /// Streams `sequences` into a fresh builder from a `pool`-wide producer
 /// pool and seals. `pool == 1` reproduces the single-ingest-thread
@@ -475,6 +476,130 @@ pub fn measure_decode_throughput(
     }
 }
 
+/// One PSB-scan measurement: the swar word-at-a-time scan against the
+/// byte-at-a-time reference over the same deterministic stream.
+#[derive(Debug, Clone)]
+pub struct PsbScanThroughput {
+    /// Stream length in bytes.
+    pub bytes: usize,
+    /// Best-of-N full-stream walk with the swar scan, nanoseconds.
+    pub swar_ns: f64,
+    /// Best-of-N full-stream walk with the naive scan, nanoseconds.
+    pub naive_ns: f64,
+}
+
+impl PsbScanThroughput {
+    /// Swar scan bandwidth in MiB/s.
+    pub fn swar_mib_per_sec(&self) -> f64 {
+        (self.bytes as f64 / (1024.0 * 1024.0)) / (self.swar_ns * 1e-9)
+    }
+
+    /// Naive scan bandwidth in MiB/s.
+    pub fn naive_mib_per_sec(&self) -> f64 {
+        (self.bytes as f64 / (1024.0 * 1024.0)) / (self.naive_ns * 1e-9)
+    }
+
+    /// Swar-over-naive scan speedup factor.
+    pub fn speedup(&self) -> f64 {
+        self.naive_ns / self.swar_ns.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Measures PSB-scan throughput over the deterministic stream, best of
+/// `repeats` per scan. Both scans make the identical walk — restart one
+/// past each hit, the way a decoder resynchronises repeatedly — and must
+/// count the same number of hits.
+pub fn measure_psb_scan_throughput(branches: u64, repeats: usize) -> PsbScanThroughput {
+    use inspector_pt::packet::{find_psb, find_psb_naive};
+    let (bytes, _) = encoded_branch_stream(branches);
+    let walk = |scan: fn(&[u8]) -> Option<usize>| {
+        let mut best = Duration::MAX;
+        let mut hits = 0u64;
+        for _ in 0..repeats.max(1) {
+            let start = Instant::now();
+            let mut pos = 0usize;
+            hits = 0;
+            while let Some(i) = scan(&bytes[pos..]) {
+                hits += 1;
+                pos += i + 1;
+            }
+            best = best.min(start.elapsed());
+            std::hint::black_box(pos);
+        }
+        (best.as_nanos() as f64, hits)
+    };
+    let (swar_ns, swar_hits) = walk(find_psb);
+    let (naive_ns, naive_hits) = walk(find_psb_naive);
+    assert_eq!(swar_hits, naive_hits, "the scans must agree byte-for-byte");
+    PsbScanThroughput {
+        bytes: bytes.len(),
+        swar_ns,
+        naive_ns,
+    }
+}
+
+/// One windowed-decode measurement: the same deterministic stream as
+/// [`measure_decode_throughput`], decoded through the parallel PSB-window
+/// path with a given worker/window fan-out.
+#[derive(Debug, Clone)]
+pub struct WindowedThroughput {
+    /// Stream length in bytes.
+    pub bytes: usize,
+    /// Branch events the stream encodes.
+    pub branches: u64,
+    /// Worker/window fan-out the decode ran with.
+    pub windows: usize,
+    /// Best-of-N windowed decode time for the whole stream, nanoseconds.
+    pub windowed_ns: f64,
+}
+
+impl WindowedThroughput {
+    /// Windowed decode bandwidth in MiB/s.
+    pub fn windowed_mib_per_sec(&self) -> f64 {
+        (self.bytes as f64 / (1024.0 * 1024.0)) / (self.windowed_ns * 1e-9)
+    }
+
+    /// Windowed decode rate in branch events per second.
+    pub fn windowed_branches_per_sec(&self) -> f64 {
+        self.branches as f64 / (self.windowed_ns * 1e-9)
+    }
+}
+
+/// Measures windowed (parallel PSB-window) decode throughput over the same
+/// deterministic stream the serial `pt_decode` rows use, best of `repeats`.
+/// Events are drained through a discarding sink — the shape the runtime's
+/// counting cross-check produces — and every repeat asserts the merged
+/// counters recovered every encoded branch with no errors.
+pub fn measure_windowed_throughput(
+    branches: u64,
+    windows: usize,
+    repeats: usize,
+) -> WindowedThroughput {
+    let (bytes, branches) = encoded_branch_stream(branches);
+    let mut best = Duration::MAX;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let mut drained = 0u64;
+        let stats = decode_windowed_into(&bytes, windows.max(1), true, &mut |item| {
+            item.expect("clean stream");
+            drained += 1;
+        });
+        best = best.min(start.elapsed());
+        assert_eq!(stats.errors, 0);
+        assert_eq!(
+            stats.branches, branches,
+            "windowed decode must recover every encoded branch"
+        );
+        std::hint::black_box(drained);
+    }
+    WindowedThroughput {
+        bytes: bytes.len(),
+        branches,
+        windows: windows.max(1),
+        windowed_ns: best.as_nanos() as f64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,6 +667,27 @@ mod tests {
         assert!(t.batch_mib_per_sec() > 0.0);
         assert!(t.streaming_mib_per_sec() > 0.0);
         assert!(t.streaming_branches_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn psb_scan_measures_both_scans() {
+        let t = measure_psb_scan_throughput(5_000, 1);
+        assert!(t.bytes > 0);
+        assert!(t.swar_mib_per_sec() > 0.0);
+        assert!(t.naive_mib_per_sec() > 0.0);
+        assert!(t.speedup() > 0.0);
+    }
+
+    #[test]
+    fn windowed_throughput_recovers_every_branch() {
+        for windows in [1usize, 4] {
+            let t = measure_windowed_throughput(5_000, windows, 1);
+            assert!(t.bytes > 0);
+            assert_eq!(t.branches, 5_000);
+            assert_eq!(t.windows, windows);
+            assert!(t.windowed_mib_per_sec() > 0.0);
+            assert!(t.windowed_branches_per_sec() > 0.0);
+        }
     }
 
     #[test]

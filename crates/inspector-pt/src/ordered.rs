@@ -1,0 +1,221 @@
+//! A sequence-numbered reassembly queue — the ordered-queue shape used by
+//! parallel PT parsers: producers complete PSB windows **out of order**, the
+//! consumer pops them **strictly in sequence**, and a bounded depth applies
+//! backpressure so an unlucky slow window cannot let completed successors
+//! pile up without limit.
+//!
+//! The queue is deliberately tiny and self-contained (std mutex + condvars,
+//! no lock-free cleverness): windows are thousands of bytes each, so the
+//! per-window synchronisation cost is noise next to the decode itself.
+
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex};
+
+/// Bounded reorder buffer keyed by sequence number.
+///
+/// * [`push`](Self::push) inserts a completed item under its sequence
+///   number, blocking while the item is more than `capacity` positions
+///   ahead of the consumer (backpressure);
+/// * [`pop`](Self::pop) blocks until the *next* sequence number is present
+///   and returns items in exactly `0, 1, 2, …` order;
+/// * [`close`](Self::close) wakes everyone: blocked pushes give up (their
+///   item is returned back to the caller), pops drain what is already
+///   contiguous and then return `None`.
+#[derive(Debug)]
+pub struct OrderedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when the next-in-sequence slot may have been filled.
+    ready: Condvar,
+    /// Signalled when the consumer advanced and made room.
+    space: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    /// Completed items awaiting their turn, keyed by sequence number.
+    slots: BTreeMap<u64, T>,
+    /// The sequence number the consumer pops next.
+    next: u64,
+    closed: bool,
+    /// High-water mark of out-of-order items held at once.
+    max_depth: usize,
+}
+
+impl<T> OrderedQueue<T> {
+    /// Creates a queue admitting at most `capacity` in-flight sequence
+    /// numbers ahead of the consumer (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        OrderedQueue {
+            inner: Mutex::new(Inner {
+                slots: BTreeMap::new(),
+                next: 0,
+                closed: false,
+                max_depth: 0,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Inserts the completed item for `seq`, blocking while `seq` is at
+    /// least `capacity` positions ahead of the next pop. Returns
+    /// `Err(item)` if the queue was closed before room appeared.
+    pub fn push(&self, seq: u64, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap();
+        while !inner.closed && seq >= inner.next + self.capacity as u64 {
+            inner = self.space.wait(inner).unwrap();
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.slots.insert(seq, item);
+        inner.max_depth = inner.max_depth.max(inner.slots.len());
+        if seq == inner.next {
+            self.ready.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Removes and returns the next item in sequence, blocking until it is
+    /// produced. Returns `None` once the queue is closed and the next item
+    /// in sequence is not (and therefore never will be) present.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            let next = inner.next;
+            if let Some(item) = inner.slots.remove(&next) {
+                inner.next += 1;
+                self.space.notify_all();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Non-blocking [`pop`](Self::pop): `None` when the next item in
+    /// sequence has not been produced yet.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        let next = inner.next;
+        let item = inner.slots.remove(&next)?;
+        inner.next += 1;
+        self.space.notify_all();
+        Some(item)
+    }
+
+    /// Marks the queue closed and wakes all waiters.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// The sequence number the consumer will pop next.
+    pub fn next_seq(&self) -> u64 {
+        self.inner.lock().unwrap().next
+    }
+
+    /// High-water mark of out-of-order items held at once (the
+    /// `resequencer_max_depth` statistic).
+    pub fn max_depth(&self) -> usize {
+        self.inner.lock().unwrap().max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pops_in_sequence_regardless_of_push_order() {
+        let q = OrderedQueue::new(8);
+        for seq in [3u64, 0, 2, 1] {
+            q.push(seq, seq * 10).unwrap();
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.try_pop()).collect();
+        assert_eq!(popped, vec![0, 10, 20, 30]);
+        assert!(q.max_depth() >= 2, "out-of-order items were held");
+    }
+
+    #[test]
+    fn try_pop_waits_for_the_gap_to_fill() {
+        let q = OrderedQueue::new(4);
+        q.push(1, "b").unwrap();
+        assert_eq!(q.try_pop(), None, "seq 0 still missing");
+        q.push(0, "a").unwrap();
+        assert_eq!(q.try_pop(), Some("a"));
+        assert_eq!(q.try_pop(), Some("b"));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn bounded_depth_applies_backpressure() {
+        let q = Arc::new(OrderedQueue::new(2));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for seq in 0..8u64 {
+                    q.push(seq, seq).unwrap();
+                }
+            })
+        };
+        let mut popped = Vec::new();
+        while popped.len() < 8 {
+            if let Some(v) = q.pop() {
+                popped.push(v);
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(popped, (0..8).collect::<Vec<_>>());
+        assert!(
+            q.max_depth() <= 2,
+            "depth bound violated: {}",
+            q.max_depth()
+        );
+    }
+
+    #[test]
+    fn close_drains_contiguous_prefix_then_ends() {
+        let q = OrderedQueue::new(8);
+        q.push(0, 0).unwrap();
+        q.push(1, 1).unwrap();
+        q.push(3, 3).unwrap(); // 2 never arrives
+        q.close();
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None, "gap at 2 ends the stream");
+        assert!(q.push(9, 9).is_err(), "push after close is refused");
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = Arc::new(OrderedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.push(0, 77).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(77));
+    }
+
+    #[test]
+    fn close_unblocks_a_full_producer() {
+        let q = Arc::new(OrderedQueue::new(1));
+        q.push(0, 0).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1, 1))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert!(producer.join().unwrap().is_err(), "closed while blocked");
+    }
+}

@@ -203,12 +203,111 @@ pub fn complete_frame_prefix(bytes: &[u8]) -> usize {
     pos
 }
 
+/// The 4-byte prefix of a PSB run a decoder scans for when resynchronising.
+pub const PSB_PATTERN: [u8; 4] = [OPC_ESCAPE, OPC_PSB, OPC_ESCAPE, OPC_PSB];
+
+/// Broadcasts a byte into every lane of a `u64` word.
+const fn broadcast(byte: u8) -> u64 {
+    0x0101_0101_0101_0101u64.wrapping_mul(byte as u64)
+}
+
 /// Offset of the first PSB pattern (`0x02 0x82 0x02 0x82`) in `bytes`, the
 /// point a decoder can (re-)synchronise at.
+///
+/// Word-at-a-time scan: each 8-byte word is tested for a `0x82` byte with
+/// the swar zero-byte trick, so garbage between corruption and the next
+/// PSB is skipped eight bytes per iteration instead of one. Keying the
+/// filter on `0x82` rather than the `0x02` escape matters on real branch
+/// streams: `0x02` is also a valid short-TNT byte (≈12% of stream bytes on
+/// the bench workload) while `0x82` essentially only occurs inside PSB
+/// runs (≈0.2%), so one marker trick per word is both necessary and
+/// sufficient. A flagged byte is the pattern's offset-1 (or offset-3)
+/// lane, so the candidate start is one before it; candidates are verified
+/// against the full 4-byte pattern (the marker can flag false candidates;
+/// it never misses one), so the result is byte-for-byte what the naive
+/// scan returns.
 pub fn find_psb(bytes: &[u8]) -> Option<usize> {
-    bytes
-        .windows(4)
-        .position(|w| w == [OPC_ESCAPE, OPC_PSB, OPC_ESCAPE, OPC_PSB])
+    find_psb_from(bytes, 0)
+}
+
+/// [`find_psb`] restricted to offsets `>= start` (still indexing into the
+/// full slice) — the incremental window scanner re-scans only the unseen
+/// suffix plus a 3-byte overlap.
+pub fn find_psb_from(bytes: &[u8], start: usize) -> Option<usize> {
+    let n = bytes.len();
+    if n < 4 || start + 4 > n {
+        return None;
+    }
+    // Zero-byte trick: one 0x80 marker bit per lane of `word` that equals
+    // `0x82`.
+    #[inline(always)]
+    fn psb_markers(word: u64) -> u64 {
+        let xored = word ^ broadcast(OPC_PSB);
+        xored.wrapping_sub(broadcast(0x01)) & !xored & broadcast(0x80)
+    }
+    // Verifies every flagged lane of `markers` (bit 7 of lane k set ⇒ byte
+    // `base + k` is 0x82, i.e. a pattern's offset-1 or offset-3 lane)
+    // against the full pattern one byte earlier. Ascending marker order
+    // keeps the first match first: a pattern at `s` always flags `s + 1`.
+    #[cold]
+    fn confirm(bytes: &[u8], start: usize, base: usize, mut markers: u64) -> Option<usize> {
+        while markers != 0 {
+            let flagged = base + (markers.trailing_zeros() / 8) as usize;
+            if let Some(candidate) = flagged.checked_sub(1) {
+                if candidate >= start
+                    && candidate + 4 <= bytes.len()
+                    && bytes[candidate..candidate + 4] == PSB_PATTERN
+                {
+                    return Some(candidate);
+                }
+            }
+            markers &= markers - 1;
+        }
+        None
+    }
+    let mut i = start;
+    // Two words per iteration: candidate-free spans (the common case)
+    // burn one branch per 16 bytes.
+    while i + 16 <= n {
+        let w0 = u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+        let w1 = u64::from_le_bytes(bytes[i + 8..i + 16].try_into().unwrap());
+        let m0 = psb_markers(w0);
+        let m1 = psb_markers(w1);
+        if m0 | m1 != 0 {
+            if let Some(found) = confirm(bytes, start, i, m0) {
+                return Some(found);
+            }
+            if let Some(found) = confirm(bytes, start, i + 8, m1) {
+                return Some(found);
+            }
+        }
+        i += 16;
+    }
+    if i + 8 <= n {
+        let w = u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+        if let Some(found) = confirm(bytes, start, i, psb_markers(w)) {
+            return Some(found);
+        }
+        i += 8;
+    }
+    // The word loop proves patterns starting before `i - 1` absent (their
+    // offset-1 lane was a scanned marker position); a pattern starting at
+    // `i - 1` flags only at `i`, which no word covered, so the tail
+    // re-checks from one byte back.
+    let mut i = i.saturating_sub(1).max(start);
+    while i + 4 <= n {
+        if bytes[i..i + 4] == PSB_PATTERN {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The byte-at-a-time reference scan [`find_psb`] replaced — kept for the
+/// scan micro-bench and the differential tests.
+pub fn find_psb_naive(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == PSB_PATTERN)
 }
 
 #[cfg(test)]
@@ -280,6 +379,69 @@ mod tests {
         assert_eq!(find_psb(&bytes), Some(3));
         assert_eq!(find_psb(&bytes[..4]), None);
         assert_eq!(find_psb(&[]), None);
+    }
+
+    #[test]
+    fn swar_scan_matches_naive_scan_at_every_alignment() {
+        // The pattern placed at every offset of a buffer long enough to
+        // exercise the word loop, the tail loop and the boundary between
+        // them — swar and naive must agree exactly.
+        for fill in [0x00u8, 0x02, 0x82, 0xAB] {
+            for offset in 0..40 {
+                let mut bytes = vec![fill; 48];
+                bytes[offset..offset + 4].copy_from_slice(&PSB_PATTERN);
+                assert_eq!(
+                    find_psb(&bytes),
+                    find_psb_naive(&bytes),
+                    "fill {fill:#x} offset {offset}"
+                );
+                for cut in [offset + 1, offset + 3, bytes.len() - 1] {
+                    assert_eq!(
+                        find_psb(&bytes[..cut]),
+                        find_psb_naive(&bytes[..cut]),
+                        "fill {fill:#x} offset {offset} cut {cut}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swar_scan_matches_naive_scan_on_escape_dense_noise() {
+        // A deterministic pseudo-random byte soup biased toward 0x02/0x82 so
+        // the candidate-verification path (false markers, partial pairs) is
+        // hit constantly.
+        let mut state = 0x9E37_79B9u32;
+        let mut bytes = Vec::with_capacity(4096);
+        for _ in 0..4096 {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            bytes.push(match state >> 29 {
+                0 | 1 => OPC_ESCAPE,
+                2 | 3 => OPC_PSB,
+                _ => (state >> 13) as u8,
+            });
+        }
+        for start in 0..64 {
+            assert_eq!(
+                find_psb(&bytes[start..]),
+                find_psb_naive(&bytes[start..]),
+                "start {start}"
+            );
+        }
+        assert_eq!(
+            find_psb_from(&bytes, 9),
+            find_psb_naive(&bytes[9..]).map(|i| i + 9)
+        );
+    }
+
+    #[test]
+    fn find_psb_from_skips_earlier_matches() {
+        let mut bytes = vec![0u8; 64];
+        bytes[8..12].copy_from_slice(&PSB_PATTERN);
+        bytes[40..44].copy_from_slice(&PSB_PATTERN);
+        assert_eq!(find_psb_from(&bytes, 0), Some(8));
+        assert_eq!(find_psb_from(&bytes, 9), Some(40));
+        assert_eq!(find_psb_from(&bytes, 41), None);
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! * [`push`](StreamingDecoder::push) accepts chunks incrementally; a
 //!   packet cut by a chunk boundary is **deferred**, not an error — its
 //!   prefix is carried until the missing bytes arrive;
+//! * decoding is **demand-paced** in recording mode: a push decodes one
+//!   bounded quantum eagerly and [`next_event`](StreamingDecoder::next_event)
+//!   pulls further quanta as the consumer drains, so the pending-event
+//!   queue stays cache-resident no matter how large the pushed chunks are
+//!   (counting mode decodes everything at push — it queues nothing);
 //! * corruption surfaces as a single in-band
 //!   [`DecodeError::UnknownPacket`], after which the decoder discards
 //!   garbage up to the next PSB and resumes (at most one PSB window of
@@ -61,7 +66,24 @@ enum Stop {
     Truncated,
     /// An undecodable header with the offending byte.
     Unknown(u8),
+    /// The per-pass byte quantum was reached; more complete packets remain
+    /// buffered and the next pump continues where this one stopped.
+    Quota,
 }
+
+/// Bytes decoded per pump pass in event-recording mode. Bounding the pass
+/// keeps the pending-event queue cache-resident no matter how large a chunk
+/// is pushed: a 64 KiB push used to queue the chunk's entire event stream
+/// (megabytes) before the consumer could drain any of it, which made big
+/// chunks *slower* than small ones. Consumers draining via
+/// [`StreamingDecoder::next_event`] / [`StreamingDecoder::events`] pull the
+/// remaining quanta on demand.
+const PUMP_QUANTUM: usize = 4096;
+
+/// Compact the carry buffer only once at least this many consumed bytes
+/// would be reclaimed (and the consumed prefix dominates the remainder), so
+/// compaction cost stays amortised O(1) per byte.
+const COMPACT_AT: usize = 4096;
 
 /// An incremental PT packet decoder fed by AUX chunks.
 ///
@@ -71,8 +93,12 @@ enum Stop {
 /// producer is done — only then is a trailing partial packet an error.
 #[derive(Debug)]
 pub struct StreamingDecoder {
-    /// Carry buffer: the not-yet-consumed suffix of the stream.
+    /// Carry buffer: the not-yet-consumed suffix of the stream lives at
+    /// `buf[head..]`. Consuming advances the cursor instead of memmoving the
+    /// tail; the prefix is reclaimed lazily (amortised O(1) per byte).
     buf: Vec<u8>,
+    /// Start of the live region within `buf`.
+    head: usize,
     /// Last-IP decompression context carried across chunk boundaries.
     last_ip: u64,
     /// Decoded events and in-band errors awaiting consumption.
@@ -92,6 +118,7 @@ impl Default for StreamingDecoder {
     fn default() -> Self {
         StreamingDecoder {
             buf: Vec::new(),
+            head: 0,
             last_ip: 0,
             pending: VecDeque::new(),
             resyncing: false,
@@ -119,7 +146,49 @@ impl StreamingDecoder {
         }
     }
 
-    /// Appends one AUX chunk and decodes everything now decodable.
+    /// Resumes a decoder mid-stream from an explicit carry state: `carry`
+    /// becomes the undecoded buffer, `last_ip`/`resyncing` the inherited
+    /// context. Statistics start at zero — the caller owns the merge into
+    /// whatever stream-order totals it keeps (the windowed reassembler's
+    /// serial-replay and finalisation path).
+    pub(crate) fn resume(
+        carry: Vec<u8>,
+        last_ip: u64,
+        resyncing: bool,
+        record_events: bool,
+    ) -> Self {
+        StreamingDecoder {
+            buf: carry,
+            last_ip,
+            resyncing,
+            record_events,
+            ..Self::default()
+        }
+    }
+
+    /// Rewinds the decoder to its start-of-stream state while keeping the
+    /// carry-buffer and pending-queue allocations. The windowed decode path
+    /// reuses one decoder per worker across PSB windows this way: on
+    /// TNT-dense streams the pending queue grows to a full pump quantum of
+    /// events, and reallocating it for every window dominated the
+    /// per-window decode profile.
+    pub(crate) fn reset(&mut self, record_events: bool) {
+        self.buf.clear();
+        self.head = 0;
+        self.last_ip = 0;
+        self.pending.clear();
+        self.resyncing = false;
+        self.finished = false;
+        self.record_events = record_events;
+        self.stats = StreamStats::default();
+    }
+
+    /// Appends one AUX chunk and decodes. In counting mode everything
+    /// decodable is consumed before returning; in recording mode one
+    /// [`PUMP_QUANTUM`] is decoded eagerly and the rest is pulled on demand
+    /// as [`next_event`](Self::next_event) / [`events`](Self::events) drain
+    /// the queue, so the pending-event queue stays small and cache-resident
+    /// regardless of chunk size.
     ///
     /// # Panics
     ///
@@ -127,8 +196,15 @@ impl StreamingDecoder {
     pub fn push(&mut self, chunk: &[u8]) {
         assert!(!self.finished, "push after finish");
         self.stats.bytes_pushed += chunk.len() as u64;
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head >= COMPACT_AT && self.head >= self.buf.len() - self.head {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
         self.buf.extend_from_slice(chunk);
-        self.pump();
+        self.pump(self.quantum());
     }
 
     /// Marks the end of the stream and flushes: remaining complete packets
@@ -140,24 +216,80 @@ impl StreamingDecoder {
             return;
         }
         self.finished = true;
-        self.pump();
-        debug_assert!(self.buf.is_empty(), "finish must drain the carry buffer");
+        self.pump(usize::MAX);
+        debug_assert_eq!(
+            self.head,
+            self.buf.len(),
+            "finish must drain the carry buffer"
+        );
     }
 
     /// Removes and returns the next decoded event or in-band error, or
-    /// `None` when everything currently decodable has been consumed.
+    /// `None` when everything currently decodable has been consumed. Pulls
+    /// further decode quanta from the carry buffer on demand.
+    #[inline]
     pub fn next_event(&mut self) -> Option<Result<BranchEvent, DecodeError>> {
-        self.pending.pop_front()
+        if let Some(item) = self.pending.pop_front() {
+            return Some(item);
+        }
+        self.refill()
+    }
+
+    /// Cold path of [`next_event`](Self::next_event): the queue ran dry, so
+    /// pull further decode quanta until an event appears or the buffered
+    /// bytes are exhausted/awaiting more input.
+    #[cold]
+    fn refill(&mut self) -> Option<Result<BranchEvent, DecodeError>> {
+        loop {
+            if !self.record_events || self.buffered() == 0 {
+                return None;
+            }
+            let before = (self.stats.bytes_consumed, self.resyncing);
+            self.pump(self.quantum());
+            if let Some(item) = self.pending.pop_front() {
+                return Some(item);
+            }
+            if (self.stats.bytes_consumed, self.resyncing) == before {
+                // No progress: a partial packet (or resync tail) is waiting
+                // for more bytes.
+                return None;
+            }
+        }
     }
 
     /// Iterator draining the currently decodable events (hwtracer-style).
     pub fn events(&mut self) -> impl Iterator<Item = Result<BranchEvent, DecodeError>> + '_ {
-        std::iter::from_fn(move || self.pending.pop_front())
+        std::iter::from_fn(move || self.next_event())
     }
 
-    /// Bytes buffered as a partial packet (or pending resync tail).
+    /// Bytes buffered: a partial packet or resync tail, plus — in recording
+    /// mode — complete packets not yet pulled by the demand-driven pump.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.head
+    }
+
+    /// The undecoded carry bytes (exact suffix of the pushed stream).
+    pub(crate) fn carry(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+
+    /// The last-IP decompression context.
+    pub(crate) fn context_ip(&self) -> u64 {
+        self.last_ip
+    }
+
+    /// Whether the decoder is discarding garbage awaiting a PSB.
+    pub(crate) fn is_resyncing(&self) -> bool {
+        self.resyncing
+    }
+
+    /// The per-pass pump bound for this decoder's mode.
+    fn quantum(&self) -> usize {
+        if self.record_events {
+            PUMP_QUANTUM
+        } else {
+            usize::MAX
+        }
     }
 
     /// `true` once [`finish`](Self::finish) has been called.
@@ -170,8 +302,12 @@ impl StreamingDecoder {
         self.stats
     }
 
-    /// Decodes as much of the carry buffer as possible.
-    fn pump(&mut self) {
+    /// Decodes the carry buffer, committing at most `limit` bytes of
+    /// complete packets before returning with more work pending
+    /// ([`Stop::Quota`]); resync discarding does not count toward the
+    /// quota.
+    fn pump(&mut self, limit: usize) {
+        let mut decoded = 0usize;
         loop {
             if self.resyncing && !self.resync() {
                 return;
@@ -183,14 +319,18 @@ impl StreamingDecoder {
                 // buffer on the per-event hot path.
                 let StreamingDecoder {
                     buf,
+                    head,
                     pending,
                     stats,
                     last_ip,
                     record_events,
                     ..
                 } = &mut *self;
-                let mut dec = PacketDecoder::with_context(buf.as_slice(), *last_ip);
+                let mut dec = PacketDecoder::with_context(&buf[*head..], *last_ip);
                 let stop = loop {
+                    if decoded + committed >= limit {
+                        break Stop::Quota;
+                    }
                     match dec.next_packet() {
                         Ok(Some(packet)) => {
                             committed = dec.position();
@@ -219,8 +359,9 @@ impl StreamingDecoder {
             };
             self.last_ip = context_ip;
             self.consume(committed);
+            decoded += committed;
             match stop {
-                Stop::Drained => return,
+                Stop::Drained | Stop::Quota => return,
                 Stop::Truncated => {
                     if self.finished {
                         self.stats.errors += 1;
@@ -229,7 +370,7 @@ impl StreamingDecoder {
                                 offset: self.stats.bytes_consumed as usize,
                             }));
                         }
-                        let rest = self.buf.len();
+                        let rest = self.buffered();
                         self.consume(rest);
                     }
                     return;
@@ -255,7 +396,7 @@ impl StreamingDecoder {
     /// synchronised; `false` when more bytes are needed (a 3-byte tail is
     /// kept in case a PSB pattern straddles the chunk boundary).
     fn resync(&mut self) -> bool {
-        if let Some(i) = find_psb(&self.buf) {
+        if let Some(i) = find_psb(self.carry()) {
             self.consume(i);
             self.resyncing = false;
             self.stats.resyncs += 1;
@@ -264,9 +405,9 @@ impl StreamingDecoder {
         let keep = if self.finished {
             0
         } else {
-            self.buf.len().min(3)
+            self.buffered().min(3)
         };
-        let drop = self.buf.len() - keep;
+        let drop = self.buffered() - keep;
         self.consume(drop);
         if self.finished {
             self.resyncing = false;
@@ -274,10 +415,11 @@ impl StreamingDecoder {
         false
     }
 
-    /// Drops `n` bytes from the head of the carry buffer.
+    /// Drops `n` bytes from the head of the carry buffer (cursor advance
+    /// only; the prefix is reclaimed on the next push).
     fn consume(&mut self, n: usize) {
         if n > 0 {
-            self.buf.drain(..n);
+            self.head += n;
             self.stats.bytes_consumed += n as u64;
         }
     }

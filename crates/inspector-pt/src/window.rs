@@ -1,0 +1,710 @@
+//! Parallel PSB-window decoding: split, decode speculatively, reassemble.
+//!
+//! PSB packets are context-free resynchronisation points, so a PT stream
+//! splits at PSB-run starts into windows that can be decoded independently
+//! and in parallel. The catch: the raw 4-byte PSB pattern can also appear
+//! *inside* packet payloads (a TIP target or long-TNT payload containing
+//! `02 82 02 82`), and a byte-level scanner cannot tell without decoding.
+//! Splitting there would diverge from the serial decoder.
+//!
+//! This module therefore decodes windows **speculatively** and validates
+//! every boundary at merge time, which makes the parallel path equivalent
+//! to the serial [`StreamingDecoder`] *by construction*:
+//!
+//! * [`WindowScanner`] cuts at every raw PSB pattern that starts a PSB run
+//!   (candidates whose two preceding bytes are another `02 82` pair are
+//!   run continuations, not starts). Consequences proved by the cut rule:
+//!   no pattern straddles a cut, and a window's body (offset > 0) contains
+//!   no run-start pattern — so a window-local resync can never succeed.
+//! * [`WindowDecoder`] decodes one window from the reset decoder state (no
+//!   inherited last-IP — the window's leading PSB resets it anyway) and
+//!   captures the end state: undecoded carry bytes, last-IP, resync flag.
+//! * [`Reassembler`] consumes [`WindowOutcome`]s in sequence order and
+//!   validates each boundary against the previous window's end state:
+//!   - carry empty, not resyncing → the cut was a true packet boundary;
+//!     the speculative result is exactly what the serial decoder produces
+//!     (the window starts with a PSB, so no context is inherited): merge.
+//!   - resyncing → the serial decoder would discard the (≤ 3-byte) resync
+//!     tail and find its PSB exactly at the cut (the cut rule guarantees
+//!     no earlier pattern spans the boundary): count the discard and one
+//!     resync, then merge the speculative result.
+//!   - carry non-empty → a packet straddles the cut (the pattern sat in a
+//!     payload): the speculation was wrong, so the window is **replayed
+//!     serially**, seeded with the carried prefix and last-IP. False cuts
+//!     need a payload aligned just so; replays are rare and each costs one
+//!     window of serial decode.
+//!
+//! Merged output — events, in-band errors with stream-order offsets, and
+//! [`StreamStats`] — is byte-for-byte what the serial decoder yields over
+//! the same stream, including the at-most-one-PSB-window loss guarantee
+//! under corruption. `tests/streaming_decode.rs` property-tests the
+//! equivalence over arbitrary streams, chunkings, window counts and
+//! injected corruption.
+
+use std::sync::Mutex;
+
+use crate::branch::BranchEvent;
+use crate::decode::DecodeError;
+use crate::ordered::OrderedQueue;
+use crate::packet::{find_psb_from, OPC_ESCAPE, OPC_PSB};
+use crate::stream::{StreamStats, StreamingDecoder};
+
+/// Splits an incrementally arriving byte stream into PSB-delimited windows.
+///
+/// Push chunks as they arrive; every completed window (bytes from one cut
+/// to the next) is handed back as soon as its closing cut is seen. The
+/// final, still-open window is obtained with [`flush`](Self::flush) once
+/// the stream ends. A stream containing no PSB at all degenerates into a
+/// single window — exactly the serial decode.
+#[derive(Debug, Default)]
+pub struct WindowScanner {
+    /// Bytes since the last emitted cut.
+    buf: Vec<u8>,
+    /// Scan resume offset within `buf` (everything before it has been
+    /// scanned; a 3-byte overlap is re-scanned in case a pattern straddles
+    /// a push boundary).
+    scan_pos: usize,
+    /// Total windows emitted (including the eventual flush).
+    emitted: u64,
+}
+
+impl WindowScanner {
+    /// Creates a scanner positioned at the start of a stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a chunk and returns every window completed by it, in stream
+    /// order.
+    pub fn push(&mut self, chunk: &[u8]) -> Vec<Vec<u8>> {
+        self.buf.extend_from_slice(chunk);
+        let mut cuts = Vec::new();
+        let mut from = self.scan_pos;
+        while let Some(c) = find_psb_from(&self.buf, from) {
+            // A candidate is a cut iff it starts a PSB run: the two bytes
+            // before it must not be another escape/PSB pair (then it is a
+            // continuation inside a run). `c < 2` can only happen at the
+            // very head of the stream, where there is no preceding pair.
+            if c > 0 && (c < 2 || self.buf[c - 2..c] != [OPC_ESCAPE, OPC_PSB]) {
+                cuts.push(c);
+            }
+            from = c + 1;
+        }
+        let mut windows = Vec::with_capacity(cuts.len());
+        let mut start = 0usize;
+        for &c in &cuts {
+            windows.push(self.buf[start..c].to_vec());
+            start = c;
+        }
+        if start > 0 {
+            self.buf.drain(..start);
+        }
+        self.scan_pos = self.buf.len().saturating_sub(3);
+        self.emitted += windows.len() as u64;
+        windows
+    }
+
+    /// Ends the stream, returning the final (possibly empty) window.
+    pub fn flush(&mut self) -> Vec<u8> {
+        self.scan_pos = 0;
+        self.emitted += 1;
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Bytes buffered in the still-open window.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Windows emitted so far (the next window's sequence number).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+/// The result of speculatively decoding one PSB-delimited window with no
+/// inherited context.
+#[derive(Debug)]
+pub struct WindowOutcome {
+    /// Decoded events and in-band errors, offsets window-local.
+    pub events: Vec<Result<BranchEvent, DecodeError>>,
+    /// The window decoder's counters (resyncs are always 0: a window body
+    /// contains no run-start pattern to resynchronise at).
+    pub stats: StreamStats,
+    /// Undecoded suffix: a packet prefix cut by the window boundary, or a
+    /// (≤ 3-byte) resync tail. Empty means the window ended exactly on a
+    /// packet boundary.
+    pub carry: Vec<u8>,
+    /// Last-IP context at the window's end.
+    pub last_ip: u64,
+    /// Whether the window ended while discarding garbage after corruption.
+    pub resyncing: bool,
+    /// The raw window bytes, retained so a false cut can be replayed
+    /// serially by the [`Reassembler`].
+    pub bytes: Vec<u8>,
+}
+
+/// Decodes single PSB-delimited windows context-free: every window starts
+/// from the reset (start-of-stream) decoder state.
+///
+/// The inner [`StreamingDecoder`] is *reset*, not reallocated, between
+/// windows — its carry buffer and pending-event queue keep their capacity,
+/// which is what makes per-window decode cost match serial decode (the
+/// queue grows to a full pump quantum of events on TNT-dense streams).
+/// Give each worker thread its own `WindowDecoder`.
+#[derive(Debug)]
+pub struct WindowDecoder {
+    dec: StreamingDecoder,
+    record_events: bool,
+}
+
+impl WindowDecoder {
+    /// A decoder whose outcomes carry the decoded events.
+    pub fn new() -> Self {
+        WindowDecoder {
+            dec: StreamingDecoder::new(),
+            record_events: true,
+        }
+    }
+
+    /// A decoder whose outcomes carry only [`StreamStats`] counters (the
+    /// ingest pool's cross-check mode — no per-event buffering).
+    pub fn counting_only() -> Self {
+        WindowDecoder {
+            dec: StreamingDecoder::counting_only(),
+            record_events: false,
+        }
+    }
+
+    /// Decodes one window, capturing events, counters and the end state
+    /// the reassembler validates the next boundary against.
+    pub fn decode(&mut self, window: Vec<u8>) -> WindowOutcome {
+        let dec = &mut self.dec;
+        dec.reset(self.record_events);
+        dec.push(&window);
+        let mut events = Vec::new();
+        while let Some(item) = dec.next_event() {
+            events.push(item);
+        }
+        WindowOutcome {
+            events,
+            stats: dec.stats(),
+            carry: dec.carry().to_vec(),
+            last_ip: dec.context_ip(),
+            resyncing: dec.is_resyncing(),
+            bytes: window,
+        }
+    }
+}
+
+impl Default for WindowDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Merges speculative [`WindowOutcome`]s back into exact stream order,
+/// validating every window boundary (see the module docs for the three
+/// boundary cases). Feed outcomes strictly in sequence — the
+/// [`OrderedQueue`](crate::ordered::OrderedQueue) provides that order when
+/// windows complete out of order.
+#[derive(Debug)]
+pub struct Reassembler {
+    record_events: bool,
+    /// Merged events with stream-order error offsets (empty in counting
+    /// mode). Drained by [`take_events`](Self::take_events) or streamed
+    /// through the sink variant of [`accept`](Self::accept_into).
+    events: Vec<Result<BranchEvent, DecodeError>>,
+    stats: StreamStats,
+    carry: Vec<u8>,
+    last_ip: u64,
+    resyncing: bool,
+    windows: u64,
+    replays: u64,
+    finished: bool,
+}
+
+impl Reassembler {
+    /// A reassembler at the start of a stream. With `record_events` off
+    /// only [`StreamStats`] are maintained.
+    pub fn new(record_events: bool) -> Self {
+        Reassembler {
+            record_events,
+            events: Vec::new(),
+            stats: StreamStats::default(),
+            carry: Vec::new(),
+            last_ip: 0,
+            resyncing: false,
+            windows: 0,
+            replays: 0,
+            finished: false,
+        }
+    }
+
+    /// Merges the next window in sequence, buffering its events.
+    pub fn accept(&mut self, outcome: WindowOutcome) {
+        let events = &mut std::mem::take(&mut self.events);
+        self.accept_into(outcome, &mut |item| events.push(item));
+        self.events = std::mem::take(events);
+    }
+
+    /// Merges the next window in sequence, streaming its merged events (in
+    /// exact stream order, offsets rebased) into `sink` instead of
+    /// buffering them.
+    pub fn accept_into(
+        &mut self,
+        outcome: WindowOutcome,
+        sink: &mut dyn FnMut(Result<BranchEvent, DecodeError>),
+    ) {
+        assert!(!self.finished, "accept after finish");
+        self.windows += 1;
+        if self.resyncing {
+            // The serial decoder is discarding garbage; the cut rule
+            // guarantees its next PSB is exactly this window's start, so it
+            // drops the kept tail, counts one resync and proceeds — which
+            // is precisely the speculative fresh-context decode.
+            self.stats.bytes_consumed += self.carry.len() as u64;
+            self.carry.clear();
+            self.stats.resyncs += 1;
+            self.resyncing = false;
+            self.adopt(outcome, sink);
+        } else if self.carry.is_empty() {
+            // True packet boundary: the window re-establishes context at
+            // its leading PSB, so the speculative decode is the serial
+            // decode.
+            self.adopt(outcome, sink);
+        } else {
+            // A packet straddles the cut — the pattern sat inside a
+            // payload. Replay this window serially from the carried state.
+            self.replay(outcome.bytes, sink);
+        }
+    }
+
+    /// Ends the stream: the remaining carry is flushed exactly as the
+    /// serial decoder's `finish` would (a partial packet becomes an
+    /// in-band truncation error, an unsynchronised tail is dropped).
+    pub fn finish(&mut self) {
+        let events = &mut std::mem::take(&mut self.events);
+        self.finish_into(&mut |item| events.push(item));
+        self.events = std::mem::take(events);
+    }
+
+    /// Sink variant of [`finish`](Self::finish).
+    pub fn finish_into(&mut self, sink: &mut dyn FnMut(Result<BranchEvent, DecodeError>)) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let mut dec = StreamingDecoder::resume(
+            std::mem::take(&mut self.carry),
+            self.last_ip,
+            self.resyncing,
+            self.record_events,
+        );
+        dec.finish();
+        self.merge_serial(&mut dec, sink);
+        self.resyncing = false;
+    }
+
+    /// Merged counters so far (stream-order totals).
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Takes the buffered merged events.
+    pub fn take_events(&mut self) -> Vec<Result<BranchEvent, DecodeError>> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Windows merged so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Boundaries that proved to be false cuts and were replayed serially.
+    pub fn replays(&self) -> u64 {
+        self.replays
+    }
+
+    /// Adopts a validated speculative outcome wholesale.
+    fn adopt(
+        &mut self,
+        outcome: WindowOutcome,
+        sink: &mut dyn FnMut(Result<BranchEvent, DecodeError>),
+    ) {
+        debug_assert_eq!(
+            outcome.stats.resyncs, 0,
+            "a window body holds no run-start pattern to resync at"
+        );
+        let base = self.stats.bytes_consumed as usize;
+        if self.record_events {
+            for item in outcome.events {
+                sink(rebase(item, base));
+            }
+        }
+        let s = outcome.stats;
+        self.stats.bytes_pushed += s.bytes_pushed;
+        self.stats.bytes_consumed += s.bytes_consumed;
+        self.stats.packets += s.packets;
+        self.stats.events += s.events;
+        self.stats.branches += s.branches;
+        self.stats.errors += s.errors;
+        self.stats.resyncs += s.resyncs;
+        self.carry = outcome.carry;
+        self.last_ip = outcome.last_ip;
+        self.resyncing = outcome.resyncing;
+    }
+
+    /// Serially re-decodes a window whose opening cut was false, seeded
+    /// with the carried prefix and context.
+    fn replay(&mut self, window: Vec<u8>, sink: &mut dyn FnMut(Result<BranchEvent, DecodeError>)) {
+        self.replays += 1;
+        let mut dec = StreamingDecoder::resume(
+            std::mem::take(&mut self.carry),
+            self.last_ip,
+            false,
+            self.record_events,
+        );
+        dec.push(&window);
+        self.merge_serial(&mut dec, sink);
+    }
+
+    /// Folds a serial (replay or finish) decoder's output into the merged
+    /// stream. The decoder's `bytes_consumed` includes previously-carried
+    /// bytes, which were pushed (counted) in an earlier window — so pushed
+    /// and consumed totals each count every stream byte exactly once, and
+    /// local error offsets rebased by the pre-replay consumed total equal
+    /// the serial stream offsets.
+    fn merge_serial(
+        &mut self,
+        dec: &mut StreamingDecoder,
+        sink: &mut dyn FnMut(Result<BranchEvent, DecodeError>),
+    ) {
+        let base = self.stats.bytes_consumed as usize;
+        if self.record_events {
+            while let Some(item) = dec.next_event() {
+                sink(rebase(item, base));
+            }
+        }
+        let s = dec.stats();
+        self.stats.bytes_pushed += s.bytes_pushed;
+        self.stats.bytes_consumed += s.bytes_consumed;
+        self.stats.packets += s.packets;
+        self.stats.events += s.events;
+        self.stats.branches += s.branches;
+        self.stats.errors += s.errors;
+        self.stats.resyncs += s.resyncs;
+        self.carry = dec.carry().to_vec();
+        self.last_ip = dec.context_ip();
+        self.resyncing = dec.is_resyncing();
+    }
+}
+
+/// Rebases a window-local error offset into the stream-order offset.
+fn rebase(item: Result<BranchEvent, DecodeError>, base: usize) -> Result<BranchEvent, DecodeError> {
+    match item {
+        Ok(event) => Ok(event),
+        Err(DecodeError::Truncated { offset }) => Err(DecodeError::Truncated {
+            offset: base + offset,
+        }),
+        Err(DecodeError::UnknownPacket { offset, byte }) => Err(DecodeError::UnknownPacket {
+            offset: base + offset,
+            byte,
+        }),
+    }
+}
+
+/// Decodes a complete byte stream through the windowed path with `workers`
+/// parallel window decoders, returning the merged events (serial order,
+/// serial offsets) and stream-order [`StreamStats`].
+///
+/// Equivalent to pushing the whole stream through a serial
+/// [`StreamingDecoder`] and draining it — the property the tests enforce —
+/// but the per-window decode fans out across `workers` threads and is
+/// reassembled through a bounded [`OrderedQueue`]. With `workers <= 1`
+/// there is no parallelism to buy the pipeline overhead back, so the
+/// serial decoder runs directly.
+pub fn decode_windowed(
+    bytes: &[u8],
+    workers: usize,
+) -> (Vec<Result<BranchEvent, DecodeError>>, StreamStats) {
+    let mut events = Vec::new();
+    let stats = decode_windowed_into(bytes, workers, true, &mut |item| events.push(item));
+    (events, stats)
+}
+
+/// Sink-driven [`decode_windowed`]: merged events are streamed into `sink`
+/// in exact serial order instead of being buffered (with `record_events`
+/// off, only counters are produced and `sink` is never called). The sink
+/// is generic so the single-worker fast path inlines it per event.
+pub fn decode_windowed_into<F: FnMut(Result<BranchEvent, DecodeError>)>(
+    bytes: &[u8],
+    workers: usize,
+    record_events: bool,
+    sink: &mut F,
+) -> StreamStats {
+    let workers = workers.max(1);
+    if workers == 1 {
+        // A lone worker has nothing to overlap the merge with: the windowed
+        // pipeline would pay scan + outcome buffering + per-window hand-off
+        // for zero parallelism. The serial decoder *is* the semantics the
+        // windowed path reproduces (the proptested equivalence), so run it
+        // directly — single-window decode costs exactly a serial decode.
+        let mut dec = if record_events {
+            StreamingDecoder::new()
+        } else {
+            StreamingDecoder::counting_only()
+        };
+        dec.push(bytes);
+        while let Some(item) = dec.next_event() {
+            sink(item);
+        }
+        dec.finish();
+        while let Some(item) = dec.next_event() {
+            sink(item);
+        }
+        return dec.stats();
+    }
+    let mut scanner = WindowScanner::new();
+    let mut windows = scanner.push(bytes);
+    windows.push(scanner.flush());
+    let total = windows.len();
+    let jobs = Mutex::new(windows.into_iter().enumerate());
+    // Deeper than the worker count so decode and merge pipeline instead of
+    // hand-shaking per window: with depth == workers a lone worker would
+    // block on every push until the consumer merged the previous outcome,
+    // paying a wake-up round-trip per window. Depth stays bounded, so
+    // backpressure (and the memory bound) is preserved.
+    let queue = OrderedQueue::new(4 * workers.max(2));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // One reused (reset-per-window) decoder per worker.
+                let mut decoder = if record_events {
+                    WindowDecoder::new()
+                } else {
+                    WindowDecoder::counting_only()
+                };
+                loop {
+                    let job = jobs.lock().unwrap().next();
+                    let Some((seq, window)) = job else { break };
+                    if queue.push(seq as u64, decoder.decode(window)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        let mut reasm = Reassembler::new(record_events);
+        for _ in 0..total {
+            let outcome = queue.pop().expect("every window seq is produced");
+            reasm.accept_into(outcome, sink);
+        }
+        reasm.finish_into(sink);
+        reasm.stats()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{EncoderConfig, PacketEncoder};
+    use crate::packet::PSB_PATTERN;
+
+    fn encode(n: u64, psb_interval: usize) -> Vec<u8> {
+        let mut enc = PacketEncoder::with_config(EncoderConfig {
+            psb_interval_bytes: psb_interval,
+            ..EncoderConfig::default()
+        });
+        enc.begin(0x40_0000);
+        for i in 0..n {
+            if i % 11 == 0 {
+                enc.branch(&BranchEvent::Indirect {
+                    target: 0x40_0000 + i * 24,
+                });
+            } else {
+                enc.branch(&BranchEvent::Conditional { taken: i % 3 == 0 });
+            }
+        }
+        enc.finish()
+    }
+
+    fn serial_reference(bytes: &[u8]) -> (Vec<Result<BranchEvent, DecodeError>>, StreamStats) {
+        let mut dec = StreamingDecoder::new();
+        dec.push(bytes);
+        dec.finish();
+        let events: Vec<_> = dec.events().collect();
+        (events, dec.stats())
+    }
+
+    #[test]
+    fn scanner_cuts_at_every_psb_run_start_only() {
+        let bytes = encode(2_000, 256);
+        let mut scanner = WindowScanner::new();
+        let mut windows = scanner.push(&bytes);
+        windows.push(scanner.flush());
+        assert!(windows.len() > 2, "periodic PSBs produce many windows");
+        let mut rebuilt = Vec::new();
+        for (i, w) in windows.iter().enumerate() {
+            if i > 0 {
+                assert_eq!(&w[..4], &PSB_PATTERN, "window {i} starts at a PSB");
+                // A run start, not a run continuation.
+                let n = rebuilt.len();
+                assert_ne!(&bytes[n - 2..n], &[OPC_ESCAPE, OPC_PSB]);
+            }
+            rebuilt.extend_from_slice(w);
+        }
+        assert_eq!(rebuilt, bytes, "windows partition the stream exactly");
+    }
+
+    #[test]
+    fn scanner_is_chunking_invariant() {
+        let bytes = encode(1_500, 128);
+        let mut whole = WindowScanner::new();
+        let mut expect = whole.push(&bytes);
+        expect.push(whole.flush());
+        for chunk in [1usize, 3, 7, 64, 1024] {
+            let mut scanner = WindowScanner::new();
+            let mut got = Vec::new();
+            for c in bytes.chunks(chunk) {
+                got.extend(scanner.push(c));
+            }
+            got.push(scanner.flush());
+            assert_eq!(got, expect, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn windowed_decode_matches_serial_on_clean_streams() {
+        let bytes = encode(3_000, 512);
+        let (reference, ref_stats) = serial_reference(&bytes);
+        for workers in [1usize, 2, 4, 8] {
+            let (events, stats) = decode_windowed(&bytes, workers);
+            assert_eq!(events, reference, "workers={workers}");
+            assert_eq!(stats, ref_stats, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn windowed_decode_matches_serial_without_any_psb() {
+        // No PSB at all: one degenerate window, still equivalent.
+        let mut enc = PacketEncoder::with_config(EncoderConfig {
+            psb_interval_bytes: 0,
+            ..EncoderConfig::default()
+        });
+        for i in 0..200u64 {
+            enc.branch(&BranchEvent::Indirect {
+                target: 0x40_0000 + i * 8,
+            });
+        }
+        let bytes = enc.drain();
+        assert_eq!(find_psb_from(&bytes, 0), None, "stream must be PSB-free");
+        let (reference, ref_stats) = serial_reference(&bytes);
+        let (events, stats) = decode_windowed(&bytes, 4);
+        assert_eq!(events, reference);
+        assert_eq!(stats, ref_stats);
+    }
+
+    #[test]
+    fn windowed_decode_matches_serial_under_corruption() {
+        let bytes = encode(2_000, 256);
+        // Corrupt a byte a little after the second window's start so the
+        // resync discards to the third window.
+        let mut scanner = WindowScanner::new();
+        let windows = scanner.push(&bytes);
+        assert!(windows.len() >= 3);
+        let corrupt_at = windows[0].len() + windows[1].len() / 2;
+        let mut corrupted = bytes.clone();
+        corrupted[corrupt_at] = 0x07; // undecodable IP-family header
+        let (reference, ref_stats) = serial_reference(&corrupted);
+        assert!(
+            reference.iter().any(|item| item.is_err()),
+            "corruption must surface in the serial reference"
+        );
+        for workers in [1usize, 2, 4] {
+            let (events, stats) = decode_windowed(&corrupted, workers);
+            assert_eq!(events, reference, "workers={workers}");
+            assert_eq!(stats, ref_stats, "workers={workers}");
+            assert!(stats.resyncs >= 1);
+        }
+    }
+
+    #[test]
+    fn false_cut_inside_a_tip_payload_is_replayed_serially() {
+        // 0x8202_8202 encodes (against a low last-IP) as a 4-byte TIP
+        // payload that is byte-identical to the PSB pattern: the scanner
+        // must cut there, the reassembler must detect the straddling
+        // packet and replay, and the result must still equal serial.
+        let mut enc = PacketEncoder::new();
+        enc.begin(0x40_0000);
+        for i in 0..50u64 {
+            enc.branch(&BranchEvent::Conditional { taken: i % 2 == 0 });
+        }
+        enc.branch(&BranchEvent::Indirect {
+            target: 0x8202_8202,
+        });
+        for i in 0..50u64 {
+            enc.branch(&BranchEvent::Conditional { taken: i % 3 == 0 });
+        }
+        let bytes = enc.finish();
+        let mut scanner = WindowScanner::new();
+        let mut windows = scanner.push(&bytes);
+        windows.push(scanner.flush());
+        assert!(
+            windows.len() >= 2,
+            "the payload pattern must look like a cut to the scanner"
+        );
+        let (reference, ref_stats) = serial_reference(&bytes);
+        assert!(
+            reference.iter().all(|item| item.is_ok()),
+            "the stream is well-formed — a false split must not invent errors"
+        );
+        let (events, stats) = decode_windowed(&bytes, 2);
+        assert_eq!(events, reference);
+        assert_eq!(stats, ref_stats);
+    }
+
+    #[test]
+    fn reassembler_counts_replays() {
+        let mut enc = PacketEncoder::new();
+        enc.begin(0x40_0000);
+        enc.branch(&BranchEvent::Indirect {
+            target: 0x8202_8202,
+        });
+        enc.branch(&BranchEvent::Indirect { target: 0x40_1000 });
+        let bytes = enc.finish();
+        let mut scanner = WindowScanner::new();
+        let mut windows = scanner.push(&bytes);
+        windows.push(scanner.flush());
+        let mut decoder = WindowDecoder::new();
+        let mut reasm = Reassembler::new(true);
+        for w in windows {
+            reasm.accept(decoder.decode(w));
+        }
+        reasm.finish();
+        assert_eq!(reasm.replays(), 1, "exactly the payload cut is replayed");
+        let (reference, ref_stats) = serial_reference(&bytes);
+        assert_eq!(reasm.take_events(), reference);
+        assert_eq!(reasm.stats(), ref_stats);
+    }
+
+    #[test]
+    fn counting_mode_matches_recording_stats() {
+        let bytes = encode(2_000, 256);
+        let (_, ref_stats) = serial_reference(&bytes);
+        let mut called = false;
+        let stats = decode_windowed_into(&bytes, 4, false, &mut |_| called = true);
+        assert!(!called, "counting mode must never emit events");
+        assert_eq!(stats, ref_stats);
+    }
+
+    #[test]
+    fn truncated_tail_surfaces_once_with_stream_offset() {
+        let mut bytes = encode(600, 128);
+        bytes.push(0x2D); // TIP header promising 2 IP bytes that never arrive
+        let (reference, ref_stats) = serial_reference(&bytes);
+        let (events, stats) = decode_windowed(&bytes, 4);
+        assert_eq!(events, reference);
+        assert_eq!(stats, ref_stats);
+        assert_eq!(stats.errors, 1);
+    }
+}

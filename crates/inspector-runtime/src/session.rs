@@ -36,10 +36,24 @@
 //! and forwards the bytes to the perf session. The cost is attributed as
 //! the `pt_decode` phase (`RunStats::{decoded_branches, decode_errors,
 //! decode_time, ...}`).
+//!
+//! With [`SessionConfig::decode_windows`] additionally nonzero, the decode
+//! itself fans out: the owning worker scans each thread's chunks for
+//! PSB-run starts with a [`WindowScanner`], publishes every completed
+//! window to a pool-wide job list that **any** idle worker steals from
+//! (workers poll it whenever their lane is quiet), and merges the
+//! out-of-order [`WindowOutcome`]s back into stream order through a
+//! per-thread sequence-numbered [`OrderedQueue`] feeding a
+//! [`Reassembler`] — so the recorder cross-check still observes exactly
+//! the serial per-thread counters. Depth is bounded publish-side: a
+//! worker about to run more than `decode_windows` windows ahead of its
+//! merge point first reassembles what is ready — helping decode pooled
+//! windows while it waits — which also means outcome pushes never block
+//! and stealing can never deadlock.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -58,8 +72,10 @@ use inspector_mem::stats::MemStats;
 use inspector_perf::cgroup::{Cgroup, ProcessId};
 use inspector_perf::event::PerfEvent;
 use inspector_perf::session::TraceSession;
+use inspector_pt::ordered::OrderedQueue;
 use inspector_pt::stats::PtStats;
 use inspector_pt::stream::StreamingDecoder;
+use inspector_pt::window::{Reassembler, WindowDecoder, WindowOutcome, WindowScanner};
 
 use crate::config::{ExecutionMode, SessionConfig};
 use crate::ctx::ThreadCtx;
@@ -151,6 +167,12 @@ pub(crate) struct Shared {
     /// pool worker). Present only while [`InspectorSession::run`] is
     /// executing; thread contexts clone their lane at construction.
     ingest_tx: Mutex<Option<Vec<SyncSender<IngestMsg>>>>,
+    /// Pool-wide window-decode job list (windowed online decode only): the
+    /// worker owning a thread's lane publishes complete PSB windows here,
+    /// and any idle worker steals and decodes them. Publish-side depth
+    /// bounding guarantees outcome pushes never block, so stealing cannot
+    /// deadlock.
+    decode_jobs: Mutex<VecDeque<DecodeJob>>,
 }
 
 impl Shared {
@@ -179,6 +201,16 @@ impl Shared {
     /// True while a run (and therefore an ingest pool) is active.
     pub(crate) fn ingest_active(&self) -> bool {
         self.ingest_tx.lock().is_some()
+    }
+
+    /// Publishes a PSB window for any idle pool worker to decode.
+    fn publish_decode_job(&self, job: DecodeJob) {
+        self.decode_jobs.lock().push_back(job);
+    }
+
+    /// Steals the oldest pending window-decode job, if any.
+    fn steal_decode_job(&self) -> Option<DecodeJob> {
+        self.decode_jobs.lock().pop_front()
     }
 
     /// Pushes a flush barrier through every lane and waits for all acks, so
@@ -213,6 +245,136 @@ impl Drop for SenderGuard<'_> {
     }
 }
 
+/// One PSB-delimited window awaiting decode, stealable by any pool worker.
+/// The outcome lands in the owning thread's resequencer under `seq`.
+#[derive(Debug)]
+struct DecodeJob {
+    /// The producing thread's resequencer.
+    queue: Arc<OrderedQueue<WindowOutcome>>,
+    /// Stream-order sequence number of this window.
+    seq: u64,
+    /// The raw window bytes.
+    window: Vec<u8>,
+}
+
+/// Per-thread state of the windowed online decode: the incremental PSB
+/// scanner, the sequence-numbered resequencer its decode jobs complete
+/// into, and the reassembler that merges outcomes back to stream order.
+#[derive(Debug)]
+struct WindowedState {
+    scanner: WindowScanner,
+    queue: Arc<OrderedQueue<WindowOutcome>>,
+    reasm: Reassembler,
+    /// Windows published as decode jobs so far (the next sequence number).
+    published: u64,
+}
+
+impl WindowedState {
+    fn new(depth: usize) -> Self {
+        WindowedState {
+            scanner: WindowScanner::new(),
+            queue: Arc::new(OrderedQueue::new(depth)),
+            // Counting mode: like the serial cross-check path, only the
+            // counters are needed, so outcomes carry no event buffers.
+            reasm: Reassembler::new(false),
+            published: 0,
+        }
+    }
+}
+
+/// Decodes one stolen window and completes it into its thread's
+/// resequencer. The push cannot block: the publisher only admits a
+/// sequence number while it is within the resequencer's depth bound, and
+/// the merge point only advances.
+fn run_decode_job(job: DecodeJob, decode: &mut DecodeAgg) {
+    let start = Instant::now();
+    let outcome = WindowDecoder::counting_only().decode(job.window);
+    decode.time += start.elapsed();
+    let _ = job.queue.push(job.seq, outcome);
+}
+
+/// Publishes one completed window of `state`'s thread, first making room:
+/// ready outcomes are reassembled, and while the resequencer is at its
+/// depth bound the worker helps decode pooled windows (or waits for the
+/// one outcome in flight elsewhere) instead of blocking idle.
+fn publish_window(
+    shared: &Shared,
+    state: &mut WindowedState,
+    window: Vec<u8>,
+    depth: u64,
+    decode: &mut DecodeAgg,
+) {
+    let seq = state.published;
+    state.published += 1;
+    loop {
+        let start = Instant::now();
+        while let Some(outcome) = state.queue.try_pop() {
+            state.reasm.accept(outcome);
+        }
+        decode.time += start.elapsed();
+        if seq < state.queue.next_seq() + depth {
+            break;
+        }
+        if let Some(job) = shared.steal_decode_job() {
+            run_decode_job(job, decode);
+            continue;
+        }
+        // The pool is empty, so the outcome blocking the merge point is
+        // being decoded by another worker right now; wait for it.
+        match state.queue.pop() {
+            Some(outcome) => {
+                let start = Instant::now();
+                state.reasm.accept(outcome);
+                decode.time += start.elapsed();
+            }
+            None => break,
+        }
+    }
+    shared.publish_decode_job(DecodeJob {
+        queue: Arc::clone(&state.queue),
+        seq,
+        window,
+    });
+}
+
+/// Drains a thread's windowed decode to completion: reassembles every
+/// published outcome (stealing pooled jobs while waiting, so the drain can
+/// never deadlock), decodes the final still-open window inline, and
+/// finishes the reassembler so its stats equal the serial decode's.
+fn drain_windowed(shared: &Shared, state: &mut WindowedState, decode: &mut DecodeAgg) {
+    while state.queue.next_seq() < state.published {
+        let start = Instant::now();
+        while let Some(outcome) = state.queue.try_pop() {
+            state.reasm.accept(outcome);
+        }
+        decode.time += start.elapsed();
+        if state.queue.next_seq() >= state.published {
+            break;
+        }
+        if let Some(job) = shared.steal_decode_job() {
+            run_decode_job(job, decode);
+            continue;
+        }
+        match state.queue.pop() {
+            Some(outcome) => {
+                let start = Instant::now();
+                state.reasm.accept(outcome);
+                decode.time += start.elapsed();
+            }
+            None => break,
+        }
+    }
+    // The final (possibly empty) window is by definition last in sequence:
+    // decode it inline and close out the merged stream.
+    let start = Instant::now();
+    let outcome = WindowDecoder::counting_only().decode(state.scanner.flush());
+    state.reasm.accept(outcome);
+    state.reasm.finish();
+    decode.time += start.elapsed();
+    decode.windows += state.reasm.windows();
+    decode.max_depth = decode.max_depth.max(state.queue.max_depth() as u64);
+}
+
 /// Aggregates of one worker's online-decode stage (the `pt_decode` phase).
 #[derive(Debug, Default)]
 pub(crate) struct DecodeAgg {
@@ -226,6 +388,10 @@ pub(crate) struct DecodeAgg {
     pub(crate) errors: u64,
     /// Threads whose clean decode disagreed with the recorder.
     pub(crate) mismatches: u64,
+    /// PSB windows merged by the windowed decode path.
+    pub(crate) windows: u64,
+    /// High-water mark of out-of-order outcomes held by any resequencer.
+    pub(crate) max_depth: u64,
 }
 
 impl DecodeAgg {
@@ -258,7 +424,34 @@ fn ingest_loop(rx: Receiver<IngestMsg>, shared: Arc<Shared>) -> WorkerOutcome {
     let mut busy = Duration::ZERO;
     let mut decode = DecodeAgg::default();
     let mut decoders: HashMap<ThreadId, StreamingDecoder> = HashMap::new();
-    while let Ok(msg) = rx.recv() {
+    let mut windowed_states: HashMap<ThreadId, WindowedState> = HashMap::new();
+    // Windowed fan-out only changes behaviour when online decode is on;
+    // with depth 0 the serial per-thread streaming path below is untouched.
+    let depth = if shared.config.decode_online {
+        shared.config.decode_windows
+    } else {
+        0
+    };
+    loop {
+        let msg = if depth > 0 {
+            // A quiet lane is an idle worker: poll so it can steal pooled
+            // window-decode jobs published by busier lanes.
+            match rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => {
+                    while let Some(job) = shared.steal_decode_job() {
+                        run_decode_job(job, &mut decode);
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            }
+        };
         match msg {
             IngestMsg::Sub(sub) => {
                 let start = Instant::now();
@@ -271,19 +464,48 @@ fn ingest_loop(rx: Receiver<IngestMsg>, shared: Arc<Shared>) -> WorkerOutcome {
                 busy += start.elapsed();
             }
             IngestMsg::Aux { thread, pid, data } => {
-                let start = Instant::now();
-                // Counting mode: the cross-check needs the decoders'
-                // counters, not the event stream, so nothing is queued.
-                let dec = decoders
-                    .entry(thread)
-                    .or_insert_with(StreamingDecoder::counting_only);
-                dec.push(&data);
-                decode.time += start.elapsed();
+                if depth > 0 {
+                    // Windowed path: scan for PSB-run starts, publish every
+                    // completed window for any worker to decode, reassemble
+                    // whatever already finished.
+                    let state = windowed_states
+                        .entry(thread)
+                        .or_insert_with(|| WindowedState::new(depth));
+                    let start = Instant::now();
+                    let windows = state.scanner.push(&data);
+                    decode.time += start.elapsed();
+                    for window in windows {
+                        publish_window(&shared, state, window, depth as u64, &mut decode);
+                    }
+                } else {
+                    let start = Instant::now();
+                    // Counting mode: the cross-check needs the decoders'
+                    // counters, not the event stream, so nothing is queued.
+                    let dec = decoders
+                        .entry(thread)
+                        .or_insert_with(StreamingDecoder::counting_only);
+                    dec.push(&data);
+                    decode.time += start.elapsed();
+                }
                 // Decode borrowed the bytes; the perf session takes them
                 // whole, exactly as the direct (decode-off) path would.
                 shared.perf.submit(PerfEvent::Aux { pid, data });
             }
             IngestMsg::Done(stats) => {
+                if let Some(mut state) = windowed_states.remove(&stats.thread) {
+                    drain_windowed(&shared, &mut state, &mut decode);
+                    let s = state.reasm.stats();
+                    // Cross-check on the merged stream-order counters —
+                    // identical to the serial decoder's by construction.
+                    if s.errors == 0
+                        && stats.pt.bytes_lost == 0
+                        && stats.pt.gaps == 0
+                        && s.branches != stats.pt.branches
+                    {
+                        decode.mismatches += 1;
+                    }
+                    decode.absorb(s);
+                }
                 if let Some(mut dec) = decoders.remove(&stats.thread) {
                     let start = Instant::now();
                     dec.finish();
@@ -312,6 +534,10 @@ fn ingest_loop(rx: Receiver<IngestMsg>, shared: Arc<Shared>) -> WorkerOutcome {
     for (_, mut dec) in decoders {
         dec.finish();
         decode.absorb(dec.stats());
+    }
+    for (_, mut state) in windowed_states {
+        drain_windowed(&shared, &mut state, &mut decode);
+        decode.absorb(state.reasm.stats());
     }
     WorkerOutcome { done, busy, decode }
 }
@@ -417,6 +643,7 @@ impl InspectorSession {
             next_pid: AtomicU64::new(1),
             spawned_threads: AtomicU64::new(0),
             ingest_tx: Mutex::new(None),
+            decode_jobs: Mutex::new(VecDeque::new()),
         });
         InspectorSession {
             shared,
@@ -555,6 +782,8 @@ impl InspectorSession {
             decode.branches += outcome.decode.branches;
             decode.errors += outcome.decode.errors;
             decode.mismatches += outcome.decode.mismatches;
+            decode.windows += outcome.decode.windows;
+            decode.max_depth = decode.max_depth.max(outcome.decode.max_depth);
         }
         let wall_time = start.elapsed();
         self.assemble_report(wall_time, done, busy_total, busy_max, lanes, decode)
@@ -581,6 +810,8 @@ impl InspectorSession {
             decode_mismatches: decode.mismatches,
             decode_bytes: decode.bytes,
             decode_time: decode.time,
+            decode_windows: decode.windows,
+            resequencer_max_depth: decode.max_depth,
             ..RunStats::default()
         };
         for o in &done {
@@ -959,6 +1190,106 @@ mod tests {
             session.shared.perf.stats().aux_bytes,
             report.stats.decode_bytes
         );
+    }
+
+    #[test]
+    fn windowed_online_decode_matches_the_recorder() {
+        // Same workload as the serial cross-check test, but with the PSB
+        // windows fanned out across the pool and reassembled in order: the
+        // merged counters must still match the recorder exactly.
+        let session = InspectorSession::new(
+            SessionConfig::inspector()
+                .with_decode_online(true)
+                .with_decode_windows(4)
+                .with_ingest_threads(2),
+        );
+        let lock = Arc::new(InspMutex::new());
+        let report = session.run(|ctx| {
+            let lock2 = Arc::clone(&lock);
+            let worker = ctx.spawn(move |ctx| {
+                for i in 0..2_000u64 {
+                    ctx.branch(i % 2 == 0);
+                    if i % 50 == 0 {
+                        lock2.lock(ctx);
+                        lock2.unlock(ctx);
+                    }
+                }
+            });
+            for i in 0..2_000u64 {
+                ctx.call(0x40_0000 + i * 16);
+                if i % 50 == 0 {
+                    lock.lock(ctx);
+                    lock.unlock(ctx);
+                }
+            }
+            ctx.join(worker);
+        });
+        assert_eq!(report.stats.decode_errors, 0);
+        assert_eq!(report.stats.decode_mismatches, 0);
+        assert_eq!(report.stats.decoded_branches, report.stats.pt.branches);
+        // Every thread contributes at least its final flushed window.
+        assert!(
+            report.stats.decode_windows >= report.stats.threads as u64,
+            "windows: {}",
+            report.stats.decode_windows
+        );
+        // The resequencer respected its configured depth bound.
+        assert!(
+            report.stats.resequencer_max_depth <= 4,
+            "depth: {}",
+            report.stats.resequencer_max_depth
+        );
+        assert!(report.stats.pt_decode_time() > Duration::ZERO);
+        // The AUX bytes still reached the perf session through the workers.
+        assert_eq!(
+            session.shared.perf.stats().aux_bytes,
+            report.stats.decode_bytes
+        );
+    }
+
+    #[test]
+    fn windowed_decode_matches_serial_decode_counters() {
+        // The same deterministic single-thread workload through the serial
+        // and the windowed online path: identical decode counters.
+        let run = |config: SessionConfig| {
+            let session = InspectorSession::new(config);
+            session.run(|ctx| {
+                ctx.set_pc(0x40_1000);
+                for i in 0..30_000u64 {
+                    ctx.branch(i % 3 == 0);
+                    if i % 997 == 0 {
+                        ctx.call(0x40_0000 + i * 8);
+                    }
+                }
+            })
+        };
+        let serial = run(SessionConfig::inspector().with_decode_online(true));
+        let windowed = run(SessionConfig::inspector()
+            .with_decode_online(true)
+            .with_decode_windows(4));
+        assert_eq!(serial.stats.decode_windows, 0, "serial path has no windows");
+        assert!(windowed.stats.decode_windows > 0);
+        assert_eq!(
+            windowed.stats.decoded_branches,
+            serial.stats.decoded_branches
+        );
+        assert_eq!(windowed.stats.decode_bytes, serial.stats.decode_bytes);
+        assert_eq!(windowed.stats.decode_errors, 0);
+        assert_eq!(windowed.stats.decode_mismatches, 0);
+    }
+
+    #[test]
+    fn decode_windows_without_online_decode_stays_inert() {
+        let session = InspectorSession::new(SessionConfig::inspector().with_decode_windows(4));
+        let report = session.run(|ctx| {
+            for i in 0..500u64 {
+                ctx.branch(i % 2 == 0);
+            }
+        });
+        assert_eq!(report.stats.decoded_branches, 0);
+        assert_eq!(report.stats.decode_windows, 0);
+        assert_eq!(report.stats.resequencer_max_depth, 0);
+        assert_eq!(report.stats.decode_time, Duration::ZERO);
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //! error, resynchronise at the next PSB, and lose at most one PSB window —
 //! and a real [`InspectorSession`] run with `decode_online` must decode
 //! every recorded branch without perturbing the graph.
+//!
+//! The windowed parallel path carries the same contracts: over any stream
+//! (arbitrary byte soups included), any chunking and any worker/window
+//! fan-out, `decode_windowed` and the incremental
+//! scanner→decoder→reassembler pipeline must be event- and
+//! counter-identical to the serial streaming decoder.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -15,6 +21,7 @@ use inspector::pt::decode::{DecodeError, PacketDecoder};
 use inspector::pt::encode::{EncoderConfig, PacketEncoder};
 use inspector::pt::stream::StreamingDecoder;
 use inspector::pt::trace::ThreadTrace;
+use inspector::pt::window::{decode_windowed, Reassembler, WindowDecoder, WindowScanner};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -167,6 +174,99 @@ proptest! {
             })
             .collect();
         prop_assert_eq!(branches, expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property: windowed ≡ serial ≡ batch (the parallel-decode contract)
+// ---------------------------------------------------------------------------
+
+/// Serial streaming reference: the whole stream through one decoder,
+/// events and in-band errors in order, plus the final counters.
+fn serial_items(
+    bytes: &[u8],
+) -> (
+    Vec<Result<BranchEvent, DecodeError>>,
+    inspector::pt::StreamStats,
+) {
+    let mut dec = StreamingDecoder::new();
+    dec.push(bytes);
+    dec.finish();
+    let items: Vec<_> = dec.events().collect();
+    (items, dec.stats())
+}
+
+proptest! {
+    #[test]
+    fn windowed_equals_serial_and_batch_for_any_stream(
+        seeds in vec(any::<u64>(), 1..300),
+        psb_sel in 0u64..4,
+        workers_sel in 0usize..4,
+    ) {
+        // Sweep PSB density (0 = a single degenerate window) and the
+        // worker/window fan-out: the parallel decode must be event- and
+        // counter-identical to serial streaming, which equals batch.
+        let psb_interval = [0usize, 64, 256, 4096][psb_sel as usize];
+        let workers = [1usize, 2, 4, 8][workers_sel];
+        let bytes = encode_seeds(&seeds, psb_interval);
+        let batch = PacketDecoder::new(&bytes).decode_events().unwrap();
+        let (serial, serial_stats) = serial_items(&bytes);
+        let (windowed, stats) = decode_windowed(&bytes, workers);
+        prop_assert_eq!(&windowed, &serial);
+        prop_assert_eq!(stats, serial_stats);
+        prop_assert_eq!(stats.errors, 0);
+        let clean: Vec<BranchEvent> =
+            windowed.into_iter().map(|item| item.unwrap()).collect();
+        prop_assert_eq!(clean, batch);
+    }
+
+    #[test]
+    fn windowed_equals_serial_on_arbitrary_bytes(
+        data in vec(any::<u8>(), 0..2048),
+        workers_sel in 0usize..4,
+    ) {
+        // Any byte soup — corrupted, truncated, PSB-free, or all three:
+        // the parallel path must still be indistinguishable from serial,
+        // in-band errors and resync accounting included.
+        let workers = [1usize, 2, 4, 8][workers_sel];
+        let (serial, serial_stats) = serial_items(&data);
+        let (windowed, stats) = decode_windowed(&data, workers);
+        prop_assert_eq!(windowed, serial);
+        prop_assert_eq!(stats, serial_stats);
+    }
+
+    #[test]
+    fn windowed_pipeline_is_chunking_invariant_under_corruption(
+        seeds in vec(any::<u64>(), 1..200),
+        psb_sel in 0u64..3,
+        do_corrupt in any::<bool>(),
+        corrupt_pos in any::<u64>(),
+        corrupt_byte in any::<u8>(),
+        chunk in 1usize..512,
+    ) {
+        // The incremental scanner→window-decoder→reassembler pipeline (the
+        // shape the ingest pool runs) over any chunking, optionally with an
+        // arbitrary byte overwritten: exactly the serial single in-band
+        // error, the same resync window lost, the same counters.
+        let psb_interval = [64usize, 256, 4096][psb_sel as usize];
+        let mut bytes = encode_seeds(&seeds, psb_interval);
+        if do_corrupt {
+            let at = (corrupt_pos as usize) % bytes.len();
+            bytes[at] = corrupt_byte;
+        }
+        let (serial, serial_stats) = serial_items(&bytes);
+        let mut decoder = WindowDecoder::new();
+        let mut scanner = WindowScanner::new();
+        let mut reasm = Reassembler::new(true);
+        for c in bytes.chunks(chunk) {
+            for window in scanner.push(c) {
+                reasm.accept(decoder.decode(window));
+            }
+        }
+        reasm.accept(decoder.decode(scanner.flush()));
+        reasm.finish();
+        prop_assert_eq!(reasm.take_events(), serial);
+        prop_assert_eq!(reasm.stats(), serial_stats);
     }
 }
 
