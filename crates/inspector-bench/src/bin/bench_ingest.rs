@@ -440,6 +440,21 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+
+    // Fault-hook cost on the session ingest hot path: every lane message
+    // now passes the disarmed fault checks (batch counter, panic trigger,
+    // corruption offset, spill-injection load), and the empty plan must
+    // keep them at noise level. The row pins that cost in the trajectory;
+    // the run itself also asserts the empty plan leaves every health field
+    // zero — fault machinery must be invisible unless armed.
+    json.push_str("  \"fault\": [\n");
+    let fault_ns = measure_empty_plan_ns_per_sub(repeats);
+    eprintln!("fault/plan=empty: {fault_ns:.0} ns/sub ingest cpu with disarmed hooks");
+    let _ = writeln!(
+        json,
+        "    {{\"plan\": \"empty\", \"ingest_ns_per_sub\": {fault_ns:.1}}}"
+    );
+    json.push_str("  ],\n");
     // Ingest-pool overlap factor from one contended session: summed worker
     // busy time over the busiest worker. ≈ 1.0 on a 1-core container;
     // printed (and recorded, ungated) so multi-core bench-smoke logs
@@ -483,6 +498,52 @@ fn main() {
             }
         }
     }
+}
+
+/// Best-of-N ingest CPU time per sub-computation through one contended
+/// session running the default (empty) fault plan — the production shape
+/// of the supervised ingest loop. Asserts the disarmed plan leaves every
+/// `RunStats` health field zero.
+fn measure_empty_plan_ns_per_sub(repeats: usize) -> f64 {
+    use std::sync::Arc;
+    let mut best = f64::MAX;
+    for _ in 0..repeats.max(1) {
+        let session = InspectorSession::new(SessionConfig::inspector());
+        let region = session.map_region("cells", 4096 * 8);
+        let base = region.base();
+        let lock = Arc::new(InspMutex::new());
+        let report = session.run(move |ctx| {
+            let mut handles = Vec::new();
+            for w in 0..4u64 {
+                let lock = Arc::clone(&lock);
+                handles.push(ctx.spawn(move |ctx| {
+                    for i in 0..150u64 {
+                        lock.lock(ctx);
+                        let slot = base.add((i % 8) * 4096);
+                        let v = ctx.read_u64(slot);
+                        ctx.write_u64(slot, v + w);
+                        lock.unlock(ctx);
+                    }
+                }));
+            }
+            for h in handles {
+                ctx.join(h);
+            }
+        });
+        let s = &report.stats;
+        assert!(
+            !s.degraded
+                && s.gaps == 0
+                && s.lost_bytes == 0
+                && s.decode_degraded == 0
+                && s.spill_fallbacks == 0
+                && s.worker_failures == 0,
+            "the empty fault plan must leave every health field zero: {s:?}"
+        );
+        let subs = s.recorder.subcomputations.max(1);
+        best = best.min(s.graph_ingest_cpu_time.as_nanos() as f64 / subs as f64);
+    }
+    best
 }
 
 /// Runs one contended multi-worker session with a 4-wide ingest pool and

@@ -18,12 +18,24 @@ fn main() {
     // The decode-online cross-check is the end-to-end correctness gate for
     // the decode stage (serial or windowed): every workload's decoded
     // branch count must equal the recorder's own count on lossless runs.
+    // A run whose trace gapped (tiny AUX rings, or the CI fault cell's
+    // INSPECTOR_FAULT_* plan) has no exact expected count: its loss is
+    // accounted in the `gaps`/`lost_bytes` columns instead, and the
+    // degraded bit must be set — degradation is never silent.
     for r in &rows {
-        assert_eq!(r.decode_errors, 0, "decode errors in {}: {r:?}", r.name);
-        assert_eq!(
-            r.decode_mismatches, 0,
-            "decode cross-check mismatches in {}: {r:?}",
-            r.name
-        );
+        if r.gaps == 0 && r.lost_bytes == 0 {
+            assert_eq!(r.decode_errors, 0, "decode errors in {}: {r:?}", r.name);
+            assert_eq!(
+                r.decode_mismatches, 0,
+                "decode cross-check mismatches in {}: {r:?}",
+                r.name
+            );
+        } else {
+            assert!(
+                r.degraded,
+                "loss without the degraded bit in {}: {r:?}",
+                r.name
+            );
+        }
     }
 }

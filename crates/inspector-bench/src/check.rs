@@ -75,6 +75,18 @@ pub struct SpillMetric {
     pub total_ns_per_sub: f64,
 }
 
+/// One `fault` row: the session ingest hot path measured with a given
+/// fault plan (`empty` is the production shape — the row pins the cost of
+/// the disarmed fault hooks, which must stay noise).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultMetric {
+    /// Fault-plan label (`empty` for the disarmed production shape).
+    pub plan: String,
+    /// Ingest CPU time per sub-computation through the session's ingest
+    /// loop, nanoseconds.
+    pub ingest_ns_per_sub: f64,
+}
+
 /// The metrics extracted from one `BENCH_ingest.json`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BenchMetrics {
@@ -94,6 +106,8 @@ pub struct BenchMetrics {
     pub scan_points: Vec<ScanMetric>,
     /// `spill` threshold sweep points.
     pub spill_points: Vec<SpillMetric>,
+    /// `fault` hot-path rows.
+    pub fault_points: Vec<FaultMetric>,
 }
 
 /// Extracts the value following `"key":` on `line`, up to the next comma or
@@ -201,6 +215,15 @@ pub fn parse_metrics(json: &str) -> BenchMetrics {
             metrics.spill_points.push(SpillMetric {
                 threshold,
                 total_ns_per_sub: total,
+            });
+        }
+        if let (Some(plan), Some(ns)) = (
+            field_str(line, "plan"),
+            field_f64(line, "ingest_ns_per_sub"),
+        ) {
+            metrics.fault_points.push(FaultMetric {
+                plan,
+                ingest_ns_per_sub: ns,
             });
         }
     }
@@ -327,6 +350,21 @@ pub fn compare(current: &BenchMetrics, baseline: &BenchMetrics, tolerance: f64) 
             });
         }
     }
+    for point in &current.fault_points {
+        let Some(base) = baseline.fault_points.iter().find(|b| b.plan == point.plan) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = worse_high(point.ingest_ns_per_sub, base.ingest_ns_per_sub);
+        if ratio > 1.0 + tolerance {
+            regressions.push(Regression {
+                metric: format!("fault/plan={} (ns/sub)", point.plan),
+                baseline: base.ingest_ns_per_sub,
+                current: point.ingest_ns_per_sub,
+                ratio,
+            });
+        }
+    }
     for point in &current.decode_points {
         let Some(base) = baseline
             .decode_points
@@ -443,6 +481,9 @@ mod tests {
   ],
   "spill": [
     {{"threshold": 8, "subcomputations": 3204, "total_ns_per_sub": {spill_ns}, "spill_mib_per_sec": 60.0, "spilled_subs": 3200, "spill_bytes": 370948, "peak_resident_subs": 11}}
+  ],
+  "fault": [
+    {{"plan": "empty", "ingest_ns_per_sub": 900.0}}
   ]
 }}
 "#
@@ -474,6 +515,38 @@ mod tests {
         assert_eq!(m.scan_points[0].scan, "swar");
         assert!((m.scan_points[0].scan_mib_per_sec - 12000.0).abs() < 1e-9);
         assert_eq!(m.scan_points[1].scan, "naive");
+        assert_eq!(m.fault_points.len(), 1);
+        assert_eq!(m.fault_points[0].plan, "empty");
+        assert!((m.fault_points[0].ingest_ns_per_sub - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_row_regression_beyond_tolerance_fails() {
+        // The empty-plan row pins the cost of the disarmed fault hooks on
+        // the session ingest hot path: growing it 2x must trip the gate.
+        let baseline = parse_metrics(&artefact(1, 1000.0, 50.0, 100.0));
+        let mut current = parse_metrics(&artefact(1, 1000.0, 50.0, 100.0));
+        current.fault_points[0].ingest_ns_per_sub = 1800.0;
+        match compare(&current, &baseline, 0.30) {
+            CheckOutcome::Failed(regressions) => {
+                assert_eq!(regressions.len(), 1, "{regressions:?}");
+                assert!(regressions[0].metric.contains("fault/plan=empty"));
+            }
+            other => panic!("expected fault-row regression, got {other:?}"),
+        }
+        // Within tolerance passes; a baseline without the row skips it.
+        current.fault_points[0].ingest_ns_per_sub = 1100.0;
+        assert!(matches!(
+            compare(&current, &baseline, 0.30),
+            CheckOutcome::Passed(_)
+        ));
+        let mut old_baseline = parse_metrics(&artefact(1, 1000.0, 50.0, 100.0));
+        old_baseline.fault_points.clear();
+        current.fault_points[0].ingest_ns_per_sub = 99_000.0;
+        assert!(matches!(
+            compare(&current, &old_baseline, 0.30),
+            CheckOutcome::Passed(_)
+        ));
     }
 
     #[test]
@@ -601,6 +674,7 @@ mod tests {
         current.seal_points[0].iterations = 999;
         current.decode_points[0].chunk_bytes = 1;
         current.spill_points[0].threshold = 999;
+        current.fault_points[0].plan = "other".into();
         current.windowed_points[0].windows = 999;
         current.scan_points[0].scan = "other0".into();
         current.scan_points[1].scan = "other1".into();

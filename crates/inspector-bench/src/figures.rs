@@ -108,6 +108,16 @@ pub struct Fig6Row {
     pub decode_mismatches: u64,
     /// PSB windows the decode stage fanned out (0 = serial decode).
     pub decode_windows: u64,
+    /// AUX overflow episodes across the run's threads (0 on healthy runs;
+    /// nonzero under tiny rings or an `INSPECTOR_FAULT_OVERFLOW_BYTES`
+    /// plan). When nonzero the decode cross-check is accounted, not
+    /// asserted — see `RunStats::gaps`.
+    pub gaps: u64,
+    /// Trace bytes those overflow episodes dropped (`RunStats::lost_bytes`).
+    pub lost_bytes: u64,
+    /// The run's overall health bit (`RunStats::degraded`): loss, decode
+    /// degradation, spill fallback or a dead ingest worker occurred.
+    pub degraded: bool,
     /// Overlap factor of the ingest pool: summed per-worker ingest time
     /// over the busiest worker's time (`RunStats::ingest_overlap_factor`).
     /// 1.0 means one worker did all construction; higher means the pool
@@ -138,6 +148,9 @@ pub fn figure6(size: InputSize, threads: usize, repeats: usize) -> Vec<Fig6Row> 
                 decode_errors: m.report.stats.decode_errors,
                 decode_mismatches: m.report.stats.decode_mismatches,
                 decode_windows: m.report.stats.decode_windows,
+                gaps: m.report.stats.gaps,
+                lost_bytes: m.report.stats.lost_bytes,
+                degraded: m.report.stats.degraded,
                 graph_overlap: m.report.stats.ingest_overlap_factor(),
                 ingest_workers: m.report.stats.ingest_workers,
             }
@@ -191,6 +204,16 @@ pub fn print_figure6(rows: &[Fig6Row]) {
     if rows.iter().any(|r| r.spilled_subs > 0) {
         let spilled: u64 = rows.iter().map(|r| r.spilled_subs).sum();
         println!("spill stage: {spilled} sub-computations moved to disk during the runs");
+    }
+    if rows.iter().any(|r| r.degraded) {
+        let gaps: u64 = rows.iter().map(|r| r.gaps).sum();
+        let lost: u64 = rows.iter().map(|r| r.lost_bytes).sum();
+        let degraded = rows.iter().filter(|r| r.degraded).count();
+        println!(
+            "DEGRADED: {degraded}/{} workloads ran in degraded mode \
+             ({gaps} AUX overflow episodes, {lost} trace bytes lost)",
+            rows.len()
+        );
     }
 }
 
@@ -405,9 +428,15 @@ mod tests {
             assert!(r.graph_overlap >= 1.0, "{:?}", r);
             assert!(r.ingest_workers >= 1, "{:?}", r);
             // Without INSPECTOR_DECODE_ONLINE the decode stage is inert;
-            // with it (the CI knob matrix), the cross-check must hold.
-            assert_eq!(r.decode_errors, 0, "{:?}", r);
-            assert_eq!(r.decode_mismatches, 0, "{:?}", r);
+            // with it (the CI knob matrix), the cross-check must hold —
+            // hard on lossless runs, accounted-only when the trace gapped
+            // (the CI fault cell injects overflows on purpose).
+            if r.gaps == 0 && r.lost_bytes == 0 {
+                assert_eq!(r.decode_errors, 0, "{:?}", r);
+                assert_eq!(r.decode_mismatches, 0, "{:?}", r);
+            } else {
+                assert!(r.degraded, "loss without the degraded bit: {:?}", r);
+            }
         }
     }
 
@@ -482,6 +511,9 @@ mod tests {
                 decode_errors: 0,
                 decode_mismatches: 0,
                 decode_windows: 3,
+                gaps: 1,
+                lost_bytes: 512,
+                degraded: true,
                 graph_overlap: 2.5,
                 ingest_workers: 4,
             }],

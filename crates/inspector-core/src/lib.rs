@@ -40,6 +40,21 @@
 //!   per-shard segment files (see [`spill`] for the on-disk format), faulted
 //!   back in on demand for live snapshots, and concatenated back into the
 //!   final graph at seal.
+//!
+//!   The spill tier is **fault tolerant rather than fault free**: every
+//!   I/O failure surfaces as a typed [`spill::SpillError`] instead of a
+//!   panic. A failing append is retried with bounded backoff; if the
+//!   device stays broken the shard *reverts the cut* — the prefix it was
+//!   about to evict stays resident in memory and the store detaches, so
+//!   the session degrades to unbounded-memory operation with a graph
+//!   **identical** to the never-spilled one (callers see the episode as a
+//!   `spill_fallbacks` count, never as data loss). On reload, a torn
+//!   final record — a crash mid-append — is skipped and counted rather
+//!   than poisoning the segment; every record that was fully written is
+//!   still recovered. This is the crate-level half of the runtime's
+//!   loss-accounting contract (see `inspector-runtime`'s crate docs):
+//!   degraded runs are **sound but incomplete, accounted, never silent,
+//!   never fatal**.
 //! * [`graph::CpgBuilder`] — the **batch** reference. It buffers every
 //!   thread's full sequence and derives all edges in one offline pass; it is
 //!   the oracle the streaming path is tested against (the two produce
@@ -79,6 +94,6 @@ pub use graph::{Cpg, CpgBuilder, DependenceEdge, EdgeKind};
 pub use ids::{PageId, SubId, SyncObjectId, ThreadId, ThunkId};
 pub use recorder::{SyncClockRegistry, ThreadRecorder};
 pub use sharded::{IngestStats, ShardedCpgBuilder};
-pub use spill::{SpillSettings, SpillStore};
+pub use spill::{SpillError, SpillSettings, SpillStore};
 pub use subcomputation::SubComputation;
 pub use thunk::Thunk;

@@ -158,6 +158,14 @@ pub struct IngestStats {
     /// the threshold plus whatever the causal frontier kept pinned — rather
     /// than the trace length.
     pub peak_resident_subs: u64,
+    /// Times the spill stage *degraded* instead of aborting: a spill write
+    /// failed after bounded retries (ENOSPC, injected fault) and the shard
+    /// fell back to in-memory retention, a store could not be created, or
+    /// a seal-time replay hit unreadable/torn records. As long as the
+    /// spilled data stayed readable, a fallback loses nothing — the shard
+    /// replays its segments back into memory and the final graph is
+    /// complete.
+    pub spill_fallbacks: u64,
 }
 
 /// Debug-build profile of stripe-lock acquisitions, by family. All zeros in
@@ -257,6 +265,10 @@ struct Shard {
     /// pinned by an incomplete frontier and every attempt would be a
     /// no-op.
     ingests_since_spill: usize,
+    /// Set when a spill write failed *and* the already-spilled records
+    /// could not be replayed back into memory: the store is kept so the
+    /// seal can retry the read, but no further spill attempt is made.
+    spill_disabled: bool,
 }
 
 /// One writing sub-computation in the page index: its α and its clock,
@@ -545,6 +557,17 @@ pub struct ShardedCpgBuilder {
     resident: AtomicU64,
     /// Largest `resident` value observed in the current build.
     peak_resident: AtomicU64,
+    /// Times the spill stage degraded to in-memory retention in the
+    /// current build (write failure after retries, store creation failure,
+    /// unreadable or torn records at replay).
+    spill_fallbacks: AtomicU64,
+    /// Spill-write attempts since the injection counter was armed; only
+    /// advanced while `fail_spill_write_at` is nonzero.
+    spill_appends: AtomicU64,
+    /// Fault injection: fail the Nth (1-based) spill-write attempt and
+    /// every later one, like a disk that filled up and stayed full.
+    /// `0` = disabled. Survives seals (it is configuration, not a counter).
+    fail_spill_write_at: AtomicU64,
     /// Final counters of the most recently sealed build.
     last_sealed: Mutex<Option<IngestStats>>,
     /// Number of `ingest()` calls currently in flight (quiesce guard).
@@ -576,28 +599,32 @@ impl ShardedCpgBuilder {
     /// Creates a builder with `shards` lock stripes and, when `spill` names
     /// a positive threshold, an on-disk [`SpillStore`] per shard under
     /// `spill.dir`. The directory should be dedicated to this builder —
-    /// segment file names only encode the shard index.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the spill directory (or a segment file in it) cannot be
-    /// created.
+    /// segment file names only encode the shard index. A shard whose store
+    /// cannot be created keeps its nodes in memory instead and the failure
+    /// is counted in [`IngestStats::spill_fallbacks`].
     pub fn with_shards_and_spill(shards: usize, spill: Option<SpillSettings>) -> Self {
         let shards = shards.max(1);
         let spill = spill.filter(|s| s.threshold > 0);
-        ShardedCpgBuilder {
-            shards: (0..shards)
-                .map(|i| {
-                    let store = spill.as_ref().map(|s| {
-                        SpillStore::create(&s.dir, i, s.segment_bytes)
-                            .expect("create spill segment directory")
-                    });
-                    Mutex::new(Shard {
-                        spill: store,
-                        ..Shard::default()
-                    })
+        let mut create_fallbacks = 0u64;
+        let shard_stripes: Vec<Mutex<Shard>> = (0..shards)
+            .map(|i| {
+                let store = spill.as_ref().and_then(|s| {
+                    match SpillStore::create(&s.dir, i, s.segment_bytes) {
+                        Ok(store) => Some(store),
+                        Err(_) => {
+                            create_fallbacks += 1;
+                            None
+                        }
+                    }
+                });
+                Mutex::new(Shard {
+                    spill: store,
+                    ..Shard::default()
                 })
-                .collect(),
+            })
+            .collect();
+        ShardedCpgBuilder {
+            shards: shard_stripes,
             pages: (0..shards)
                 .map(|_| Mutex::new(PageShard::default()))
                 .collect(),
@@ -630,6 +657,9 @@ impl ShardedCpgBuilder {
             spill_time_nanos: AtomicU64::new(0),
             resident: AtomicU64::new(0),
             peak_resident: AtomicU64::new(0),
+            spill_fallbacks: AtomicU64::new(create_fallbacks),
+            spill_appends: AtomicU64::new(0),
+            fail_spill_write_at: AtomicU64::new(0),
             last_sealed: Mutex::new(None),
             active_producers: AtomicUsize::new(0),
             #[cfg(debug_assertions)]
@@ -763,7 +793,40 @@ impl ShardedCpgBuilder {
             spill_bytes: self.spill_bytes.load(Ordering::Acquire),
             spill_time: Duration::from_nanos(self.spill_time_nanos.load(Ordering::Acquire)),
             peak_resident_subs: self.peak_resident.load(Ordering::Acquire),
+            spill_fallbacks: self.spill_fallbacks.load(Ordering::Acquire),
         }
+    }
+
+    /// Arms deterministic spill fault injection: the `nth` (1-based)
+    /// spill-write attempt — and every attempt after it — fails, modelling
+    /// a disk that filled up and stayed full. `0` disarms. Callable on the
+    /// shared builder; writes already in flight may complete first.
+    pub fn inject_spill_write_failure(&self, nth: u64) {
+        self.fail_spill_write_at.store(nth, Ordering::Release);
+    }
+
+    /// Runs one spill-write attempt with bounded retries. Injected
+    /// failures consume the same attempt budget as real ones. Returns
+    /// `false` when the write never succeeded — the caller falls back to
+    /// in-memory retention.
+    fn try_spill_append(&self, mut attempt: impl FnMut() -> std::io::Result<()>) -> bool {
+        const BACKOFF_MICROS: [u64; 3] = [0, 50, 200];
+        for backoff in BACKOFF_MICROS {
+            if backoff > 0 {
+                std::thread::sleep(Duration::from_micros(backoff));
+            }
+            let fail_at = self.fail_spill_write_at.load(Ordering::Acquire);
+            if fail_at > 0 {
+                let n = self.spill_appends.fetch_add(1, Ordering::AcqRel) + 1;
+                if n >= fail_at {
+                    continue;
+                }
+            }
+            if attempt().is_ok() {
+                return true;
+            }
+        }
+        false
     }
 
     /// Counters of the build currently in progress (reset by
@@ -1081,12 +1144,15 @@ impl ShardedCpgBuilder {
             // keeps the peak resident window at O(threshold + whatever the
             // frontier pins) while paying the cut computation a bounded
             // number of times per node.
-            if let Some(threshold) = self.spill_threshold() {
-                shard.ingests_since_spill += batch_len;
-                let stripe_resident: usize = shard.sequences.values().map(|s| s.live.len()).sum();
-                if shard.ingests_since_spill >= threshold && stripe_resident >= threshold {
-                    shard.ingests_since_spill = 0;
-                    self.spill_shard(shard);
+            if shard.spill.is_some() && !shard.spill_disabled {
+                if let Some(threshold) = self.spill_threshold() {
+                    shard.ingests_since_spill += batch_len;
+                    let stripe_resident: usize =
+                        shard.sequences.values().map(|s| s.live.len()).sum();
+                    if shard.ingests_since_spill >= threshold && stripe_resident >= threshold {
+                        shard.ingests_since_spill = 0;
+                        self.spill_shard(shard);
+                    }
                 }
             }
         }
@@ -1317,23 +1383,35 @@ impl ShardedCpgBuilder {
     /// emitted twice.
     fn spill_shard(&self, shard: &mut Shard) {
         let started = Instant::now();
-        let store = shard.spill.as_mut().expect("spill stage enabled");
+        let Some(store) = shard.spill.as_mut() else {
+            return;
+        };
         let bytes_before = store.bytes_written();
         let mut spilled = 0u64;
+        let mut write_failed = false;
         for (&thread, seq) in shard.sequences.iter_mut() {
             let cut = seq
                 .live
                 .iter()
                 .position(|sub| first_unmet(&self.frontier, thread, &sub.clock).is_some())
                 .unwrap_or(seq.live.len());
-            for sub in seq.live.drain(..cut) {
-                store.append_node(&sub).expect("append spill node record");
+            let mut moved = 0usize;
+            for sub in seq.live[..cut].iter() {
+                if !self.try_spill_append(|| store.append_node(sub)) {
+                    write_failed = true;
+                    break;
+                }
                 seq.spilled_tail = Some((sub.id, sub.terminator));
-                spilled += 1;
+                moved += 1;
             }
-            seq.base += cut as u64;
+            seq.live.drain(..moved);
+            seq.base += moved as u64;
+            spilled += moved as u64;
+            if write_failed {
+                break;
+            }
         }
-        if spilled > 0 {
+        if !write_failed && spilled > 0 {
             // Move the stripe-local edges whose destination is below the
             // cut: no further edge into those readers can ever be emitted.
             let bases: HashMap<ThreadId, u64> = shard
@@ -1345,14 +1423,68 @@ impl ShardedCpgBuilder {
             for edges in [&mut shard.control_edges, &mut shard.data_edges] {
                 let mut keep = Vec::with_capacity(edges.len());
                 for edge in edges.drain(..) {
-                    if below_cut(edge.dst) {
-                        store.append_edge(&edge).expect("append spill edge record");
-                    } else {
-                        keep.push(edge);
+                    if !write_failed
+                        && below_cut(edge.dst)
+                        && self.try_spill_append(|| store.append_edge(&edge))
+                    {
+                        continue;
                     }
+                    if !write_failed && below_cut(edge.dst) {
+                        // The edge stayed in memory only because its write
+                        // failed; stop spilling and fall back below.
+                        write_failed = true;
+                    }
+                    keep.push(edge);
                 }
                 *edges = keep;
             }
+        }
+        if write_failed {
+            // Bounded retries exhausted (ENOSPC, injected fault): fall
+            // back to in-memory retention. Everything spilled so far —
+            // this round's and earlier rounds' — is replayed back into
+            // the shard so nothing is lost, and the store is dropped.
+            self.spill_fallbacks.fetch_add(1, Ordering::AcqRel);
+            match store.drain_all() {
+                Ok(replay) => {
+                    let restored = replay.nodes.len() as u64;
+                    let mut by_thread: BTreeMap<ThreadId, Vec<SubComputation>> = BTreeMap::new();
+                    for sub in replay.nodes {
+                        by_thread.entry(sub.id.thread).or_default().push(sub);
+                    }
+                    for (t, prefix) in by_thread {
+                        let seq = shard.sequences.entry(t).or_default();
+                        let mut live = prefix;
+                        live.append(&mut seq.live);
+                        seq.live = live;
+                        seq.base = 0;
+                        seq.spilled_tail = None;
+                    }
+                    for edge in replay.edges {
+                        match edge.kind {
+                            EdgeKind::Control => shard.control_edges.push(edge),
+                            _ => shard.data_edges.push(edge),
+                        }
+                    }
+                    // This round's nodes were never subtracted from the
+                    // residency counters; only earlier rounds' re-enter.
+                    let returning = restored - spilled;
+                    if returning > 0 {
+                        let resident =
+                            self.resident.fetch_add(returning, Ordering::AcqRel) + returning;
+                        self.peak_resident.fetch_max(resident, Ordering::AcqRel);
+                        self.spilled_subs.fetch_sub(returning, Ordering::AcqRel);
+                    }
+                    shard.spill = None;
+                }
+                Err(_) => {
+                    // The spilled prefix cannot be read back right now;
+                    // keep the store so the seal can retry the replay, but
+                    // make no further spill attempt.
+                    shard.spill_disabled = true;
+                }
+            }
+        } else if spilled > 0 {
             self.resident.fetch_sub(spilled, Ordering::AcqRel);
             self.spilled_subs.fetch_add(spilled, Ordering::AcqRel);
             self.spill_bytes
@@ -1384,11 +1516,11 @@ impl ShardedCpgBuilder {
                 continue;
             }
             let store = guard.spill.as_ref().expect("spilled prefix has a store");
-            let (nodes, _) = store.replay().expect("replay spill segments");
+            let replay = store.replay().expect("replay spill segments");
             // Within one thread the replay yields α order, so bucketing by
             // thread gives each prefix already sorted.
             let mut by_thread: BTreeMap<ThreadId, Vec<SubComputation>> = BTreeMap::new();
-            for sub in nodes {
+            for sub in replay.nodes {
                 by_thread.entry(sub.id.thread).or_default().push(sub);
             }
             for (&t, seq) in &guard.sequences {
@@ -1534,17 +1666,38 @@ impl ShardedCpgBuilder {
             // Spilled prefixes first: the segments are concatenated back
             // into the final graph (one sequential replay per shard), then
             // deleted so the store is empty for the next build.
+            let mut detach_store = false;
             let spilled_nodes = match shard.spill.as_mut() {
-                Some(store) => {
-                    let (nodes, mut spilled_edges) =
-                        store.drain_all().expect("replay spill segments");
-                    edges.append(&mut spilled_edges);
-                    nodes
-                }
+                Some(store) => match store.drain_all() {
+                    Ok(mut replay) => {
+                        // Crash-torn tails are skipped by the replay; each
+                        // one is a degradation the caller can observe.
+                        if replay.torn_tails > 0 {
+                            self.spill_fallbacks
+                                .fetch_add(replay.torn_tails, Ordering::AcqRel);
+                        }
+                        edges.append(&mut replay.edges);
+                        replay.nodes
+                    }
+                    Err(_) => {
+                        // The spilled prefix is unreadable: seal what is
+                        // still in memory and account the degradation
+                        // instead of aborting the whole build. The store
+                        // is detached so its stale segments cannot leak
+                        // into the next build.
+                        self.spill_fallbacks.fetch_add(1, Ordering::AcqRel);
+                        detach_store = true;
+                        Vec::new()
+                    }
+                },
                 None => Vec::new(),
             };
+            if detach_store {
+                shard.spill = None;
+            }
             let sequences = std::mem::take(&mut shard.sequences);
             shard.ingests_since_spill = 0;
+            shard.spill_disabled = false;
             edges.append(&mut shard.control_edges);
             edges.append(&mut shard.data_edges);
             drop(shard);
@@ -1617,6 +1770,10 @@ impl ShardedCpgBuilder {
             &self.spill_time_nanos,
             &self.resident,
             &self.peak_resident,
+            &self.spill_fallbacks,
+            &self.spill_appends,
+            // fail_spill_write_at is configuration, not a counter: it
+            // survives the seal like the spill settings themselves.
         ] {
             counter.store(0, Ordering::Release);
         }
@@ -2269,6 +2426,63 @@ mod tests {
             // Counters are per build.
             assert_eq!(streaming.stats().spilled_subs, 0);
         }
+    }
+
+    #[test]
+    fn spill_write_failure_falls_back_to_memory_without_loss() {
+        let sequences = lock_heavy_sequences(3);
+        let mut batch = CpgBuilder::new();
+        for seq in &sequences {
+            batch.add_thread(seq.clone());
+        }
+        let reference = batch.build();
+
+        // Fail from the very first spill write, and after letting a few
+        // writes land first (so already-spilled records must be replayed
+        // back): both degrade to in-memory retention and the final graph
+        // is complete.
+        for fail_at in [1u64, 10] {
+            let streaming =
+                ShardedCpgBuilder::with_shards_and_spill(2, Some(spill_settings(1, "enospc")));
+            streaming.inject_spill_write_failure(fail_at);
+            for seq in sequences.clone() {
+                for sub in seq {
+                    streaming.ingest(sub);
+                }
+            }
+            let sealed = streaming.seal();
+            assert_eq!(
+                sealed.node_count(),
+                reference.node_count(),
+                "fail_at={fail_at}"
+            );
+            assert_eq!(edge_set(&sealed), edge_set(&reference), "fail_at={fail_at}");
+            let stats = streaming.last_sealed_stats().expect("sealed");
+            assert!(stats.spill_fallbacks > 0, "fail_at={fail_at}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn unusable_spill_dir_degrades_to_in_memory() {
+        let settings = spill_settings(1, "nodir");
+        // Occupy the spill directory path with a plain file so no store
+        // can be created: the builder must run fully in memory and report
+        // the degradation instead of panicking.
+        std::fs::write(&settings.dir, b"not a directory").expect("plant blocking file");
+        let streaming = ShardedCpgBuilder::with_shards_and_spill(2, Some(settings));
+        let sequences = lock_heavy_sequences(2);
+        let total: usize = sequences.iter().map(|s| s.len()).sum();
+        for seq in sequences {
+            for sub in seq {
+                streaming.ingest(sub);
+            }
+        }
+        let sealed = streaming.seal();
+        assert_eq!(sealed.node_count(), total);
+        assert!(sealed.validate().is_ok());
+        let stats = streaming.last_sealed_stats().expect("sealed");
+        assert_eq!(stats.spill_fallbacks, 2, "{stats:?}");
+        assert_eq!(stats.spilled_subs, 0, "{stats:?}");
     }
 
     #[test]

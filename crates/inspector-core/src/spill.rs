@@ -78,6 +78,70 @@ impl SpillSettings {
 const TAG_NODE: u8 = 0;
 const TAG_EDGE: u8 = 1;
 
+/// A spill-stage failure. The spill store never panics on bad input: I/O
+/// failures, malformed payloads, and crash-torn tails each surface as a
+/// typed error the builder can degrade around (fall back to in-memory
+/// retention) instead of aborting the session.
+#[derive(Debug)]
+pub enum SpillError {
+    /// Underlying file I/O failed (the injected-ENOSPC path included).
+    Io(std::io::Error),
+    /// A fully-framed record's payload is malformed — a bad tag or kind
+    /// code, or trailing bytes. This indicates a writer bug or on-disk
+    /// corruption, not an interrupted append.
+    Corrupt(String),
+    /// A record at the tail of a segment is incomplete: the process died
+    /// mid-append. Replay skips and counts such records; the fault-in path
+    /// reports which segment was torn.
+    TornTail {
+        /// Segment index the torn record sits in.
+        segment: usize,
+        /// Byte offset of the torn record's length prefix.
+        offset: u64,
+    },
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillError::Io(e) => write!(f, "spill I/O failed: {e}"),
+            SpillError::Corrupt(what) => write!(f, "corrupt spill record: {what}"),
+            SpillError::TornTail { segment, offset } => {
+                write!(f, "torn spill record at segment {segment} offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpillError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpillError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SpillError {
+    fn from(e: std::io::Error) -> Self {
+        SpillError::Io(e)
+    }
+}
+
+/// Result alias for spill operations.
+pub type SpillResult<T> = Result<T, SpillError>;
+
+/// Everything a sequential replay recovered, plus how much it had to skip.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Recovered node records, in append order.
+    pub nodes: Vec<SubComputation>,
+    /// Recovered edge records, in append order.
+    pub edges: Vec<DependenceEdge>,
+    /// Crash-torn tail records skipped (at most one per segment).
+    pub torn_tails: u64,
+}
+
 // ---------------------------------------------------------------------------
 // Primitive encoding (little-endian, length-prefixed collections)
 // ---------------------------------------------------------------------------
@@ -95,9 +159,10 @@ fn put_sub_id(buf: &mut Vec<u8>, id: SubId) {
     put_u64(buf, id.alpha);
 }
 
-/// Cursor over an encoded payload. All `take_*` methods fail loudly on a
-/// truncated or malformed record: spill files are process-local and written
-/// by this module, so corruption indicates a bug, not expected input.
+/// Cursor over an encoded payload. All `take_*` methods surface a
+/// truncated or malformed record as [`SpillError::Corrupt`] — never a
+/// panic — so a damaged spill file degrades the session instead of
+/// aborting it.
 struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -108,32 +173,57 @@ impl<'a> Cursor<'a> {
         Cursor { bytes, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> &'a [u8] {
-        let slice = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        slice
+    fn take(&mut self, n: usize) -> SpillResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| {
+                SpillError::Corrupt(format!(
+                    "payload truncated: need {n} bytes at offset {}",
+                    self.pos
+                ))
+            })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
     }
 
-    fn take_u8(&mut self) -> u8 {
-        self.take(1)[0]
+    fn take_u8(&mut self) -> SpillResult<u8> {
+        Ok(self.take(1)?[0])
     }
 
-    fn take_u32(&mut self) -> u32 {
-        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    fn take_u32(&mut self) -> SpillResult<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
-    fn take_u64(&mut self) -> u64 {
-        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    fn take_u64(&mut self) -> SpillResult<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
-    fn take_sub_id(&mut self) -> SubId {
-        let thread = ThreadId::new(self.take_u32());
-        let alpha = self.take_u64();
-        SubId::new(thread, alpha)
+    fn take_sub_id(&mut self) -> SpillResult<SubId> {
+        let thread = ThreadId::new(self.take_u32()?);
+        let alpha = self.take_u64()?;
+        Ok(SubId::new(thread, alpha))
     }
 
     fn exhausted(&self) -> bool {
         self.pos == self.bytes.len()
+    }
+
+    fn expect_exhausted(&self) -> SpillResult<()> {
+        if self.exhausted() {
+            Ok(())
+        } else {
+            Err(SpillError::Corrupt(format!(
+                "{} trailing bytes in spill record",
+                self.bytes.len() - self.pos
+            )))
+        }
     }
 }
 
@@ -145,12 +235,12 @@ fn sync_kind_code(kind: SyncKind) -> u8 {
     }
 }
 
-fn sync_kind_from(code: u8) -> SyncKind {
+fn sync_kind_from(code: u8) -> SpillResult<SyncKind> {
     match code {
-        1 => SyncKind::Release,
-        2 => SyncKind::Acquire,
-        3 => SyncKind::ReleaseAcquire,
-        other => panic!("corrupt spill record: sync kind {other}"),
+        1 => Ok(SyncKind::Release),
+        2 => Ok(SyncKind::Acquire),
+        3 => Ok(SyncKind::ReleaseAcquire),
+        other => Err(SpillError::Corrupt(format!("sync kind {other}"))),
     }
 }
 
@@ -163,13 +253,13 @@ fn branch_kind_code(kind: BranchKind) -> u8 {
     }
 }
 
-fn branch_kind_from(code: u8) -> BranchKind {
+fn branch_kind_from(code: u8) -> SpillResult<BranchKind> {
     match code {
-        1 => BranchKind::ConditionalTaken,
-        2 => BranchKind::ConditionalNotTaken,
-        3 => BranchKind::Indirect,
-        4 => BranchKind::Return,
-        other => panic!("corrupt spill record: branch kind {other}"),
+        1 => Ok(BranchKind::ConditionalTaken),
+        2 => Ok(BranchKind::ConditionalNotTaken),
+        3 => Ok(BranchKind::Indirect),
+        4 => Ok(BranchKind::Return),
+        other => Err(SpillError::Corrupt(format!("branch kind {other}"))),
     }
 }
 
@@ -181,12 +271,12 @@ fn edge_kind_code(kind: EdgeKind) -> u8 {
     }
 }
 
-fn edge_kind_from(code: u8) -> EdgeKind {
+fn edge_kind_from(code: u8) -> SpillResult<EdgeKind> {
     match code {
-        1 => EdgeKind::Control,
-        2 => EdgeKind::Synchronization,
-        3 => EdgeKind::Data,
-        other => panic!("corrupt spill record: edge kind {other}"),
+        1 => Ok(EdgeKind::Control),
+        2 => Ok(EdgeKind::Synchronization),
+        3 => Ok(EdgeKind::Data),
+        other => Err(SpillError::Corrupt(format!("edge kind {other}"))),
     }
 }
 
@@ -232,46 +322,46 @@ fn encode_node(buf: &mut Vec<u8>, sub: &SubComputation) {
     }
 }
 
-fn decode_node(cursor: &mut Cursor<'_>) -> SubComputation {
-    let id = cursor.take_sub_id();
-    let clock_len = cursor.take_u32() as usize;
+fn decode_node(cursor: &mut Cursor<'_>) -> SpillResult<SubComputation> {
+    let id = cursor.take_sub_id()?;
+    let clock_len = cursor.take_u32()? as usize;
     let mut clock = VectorClock::with_capacity(clock_len);
     for i in 0..clock_len {
-        let v = cursor.take_u64();
+        let v = cursor.take_u64()?;
         clock.set(ThreadId::new(i as u32), v);
     }
     let mut sub = SubComputation::new(id, clock);
-    for _ in 0..cursor.take_u32() {
-        sub.read_set.insert(PageId::new(cursor.take_u64()));
+    for _ in 0..cursor.take_u32()? {
+        sub.read_set.insert(PageId::new(cursor.take_u64()?));
     }
-    for _ in 0..cursor.take_u32() {
-        sub.write_set.insert(PageId::new(cursor.take_u64()));
+    for _ in 0..cursor.take_u32()? {
+        sub.write_set.insert(PageId::new(cursor.take_u64()?));
     }
-    let thunks = cursor.take_u32();
+    let thunks = cursor.take_u32()?;
     let mut list = ThunkList::new();
     for _ in 0..thunks {
-        let beta = cursor.take_u64();
-        let entry_ip = cursor.take_u64();
+        let beta = cursor.take_u64()?;
+        let entry_ip = cursor.take_u64()?;
         let mut thunk = Thunk::open(ThunkId::new(id, beta), entry_ip);
-        match cursor.take_u8() {
+        match cursor.take_u8()? {
             0 => {}
             code => {
-                let ip = cursor.take_u64();
-                thunk.close(branch_kind_from(code), ip);
+                let ip = cursor.take_u64()?;
+                thunk.close(branch_kind_from(code)?, ip);
             }
         }
         list.push(thunk);
     }
     sub.thunks = list;
-    sub.terminator = match cursor.take_u8() {
+    sub.terminator = match cursor.take_u8()? {
         0 => None,
         code => {
-            let kind = sync_kind_from(code);
-            let object = SyncObjectId::new(cursor.take_u64());
+            let kind = sync_kind_from(code)?;
+            let object = SyncObjectId::new(cursor.take_u64()?);
             Some(SyncPoint { object, kind })
         }
     };
-    sub
+    Ok(sub)
 }
 
 fn encode_edge(buf: &mut Vec<u8>, edge: &DependenceEdge) {
@@ -291,24 +381,25 @@ fn encode_edge(buf: &mut Vec<u8>, edge: &DependenceEdge) {
     }
 }
 
-fn decode_edge(cursor: &mut Cursor<'_>) -> DependenceEdge {
-    let src = cursor.take_sub_id();
-    let dst = cursor.take_sub_id();
-    let kind = edge_kind_from(cursor.take_u8());
-    let object = match cursor.take_u8() {
+fn decode_edge(cursor: &mut Cursor<'_>) -> SpillResult<DependenceEdge> {
+    let src = cursor.take_sub_id()?;
+    let dst = cursor.take_sub_id()?;
+    let kind = edge_kind_from(cursor.take_u8()?)?;
+    let object = match cursor.take_u8()? {
         0 => None,
-        _ => Some(SyncObjectId::new(cursor.take_u64())),
+        _ => Some(SyncObjectId::new(cursor.take_u64()?)),
     };
-    let pages = (0..cursor.take_u32())
-        .map(|_| PageId::new(cursor.take_u64()))
-        .collect();
-    DependenceEdge {
+    let mut pages = Vec::new();
+    for _ in 0..cursor.take_u32()? {
+        pages.push(PageId::new(cursor.take_u64()?));
+    }
+    Ok(DependenceEdge {
         src,
         dst,
         kind,
         object,
         pages,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -318,6 +409,16 @@ fn decode_edge(cursor: &mut Cursor<'_>) -> DependenceEdge {
 /// Location of a spilled node: segment index and byte offset of its record's
 /// length prefix.
 type NodeLocation = (u32, u64);
+
+/// Reads exactly `buf.len()` bytes; `Ok(false)` means the file ended first
+/// (a torn record), any other failure is a real I/O error.
+fn read_full(file: &mut File, buf: &mut [u8]) -> std::io::Result<bool> {
+    match file.read_exact(buf) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(e),
+    }
+}
 
 /// Append-only spill store of one shard: open segment writer, the segment
 /// file list, and the node fault-in index.
@@ -409,7 +510,9 @@ impl SpillStore {
     /// Frames and appends the scratch buffer as one record.
     fn append_record(&mut self) -> std::io::Result<()> {
         let len = self.scratch.len() as u32;
-        let file = self.current.as_mut().expect("writer open");
+        let file = self.current.as_mut().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotConnected, "spill writer not open")
+        })?;
         file.write_all(&len.to_le_bytes())?;
         file.write_all(&self.scratch)?;
         let total = 4 + self.scratch.len() as u64;
@@ -444,20 +547,38 @@ impl SpillStore {
     /// Reads one spilled node back in through the index, without touching
     /// the rest of its segment. Returns `None` for ids that were never
     /// spilled.
-    pub fn fault_node(&self, id: SubId) -> std::io::Result<Option<SubComputation>> {
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError::TornTail`] if the indexed record is incomplete on disk
+    /// (crash mid-append); [`SpillError::Corrupt`] if its payload is
+    /// malformed; [`SpillError::Io`] on read failure.
+    pub fn fault_node(&self, id: SubId) -> SpillResult<Option<SubComputation>> {
         let Some(&(segment, offset)) = self.index.get(&id) else {
             return Ok(None);
+        };
+        let torn = || SpillError::TornTail {
+            segment: segment as usize,
+            offset,
         };
         let mut file = File::open(&self.segments[segment as usize])?;
         file.seek(SeekFrom::Start(offset))?;
         let mut len = [0u8; 4];
-        file.read_exact(&mut len)?;
+        read_full(&mut file, &mut len)?
+            .then_some(())
+            .ok_or_else(torn)?;
         let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
-        file.read_exact(&mut payload)?;
+        read_full(&mut file, &mut payload)?
+            .then_some(())
+            .ok_or_else(torn)?;
         let mut cursor = Cursor::new(&payload);
-        assert_eq!(cursor.take_u8(), TAG_NODE, "index points at a node record");
-        let sub = decode_node(&mut cursor);
-        assert!(cursor.exhausted(), "trailing bytes in node record");
+        if cursor.take_u8()? != TAG_NODE {
+            return Err(SpillError::Corrupt(
+                "index points at a non-node record".into(),
+            ));
+        }
+        let sub = decode_node(&mut cursor)?;
+        cursor.expect_exhausted()?;
         Ok(Some(sub))
     }
 
@@ -466,34 +587,60 @@ impl SpillStore {
     /// order (prefixes only ever grow), so callers can bucket by thread and
     /// get sorted sequences for free. Used by the live-snapshot fault path
     /// — one sequential read per shard instead of a seek per node.
-    pub fn replay(&self) -> std::io::Result<(Vec<SubComputation>, Vec<DependenceEdge>)> {
-        let mut nodes = Vec::with_capacity(self.nodes_spilled as usize);
-        let mut edges = Vec::new();
+    ///
+    /// A record torn at a segment's tail (the process died mid-append) is
+    /// **skipped and counted** in [`Replay::torn_tails`], not an error:
+    /// after a crash the torn suffix is exactly the data that was still in
+    /// flight, and the surviving prefix is intact by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError::Corrupt`] for a malformed fully-framed payload;
+    /// [`SpillError::Io`] on read failure.
+    pub fn replay(&self) -> SpillResult<Replay> {
+        let mut out = Replay {
+            nodes: Vec::with_capacity(self.nodes_spilled as usize),
+            ..Replay::default()
+        };
         for path in &self.segments {
             let bytes = std::fs::read(path)?;
             let mut pos = 0usize;
             while pos < bytes.len() {
+                if pos + 4 > bytes.len() {
+                    // Torn length prefix at the tail.
+                    out.torn_tails += 1;
+                    break;
+                }
                 let len =
                     u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-                pos += 4;
-                let mut cursor = Cursor::new(&bytes[pos..pos + len]);
-                pos += len;
-                match cursor.take_u8() {
-                    TAG_NODE => nodes.push(decode_node(&mut cursor)),
-                    TAG_EDGE => edges.push(decode_edge(&mut cursor)),
-                    other => panic!("corrupt spill record: tag {other}"),
+                if pos + 4 + len > bytes.len() {
+                    // Torn payload at the tail.
+                    out.torn_tails += 1;
+                    break;
                 }
-                assert!(cursor.exhausted(), "trailing bytes in spill record");
+                let mut cursor = Cursor::new(&bytes[pos + 4..pos + 4 + len]);
+                pos += 4 + len;
+                match cursor.take_u8()? {
+                    TAG_NODE => out.nodes.push(decode_node(&mut cursor)?),
+                    TAG_EDGE => out.edges.push(decode_edge(&mut cursor)?),
+                    other => return Err(SpillError::Corrupt(format!("tag {other}"))),
+                }
+                cursor.expect_exhausted()?;
             }
         }
-        Ok((nodes, edges))
+        Ok(out)
     }
 
     /// Replays every record of every segment in append order, then deletes
     /// the segment files and resets the store for the next build. This is
     /// the seal path: segments are concatenated back into the final graph
     /// instead of nodes being moved out of memory.
-    pub fn drain_all(&mut self) -> std::io::Result<(Vec<SubComputation>, Vec<DependenceEdge>)> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpillStore::replay`]'s errors; the store is left
+    /// unconsumed on failure so the caller can decide how to degrade.
+    pub fn drain_all(&mut self) -> SpillResult<Replay> {
         // Make sure everything is on disk before replaying.
         self.current = None;
         let drained = self.replay()?;
@@ -561,7 +708,7 @@ mod tests {
             let mut buf = Vec::new();
             encode_node(&mut buf, &sub);
             let mut cursor = Cursor::new(&buf);
-            let decoded = decode_node(&mut cursor);
+            let decoded = decode_node(&mut cursor).unwrap();
             assert!(cursor.exhausted());
             assert_eq!(decoded, sub);
             // Representation-exact, not just Eq: the equivalence suites
@@ -599,7 +746,7 @@ mod tests {
             let mut buf = Vec::new();
             encode_edge(&mut buf, &edge);
             let mut cursor = Cursor::new(&buf);
-            let decoded = decode_edge(&mut cursor);
+            let decoded = decode_edge(&mut cursor).unwrap();
             assert!(cursor.exhausted());
             assert_eq!(decoded, edge);
         }
@@ -636,13 +783,14 @@ mod tests {
             .is_none());
 
         // Sequential replay returns everything in append order and resets.
-        let (nodes, edges) = store.drain_all().unwrap();
-        assert_eq!(nodes, subs);
-        assert_eq!(edges, vec![edge]);
+        let replay = store.drain_all().unwrap();
+        assert_eq!(replay.nodes, subs);
+        assert_eq!(replay.edges, vec![edge]);
+        assert_eq!(replay.torn_tails, 0);
         assert_eq!(store.spilled_nodes(), 0);
         assert_eq!(store.segment_count(), 0);
-        let (nodes, edges) = store.drain_all().unwrap();
-        assert!(nodes.is_empty() && edges.is_empty());
+        let replay = store.drain_all().unwrap();
+        assert!(replay.nodes.is_empty() && replay.edges.is_empty());
         drop(store);
         assert!(!dir.exists(), "store drop removes the spill directory");
     }
@@ -665,8 +813,8 @@ mod tests {
         for sub in &subs {
             assert_eq!(store.fault_node(sub.id).unwrap().as_ref(), Some(sub));
         }
-        let (nodes, _) = store.drain_all().unwrap();
-        assert_eq!(nodes, subs);
+        let replay = store.drain_all().unwrap();
+        assert_eq!(replay.nodes, subs);
     }
 
     #[test]
@@ -678,9 +826,65 @@ mod tests {
             for sub in &subs {
                 store.append_node(sub).unwrap();
             }
-            let (nodes, edges) = store.drain_all().unwrap();
-            assert_eq!(nodes, subs, "round {round}");
-            assert!(edges.is_empty());
+            let replay = store.drain_all().unwrap();
+            assert_eq!(replay.nodes, subs, "round {round}");
+            assert!(replay.edges.is_empty());
         }
+    }
+
+    #[test]
+    fn torn_final_record_is_skipped_and_counted() {
+        // Crash-mid-append round trip: append, truncate the last segment
+        // inside the final record, replay. The surviving prefix comes back
+        // intact and the torn record is counted, never a panic.
+        let dir = unique_dir("torn");
+        let subs = recorded_subs();
+        let mut store = SpillStore::create(&dir, 0, DEFAULT_SEGMENT_BYTES).unwrap();
+        for sub in &subs {
+            store.append_node(sub).unwrap();
+        }
+        // Flush, then chop the file mid-way through the last record's
+        // payload (and separately inside its length prefix).
+        store.current = None;
+        let path = store.segments.last().unwrap().clone();
+        let full = std::fs::read(&path).unwrap();
+        for chop in [3u64, 9] {
+            let file = OpenOptions::new().write(true).open(&path).unwrap();
+            file.set_len(full.len() as u64 - chop).unwrap();
+            drop(file);
+            let replay = store.replay().unwrap();
+            assert_eq!(replay.nodes, subs[..subs.len() - 1]);
+            assert!(replay.edges.is_empty());
+            assert_eq!(replay.torn_tails, 1, "chop {chop}");
+        }
+        // The fault-in path reports the torn record as such.
+        let err = store.fault_node(subs.last().unwrap().id).unwrap_err();
+        assert!(matches!(err, SpillError::TornTail { .. }), "{err}");
+        assert!(err.to_string().contains("torn"));
+        // Intact records still fault in fine.
+        assert_eq!(
+            store.fault_node(subs[0].id).unwrap().as_ref(),
+            Some(&subs[0])
+        );
+        // drain_all skips + counts the same way.
+        let replay = store.drain_all().unwrap();
+        assert_eq!(replay.nodes, subs[..subs.len() - 1]);
+        assert_eq!(replay.torn_tails, 1);
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_typed_error_not_a_panic() {
+        let dir = unique_dir("corrupt");
+        let subs = recorded_subs();
+        let mut store = SpillStore::create(&dir, 0, DEFAULT_SEGMENT_BYTES).unwrap();
+        store.append_node(&subs[0]).unwrap();
+        store.current = None;
+        let path = store.segments.last().unwrap().clone();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 0xFF; // clobber the record tag
+        std::fs::write(&path, &bytes).unwrap();
+        let err = store.replay().unwrap_err();
+        assert!(matches!(err, SpillError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("corrupt"));
     }
 }

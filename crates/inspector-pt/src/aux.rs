@@ -130,6 +130,23 @@ impl AuxBuffer {
         }
     }
 
+    /// Forces one overflow episode of `bytes` lost bytes, as if the
+    /// producer had offered that many bytes against a full ring. The loss
+    /// flows through the normal accounting (`gaps` + 1, `bytes_lost` +
+    /// `bytes`) and the next successful [`produce`](Self::produce) emits a
+    /// real OVF recovery marker into the stream — deterministic fault
+    /// injection for the degraded-decode paths.
+    pub fn inject_overflow(&mut self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        if !self.in_overflow {
+            self.stats.gaps += 1;
+            self.in_overflow = true;
+        }
+        self.stats.bytes_lost += bytes;
+    }
+
     /// Collects (drains) everything currently buffered — the consumer side,
     /// equivalent to `perf record` copying the AUX area to disk.
     pub fn collect(&mut self) -> Vec<u8> {
@@ -204,6 +221,20 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         AuxBuffer::new(AuxMode::FullTrace, 0);
+    }
+
+    #[test]
+    fn injected_overflow_accounts_and_marks_like_a_real_one() {
+        let mut aux = AuxBuffer::new(AuxMode::FullTrace, 16);
+        aux.produce(&[1, 2]);
+        aux.inject_overflow(0); // no-op
+        assert_eq!(aux.stats().gaps, 0);
+        aux.inject_overflow(7);
+        aux.inject_overflow(3); // same episode
+        assert_eq!(aux.stats().gaps, 1);
+        assert_eq!(aux.stats().bytes_lost, 10);
+        aux.produce(&[9]);
+        assert_eq!(aux.collect(), vec![1, 2, OPC_ESCAPE, OPC_OVF, 9]);
     }
 
     #[test]

@@ -134,6 +134,10 @@ impl<'a> PacketDecoder<'a> {
                 }
                 OPC_OVF => {
                     self.pos += 2;
+                    // An overflow means an unknown number of packets were
+                    // lost; the last-IP context from before the gap is
+                    // stale, so reset it (the encoder resets symmetrically).
+                    self.last_ip = 0;
                     return Ok(Some(Packet::Overflow));
                 }
                 OPC_LONG_TNT => {

@@ -109,6 +109,11 @@ impl PacketEncoder {
             BranchEvent::Overflow => {
                 self.flush_tnt();
                 self.emit_two(OPC_ESCAPE, OPC_OVF);
+                // Real hardware re-establishes the IP context after a gap;
+                // the decoder resets on OVF, so the encoder must too or the
+                // first IP packet after the gap would compress against a
+                // context the decoder no longer has.
+                self.last_ip = 0;
             }
         }
         self.maybe_psb();

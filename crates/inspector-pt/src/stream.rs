@@ -56,6 +56,10 @@ pub struct StreamStats {
     pub errors: u64,
     /// Successful PSB re-synchronisations after corruption.
     pub resyncs: u64,
+    /// Overflow (OVF) packets decoded — trace gaps where the producer lost
+    /// data. Branches counted here cover only the surviving bytes; a
+    /// nonzero value marks the stream as *degraded*, not corrupt.
+    pub gaps: u64,
 }
 
 /// What stopped a decode pass over the carry buffer.
@@ -342,6 +346,9 @@ impl StreamingDecoder {
                                     BranchEvent::Conditional { .. } | BranchEvent::Indirect { .. }
                                 ) {
                                     stats.branches += 1;
+                                }
+                                if matches!(event, BranchEvent::Overflow) {
+                                    stats.gaps += 1;
                                 }
                                 if *record_events {
                                     pending.push_back(Ok(event));

@@ -115,6 +115,17 @@ impl ThreadTrace {
         self.since_flush = 0;
     }
 
+    /// Forces one overflow episode of `bytes` lost bytes on the underlying
+    /// AUX ring (deterministic fault injection). The loss is accounted like
+    /// a real slow-consumer drop — `gaps`/`bytes_lost` in [`PtStats`] — and
+    /// the next flush emits a real OVF marker into the collected stream.
+    pub fn inject_overflow(&mut self, bytes: u64) {
+        self.aux.inject_overflow(bytes);
+        let aux_stats = self.aux.stats();
+        self.stats.bytes_lost = aux_stats.bytes_lost;
+        self.stats.gaps = aux_stats.gaps;
+    }
+
     /// Removes and returns the packet bytes collected since the last drain.
     ///
     /// This is the incremental consumption path of the streaming pipeline:
@@ -276,6 +287,20 @@ mod tests {
         let stats = trace.stats();
         assert!(stats.bytes_lost > 0);
         assert!(stats.gaps >= 1);
+    }
+
+    #[test]
+    fn injected_overflow_flows_into_pt_stats_and_stream() {
+        let mut trace = ThreadTrace::new(0x400000);
+        trace.conditional(true);
+        trace.flush();
+        trace.inject_overflow(100);
+        trace.conditional(false);
+        let (log, stats) = trace.finish();
+        assert_eq!(stats.gaps, 1);
+        assert_eq!(stats.bytes_lost, 100);
+        let events = ThreadTrace::decode(&log).unwrap();
+        assert!(events.contains(&BranchEvent::Overflow));
     }
 
     #[test]

@@ -350,6 +350,7 @@ impl Reassembler {
         self.stats.branches += s.branches;
         self.stats.errors += s.errors;
         self.stats.resyncs += s.resyncs;
+        self.stats.gaps += s.gaps;
         self.carry = outcome.carry;
         self.last_ip = outcome.last_ip;
         self.resyncing = outcome.resyncing;
@@ -394,6 +395,7 @@ impl Reassembler {
         self.stats.branches += s.branches;
         self.stats.errors += s.errors;
         self.stats.resyncs += s.resyncs;
+        self.stats.gaps += s.gaps;
         self.carry = dec.carry().to_vec();
         self.last_ip = dec.context_ip();
         self.resyncing = dec.is_resyncing();

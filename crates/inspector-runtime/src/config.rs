@@ -23,6 +23,48 @@ pub enum ExecutionMode {
     Inspector,
 }
 
+/// Deterministic fault-injection plan for a session run.
+///
+/// Every field is a trigger with `0` = disabled, so the default plan is
+/// empty ([`is_empty`](Self::is_empty)) and the fault hooks cost nothing
+/// on the hot paths. The plan drives the graceful-degradation machinery:
+/// an injected fault must never abort the session — it surfaces in the
+/// run report's health counters (`RunStats::{gaps, lost_bytes,
+/// decode_degraded, spill_fallbacks, worker_failures, degraded}`)
+/// instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// XOR-flip the byte at this 1-based cumulative offset of every
+    /// thread's AUX stream as it enters the online decoder, modelling
+    /// in-flight trace corruption. The decoder reports a decode error and
+    /// the thread's cross-check degrades instead of asserting.
+    pub corrupt_aux_at: u64,
+    /// Inject one AUX overflow episode of this many lost bytes into each
+    /// thread's trace before its first flush, modelling a consumer that
+    /// fell behind. The loss flows through the normal OVF accounting
+    /// (`gaps`, `bytes_lost`, a real OVF packet in the stream).
+    pub overflow_bytes: u64,
+    /// Fail the Nth (1-based) spill-write attempt and every later one,
+    /// modelling a disk that filled up and stayed full. The builder
+    /// retries with bounded backoff, then falls back to in-memory
+    /// retention (`spill_fallbacks`).
+    pub fail_spill_write: u64,
+    /// Panic this ingest worker (1-based lane index; `0` = none) …
+    pub panic_worker: u64,
+    /// … when it receives its Nth (1-based) sub-computation batch. The
+    /// supervisor closes the dead worker's lane, surviving workers drain,
+    /// and the session reports the failure instead of hanging or
+    /// aborting.
+    pub panic_at_batch: u64,
+}
+
+impl FaultPlan {
+    /// `true` when no fault is armed (the default).
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+}
+
 /// Configuration of an [`crate::InspectorSession`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionConfig {
@@ -104,6 +146,9 @@ pub struct SessionConfig {
     /// either way each session uses its own subdirectory and removes it
     /// with the builder.
     pub spill_dir: Option<PathBuf>,
+    /// Deterministic fault-injection plan. Empty by default — see
+    /// [`FaultPlan`].
+    pub fault_plan: FaultPlan,
 }
 
 /// Default ingest-pool width: `min(4, available_parallelism)`, at least one.
@@ -135,6 +180,7 @@ impl SessionConfig {
             decode_windows: 0,
             spill_threshold: 0,
             spill_dir: None,
+            fault_plan: FaultPlan::default(),
         }
     }
 
@@ -209,6 +255,12 @@ impl SessionConfig {
         self
     }
 
+    /// Returns a copy with the given fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Applies the streaming-pipeline knobs from the process environment:
     ///
     /// * `INSPECTOR_INGEST_THREADS` — ingest-pool width,
@@ -226,7 +278,13 @@ impl SessionConfig {
     ///   count that triggers a spill-to-disk cut (`0` explicitly disables
     ///   spilling — unlike the knobs above, zero is this knob's documented
     ///   "off" value and is applied),
-    /// * `INSPECTOR_SPILL_DIR` — directory for the spill segment files.
+    /// * `INSPECTOR_SPILL_DIR` — directory for the spill segment files,
+    /// * `INSPECTOR_FAULT_CORRUPT_AT`, `INSPECTOR_FAULT_OVERFLOW_BYTES`,
+    ///   `INSPECTOR_FAULT_SPILL_WRITE`, `INSPECTOR_FAULT_PANIC_WORKER`,
+    ///   `INSPECTOR_FAULT_PANIC_AT_BATCH` — the [`FaultPlan`] triggers,
+    ///   for exercising the degraded paths from CI without recompiling.
+    ///   Like the structural knobs, zero means "disarmed" and is exactly
+    ///   the default, so `FOO=0` and unset are equivalent.
     ///
     /// Unset or unrecognized values leave the corresponding configured
     /// default untouched. For the five structural knobs
@@ -277,6 +335,31 @@ impl SessionConfig {
         }
         if let Some(dir) = lookup("INSPECTOR_SPILL_DIR").filter(|d| !d.trim().is_empty()) {
             self = self.with_spill_dir(dir.trim());
+        }
+        // Fault triggers: 0 is the disarmed default, so — like the
+        // structural knobs — parse failures and zero leave the plan field
+        // untouched.
+        let fault = |name: &str| -> Option<u64> {
+            lookup(name)?
+                .trim()
+                .parse()
+                .ok()
+                .filter(|&value: &u64| value > 0)
+        };
+        if let Some(at) = fault("INSPECTOR_FAULT_CORRUPT_AT") {
+            self.fault_plan.corrupt_aux_at = at;
+        }
+        if let Some(bytes) = fault("INSPECTOR_FAULT_OVERFLOW_BYTES") {
+            self.fault_plan.overflow_bytes = bytes;
+        }
+        if let Some(nth) = fault("INSPECTOR_FAULT_SPILL_WRITE") {
+            self.fault_plan.fail_spill_write = nth;
+        }
+        if let Some(worker) = fault("INSPECTOR_FAULT_PANIC_WORKER") {
+            self.fault_plan.panic_worker = worker;
+        }
+        if let Some(batch) = fault("INSPECTOR_FAULT_PANIC_AT_BATCH") {
+            self.fault_plan.panic_at_batch = batch;
         }
         self
     }
@@ -473,6 +556,50 @@ mod tests {
                 .apply_env_with(|name| (name == "INSPECTOR_DECODE_ONLINE").then(|| value.into()));
             assert_eq!(from_on.decode_online, expect_from_on, "value {value:?}");
         }
+    }
+
+    #[test]
+    fn fault_plan_defaults_empty_and_env_knobs_arm_it() {
+        assert!(SessionConfig::inspector().fault_plan.is_empty());
+        let parsed = SessionConfig::inspector().apply_env_with(|name| match name {
+            "INSPECTOR_FAULT_CORRUPT_AT" => Some(" 17 ".into()),
+            "INSPECTOR_FAULT_OVERFLOW_BYTES" => Some("512".into()),
+            "INSPECTOR_FAULT_SPILL_WRITE" => Some("3".into()),
+            "INSPECTOR_FAULT_PANIC_WORKER" => Some("2".into()),
+            "INSPECTOR_FAULT_PANIC_AT_BATCH" => Some("5".into()),
+            _ => None,
+        });
+        assert_eq!(
+            parsed.fault_plan,
+            FaultPlan {
+                corrupt_aux_at: 17,
+                overflow_bytes: 512,
+                fail_spill_write: 3,
+                panic_worker: 2,
+                panic_at_batch: 5,
+            }
+        );
+        assert!(!parsed.fault_plan.is_empty());
+    }
+
+    #[test]
+    fn fault_knobs_zero_or_unrecognized_leave_the_plan() {
+        // A non-default base plan, so "untouched" is distinguishable from
+        // "reset to empty".
+        let base = SessionConfig::inspector().with_fault_plan(FaultPlan {
+            corrupt_aux_at: 9,
+            overflow_bytes: 64,
+            fail_spill_write: 1,
+            panic_worker: 1,
+            panic_at_batch: 2,
+        });
+        for bad in ["", "0", "not-a-number", "-1", "2.5"] {
+            let parsed = base
+                .clone()
+                .apply_env_with(|name| name.starts_with("INSPECTOR_FAULT_").then(|| bad.into()));
+            assert_eq!(parsed.fault_plan, base.fault_plan, "value {bad:?}");
+        }
+        assert_eq!(base.clone().apply_env_with(|_| None), base);
     }
 
     #[test]

@@ -129,14 +129,26 @@ impl ThreadCtx {
             shared.builder.announce_thread(thread, &recorder.clock());
         }
         let trace = match shared.config.mode {
-            ExecutionMode::Inspector => Some(ThreadTrace::with_config(
-                0x40_0000 + thread.index() as u64 * 0x1000,
-                TraceConfig {
-                    mode: shared.config.aux_mode,
-                    aux_capacity: shared.config.aux_capacity,
-                    flush_every: shared.config.pt_flush_every,
-                },
-            )),
+            ExecutionMode::Inspector => {
+                let mut trace = ThreadTrace::with_config(
+                    0x40_0000 + thread.index() as u64 * 0x1000,
+                    TraceConfig {
+                        mode: shared.config.aux_mode,
+                        aux_capacity: shared.config.aux_capacity,
+                        flush_every: shared.config.pt_flush_every,
+                    },
+                );
+                let overflow = shared.config.fault_plan.overflow_bytes;
+                if overflow > 0 {
+                    // Deterministic fault injection: open every thread's
+                    // trace with one overflow episode of the configured
+                    // size, as if the consumer fell behind right away. The
+                    // loss flows through the normal OVF accounting and the
+                    // decoders' gap-aware paths.
+                    trace.inject_overflow(overflow);
+                }
+                Some(trace)
+            }
             ExecutionMode::Native => None,
         };
         // One lane of the ingest pool, fixed by thread id: every

@@ -57,6 +57,28 @@
 //! cross-checking the decoded branch counts against the recorder; the cost
 //! appears as the `pt_decode` phase of the Figure 6 breakdown.
 //!
+//! # Degraded mode and loss accounting
+//!
+//! The pipeline degrades instead of aborting, and every degradation is
+//! accounted. A run is **sound but possibly incomplete**: the provenance
+//! graph never contains fabricated nodes or edges, and whatever was lost is
+//! tallied in [`RunStats`] health fields — AUX ring overflows
+//! ([`RunStats::gaps`] / [`RunStats::lost_bytes`], mirroring the per-thread
+//! recorder's counters), decoder windows that crossed a gap and therefore
+//! skipped the branch-count cross-check ([`RunStats::decode_degraded`]),
+//! spill-stage write failures that fell back to in-memory retention
+//! ([`RunStats::spill_fallbacks`]), and ingest workers that died
+//! ([`RunStats::worker_failures`]). [`RunStats::degraded`] is the single
+//! bit meaning "some health field is nonzero"; healthy runs still
+//! hard-assert exact decode/recorder agreement. When a worker dies, its
+//! channel lane closes so producers fail fast instead of deadlocking, the
+//! surviving workers drain, and [`InspectorSession::try_run`] returns a
+//! structured [`SessionError`] carrying the per-worker failures *and* the
+//! partial [`RunReport`]. Faults are injected deterministically through
+//! [`FaultPlan`] (config field [`SessionConfig::fault_plan`] or the
+//! `INSPECTOR_FAULT_*` env knobs); `tests/fault_tolerance.rs` proves the
+//! contract over random schedules and fault plans.
+//!
 //! ```
 //! use inspector_runtime::{ExecutionMode, InspectorSession, SessionConfig};
 //! use inspector_runtime::sync::InspMutex;
@@ -90,10 +112,10 @@ pub mod report;
 pub mod session;
 pub mod sync;
 
-pub use config::{ExecutionMode, SessionConfig};
+pub use config::{ExecutionMode, FaultPlan, SessionConfig};
 pub use ctx::{JoinHandle, ThreadCtx};
 pub use report::{PhaseBreakdown, RunReport, RunStats};
-pub use session::InspectorSession;
+pub use session::{InspectorSession, SessionError, WorkerFailure};
 
 // Re-export the substrate types that appear in the public API so downstream
 // users only need this crate.

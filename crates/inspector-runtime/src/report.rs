@@ -111,6 +111,33 @@ pub struct RunStats {
     /// costs.
     #[serde(with = "duration_nanos")]
     pub spill_time: Duration,
+    /// Trace gaps (AUX overflow episodes) summed over all threads. Every
+    /// gap means an unknown number of branch events were lost; branches
+    /// decoded after a gap are still exact, so the graph built over the
+    /// surviving events is sound — the run is *degraded*, not corrupt.
+    pub gaps: u64,
+    /// AUX payload bytes the producer dropped across all overflow
+    /// episodes (the size of the lost windows).
+    pub lost_bytes: u64,
+    /// Threads whose online decode cross-check was *skipped* because the
+    /// stream was degraded (decode errors or AUX loss) rather than
+    /// asserted. Healthy threads still hard-verify; this counts the ones
+    /// that could not be.
+    pub decode_degraded: u64,
+    /// Times the spill stage degraded to in-memory retention instead of
+    /// aborting (write failure after bounded retries, store creation
+    /// failure, torn or unreadable records at replay). See
+    /// [`IngestStats::spill_fallbacks`](inspector_core::IngestStats::spill_fallbacks).
+    pub spill_fallbacks: u64,
+    /// Ingest workers that died (panicked) before draining their lane.
+    /// Their undrained provenance is lost; the surviving workers' share
+    /// is still sealed into the partial graph.
+    pub worker_failures: u64,
+    /// `true` when any loss or fallback occurred (`gaps`, `lost_bytes`,
+    /// `decode_errors`, `decode_degraded`, `spill_fallbacks` or
+    /// `worker_failures` nonzero): the report covers a sound but
+    /// incomplete view of the execution.
+    pub degraded: bool,
 }
 
 impl RunStats {

@@ -388,6 +388,10 @@ pub(crate) struct DecodeAgg {
     pub(crate) errors: u64,
     /// Threads whose clean decode disagreed with the recorder.
     pub(crate) mismatches: u64,
+    /// Threads whose cross-check was skipped because their stream was
+    /// degraded (decode errors or AUX loss) — gap-aware accounting, not a
+    /// mismatch.
+    pub(crate) degraded: u64,
     /// PSB windows merged by the windowed decode path.
     pub(crate) windows: u64,
     /// High-water mark of out-of-order outcomes held by any resequencer.
@@ -419,12 +423,22 @@ pub(crate) struct WorkerOutcome {
 /// its lane to the sharded builder, runs routed AUX chunks through
 /// per-thread streaming decoders (decode-while-running), and collects
 /// per-thread statistics.
-fn ingest_loop(rx: Receiver<IngestMsg>, shared: Arc<Shared>) -> WorkerOutcome {
+fn ingest_loop(rx: Receiver<IngestMsg>, shared: Arc<Shared>, lane: usize) -> WorkerOutcome {
     let mut done = Vec::new();
     let mut busy = Duration::ZERO;
     let mut decode = DecodeAgg::default();
     let mut decoders: HashMap<ThreadId, StreamingDecoder> = HashMap::new();
     let mut windowed_states: HashMap<ThreadId, WindowedState> = HashMap::new();
+    let plan = shared.config.fault_plan;
+    // Deterministic worker-death injection: this lane dies on its Nth
+    // provenance message. The supervisor in `try_run` catches the unwind;
+    // dropping `rx` mid-loop closes the lane so producers fail fast.
+    let panic_at = (plan.panic_worker == lane as u64 + 1)
+        .then_some(plan.panic_at_batch)
+        .filter(|&at| at > 0);
+    let mut batches = 0u64;
+    // Per-thread cumulative AUX offsets for the corruption fault.
+    let mut aux_offsets: HashMap<ThreadId, u64> = HashMap::new();
     // Windowed fan-out only changes behaviour when online decode is on;
     // with depth 0 the serial per-thread streaming path below is untouched.
     let depth = if shared.config.decode_online {
@@ -454,16 +468,40 @@ fn ingest_loop(rx: Receiver<IngestMsg>, shared: Arc<Shared>) -> WorkerOutcome {
         };
         match msg {
             IngestMsg::Sub(sub) => {
+                batches += 1;
+                if panic_at == Some(batches) {
+                    panic!("injected fault: ingest worker {lane} died at message {batches}");
+                }
                 let start = Instant::now();
                 shared.builder.ingest(sub);
                 busy += start.elapsed();
             }
             IngestMsg::SubBatch(batch) => {
+                batches += 1;
+                if panic_at == Some(batches) {
+                    panic!("injected fault: ingest worker {lane} died at message {batches}");
+                }
                 let start = Instant::now();
                 shared.builder.ingest_batch(batch);
                 busy += start.elapsed();
             }
-            IngestMsg::Aux { thread, pid, data } => {
+            IngestMsg::Aux {
+                thread,
+                pid,
+                mut data,
+            } => {
+                if plan.corrupt_aux_at > 0 {
+                    // XOR-flip the byte at the armed 1-based cumulative
+                    // offset of this thread's AUX stream — in-flight trace
+                    // corruption, seen by decoder and perf log alike.
+                    let seen = aux_offsets.entry(thread).or_insert(0);
+                    let target = plan.corrupt_aux_at - 1;
+                    if target >= *seen && target - *seen < data.len() as u64 {
+                        data[(target - *seen) as usize] ^= 0xFF;
+                    }
+                    *seen += data.len() as u64;
+                }
+                let data = data;
                 if depth > 0 {
                     // Windowed path: scan for PSB-run starts, publish every
                     // completed window for any worker to decode, reassemble
@@ -497,12 +535,15 @@ fn ingest_loop(rx: Receiver<IngestMsg>, shared: Arc<Shared>) -> WorkerOutcome {
                     let s = state.reasm.stats();
                     // Cross-check on the merged stream-order counters —
                     // identical to the serial decoder's by construction.
-                    if s.errors == 0
-                        && stats.pt.bytes_lost == 0
-                        && stats.pt.gaps == 0
-                        && s.branches != stats.pt.branches
-                    {
-                        decode.mismatches += 1;
+                    // Healthy streams hard-verify; a degraded stream
+                    // (decode errors or AUX loss) has no exact expected
+                    // count, so it is accounted as skipped, not mismatched.
+                    if s.errors == 0 && stats.pt.bytes_lost == 0 && stats.pt.gaps == 0 {
+                        if s.branches != stats.pt.branches {
+                            decode.mismatches += 1;
+                        }
+                    } else {
+                        decode.degraded += 1;
                     }
                     decode.absorb(s);
                 }
@@ -513,12 +554,14 @@ fn ingest_loop(rx: Receiver<IngestMsg>, shared: Arc<Shared>) -> WorkerOutcome {
                     let s = dec.stats();
                     // Cross-check: on a loss- and error-free stream the
                     // decoded branches must equal what the recorder saw.
-                    if s.errors == 0
-                        && stats.pt.bytes_lost == 0
-                        && stats.pt.gaps == 0
-                        && s.branches != stats.pt.branches
-                    {
-                        decode.mismatches += 1;
+                    // With gaps or errors the expected count is unknowable,
+                    // so the check degrades to accounting instead.
+                    if s.errors == 0 && stats.pt.bytes_lost == 0 && stats.pt.gaps == 0 {
+                        if s.branches != stats.pt.branches {
+                            decode.mismatches += 1;
+                        }
+                    } else {
+                        decode.degraded += 1;
                     }
                     decode.absorb(s);
                 }
@@ -605,6 +648,54 @@ impl LiveMonitor {
     /// Removes and returns the oldest stored snapshot, freeing its slot.
     pub fn consume_oldest(&self) -> Option<Snapshot> {
         self.ring.lock().consume_oldest()
+    }
+}
+
+/// One ingest worker that died during a run.
+#[derive(Debug, Clone)]
+pub struct WorkerFailure {
+    /// Lane index of the dead worker (0-based).
+    pub lane: usize,
+    /// Its panic payload, stringified.
+    pub message: String,
+}
+
+/// A session run that lost at least one ingest worker.
+///
+/// The run still terminated: the dead worker's lane was closed (so
+/// producers blocked on it failed fast instead of deadlocking), the
+/// surviving workers drained their lanes, and the provenance ingested
+/// before the failure was sealed into [`SessionError::report`] — a partial
+/// but sound view, with [`RunStats::worker_failures`] and
+/// [`RunStats::degraded`] set.
+#[derive(Debug)]
+pub struct SessionError {
+    /// The workers that died, in lane order.
+    pub failures: Vec<WorkerFailure>,
+    /// The partial report assembled from the surviving workers.
+    pub report: Box<RunReport>,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} CPG ingest worker(s) died:", self.failures.len())?;
+        for failure in &self.failures {
+            write!(f, " [lane {}: {}]", failure.lane, failure.message)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Stringifies a worker's panic payload (the two shapes `panic!` emits).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -737,11 +828,36 @@ impl InspectorSession {
     /// worker that is never joined keeps its end of the provenance channel
     /// open, so `run` waits for it to finish rather than returning a report
     /// with silently missing provenance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an ingest worker dies; use [`try_run`](Self::try_run) to
+    /// receive the partial report as a structured [`SessionError`] instead.
     pub fn run<F>(&self, f: F) -> RunReport
     where
         F: FnOnce(&mut ThreadCtx),
     {
+        self.try_run(f).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// [`run`](Self::run), with ingest-worker failures reported instead of
+    /// propagated. Every worker runs supervised (`catch_unwind`): when one
+    /// dies, its lane closes — producers blocked on it unblock with a send
+    /// error rather than deadlocking — the surviving workers drain
+    /// normally, and the provenance ingested before the failure is still
+    /// sealed. On failure the returned [`SessionError`] carries every dead
+    /// worker's panic message plus that partial report.
+    pub fn try_run<F>(&self, f: F) -> Result<RunReport, SessionError>
+    where
+        F: FnOnce(&mut ThreadCtx),
+    {
         let start = Instant::now();
+        let plan = self.shared.config.fault_plan;
+        if plan.fail_spill_write > 0 {
+            self.shared
+                .builder
+                .inject_spill_write_failure(plan.fail_spill_write);
+        }
         let depth = self.shared.config.ingest_queue_depth.max(1);
         let lanes = self.shared.config.ingest_threads.max(1);
         let mut senders = Vec::with_capacity(lanes);
@@ -753,7 +869,15 @@ impl InspectorSession {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("inspector-cpg-ingest-{lane}"))
-                    .spawn(move || ingest_loop(rx, shared))
+                    .spawn(move || {
+                        // Supervised: a panicking worker unwinds out of
+                        // `ingest_loop`, dropping `rx` — the lane closes
+                        // and producers blocked on it fail fast instead of
+                        // deadlocking on a dead consumer.
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            ingest_loop(rx, shared, lane)
+                        }))
+                    })
                     .expect("failed to spawn CPG ingest worker"),
             );
         }
@@ -772,23 +896,56 @@ impl InspectorSession {
         let mut busy_total = Duration::ZERO;
         let mut busy_max = Duration::ZERO;
         let mut decode = DecodeAgg::default();
-        for worker in workers {
-            let outcome = worker.join().expect("CPG ingest worker panicked");
-            done.extend(outcome.done);
-            busy_total += outcome.busy;
-            busy_max = busy_max.max(outcome.busy);
-            decode.time += outcome.decode.time;
-            decode.bytes += outcome.decode.bytes;
-            decode.branches += outcome.decode.branches;
-            decode.errors += outcome.decode.errors;
-            decode.mismatches += outcome.decode.mismatches;
-            decode.windows += outcome.decode.windows;
-            decode.max_depth = decode.max_depth.max(outcome.decode.max_depth);
+        let mut failures = Vec::new();
+        for (lane, worker) in workers.into_iter().enumerate() {
+            // Collect every worker's verdict instead of aborting on the
+            // first dead one: the surviving lanes' statistics still count,
+            // and the error lists all failures, not just the first.
+            let result = match worker.join() {
+                Ok(result) => result,
+                Err(payload) => Err(payload),
+            };
+            match result {
+                Ok(outcome) => {
+                    done.extend(outcome.done);
+                    busy_total += outcome.busy;
+                    busy_max = busy_max.max(outcome.busy);
+                    decode.time += outcome.decode.time;
+                    decode.bytes += outcome.decode.bytes;
+                    decode.branches += outcome.decode.branches;
+                    decode.errors += outcome.decode.errors;
+                    decode.mismatches += outcome.decode.mismatches;
+                    decode.degraded += outcome.decode.degraded;
+                    decode.windows += outcome.decode.windows;
+                    decode.max_depth = decode.max_depth.max(outcome.decode.max_depth);
+                }
+                Err(payload) => failures.push(WorkerFailure {
+                    lane,
+                    message: panic_message(payload.as_ref()),
+                }),
+            }
         }
         let wall_time = start.elapsed();
-        self.assemble_report(wall_time, done, busy_total, busy_max, lanes, decode)
+        let report = self.assemble_report(
+            wall_time,
+            done,
+            busy_total,
+            busy_max,
+            lanes,
+            decode,
+            failures.len(),
+        );
+        if failures.is_empty() {
+            Ok(report)
+        } else {
+            Err(SessionError {
+                failures,
+                report: Box::new(report),
+            })
+        }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assemble_report(
         &self,
         wall_time: Duration,
@@ -797,6 +954,7 @@ impl InspectorSession {
         ingest_busy_max: Duration,
         ingest_workers: usize,
         decode: DecodeAgg,
+        worker_failures: usize,
     ) -> RunReport {
         done.sort_by_key(|o| o.thread);
         let mut stats = RunStats {
@@ -812,6 +970,8 @@ impl InspectorSession {
             decode_time: decode.time,
             decode_windows: decode.windows,
             resequencer_max_depth: decode.max_depth,
+            decode_degraded: decode.degraded,
+            worker_failures: worker_failures as u64,
             ..RunStats::default()
         };
         for o in &done {
@@ -824,6 +984,11 @@ impl InspectorSession {
             stats.recorder.sync_ops += o.recorder.sync_ops;
             stats.spawn_time += o.spawn_overhead;
         }
+        // Loss accounting: every AUX overflow episode (and its lost bytes)
+        // reported by the producers surfaces in the run report, so "the
+        // graph is missing events" is always observable, never silent.
+        stats.gaps = stats.pt.gaps;
+        stats.lost_bytes = stats.pt.bytes_lost;
         let cpg = if self.shared.config.mode == ExecutionMode::Inspector {
             let seal_start = Instant::now();
             let cpg = self.shared.builder.seal();
@@ -841,12 +1006,19 @@ impl InspectorSession {
             stats.spill_bytes = ingest.spill_bytes;
             stats.spill_time = ingest.spill_time;
             stats.peak_resident_subs = ingest.peak_resident_subs;
+            stats.spill_fallbacks = ingest.spill_fallbacks;
             stats.index_entries_gcd = ingest.release_entries_gcd + ingest.page_entries_gcd;
             stats.index_entries_live = ingest.release_entries_live + ingest.page_entries_live;
             cpg
         } else {
             Cpg::default()
         };
+        stats.degraded = stats.gaps != 0
+            || stats.lost_bytes != 0
+            || stats.decode_errors != 0
+            || stats.decode_degraded != 0
+            || stats.spill_fallbacks != 0
+            || stats.worker_failures != 0;
         let space = if self.shared.config.mode == ExecutionMode::Inspector {
             self.shared.perf.space_report(stats.pt.branches, wall_time)
         } else {
@@ -1485,6 +1657,158 @@ mod tests {
             });
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn injected_overflow_degrades_but_terminates() {
+        use crate::config::FaultPlan;
+        let plan = FaultPlan {
+            overflow_bytes: 512,
+            ..FaultPlan::default()
+        };
+        let session = InspectorSession::new(
+            SessionConfig::inspector()
+                .with_decode_online(true)
+                .with_fault_plan(plan),
+        );
+        let report = session.run(|ctx| {
+            let worker = ctx.spawn(|ctx| {
+                for i in 0..200u64 {
+                    ctx.branch(i % 2 == 0);
+                }
+            });
+            for i in 0..200u64 {
+                ctx.branch(i % 3 == 0);
+            }
+            ctx.join(worker);
+        });
+        // Every Inspector thread's trace got exactly one injected overflow
+        // episode, and the loss shows up in the run report, not silently.
+        assert_eq!(report.stats.gaps, report.stats.threads as u64);
+        assert_eq!(report.stats.lost_bytes, report.stats.gaps * 512);
+        // The decoder saw the gap markers: the branch-count cross-check is
+        // skipped (accounted, not asserted) for every lossy stream.
+        assert!(report.stats.decode_degraded > 0, "{:?}", report.stats);
+        assert_eq!(report.stats.decode_mismatches, 0);
+        assert!(report.stats.degraded);
+        // The graph over what *was* captured is still sound.
+        assert!(report.cpg.node_count() > 0);
+        assert!(report.cpg.validate().is_ok());
+    }
+
+    #[test]
+    fn worker_panic_yields_structured_error_with_partial_report() {
+        use crate::config::FaultPlan;
+        let plan = FaultPlan {
+            panic_worker: 1,
+            panic_at_batch: 1,
+            ..FaultPlan::default()
+        };
+        let session = InspectorSession::new(
+            SessionConfig::inspector()
+                .with_ingest_threads(1)
+                .with_fault_plan(plan),
+        );
+        let region = session.map_region("counter", 8);
+        let base = region.base();
+        let lock = Arc::new(InspMutex::new());
+        // Must terminate: the dead lane is closed, producers fail fast
+        // instead of blocking on a full channel forever.
+        let err = session
+            .try_run(move |ctx| {
+                for _ in 0..50u64 {
+                    lock.lock(ctx);
+                    let v = ctx.read_u64(base);
+                    ctx.write_u64(base, v + 1);
+                    lock.unlock(ctx);
+                }
+            })
+            .expect_err("the only ingest worker was killed by the plan");
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].lane, 0);
+        assert!(
+            err.failures[0].message.contains("injected fault"),
+            "unexpected payload: {}",
+            err.failures[0].message
+        );
+        assert_eq!(err.report.stats.worker_failures, 1);
+        assert!(err.report.stats.degraded);
+        // Display renders the per-worker outcomes.
+        let rendered = err.to_string();
+        assert!(rendered.contains("lane 0"), "{rendered}");
+        // The application itself still ran to completion on shared memory.
+        assert_eq!(session.image().read_u64_direct(base), 50);
+    }
+
+    #[test]
+    fn spill_write_fault_falls_back_to_memory_with_identical_graph() {
+        use crate::config::FaultPlan;
+        let run = |config: SessionConfig| {
+            let session = InspectorSession::new(config);
+            let region = session.map_region("counter", 8);
+            let base = region.base();
+            let lock = Arc::new(InspMutex::new());
+            session.run(move |ctx| {
+                for i in 0..60u64 {
+                    lock.lock(ctx);
+                    let v = ctx.read_u64(base);
+                    ctx.write_u64(base, v + i);
+                    lock.unlock(ctx);
+                }
+            })
+        };
+        let plain = run(SessionConfig::inspector());
+        let plan = FaultPlan {
+            fail_spill_write: 1,
+            ..FaultPlan::default()
+        };
+        let faulted = run(SessionConfig::inspector()
+            .with_spill_threshold(1)
+            .with_fault_plan(plan));
+        // Every spill attempt hit the persistent write fault; the builder
+        // reverted to in-memory retention instead of aborting or losing data.
+        assert!(faulted.stats.spill_fallbacks > 0, "{:?}", faulted.stats);
+        assert!(faulted.stats.degraded);
+        assert_eq!(faulted.cpg.node_count(), plain.cpg.node_count());
+        let fingerprint = |cpg: &Cpg| -> std::collections::BTreeSet<String> {
+            cpg.edges().map(|e| format!("{e:?}")).collect()
+        };
+        assert_eq!(fingerprint(&faulted.cpg), fingerprint(&plain.cpg));
+        assert!(faulted.cpg.validate().is_ok());
+    }
+
+    #[test]
+    fn corrupt_aux_byte_terminates_with_consistent_accounting() {
+        use crate::config::FaultPlan;
+        // Corruption detection is best-effort (a flipped byte may surface as
+        // a decode error, a count mismatch, or a silently different branch
+        // target) — the guarantees under test are termination and that the
+        // counters stay internally consistent.
+        for offset in [1u64, 7, 64, 333] {
+            let plan = FaultPlan {
+                corrupt_aux_at: offset,
+                ..FaultPlan::default()
+            };
+            let session = InspectorSession::new(
+                SessionConfig::inspector()
+                    .with_decode_online(true)
+                    .with_fault_plan(plan),
+            );
+            let report = session.run(|ctx| {
+                for i in 0..500u64 {
+                    ctx.branch(i % 2 == 0);
+                }
+            });
+            assert!(report.cpg.validate().is_ok());
+            let s = &report.stats;
+            let detected = s.decode_errors > 0 || s.decode_mismatches > 0;
+            // Undetected corruption must not have disturbed the count: the
+            // cross-check either fired or the totals still line up.
+            assert!(
+                detected || s.decoded_branches == s.pt.branches,
+                "undetected count drift at offset {offset}: {s:?}"
+            );
+        }
     }
 
     #[test]

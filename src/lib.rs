@@ -67,7 +67,8 @@ pub mod prelude {
         InspBarrier, InspCondvar, InspMutex, InspRwLock, InspSemaphore,
     };
     pub use inspector_runtime::{
-        ExecutionMode, InspectorSession, JoinHandle, RunReport, SessionConfig, ThreadCtx,
+        ExecutionMode, FaultPlan, InspectorSession, JoinHandle, RunReport, SessionConfig,
+        SessionError, ThreadCtx, WorkerFailure,
     };
     pub use inspector_workloads::{all_workloads, workload_by_name, InputSize, Workload};
 }
