@@ -75,6 +75,20 @@ pub struct SpillMetric {
     pub total_ns_per_sub: f64,
 }
 
+/// One `spill_durability` row: the same spilling build under a given
+/// durability policy (`none` is the page-cache default the spill sweep
+/// runs with — the row pins the cost of each crash-durability tier).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityMetric {
+    /// Durability policy label (`none` / `flush` / `fsync`).
+    pub durability: String,
+    /// Spill threshold the row ran at (part of the comparison key: the
+    /// quick shape measures a different threshold than the full shape).
+    pub spill_threshold: u64,
+    /// Total construction time per sub-computation, nanoseconds.
+    pub total_ns_per_sub: f64,
+}
+
 /// One `fault` row: the session ingest hot path measured with a given
 /// fault plan (`empty` is the production shape — the row pins the cost of
 /// the disarmed fault hooks, which must stay noise).
@@ -106,6 +120,8 @@ pub struct BenchMetrics {
     pub scan_points: Vec<ScanMetric>,
     /// `spill` threshold sweep points.
     pub spill_points: Vec<SpillMetric>,
+    /// `spill_durability` policy rows.
+    pub durability_points: Vec<DurabilityMetric>,
     /// `fault` hot-path rows.
     pub fault_points: Vec<FaultMetric>,
 }
@@ -143,7 +159,8 @@ fn field_str(line: &str, key: &str) -> Option<String> {
 /// `seal_ns_per_sub` for seal points, `chunk_bytes` for decode points,
 /// `windows` + `windowed_mib_per_sec` for windowed decode points,
 /// `scan` + `scan_mib_per_sec` for PSB-scan points,
-/// `threshold` + `total_ns_per_sub` for spill points) and tracks the
+/// `threshold` + `total_ns_per_sub` for spill points,
+/// `durability` + `total_ns_per_sub` for durability rows) and tracks the
 /// current workload from the preceding `"workload"` line, so it tolerates
 /// sections being reordered, extended or partially absent.
 pub fn parse_metrics(json: &str) -> BenchMetrics {
@@ -214,6 +231,16 @@ pub fn parse_metrics(json: &str) -> BenchMetrics {
         ) {
             metrics.spill_points.push(SpillMetric {
                 threshold,
+                total_ns_per_sub: total,
+            });
+        }
+        if let (Some(durability), Some(total)) = (
+            field_str(line, "durability"),
+            field_f64(line, "total_ns_per_sub"),
+        ) {
+            metrics.durability_points.push(DurabilityMetric {
+                durability,
+                spill_threshold: field_u64(line, "spill_threshold").unwrap_or(0),
                 total_ns_per_sub: total,
             });
         }
@@ -344,6 +371,26 @@ pub fn compare(current: &BenchMetrics, baseline: &BenchMetrics, tolerance: f64) 
         if ratio > 1.0 + tolerance {
             regressions.push(Regression {
                 metric: format!("spill/threshold={} (ns/sub)", point.threshold),
+                baseline: base.total_ns_per_sub,
+                current: point.total_ns_per_sub,
+                ratio,
+            });
+        }
+    }
+    for point in &current.durability_points {
+        let Some(base) = baseline.durability_points.iter().find(|b| {
+            b.durability == point.durability && b.spill_threshold == point.spill_threshold
+        }) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = worse_high(point.total_ns_per_sub, base.total_ns_per_sub);
+        if ratio > 1.0 + tolerance {
+            regressions.push(Regression {
+                metric: format!(
+                    "spill_durability/{}/threshold={} (ns/sub)",
+                    point.durability, point.spill_threshold
+                ),
                 baseline: base.total_ns_per_sub,
                 current: point.total_ns_per_sub,
                 ratio,
@@ -482,6 +529,10 @@ mod tests {
   "spill": [
     {{"threshold": 8, "subcomputations": 3204, "total_ns_per_sub": {spill_ns}, "spill_mib_per_sec": 60.0, "spilled_subs": 3200, "spill_bytes": 370948, "peak_resident_subs": 11}}
   ],
+  "spill_durability": [
+    {{"durability": "none", "spill_threshold": 64, "subcomputations": 3204, "spilled_subs": 3200, "total_ns_per_sub": 2100.0}},
+    {{"durability": "fsync", "spill_threshold": 64, "subcomputations": 3204, "spilled_subs": 3200, "total_ns_per_sub": 9100.0}}
+  ],
   "fault": [
     {{"plan": "empty", "ingest_ns_per_sub": 900.0}}
   ]
@@ -515,9 +566,43 @@ mod tests {
         assert_eq!(m.scan_points[0].scan, "swar");
         assert!((m.scan_points[0].scan_mib_per_sec - 12000.0).abs() < 1e-9);
         assert_eq!(m.scan_points[1].scan, "naive");
+        assert_eq!(m.durability_points.len(), 2);
+        assert_eq!(m.durability_points[0].durability, "none");
+        assert_eq!(m.durability_points[0].spill_threshold, 64);
+        assert!((m.durability_points[0].total_ns_per_sub - 2100.0).abs() < 1e-9);
+        assert_eq!(m.durability_points[1].durability, "fsync");
         assert_eq!(m.fault_points.len(), 1);
         assert_eq!(m.fault_points[0].plan, "empty");
         assert!((m.fault_points[0].ingest_ns_per_sub - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn durability_row_regression_beyond_tolerance_fails() {
+        // The `none` row is the disarmed-durability shape of the spill
+        // path: growing it 2x must trip the gate on its own.
+        let baseline = parse_metrics(&artefact(1, 1000.0, 50.0, 100.0));
+        let mut current = parse_metrics(&artefact(1, 1000.0, 50.0, 100.0));
+        current.durability_points[0].total_ns_per_sub = 4500.0;
+        match compare(&current, &baseline, 0.30) {
+            CheckOutcome::Failed(regressions) => {
+                assert_eq!(regressions.len(), 1, "{regressions:?}");
+                assert!(regressions[0].metric.contains("spill_durability/none"));
+            }
+            other => panic!("expected durability regression, got {other:?}"),
+        }
+        // Within tolerance passes; a baseline without the rows skips them.
+        current.durability_points[0].total_ns_per_sub = 2200.0;
+        assert!(matches!(
+            compare(&current, &baseline, 0.30),
+            CheckOutcome::Passed(_)
+        ));
+        let mut old_baseline = parse_metrics(&artefact(1, 1000.0, 50.0, 100.0));
+        old_baseline.durability_points.clear();
+        current.durability_points[0].total_ns_per_sub = 99_000.0;
+        assert!(matches!(
+            compare(&current, &old_baseline, 0.30),
+            CheckOutcome::Passed(_)
+        ));
     }
 
     #[test]
@@ -674,6 +759,8 @@ mod tests {
         current.seal_points[0].iterations = 999;
         current.decode_points[0].chunk_bytes = 1;
         current.spill_points[0].threshold = 999;
+        current.durability_points[0].durability = "otherA".into();
+        current.durability_points[1].durability = "otherB".into();
         current.fault_points[0].plan = "other".into();
         current.windowed_points[0].windows = 999;
         current.scan_points[0].scan = "other0".into();

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use inspector_core::graph::{Cpg, CpgBuilder};
 use inspector_core::sharded::{IngestStats, ShardedCpgBuilder};
-use inspector_core::spill::SpillSettings;
+use inspector_core::spill::{SpillDurability, SpillSettings};
 use inspector_core::subcomputation::SubComputation;
 use inspector_core::testing::announce_all;
 use inspector_pt::branch::BranchEvent;
@@ -115,8 +115,28 @@ pub fn measure_build_with_spill(
     shards: usize,
     spill_threshold: usize,
 ) -> PooledBuild {
-    let spill =
-        (spill_threshold > 0).then(|| SpillSettings::new(spill_threshold, bench_spill_dir()));
+    measure_build_with_durability(
+        sequences,
+        pool,
+        shards,
+        spill_threshold,
+        SpillDurability::None,
+    )
+}
+
+/// [`measure_build_with_spill`] with the spill tier's durability policy
+/// selected, so the artefact can price what `flush`/`fsync` cost over the
+/// page-cache default.
+pub fn measure_build_with_durability(
+    sequences: &[Vec<SubComputation>],
+    pool: usize,
+    shards: usize,
+    spill_threshold: usize,
+    durability: SpillDurability,
+) -> PooledBuild {
+    let spill = (spill_threshold > 0).then(|| {
+        SpillSettings::new(spill_threshold, bench_spill_dir()).with_durability(durability)
+    });
     let builder = ShardedCpgBuilder::with_shards_and_spill(shards, spill);
     announce_all(&builder, sequences);
     let ingest_start = Instant::now();
@@ -280,6 +300,58 @@ pub fn measure_spill_cell(
         spilled_subs,
         spill_bytes,
         peak_resident_subs: peak_resident,
+        subcomputations: subs,
+    }
+}
+
+/// One row of the `spill_durability` section in `BENCH_ingest.json`: the
+/// same spilling build measured under each [`SpillDurability`] policy, so
+/// the artefact prices what crash-durable spill segments cost over the
+/// page-cache default.
+#[derive(Debug, Clone)]
+pub struct DurabilityCell {
+    /// Durability policy the build ran with (`none` / `flush` / `fsync`).
+    pub durability: &'static str,
+    /// Spill threshold the cell ran at (part of the comparison key: a
+    /// quick-shape row must never be gated against a full-shape row).
+    pub threshold: usize,
+    /// Best-of-N total construction time (ingest + seal) per
+    /// sub-computation, nanoseconds.
+    pub total_ns_per_sub: f64,
+    /// Sub-computations spilled (worst repeat — they should all match).
+    pub spilled_subs: u64,
+    /// Total sub-computations streamed.
+    pub subcomputations: usize,
+}
+
+/// Measures one durability cell: `repeats` pooled builds spilling at
+/// `threshold` under the given durability policy, keeping the best total.
+pub fn measure_durability_cell(
+    sequences: &[Vec<SubComputation>],
+    pool: usize,
+    shards: usize,
+    threshold: usize,
+    durability: SpillDurability,
+    repeats: usize,
+) -> DurabilityCell {
+    let subs: usize = sequences.iter().map(|s| s.len()).sum();
+    let mut best_total = Duration::MAX;
+    let mut spilled_subs = 0;
+    for _ in 0..repeats.max(1) {
+        let build = measure_build_with_durability(sequences, pool, shards, threshold, durability);
+        assert_eq!(
+            build.cpg.node_count(),
+            subs,
+            "durable spilled build lost nodes"
+        );
+        best_total = best_total.min(build.ingest_time + build.seal_time);
+        spilled_subs = spilled_subs.max(build.stats.spilled_subs);
+    }
+    DurabilityCell {
+        durability: durability.as_str(),
+        threshold,
+        total_ns_per_sub: best_total.as_nanos() as f64 / subs as f64,
+        spilled_subs,
         subcomputations: subs,
     }
 }
@@ -715,6 +787,21 @@ mod tests {
             cell.peak_resident_subs < cell.subcomputations as u64,
             "spilling must keep the window below the trace length"
         );
+    }
+
+    #[test]
+    fn durability_cell_is_lossless_under_every_policy() {
+        let sequences = inspector_core::testing::lock_heavy_sequences(2, 12, 8, 8);
+        for durability in [
+            SpillDurability::None,
+            SpillDurability::Flush,
+            SpillDurability::Fsync,
+        ] {
+            let cell = measure_durability_cell(&sequences, 1, 4, 1, durability, 1);
+            assert_eq!(cell.durability, durability.as_str());
+            assert!(cell.total_ns_per_sub > 0.0);
+            assert!(cell.spilled_subs > 0);
+        }
     }
 
     #[test]

@@ -61,6 +61,34 @@
 //!   node- and edge-identical graphs) and the tool for rebuilding a graph
 //!   from stored sequences.
 //!
+//! ## Durability and crash recovery
+//!
+//! The spill tier is also the crate's **crash-consistency** story: a traced
+//! process (or the tracer itself) dying mid-run must leave a trustworthy
+//! partial record behind. Three pieces make that hold:
+//!
+//! * **Spill format v2** ([`spill`]) — every segment opens with a header
+//!   (magic, format version, shard, session id) and every record carries a
+//!   CRC32 trailer, so torn tails and bit rot are detectable, not fatal.
+//! * **The manifest contract** — each session directory holds a `MANIFEST`
+//!   (updated by atomic rename, with [`spill::SpillDurability`] controlling
+//!   fdatasync/fsync at cut boundaries) that records segment ids, record
+//!   counts, and the per-thread durable frontier. The manifest **never
+//!   names bytes that are not on disk**: segments are synced *before* the
+//!   manifest that references them is published, and torn appends never
+//!   enter it. `SpillDurability::None` costs nothing and survives process
+//!   crashes (the page cache persists); `Flush`/`Fsync` extend the
+//!   guarantee to power loss.
+//! * **Offline recovery** ([`recover`]) — [`recover::recover_session`]
+//!   validates a (possibly crashed) directory against its manifest, skips
+//!   torn/CRC-failing tails with **exact loss accounting**
+//!   ([`recover::RecoveryReport`]), shrinks the decoded per-thread prefixes
+//!   to the maximal *consistent* frontier (every kept node's vector clock
+//!   covered by the kept prefixes), and rebuilds that prefix's CPG with the
+//!   batch oracle. Recovering a cleanly sealed, retained directory
+//!   reproduces the sealed graph exactly; recovering a crashed one yields
+//!   the maximal consistent prefix — sound, incomplete, accounted.
+//!
 //! ```
 //! use inspector_core::clock::VectorClock;
 //! use inspector_core::ids::ThreadId;
@@ -80,6 +108,7 @@ pub mod graph;
 pub mod ids;
 pub mod query;
 pub mod recorder;
+pub mod recover;
 pub mod sharded;
 pub mod snapshot;
 pub mod spill;
@@ -93,7 +122,8 @@ pub use event::{AccessKind, BranchKind, SyncKind, TraceEvent};
 pub use graph::{Cpg, CpgBuilder, DependenceEdge, EdgeKind};
 pub use ids::{PageId, SubId, SyncObjectId, ThreadId, ThunkId};
 pub use recorder::{SyncClockRegistry, ThreadRecorder};
+pub use recover::{recover_session, Recovery, RecoveryReport};
 pub use sharded::{IngestStats, ShardedCpgBuilder};
-pub use spill::{SpillError, SpillSettings, SpillStore};
+pub use spill::{SpillDurability, SpillError, SpillSettings, SpillStore};
 pub use subcomputation::SubComputation;
 pub use thunk::Thunk;

@@ -88,7 +88,8 @@
 //! delivery interleavings, spill thresholds and GC aggressiveness.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -101,7 +102,7 @@ use crate::graph::{
     ordered_before, prune_superseded_writers, Cpg, CpgBuilder, DependenceEdge, EdgeKind,
 };
 use crate::ids::{PageId, SubId, SyncObjectId, ThreadId};
-use crate::spill::{SpillSettings, SpillStore};
+use crate::spill::{ManifestWriter, Replay, SpillSettings, SpillStore};
 use crate::subcomputation::{SubComputation, SyncPoint};
 
 /// Default number of lock stripes.
@@ -568,6 +569,23 @@ pub struct ShardedCpgBuilder {
     /// every later one, like a disk that filled up and stayed full.
     /// `0` = disabled. Survives seals (it is configuration, not a counter).
     fail_spill_write_at: AtomicU64,
+    /// Per-session manifest publisher (`None` when spilling is disabled).
+    spill_manifest: Option<ManifestWriter>,
+    /// Fault injection: simulate a whole-process crash after the Nth spill
+    /// record — the (N+1)th append writes a torn frame, the manifest
+    /// freezes, and every store detaches keeping its files, exactly the
+    /// on-disk state a dead process leaves behind.
+    /// `0` = disabled. Survives seals (it is configuration, not a counter).
+    crash_spill_at: AtomicU64,
+    /// Spill records appended so far; only advanced while
+    /// `crash_spill_at` is armed.
+    spill_record_count: AtomicU64,
+    /// Set once the injected crash fired.
+    spill_crashed: AtomicBool,
+    /// Session-requested retention: keep spill artifacts (segments plus
+    /// manifest) at seal even though the seal itself completes. Set by
+    /// the session when the run degraded before the seal.
+    seal_retain: AtomicBool,
     /// Final counters of the most recently sealed build.
     last_sealed: Mutex<Option<IngestStats>>,
     /// Number of `ingest()` calls currently in flight (quiesce guard).
@@ -610,7 +628,11 @@ impl ShardedCpgBuilder {
             .map(|i| {
                 let store = spill.as_ref().and_then(|s| {
                     match SpillStore::create(&s.dir, i, s.segment_bytes) {
-                        Ok(store) => Some(store),
+                        Ok(mut store) => {
+                            store.set_durability(s.durability);
+                            store.set_session_id(s.session_id);
+                            Some(store)
+                        }
                         Err(_) => {
                             create_fallbacks += 1;
                             None
@@ -623,6 +645,15 @@ impl ShardedCpgBuilder {
                 })
             })
             .collect();
+        let spill_manifest = spill
+            .as_ref()
+            .map(|s| ManifestWriter::new(&s.dir, s.session_id, s.durability));
+        if let Some(manifest) = spill_manifest.as_ref() {
+            // The stores above created the session directory; stamp it with
+            // the (empty) manifest immediately so even a crash during the
+            // very first append leaves one behind for recovery.
+            let _ = manifest.publish_initial();
+        }
         ShardedCpgBuilder {
             shards: shard_stripes,
             pages: (0..shards)
@@ -660,6 +691,11 @@ impl ShardedCpgBuilder {
             spill_fallbacks: AtomicU64::new(create_fallbacks),
             spill_appends: AtomicU64::new(0),
             fail_spill_write_at: AtomicU64::new(0),
+            spill_manifest,
+            crash_spill_at: AtomicU64::new(0),
+            spill_record_count: AtomicU64::new(0),
+            spill_crashed: AtomicBool::new(false),
+            seal_retain: AtomicBool::new(false),
             last_sealed: Mutex::new(None),
             active_producers: AtomicUsize::new(0),
             #[cfg(debug_assertions)]
@@ -803,6 +839,46 @@ impl ShardedCpgBuilder {
     /// shared builder; writes already in flight may complete first.
     pub fn inject_spill_write_failure(&self, nth: u64) {
         self.fail_spill_write_at.store(nth, Ordering::Release);
+    }
+
+    /// Arms deterministic crash injection: appending the (`nth`+1)-th
+    /// spill record (1-based, across all shards) writes only a torn frame
+    /// prefix and then behaves as if the process died — the manifest
+    /// freezes where it was, every store detaches keeping its files, and
+    /// the seal retains all spill artifacts for offline recovery. `0`
+    /// disarms. The build itself still completes, degraded: everything
+    /// spilled is restored into memory first, so the sealed graph loses
+    /// nothing in-process.
+    pub fn inject_spill_crash(&self, nth: u64) {
+        self.crash_spill_at.store(nth, Ordering::Release);
+    }
+
+    /// Whether the injected spill crash has fired in the current build.
+    pub fn spill_crash_triggered(&self) -> bool {
+        self.spill_crashed.load(Ordering::Acquire)
+    }
+
+    /// Asks the seal to keep all spill artifacts (segments + manifest) on
+    /// disk even though it completes normally. The session sets this when
+    /// the run degraded before the seal, so forensic material survives.
+    pub fn set_seal_retain(&self, retain: bool) {
+        self.seal_retain.store(retain, Ordering::Release);
+    }
+
+    /// The spill directory, when spilling is enabled.
+    pub fn spill_directory(&self) -> Option<&Path> {
+        self.spill.as_ref().map(|s| s.dir.as_path())
+    }
+
+    /// Counts one spill record append against the armed crash point.
+    /// Returns `true` when this append is the one that "kills" the
+    /// process. Costs one atomic load while disarmed.
+    fn spill_crash_due(&self) -> bool {
+        let at = self.crash_spill_at.load(Ordering::Acquire);
+        if at == 0 {
+            return false;
+        }
+        self.spill_record_count.fetch_add(1, Ordering::AcqRel) + 1 > at
     }
 
     /// Runs one spill-write attempt with bounded retries. Injected
@@ -1151,7 +1227,7 @@ impl ShardedCpgBuilder {
                         shard.sequences.values().map(|s| s.live.len()).sum();
                     if shard.ingests_since_spill >= threshold && stripe_resident >= threshold {
                         shard.ingests_since_spill = 0;
-                        self.spill_shard(shard);
+                        self.spill_shard(self.shard_for(thread), shard);
                     }
                 }
             }
@@ -1381,15 +1457,31 @@ impl ShardedCpgBuilder {
     /// spilled here before its edges land; those edges simply stay in the
     /// live stripe and join the same final graph at seal — nothing is
     /// emitted twice.
-    fn spill_shard(&self, shard: &mut Shard) {
+    fn spill_shard(&self, stripe: usize, shard: &mut Shard) {
         let started = Instant::now();
+        // After a simulated crash nothing spills any more: each store is
+        // lazily restored into memory (the dead process's graph work was
+        // already restored at the crash point; intact shards restore here
+        // or at seal) and detached with its files kept for recovery.
+        if self.spill_crashed.load(Ordering::Acquire) {
+            if let Some(store) = shard.spill.as_mut() {
+                if let Ok(replay) = store.replay() {
+                    self.restore_replay_into_shard(shard, replay, 0);
+                }
+            }
+            if let Some(mut store) = shard.spill.take() {
+                store.detach_keeping_files();
+            }
+            return;
+        }
         let Some(store) = shard.spill.as_mut() else {
             return;
         };
         let bytes_before = store.bytes_written();
         let mut spilled = 0u64;
         let mut write_failed = false;
-        for (&thread, seq) in shard.sequences.iter_mut() {
+        let mut crashed = false;
+        'threads: for (&thread, seq) in shard.sequences.iter_mut() {
             let cut = seq
                 .live
                 .iter()
@@ -1397,9 +1489,19 @@ impl ShardedCpgBuilder {
                 .unwrap_or(seq.live.len());
             let mut moved = 0usize;
             for sub in seq.live[..cut].iter() {
-                if !self.try_spill_append(|| store.append_node(sub)) {
+                if self.spill_crash_due() {
+                    // The injected crash point: die mid-append, leaving a
+                    // torn frame, and stop touching the disk.
+                    let _ = store.append_torn_node(sub);
+                    crashed = true;
+                } else if !self.try_spill_append(|| store.append_node(sub)) {
                     write_failed = true;
-                    break;
+                }
+                if crashed || write_failed {
+                    seq.live.drain(..moved);
+                    seq.base += moved as u64;
+                    spilled += moved as u64;
+                    break 'threads;
                 }
                 seq.spilled_tail = Some((sub.id, sub.terminator));
                 moved += 1;
@@ -1407,11 +1509,8 @@ impl ShardedCpgBuilder {
             seq.live.drain(..moved);
             seq.base += moved as u64;
             spilled += moved as u64;
-            if write_failed {
-                break;
-            }
         }
-        if !write_failed && spilled > 0 {
+        if !write_failed && !crashed && spilled > 0 {
             // Move the stripe-local edges whose destination is below the
             // cut: no further edge into those readers can ever be emitted.
             let bases: HashMap<ThreadId, u64> = shard
@@ -1423,23 +1522,40 @@ impl ShardedCpgBuilder {
             for edges in [&mut shard.control_edges, &mut shard.data_edges] {
                 let mut keep = Vec::with_capacity(edges.len());
                 for edge in edges.drain(..) {
-                    if !write_failed
-                        && below_cut(edge.dst)
-                        && self.try_spill_append(|| store.append_edge(&edge))
-                    {
-                        continue;
-                    }
-                    if !write_failed && below_cut(edge.dst) {
-                        // The edge stayed in memory only because its write
-                        // failed; stop spilling and fall back below.
-                        write_failed = true;
+                    if !write_failed && !crashed && below_cut(edge.dst) {
+                        if self.spill_crash_due() {
+                            let _ = store.append_torn_edge(&edge);
+                            crashed = true;
+                        } else if self.try_spill_append(|| store.append_edge(&edge)) {
+                            continue;
+                        } else {
+                            // The edge stayed in memory only because its
+                            // write failed; stop spilling and fall back.
+                            write_failed = true;
+                        }
                     }
                     keep.push(edge);
                 }
                 *edges = keep;
             }
         }
-        if write_failed {
+        if crashed {
+            // Freeze the manifest exactly where the "dead" process left
+            // it, restore everything spilled (all rounds) back into the
+            // shard so the in-process graph stays complete, and detach the
+            // store keeping every byte on disk for offline recovery.
+            self.spill_crashed.store(true, Ordering::Release);
+            if let Some(manifest) = self.spill_manifest.as_ref() {
+                manifest.freeze();
+            }
+            self.spill_fallbacks.fetch_add(1, Ordering::AcqRel);
+            if let Ok(replay) = store.replay() {
+                self.restore_replay_into_shard(shard, replay, spilled);
+            }
+            if let Some(mut store) = shard.spill.take() {
+                store.detach_keeping_files();
+            }
+        } else if write_failed {
             // Bounded retries exhausted (ENOSPC, injected fault): fall
             // back to in-memory retention. Everything spilled so far —
             // this round's and earlier rounds' — is replayed back into
@@ -1447,34 +1563,7 @@ impl ShardedCpgBuilder {
             self.spill_fallbacks.fetch_add(1, Ordering::AcqRel);
             match store.drain_all() {
                 Ok(replay) => {
-                    let restored = replay.nodes.len() as u64;
-                    let mut by_thread: BTreeMap<ThreadId, Vec<SubComputation>> = BTreeMap::new();
-                    for sub in replay.nodes {
-                        by_thread.entry(sub.id.thread).or_default().push(sub);
-                    }
-                    for (t, prefix) in by_thread {
-                        let seq = shard.sequences.entry(t).or_default();
-                        let mut live = prefix;
-                        live.append(&mut seq.live);
-                        seq.live = live;
-                        seq.base = 0;
-                        seq.spilled_tail = None;
-                    }
-                    for edge in replay.edges {
-                        match edge.kind {
-                            EdgeKind::Control => shard.control_edges.push(edge),
-                            _ => shard.data_edges.push(edge),
-                        }
-                    }
-                    // This round's nodes were never subtracted from the
-                    // residency counters; only earlier rounds' re-enter.
-                    let returning = restored - spilled;
-                    if returning > 0 {
-                        let resident =
-                            self.resident.fetch_add(returning, Ordering::AcqRel) + returning;
-                        self.peak_resident.fetch_max(resident, Ordering::AcqRel);
-                        self.spilled_subs.fetch_sub(returning, Ordering::AcqRel);
-                    }
+                    self.restore_replay_into_shard(shard, replay, spilled);
                     shard.spill = None;
                 }
                 Err(_) => {
@@ -1489,9 +1578,58 @@ impl ShardedCpgBuilder {
             self.spilled_subs.fetch_add(spilled, Ordering::AcqRel);
             self.spill_bytes
                 .fetch_add(store.bytes_written() - bytes_before, Ordering::AcqRel);
+            // The round's bytes are complete on disk: push them to stable
+            // storage per the durability policy, then let the manifest
+            // name them. A sync failure just leaves the manifest at the
+            // previous cut — it must never name non-durable bytes.
+            if let Some(manifest) = self.spill_manifest.as_ref() {
+                if store.sync_for_cut().is_ok() {
+                    let _ = manifest.update_shard(stripe, store.manifest_snapshot());
+                }
+            }
         }
         self.spill_time_nanos
             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::AcqRel);
+    }
+
+    /// Merges a spill replay back into the shard's live state: nodes
+    /// re-enter their sequences ahead of the current live suffix, edges
+    /// rejoin the stripe-local buffers, and the residency counters are
+    /// adjusted. `spilled_this_round` names how many of the replayed nodes
+    /// were appended in the current (failed/crashed) round — those were
+    /// never subtracted from the residency counters, so only the earlier
+    /// rounds' nodes re-enter the accounting.
+    fn restore_replay_into_shard(
+        &self,
+        shard: &mut Shard,
+        replay: Replay,
+        spilled_this_round: u64,
+    ) {
+        let restored = replay.nodes.len() as u64;
+        let mut by_thread: BTreeMap<ThreadId, Vec<SubComputation>> = BTreeMap::new();
+        for sub in replay.nodes {
+            by_thread.entry(sub.id.thread).or_default().push(sub);
+        }
+        for (t, prefix) in by_thread {
+            let seq = shard.sequences.entry(t).or_default();
+            let mut live = prefix;
+            live.append(&mut seq.live);
+            seq.live = live;
+            seq.base = 0;
+            seq.spilled_tail = None;
+        }
+        for edge in replay.edges {
+            match edge.kind {
+                EdgeKind::Control => shard.control_edges.push(edge),
+                _ => shard.data_edges.push(edge),
+            }
+        }
+        let returning = restored.saturating_sub(spilled_this_round);
+        if returning > 0 {
+            let resident = self.resident.fetch_add(returning, Ordering::AcqRel) + returning;
+            self.peak_resident.fetch_max(resident, Ordering::AcqRel);
+            self.spilled_subs.fetch_sub(returning, Ordering::AcqRel);
+        }
     }
 
     /// Runs `f` over the complete per-thread sequences ingested so far, with
@@ -1661,35 +1799,122 @@ impl ShardedCpgBuilder {
         let mut runs: Vec<NodeIter> = Vec::new();
         let mut total_nodes = 0usize;
         let mut edges: Vec<DependenceEdge> = Vec::new();
+        let crashed = self.spill_crashed.load(Ordering::Acquire);
+        let retain = self.seal_retain.load(Ordering::Acquire)
+            || self.spill.as_ref().is_some_and(|s| s.retain_on_seal);
+        // Set when any spill artifact must outlive the seal (crash,
+        // retention, or an unreadable store kept for forensics): the
+        // directory and manifest are then left in place.
+        let mut artifacts_kept = crashed;
+        // Cleared when the retained on-disk copy is incomplete (an append
+        // or sync failed): the manifest then stays unclean.
+        let mut retained_complete = true;
         for index in 0..self.shards.len() {
-            let mut shard = self.lock_shard(index);
+            let mut guard = self.lock_shard(index);
+            let shard = &mut *guard;
             // Spilled prefixes first: the segments are concatenated back
-            // into the final graph (one sequential replay per shard), then
-            // deleted so the store is empty for the next build.
+            // into the final graph (one sequential replay per shard) and —
+            // unless the run crashed or retention is on — deleted so the
+            // store is empty for the next build.
             let mut detach_store = false;
             let spilled_nodes = match shard.spill.as_mut() {
-                Some(store) => match store.drain_all() {
-                    Ok(mut replay) => {
-                        // Crash-torn tails are skipped by the replay; each
-                        // one is a degradation the caller can observe.
-                        if replay.torn_tails > 0 {
-                            self.spill_fallbacks
-                                .fetch_add(replay.torn_tails, Ordering::AcqRel);
-                        }
-                        edges.append(&mut replay.edges);
-                        replay.nodes
-                    }
-                    Err(_) => {
-                        // The spilled prefix is unreadable: seal what is
-                        // still in memory and account the degradation
-                        // instead of aborting the whole build. The store
-                        // is detached so its stale segments cannot leak
-                        // into the next build.
-                        self.spill_fallbacks.fetch_add(1, Ordering::AcqRel);
+                Some(store) => {
+                    if crashed {
+                        // A simulated crash fired: a dead process drains
+                        // and deletes nothing. Replay non-destructively so
+                        // the in-memory graph stays complete and leave
+                        // every file exactly as the crash left it.
+                        let nodes = match store.replay() {
+                            Ok(mut replay) => {
+                                if replay.torn_tails > 0 {
+                                    self.spill_fallbacks
+                                        .fetch_add(replay.torn_tails, Ordering::AcqRel);
+                                }
+                                edges.append(&mut replay.edges);
+                                replay.nodes
+                            }
+                            Err(_) => {
+                                self.spill_fallbacks.fetch_add(1, Ordering::AcqRel);
+                                Vec::new()
+                            }
+                        };
+                        store.detach_keeping_files();
                         detach_store = true;
-                        Vec::new()
+                        nodes
+                    } else if retain {
+                        // Retained seal: replay the spilled prefix for the
+                        // in-memory graph, then complete the on-disk copy
+                        // by appending every still-live node, sync, and
+                        // publish the final manifest entry. The directory
+                        // becomes a recoverable image of the full graph.
+                        let nodes = match store.replay() {
+                            Ok(mut replay) => {
+                                if replay.torn_tails > 0 {
+                                    self.spill_fallbacks
+                                        .fetch_add(replay.torn_tails, Ordering::AcqRel);
+                                    retained_complete = false;
+                                }
+                                edges.append(&mut replay.edges);
+                                replay.nodes
+                            }
+                            Err(_) => {
+                                self.spill_fallbacks.fetch_add(1, Ordering::AcqRel);
+                                retained_complete = false;
+                                Vec::new()
+                            }
+                        };
+                        let mut append_failed = false;
+                        'live: for seq in shard.sequences.values() {
+                            for sub in &seq.live {
+                                if !self.try_spill_append(|| store.append_node(sub)) {
+                                    append_failed = true;
+                                    break 'live;
+                                }
+                            }
+                        }
+                        let synced = store.sync_for_cut().is_ok();
+                        if synced {
+                            if let Some(manifest) = self.spill_manifest.as_ref() {
+                                let _ = manifest.update_shard(index, store.manifest_snapshot());
+                            }
+                        }
+                        if append_failed || !synced {
+                            self.spill_fallbacks.fetch_add(1, Ordering::AcqRel);
+                            retained_complete = false;
+                        }
+                        store.detach_keeping_files();
+                        detach_store = true;
+                        artifacts_kept = true;
+                        nodes
+                    } else {
+                        match store.drain_all() {
+                            Ok(mut replay) => {
+                                // Crash-torn tails are skipped by the
+                                // replay; each one is a degradation the
+                                // caller can observe.
+                                if replay.torn_tails > 0 {
+                                    self.spill_fallbacks
+                                        .fetch_add(replay.torn_tails, Ordering::AcqRel);
+                                }
+                                edges.append(&mut replay.edges);
+                                replay.nodes
+                            }
+                            Err(_) => {
+                                // The spilled prefix is unreadable: seal
+                                // what is still in memory and account the
+                                // degradation instead of aborting the
+                                // whole build. The store is detached with
+                                // its files kept — never delete material a
+                                // forensic recovery might still read.
+                                self.spill_fallbacks.fetch_add(1, Ordering::AcqRel);
+                                store.detach_keeping_files();
+                                detach_store = true;
+                                artifacts_kept = true;
+                                Vec::new()
+                            }
+                        }
                     }
-                },
+                }
                 None => Vec::new(),
             };
             if detach_store {
@@ -1700,7 +1925,7 @@ impl ShardedCpgBuilder {
             shard.spill_disabled = false;
             edges.append(&mut shard.control_edges);
             edges.append(&mut shard.data_edges);
-            drop(shard);
+            drop(guard);
 
             let live: usize = sequences.values().map(|seq| seq.live.len()).sum();
             total_nodes += spilled_nodes.len() + live;
@@ -1718,6 +1943,32 @@ impl ShardedCpgBuilder {
                 runs.push(Box::new(run.into_iter()));
             }
         }
+        // Spill-artifact epilogue. A retained seal that completed its
+        // on-disk copy publishes the clean manifest (a frozen, crashed
+        // manifest ignores this); a clean non-retaining seal removes the
+        // manifest and the now-empty session directory so nothing
+        // accumulates under the spill root across runs. Kept artifacts
+        // (crash, retention, unreadable store) are never touched.
+        if let Some(settings) = self.spill.as_ref() {
+            if artifacts_kept {
+                if let Some(manifest) = self.spill_manifest.as_ref() {
+                    if retain && retained_complete && !crashed {
+                        let _ = manifest.mark_clean();
+                    } else if !crashed {
+                        // Incomplete retention / unreadable store: flush
+                        // whatever entries the durability policy deferred,
+                        // but the manifest stays unclean.
+                        let _ = manifest.publish();
+                    }
+                }
+            } else {
+                if let Some(manifest) = self.spill_manifest.as_ref() {
+                    manifest.cleanup();
+                }
+                let _ = std::fs::remove_dir(&settings.dir);
+            }
+        }
+
         // Index teardown: dropping the release / page-write entries (one
         // heap clock each) is the one remaining event-proportional seal
         // cost, so when the indexes are large — long runs where the GC
@@ -1772,11 +2023,15 @@ impl ShardedCpgBuilder {
             &self.peak_resident,
             &self.spill_fallbacks,
             &self.spill_appends,
-            // fail_spill_write_at is configuration, not a counter: it
-            // survives the seal like the spill settings themselves.
+            &self.spill_record_count,
+            // fail_spill_write_at and crash_spill_at are configuration,
+            // not counters: they survive the seal like the spill settings
+            // themselves.
         ] {
             counter.store(0, Ordering::Release);
         }
+        self.spill_crashed.store(false, Ordering::Release);
+        self.seal_retain.store(false, Ordering::Release);
 
         // K-way merge of the sorted runs (k = live shard count), streamed
         // straight into the graph's sorted node store: one buffering pass,
@@ -2286,10 +2541,9 @@ mod tests {
             NEXT.fetch_add(1, Ordering::Relaxed)
         ));
         SpillSettings {
-            threshold,
-            dir,
             // Small segments so the tests exercise segment rolling too.
             segment_bytes: 512,
+            ..SpillSettings::new(threshold, dir)
         }
     }
 

@@ -11,34 +11,57 @@
 //! stripe-local edges are encoded into **length-prefixed records** appended
 //! to per-shard **segment files**, and evicted from memory.
 //!
-//! # On-disk format
+//! # On-disk format (v2)
 //!
 //! A spill store owns a sequence of segment files
 //! (`shard-<k>-seg-<n>.spill` under the configured directory); a segment is
 //! closed and a new one started once it exceeds
-//! [`SpillSettings::segment_bytes`]. Every record is
+//! [`SpillSettings::segment_bytes`]. Every segment starts with a 24-byte
+//! header:
 //!
 //! ```text
-//! [u32 payload_len (LE)] [u8 tag] [payload...]
+//! [magic "INSPSPL2"] [u32 version (LE)] [u32 shard (LE)] [u64 session (LE)]
 //! ```
 //!
-//! with tag `0` for a node record (a fully encoded [`SubComputation`]:
-//! id, vector clock, read/write sets, thunk list, terminator) and tag `1`
-//! for an edge record (a [`DependenceEdge`]). The encoding is exact — a
-//! decoded record compares equal to the original — because the seal-time
-//! reload must reproduce a graph that is node- and edge-identical to the
-//! batch oracle.
+//! followed by CRC-protected records:
+//!
+//! ```text
+//! [u32 payload_len (LE)] [u8 tag] [payload...] [u32 crc32 (LE)]
+//! ```
+//!
+//! where the CRC32 (IEEE) covers the tag byte and payload. Tag `0` is a
+//! node record (a fully encoded [`SubComputation`]: id, vector clock,
+//! read/write sets, thunk list, terminator), tag `1` an edge record (a
+//! [`DependenceEdge`]). The encoding is exact — a decoded record compares
+//! equal to the original — because the seal-time reload must reproduce a
+//! graph that is node- and edge-identical to the batch oracle.
 //!
 //! A small in-memory index maps every spilled node's [`SubId`] to its
 //! `(segment, offset)`, so live snapshots and taint queries taken while the
 //! program runs can still **fault spilled nodes back in**
 //! ([`SpillStore::fault_node`]) without replaying whole segments; the seal
 //! replays everything once, sequentially ([`SpillStore::drain_all`]).
+//!
+//! # Crash consistency
+//!
+//! A per-session `MANIFEST` file in the spill directory (rewritten by
+//! atomic rename from `MANIFEST.tmp`, see [`ManifestWriter`]) records, per
+//! shard, the segment list with record counts and byte lengths, plus the
+//! per-thread durable node counts — the durable consistent-cut frontier.
+//! The builder updates the manifest only **after** the corresponding bytes
+//! were synced according to the configured [`SpillDurability`] policy, so
+//! the manifest never names bytes that are not on disk. Offline recovery
+//! ([`crate::recover`]) trusts exactly the manifest-named byte ranges,
+//! CRC-checks every record inside them, and rebuilds the maximal
+//! consistent prefix of the run.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use crate::clock::VectorClock;
 use crate::event::{BranchKind, SyncKind};
@@ -51,6 +74,72 @@ use crate::thunk::{Thunk, ThunkList};
 /// replay incrementally while amortising file creation.
 pub const DEFAULT_SEGMENT_BYTES: u64 = 1 << 20;
 
+/// Magic bytes opening every v2 segment file.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"INSPSPL2";
+
+/// On-disk spill format version stamped into every segment header.
+pub const SPILL_FORMAT_VERSION: u32 = 2;
+
+/// Size of the fixed segment header: magic + version + shard + session id.
+pub const SEGMENT_HEADER_BYTES: u64 = 24;
+
+/// Per-record framing overhead: u32 length prefix + u32 CRC32 trailer.
+pub const RECORD_OVERHEAD_BYTES: u64 = 8;
+
+/// Name of the per-session manifest file inside the spill directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Scratch name the manifest is written to before the atomic rename.
+pub const MANIFEST_TMP_FILE: &str = "MANIFEST.tmp";
+
+/// First line of the manifest text format.
+const MANIFEST_HEADER: &str = "inspector-spill-manifest v2";
+
+/// How hard the spill tier pushes bytes toward stable storage before the
+/// manifest is allowed to name them.
+///
+/// | policy  | segment data      | manifest + directory | survives          |
+/// |---------|-------------------|----------------------|-------------------|
+/// | `None`  | `write(2)` only   | atomic rename only   | process crash     |
+/// | `Flush` | `fdatasync` at cut| atomic rename only   | process crash + most kernel-buffered loss |
+/// | `Fsync` | `fdatasync` at cut| `fsync` file and dir | power loss        |
+///
+/// `None` is free (the page cache already survives a killed process);
+/// `Flush` adds one `fdatasync` per shard per spill round; `Fsync`
+/// additionally syncs the manifest and its directory on every update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SpillDurability {
+    /// Write into the page cache only; no explicit sync.
+    #[default]
+    None,
+    /// `fdatasync` segment data at consistent-cut boundaries.
+    Flush,
+    /// `Flush` plus fsync of the manifest file and spill directory.
+    Fsync,
+}
+
+impl SpillDurability {
+    /// Parses a policy name, case-insensitively. Unrecognised spellings
+    /// return `None` so env handling can keep the configured default.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "none" => Some(SpillDurability::None),
+            "flush" => Some(SpillDurability::Flush),
+            "fsync" => Some(SpillDurability::Fsync),
+            _ => None,
+        }
+    }
+
+    /// Canonical lower-case policy name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpillDurability::None => "none",
+            SpillDurability::Flush => "flush",
+            SpillDurability::Fsync => "fsync",
+        }
+    }
+}
+
 /// Configuration of the spill stage, carried by the builder.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpillSettings {
@@ -61,17 +150,120 @@ pub struct SpillSettings {
     pub dir: PathBuf,
     /// Roll to a new segment file once the current one exceeds this size.
     pub segment_bytes: u64,
+    /// Sync policy applied at consistent-cut boundaries before the
+    /// manifest names the freshly spilled bytes.
+    pub durability: SpillDurability,
+    /// Session id stamped into segment headers and the manifest, so
+    /// recovery can reject segments from a different run.
+    pub session_id: u64,
+    /// Keep the spill directory (segments + final manifest) after a clean
+    /// seal instead of deleting it. Degraded runs always retain.
+    pub retain_on_seal: bool,
 }
 
 impl SpillSettings {
-    /// Settings with the default segment size.
+    /// Settings with the default segment size and durability policy.
     pub fn new(threshold: usize, dir: impl Into<PathBuf>) -> Self {
         SpillSettings {
             threshold,
             dir: dir.into(),
             segment_bytes: DEFAULT_SEGMENT_BYTES,
+            durability: SpillDurability::default(),
+            session_id: 0,
+            retain_on_seal: false,
         }
     }
+
+    /// Sets the durability policy.
+    pub fn with_durability(mut self, durability: SpillDurability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Sets the session id stamped into headers and the manifest.
+    pub fn with_session_id(mut self, session_id: u64) -> Self {
+        self.session_id = session_id;
+        self
+    }
+
+    /// Keeps spill artifacts on disk after a clean seal.
+    pub fn with_retain_on_seal(mut self, retain: bool) -> Self {
+        self.retain_on_seal = retain;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3), table-driven; no external dependency.
+// ---------------------------------------------------------------------------
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                0xEDB8_8320 ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+/// Slicing-by-8 companion tables: `CRC32_TABLES[k][b]` advances a CRC
+/// whose `b` byte sits `k` positions before the end of an 8-byte chunk,
+/// letting the hot loop fold 8 input bytes per iteration instead of 1.
+const fn build_crc32_tables() -> [[u32; 256]; 8] {
+    let base = build_crc32_table();
+    let mut tables = [[0u32; 256]; 8];
+    tables[0] = base;
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = base[(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+static CRC32_TABLES: [[u32; 256]; 8] = build_crc32_tables();
+
+/// CRC32 (IEEE) over `bytes`, as used by the per-record trailer.
+/// Slicing-by-8: the record framing puts this on the spill hot path once
+/// per appended record, so the byte-at-a-time loop only handles the tail.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let t = &CRC32_TABLES;
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
 }
 
 /// Record tags.
@@ -99,6 +291,47 @@ pub enum SpillError {
         /// Byte offset of the torn record's length prefix.
         offset: u64,
     },
+    /// Like [`SpillError::Corrupt`], but located: the decoder knew which
+    /// file and record offset the malformed payload came from.
+    CorruptAt {
+        /// What was malformed.
+        what: String,
+        /// Segment file the record sits in.
+        path: PathBuf,
+        /// Byte offset of the record's length prefix within the file.
+        offset: u64,
+    },
+    /// A fully-framed record whose CRC32 trailer does not match its
+    /// payload: on-disk corruption (bit rot, partial overwrite).
+    CrcMismatch {
+        /// Segment file the record sits in.
+        path: PathBuf,
+        /// Byte offset of the record's length prefix within the file.
+        offset: u64,
+    },
+    /// A segment file whose fixed header is missing or wrong (bad magic,
+    /// unsupported version, shard/session mismatch).
+    BadHeader {
+        /// Segment file with the bad header.
+        path: PathBuf,
+        /// What was wrong with it.
+        what: String,
+    },
+}
+
+impl SpillError {
+    /// Attaches file/offset context to a bare [`SpillError::Corrupt`];
+    /// every other variant already carries its location (or has none).
+    fn with_location(self, path: &Path, offset: u64) -> SpillError {
+        match self {
+            SpillError::Corrupt(what) => SpillError::CorruptAt {
+                what,
+                path: path.to_path_buf(),
+                offset,
+            },
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for SpillError {
@@ -108,6 +341,23 @@ impl std::fmt::Display for SpillError {
             SpillError::Corrupt(what) => write!(f, "corrupt spill record: {what}"),
             SpillError::TornTail { segment, offset } => {
                 write!(f, "torn spill record at segment {segment} offset {offset}")
+            }
+            SpillError::CorruptAt { what, path, offset } => {
+                write!(
+                    f,
+                    "corrupt spill record in {} at offset {offset}: {what}",
+                    path.display()
+                )
+            }
+            SpillError::CrcMismatch { path, offset } => {
+                write!(
+                    f,
+                    "spill record crc mismatch in {} at offset {offset}",
+                    path.display()
+                )
+            }
+            SpillError::BadHeader { path, what } => {
+                write!(f, "bad spill segment header in {}: {what}", path.display())
             }
         }
     }
@@ -193,16 +443,22 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Copies the next `N` bytes into a fixed array. Unlike the former
+    /// `try_into().expect(..)` decodes, a short read is a typed
+    /// [`SpillError::Corrupt`] from [`Cursor::take`], never a panic.
+    fn take_array<const N: usize>(&mut self) -> SpillResult<[u8; N]> {
+        let slice = self.take(N)?;
+        let mut array = [0u8; N];
+        array.copy_from_slice(slice);
+        Ok(array)
+    }
+
     fn take_u32(&mut self) -> SpillResult<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_array::<4>()?))
     }
 
     fn take_u64(&mut self) -> SpillResult<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_array::<8>()?))
     }
 
     fn take_sub_id(&mut self) -> SpillResult<SubId> {
@@ -403,6 +659,322 @@ fn decode_edge(cursor: &mut Cursor<'_>) -> SpillResult<DependenceEdge> {
 }
 
 // ---------------------------------------------------------------------------
+// Segment headers and record payloads (shared with offline recovery)
+// ---------------------------------------------------------------------------
+
+/// File name of segment `index` of shard `shard`.
+pub fn segment_file_name(shard: usize, index: usize) -> String {
+    format!("shard-{shard}-seg-{index}.spill")
+}
+
+/// Decoded fixed segment header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SegmentHeader {
+    pub shard: u32,
+    pub session_id: u64,
+}
+
+fn encode_segment_header(shard: u32, session_id: u64) -> [u8; SEGMENT_HEADER_BYTES as usize] {
+    let mut header = [0u8; SEGMENT_HEADER_BYTES as usize];
+    header[..8].copy_from_slice(&SEGMENT_MAGIC);
+    header[8..12].copy_from_slice(&SPILL_FORMAT_VERSION.to_le_bytes());
+    header[12..16].copy_from_slice(&shard.to_le_bytes());
+    header[16..24].copy_from_slice(&session_id.to_le_bytes());
+    header
+}
+
+/// Validates and decodes the fixed header at the start of `bytes`.
+pub(crate) fn parse_segment_header(bytes: &[u8], path: &Path) -> SpillResult<SegmentHeader> {
+    let bad = |what: String| SpillError::BadHeader {
+        path: path.to_path_buf(),
+        what,
+    };
+    if bytes.len() < SEGMENT_HEADER_BYTES as usize {
+        return Err(bad(format!(
+            "file is {} bytes, shorter than the {SEGMENT_HEADER_BYTES}-byte header",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != SEGMENT_MAGIC {
+        return Err(bad("bad magic".into()));
+    }
+    let mut cursor = Cursor::new(&bytes[8..SEGMENT_HEADER_BYTES as usize]);
+    let version = cursor.take_u32()?;
+    if version != SPILL_FORMAT_VERSION {
+        return Err(bad(format!(
+            "unsupported format version {version} (expected {SPILL_FORMAT_VERSION})"
+        )));
+    }
+    let shard = cursor.take_u32()?;
+    let session_id = cursor.take_u64()?;
+    Ok(SegmentHeader { shard, session_id })
+}
+
+/// One decoded record payload (tag already consumed and dispatched).
+#[derive(Debug)]
+pub(crate) enum RecordPayload {
+    Node(SubComputation),
+    Edge(DependenceEdge),
+}
+
+/// Decodes a full record payload (tag byte + body), checking exhaustion.
+pub(crate) fn decode_record(payload: &[u8]) -> SpillResult<RecordPayload> {
+    let mut cursor = Cursor::new(payload);
+    let record = match cursor.take_u8()? {
+        TAG_NODE => RecordPayload::Node(decode_node(&mut cursor)?),
+        TAG_EDGE => RecordPayload::Edge(decode_edge(&mut cursor)?),
+        other => return Err(SpillError::Corrupt(format!("tag {other}"))),
+    };
+    cursor.expect_exhausted()?;
+    Ok(record)
+}
+
+// ---------------------------------------------------------------------------
+// The per-session manifest
+// ---------------------------------------------------------------------------
+
+/// What one shard contributes to the manifest: its segment list and the
+/// per-thread durable node counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// `(records, bytes)` per segment, in segment-index order. `bytes`
+    /// includes the fixed header and covers exactly the synced prefix of
+    /// the file at snapshot time.
+    pub segments: Vec<(u64, u64)>,
+    /// Durable node-record count per thread (raw thread index).
+    pub thread_counts: BTreeMap<u32, u64>,
+}
+
+/// One segment named by a parsed manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestSegment {
+    /// Shard the segment belongs to.
+    pub shard: usize,
+    /// Segment index within the shard.
+    pub index: usize,
+    /// Records the manifest vouches for.
+    pub records: u64,
+    /// Durable byte length (header included) the manifest vouches for.
+    pub bytes: u64,
+}
+
+/// A parsed `MANIFEST` file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedManifest {
+    /// Session id the manifest belongs to.
+    pub session_id: u64,
+    /// `true` once the session sealed cleanly (final update).
+    pub clean: bool,
+    /// Durable node counts per thread (raw thread index): the durable
+    /// consistent-cut frontier recovery starts from.
+    pub thread_counts: BTreeMap<u32, u64>,
+    /// Every segment the manifest vouches for.
+    pub segments: Vec<ManifestSegment>,
+}
+
+/// Parses the text manifest format. Any malformed line is a
+/// [`SpillError::Corrupt`] — recovery treats that as "no manifest".
+pub fn parse_manifest(text: &str) -> SpillResult<ParsedManifest> {
+    let corrupt = |what: String| SpillError::Corrupt(format!("manifest: {what}"));
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(MANIFEST_HEADER) => {}
+        other => {
+            return Err(corrupt(format!("bad header line {other:?}")));
+        }
+    }
+    let mut manifest = ParsedManifest::default();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let parse_u64 = |s: &str| {
+            s.parse::<u64>()
+                .map_err(|_| corrupt(format!("bad number {s:?} in line {line:?}")))
+        };
+        match fields.as_slice() {
+            ["session", id] => manifest.session_id = parse_u64(id)?,
+            ["clean", flag] => manifest.clean = parse_u64(flag)? != 0,
+            ["thread", tid, count] => {
+                manifest
+                    .thread_counts
+                    .insert(parse_u64(tid)? as u32, parse_u64(count)?);
+            }
+            ["segment", shard, index, records, bytes] => {
+                manifest.segments.push(ManifestSegment {
+                    shard: parse_u64(shard)? as usize,
+                    index: parse_u64(index)? as usize,
+                    records: parse_u64(records)?,
+                    bytes: parse_u64(bytes)?,
+                });
+            }
+            _ => return Err(corrupt(format!("unrecognised line {line:?}"))),
+        }
+    }
+    Ok(manifest)
+}
+
+/// Reads and parses `dir/MANIFEST`. `Ok(None)` when the file does not
+/// exist; a stale `MANIFEST.tmp` is deliberately ignored (an interrupted
+/// atomic-rename update must not shadow the last published manifest).
+pub fn read_manifest(dir: &Path) -> SpillResult<Option<ParsedManifest>> {
+    match std::fs::read_to_string(dir.join(MANIFEST_FILE)) {
+        Ok(text) => parse_manifest(&text).map(Some),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(SpillError::Io(e)),
+    }
+}
+
+/// Serialises and atomically publishes the per-session manifest.
+///
+/// All shards of one builder share one writer; each successful spill round
+/// replaces that shard's entry in memory, and the file is republished via
+/// `MANIFEST.tmp` + rename so readers only ever observe a complete
+/// manifest. *When* the file is rewritten follows the durability policy:
+/// under [`SpillDurability::None`] (no durability promise) republication
+/// is deferred to segment rolls, the initial publish, and the final
+/// seal-time update — the rewrite-per-cut cost would otherwise dominate
+/// the spill hot path for a tier that promises nothing. `Flush` and
+/// `Fsync` republish at every durable cut: the manifest *is* their durable
+/// frontier. Under `Fsync` the tmp file is additionally fsynced before the
+/// rename and the directory after it.
+#[derive(Debug)]
+pub struct ManifestWriter {
+    dir: PathBuf,
+    session_id: u64,
+    durability: SpillDurability,
+    state: Mutex<ManifestState>,
+}
+
+#[derive(Debug, Default)]
+struct ManifestState {
+    shards: BTreeMap<usize, ShardManifest>,
+    clean: bool,
+    frozen: bool,
+    /// The file has been written at least once since creation/cleanup.
+    published: bool,
+}
+
+impl ManifestWriter {
+    /// A writer for `dir`; nothing is written until the first update.
+    pub fn new(dir: impl Into<PathBuf>, session_id: u64, durability: SpillDurability) -> Self {
+        ManifestWriter {
+            dir: dir.into(),
+            session_id,
+            durability,
+            state: Mutex::new(ManifestState::default()),
+        }
+    }
+
+    /// Publishes the (possibly empty) manifest if it has never been
+    /// written: a spill directory carries its session's manifest from the
+    /// moment it can receive records, so even a crash during the very
+    /// first append leaves one behind for recovery.
+    pub fn publish_initial(&self) -> std::io::Result<()> {
+        let mut state = self.state.lock();
+        if state.frozen || state.published {
+            return Ok(());
+        }
+        self.write_locked(&mut state)
+    }
+
+    /// Replaces `shard`'s manifest entry and republishes the file per the
+    /// durability policy (every cut under `Flush`/`Fsync`; first publish
+    /// and segment rolls only under `None` — see the type docs).
+    /// A frozen writer (post-crash) ignores the update: after a simulated
+    /// crash the manifest must stay exactly as the dying process left it.
+    pub fn update_shard(&self, shard: usize, snapshot: ShardManifest) -> std::io::Result<()> {
+        let mut state = self.state.lock();
+        if state.frozen {
+            return Ok(());
+        }
+        let rolled = state
+            .shards
+            .get(&shard)
+            .is_none_or(|old| old.segments.len() != snapshot.segments.len());
+        state.shards.insert(shard, snapshot);
+        if self.durability != SpillDurability::None || rolled || !state.published {
+            self.write_locked(&mut state)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Republishes the current (unclean) state, flushing any entries a
+    /// deferring durability policy has not written yet. Used by seals that
+    /// keep artifacts without reaching the clean mark.
+    pub fn publish(&self) -> std::io::Result<()> {
+        let mut state = self.state.lock();
+        if state.frozen {
+            return Ok(());
+        }
+        self.write_locked(&mut state)
+    }
+
+    /// Marks the manifest clean (final seal-time update) and republishes
+    /// with every shard's latest (possibly deferred) entry.
+    pub fn mark_clean(&self) -> std::io::Result<()> {
+        let mut state = self.state.lock();
+        if state.frozen {
+            return Ok(());
+        }
+        state.clean = true;
+        self.write_locked(&mut state)
+    }
+
+    /// Freezes the writer: all further updates become no-ops. Used by
+    /// crash injection — a dead process updates nothing.
+    pub fn freeze(&self) {
+        self.state.lock().frozen = true;
+    }
+
+    /// Deletes the manifest (and any stale tmp) and resets the state, for
+    /// the clean non-retaining seal path.
+    pub fn cleanup(&self) {
+        let mut state = self.state.lock();
+        let _ = std::fs::remove_file(self.dir.join(MANIFEST_FILE));
+        let _ = std::fs::remove_file(self.dir.join(MANIFEST_TMP_FILE));
+        *state = ManifestState::default();
+    }
+
+    fn write_locked(&self, state: &mut ManifestState) -> std::io::Result<()> {
+        let mut text = String::new();
+        text.push_str(MANIFEST_HEADER);
+        text.push('\n');
+        text.push_str(&format!("session {}\n", self.session_id));
+        text.push_str(&format!("clean {}\n", u64::from(state.clean)));
+        let mut threads: BTreeMap<u32, u64> = BTreeMap::new();
+        for shard in state.shards.values() {
+            for (&tid, &count) in &shard.thread_counts {
+                *threads.entry(tid).or_insert(0) += count;
+            }
+        }
+        for (tid, count) in &threads {
+            text.push_str(&format!("thread {tid} {count}\n"));
+        }
+        for (&shard, entry) in &state.shards {
+            for (index, &(records, bytes)) in entry.segments.iter().enumerate() {
+                text.push_str(&format!("segment {shard} {index} {records} {bytes}\n"));
+            }
+        }
+        let tmp = self.dir.join(MANIFEST_TMP_FILE);
+        let mut file = File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        if self.durability == SpillDurability::Fsync {
+            file.sync_all()?;
+        }
+        drop(file);
+        std::fs::rename(&tmp, self.dir.join(MANIFEST_FILE))?;
+        if self.durability == SpillDurability::Fsync {
+            File::open(&self.dir)?.sync_all()?;
+        }
+        state.published = true;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The per-shard store
 // ---------------------------------------------------------------------------
 
@@ -420,6 +992,16 @@ fn read_full(file: &mut File, buf: &mut [u8]) -> std::io::Result<bool> {
     }
 }
 
+/// Metadata of one written segment file.
+#[derive(Debug, Clone)]
+struct SegmentMeta {
+    path: PathBuf,
+    /// Complete records appended so far.
+    records: u64,
+    /// Byte length of the durable, fully-framed prefix (header included).
+    bytes: u64,
+}
+
 /// Append-only spill store of one shard: open segment writer, the segment
 /// file list, and the node fault-in index.
 #[derive(Debug)]
@@ -427,11 +1009,16 @@ pub struct SpillStore {
     dir: PathBuf,
     shard: usize,
     segment_bytes: u64,
-    /// Paths of all segments written so far (index = segment number).
-    segments: Vec<PathBuf>,
+    durability: SpillDurability,
+    session_id: u64,
+    /// Keep files (and the directory) on drop/removal — set for degraded
+    /// and retained runs so forensic material is never deleted.
+    retain: bool,
+    /// All segments written so far (index = segment number).
+    segments: Vec<SegmentMeta>,
     /// Writer for the last segment in `segments`.
     current: Option<File>,
-    /// Bytes written to the current segment.
+    /// Bytes written to the current segment (fixed header included).
     current_len: u64,
     /// Fault-in index over spilled nodes.
     index: HashMap<SubId, NodeLocation>,
@@ -439,26 +1026,53 @@ pub struct SpillStore {
     bytes_written: u64,
     /// Node records appended since the last reset.
     nodes_spilled: u64,
-    /// Reusable record-encoding buffer.
+    /// Complete node records appended per thread (raw index) — the
+    /// per-thread durable frontier published through the manifest.
+    thread_counts: BTreeMap<u32, u64>,
+    /// Reusable record-encoding buffer (whole frame: len + payload + crc).
     scratch: Vec<u8>,
 }
 
 impl SpillStore {
     /// Creates the store for shard `shard`, creating `dir` if needed.
+    /// Durability defaults to [`SpillDurability::None`] and the session id
+    /// to 0; see [`SpillStore::set_durability`] / [`SpillStore::set_session_id`].
     pub fn create(dir: &Path, shard: usize, segment_bytes: u64) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         Ok(SpillStore {
             dir: dir.to_path_buf(),
             shard,
             segment_bytes: segment_bytes.max(1),
+            durability: SpillDurability::default(),
+            session_id: 0,
+            retain: false,
             segments: Vec::new(),
             current: None,
             current_len: 0,
             index: HashMap::new(),
             bytes_written: 0,
             nodes_spilled: 0,
+            thread_counts: BTreeMap::new(),
             scratch: Vec::new(),
         })
+    }
+
+    /// Sets the sync policy applied at cut boundaries and segment rolls.
+    pub fn set_durability(&mut self, durability: SpillDurability) {
+        self.durability = durability;
+    }
+
+    /// Sets the session id stamped into subsequent segment headers.
+    /// Call before the first append; already-written headers keep theirs.
+    pub fn set_session_id(&mut self, session_id: u64) {
+        self.session_id = session_id;
+    }
+
+    /// Keep (or stop keeping) all on-disk artifacts when the store is
+    /// dropped or reset. Degraded runs set this so forensic material
+    /// survives the process.
+    pub fn set_retain(&mut self, retain: bool) {
+        self.retain = retain;
     }
 
     /// Number of nodes currently spilled.
@@ -482,42 +1096,69 @@ impl SpillStore {
     }
 
     fn segment_path(&self, segment: usize) -> PathBuf {
-        self.dir
-            .join(format!("shard-{}-seg-{segment}.spill", self.shard))
+        self.dir.join(segment_file_name(self.shard, segment))
     }
 
-    /// Ensures a writable segment with room is open, rolling if needed.
-    /// Returns the (segment, offset) the next record will land at.
+    /// Ensures a writable segment with room is open, rolling (and syncing
+    /// the finished segment per the durability policy) if needed. Returns
+    /// the (segment, offset) the next record will land at.
     fn writer_position(&mut self) -> std::io::Result<NodeLocation> {
         let needs_new = match self.current {
             None => true,
             Some(_) => self.current_len >= self.segment_bytes,
         };
         if needs_new {
+            if let Some(finished) = self.current.take() {
+                if self.durability != SpillDurability::None {
+                    finished.sync_data()?;
+                }
+            }
+            // The directory may have been cleaned up by a previous seal of
+            // a reused builder; recreate it on demand.
+            std::fs::create_dir_all(&self.dir)?;
             let path = self.segment_path(self.segments.len());
-            let file = OpenOptions::new()
+            let mut file = OpenOptions::new()
                 .create(true)
                 .truncate(true)
                 .write(true)
                 .open(&path)?;
-            self.segments.push(path);
+            file.write_all(&encode_segment_header(self.shard as u32, self.session_id))?;
+            self.segments.push(SegmentMeta {
+                path,
+                records: 0,
+                bytes: SEGMENT_HEADER_BYTES,
+            });
             self.current = Some(file);
-            self.current_len = 0;
+            self.current_len = SEGMENT_HEADER_BYTES;
         }
         Ok((self.segments.len() as u32 - 1, self.current_len))
     }
 
-    /// Frames and appends the scratch buffer as one record.
-    fn append_record(&mut self) -> std::io::Result<()> {
-        let len = self.scratch.len() as u32;
+    /// Starts a record frame in scratch: length placeholder, then the tag.
+    fn begin_record(&mut self, tag: u8) {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&[0u8; 4]);
+        self.scratch.push(tag);
+    }
+
+    /// Finishes the frame in scratch (patches the length, appends the
+    /// CRC32 trailer) and appends it with a single write.
+    fn finish_record(&mut self) -> std::io::Result<()> {
+        let payload_len = (self.scratch.len() - 4) as u32;
+        self.scratch[..4].copy_from_slice(&payload_len.to_le_bytes());
+        let crc = crc32(&self.scratch[4..]);
+        self.scratch.extend_from_slice(&crc.to_le_bytes());
         let file = self.current.as_mut().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::NotConnected, "spill writer not open")
         })?;
-        file.write_all(&len.to_le_bytes())?;
         file.write_all(&self.scratch)?;
-        let total = 4 + self.scratch.len() as u64;
+        let total = self.scratch.len() as u64;
         self.current_len += total;
         self.bytes_written += total;
+        if let Some(meta) = self.segments.last_mut() {
+            meta.records += 1;
+            meta.bytes = self.current_len;
+        }
         Ok(())
     }
 
@@ -525,12 +1166,15 @@ impl SpillStore {
     /// fault-in index.
     pub fn append_node(&mut self, sub: &SubComputation) -> std::io::Result<()> {
         let location = self.writer_position()?;
-        self.scratch.clear();
-        self.scratch.push(TAG_NODE);
+        self.begin_record(TAG_NODE);
         encode_node(&mut self.scratch, sub);
-        self.append_record()?;
+        self.finish_record()?;
         self.index.insert(sub.id, location);
         self.nodes_spilled += 1;
+        *self
+            .thread_counts
+            .entry(sub.id.thread.index() as u32)
+            .or_insert(0) += 1;
         Ok(())
     }
 
@@ -538,10 +1182,71 @@ impl SpillStore {
     /// spill cut, so no further edge into that destination can appear).
     pub fn append_edge(&mut self, edge: &DependenceEdge) -> std::io::Result<()> {
         self.writer_position()?;
-        self.scratch.clear();
-        self.scratch.push(TAG_EDGE);
+        self.begin_record(TAG_EDGE);
         encode_edge(&mut self.scratch, edge);
-        self.append_record()
+        self.finish_record()
+    }
+
+    /// Deterministically simulates dying mid-append: writes only a prefix
+    /// of `sub`'s frame (the length word plus half the payload) and leaves
+    /// every counter, the index, and the manifest snapshot untouched —
+    /// exactly the on-disk state a crash between `write` and bookkeeping
+    /// leaves behind.
+    pub fn append_torn_node(&mut self, sub: &SubComputation) -> std::io::Result<()> {
+        self.writer_position()?;
+        self.begin_record(TAG_NODE);
+        encode_node(&mut self.scratch, sub);
+        self.finish_torn()
+    }
+
+    /// Edge-record variant of [`SpillStore::append_torn_node`].
+    pub fn append_torn_edge(&mut self, edge: &DependenceEdge) -> std::io::Result<()> {
+        self.writer_position()?;
+        self.begin_record(TAG_EDGE);
+        encode_edge(&mut self.scratch, edge);
+        self.finish_torn()
+    }
+
+    /// Writes only a prefix of the frame in scratch: the length word plus
+    /// half the payload, never the CRC trailer.
+    fn finish_torn(&mut self) -> std::io::Result<()> {
+        let payload_len = (self.scratch.len() - 4) as u32;
+        self.scratch[..4].copy_from_slice(&payload_len.to_le_bytes());
+        let torn = 4 + payload_len as usize / 2;
+        let file = self.current.as_mut().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotConnected, "spill writer not open")
+        })?;
+        file.write_all(&self.scratch[..torn])?;
+        self.current_len += torn as u64;
+        Ok(())
+    }
+
+    /// Pushes everything appended so far toward stable storage according
+    /// to the durability policy, so the manifest may name it. A no-op
+    /// under [`SpillDurability::None`].
+    pub fn sync_for_cut(&mut self) -> std::io::Result<()> {
+        if self.durability == SpillDurability::None {
+            return Ok(());
+        }
+        if let Some(file) = self.current.as_mut() {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of this shard's durable state for the manifest: segment
+    /// record/byte counts and the per-thread node counts. Only call after
+    /// [`SpillStore::sync_for_cut`] so the snapshot never names
+    /// non-durable bytes.
+    pub fn manifest_snapshot(&self) -> ShardManifest {
+        ShardManifest {
+            segments: self
+                .segments
+                .iter()
+                .map(|meta| (meta.records, meta.bytes))
+                .collect(),
+            thread_counts: self.thread_counts.clone(),
+        }
     }
 
     /// Reads one spilled node back in through the index, without touching
@@ -561,7 +1266,8 @@ impl SpillStore {
             segment: segment as usize,
             offset,
         };
-        let mut file = File::open(&self.segments[segment as usize])?;
+        let path = &self.segments[segment as usize].path;
+        let mut file = File::open(path)?;
         file.seek(SeekFrom::Start(offset))?;
         let mut len = [0u8; 4];
         read_full(&mut file, &mut len)?
@@ -571,15 +1277,24 @@ impl SpillStore {
         read_full(&mut file, &mut payload)?
             .then_some(())
             .ok_or_else(torn)?;
-        let mut cursor = Cursor::new(&payload);
-        if cursor.take_u8()? != TAG_NODE {
-            return Err(SpillError::Corrupt(
-                "index points at a non-node record".into(),
-            ));
+        let mut crc = [0u8; 4];
+        read_full(&mut file, &mut crc)?
+            .then_some(())
+            .ok_or_else(torn)?;
+        if crc32(&payload) != u32::from_le_bytes(crc) {
+            return Err(SpillError::CrcMismatch {
+                path: path.clone(),
+                offset,
+            });
         }
-        let sub = decode_node(&mut cursor)?;
-        cursor.expect_exhausted()?;
-        Ok(Some(sub))
+        match decode_record(&payload).map_err(|e| e.with_location(path, offset))? {
+            RecordPayload::Node(sub) => Ok(Some(sub)),
+            RecordPayload::Edge(_) => Err(SpillError::CorruptAt {
+                what: "index points at a non-node record".into(),
+                path: path.clone(),
+                offset,
+            }),
+        }
     }
 
     /// Replays every record of every segment in append order without
@@ -602,30 +1317,37 @@ impl SpillStore {
             nodes: Vec::with_capacity(self.nodes_spilled as usize),
             ..Replay::default()
         };
-        for path in &self.segments {
-            let bytes = std::fs::read(path)?;
-            let mut pos = 0usize;
+        for meta in &self.segments {
+            let bytes = std::fs::read(&meta.path)?;
+            parse_segment_header(&bytes, &meta.path)?;
+            let mut pos = SEGMENT_HEADER_BYTES as usize;
             while pos < bytes.len() {
+                // A frame too short for its length word, payload, or CRC
+                // trailer is a torn tail (the process died mid-append).
                 if pos + 4 > bytes.len() {
-                    // Torn length prefix at the tail.
                     out.torn_tails += 1;
                     break;
                 }
-                let len =
-                    u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-                if pos + 4 + len > bytes.len() {
-                    // Torn payload at the tail.
+                let mut word = [0u8; 4];
+                word.copy_from_slice(&bytes[pos..pos + 4]);
+                let len = u32::from_le_bytes(word) as usize;
+                if pos + 4 + len + 4 > bytes.len() {
                     out.torn_tails += 1;
                     break;
                 }
-                let mut cursor = Cursor::new(&bytes[pos + 4..pos + 4 + len]);
-                pos += 4 + len;
-                match cursor.take_u8()? {
-                    TAG_NODE => out.nodes.push(decode_node(&mut cursor)?),
-                    TAG_EDGE => out.edges.push(decode_edge(&mut cursor)?),
-                    other => return Err(SpillError::Corrupt(format!("tag {other}"))),
+                let payload = &bytes[pos + 4..pos + 4 + len];
+                word.copy_from_slice(&bytes[pos + 4 + len..pos + 8 + len]);
+                if crc32(payload) != u32::from_le_bytes(word) {
+                    return Err(SpillError::CrcMismatch {
+                        path: meta.path.clone(),
+                        offset: pos as u64,
+                    });
                 }
-                cursor.expect_exhausted()?;
+                match decode_record(payload).map_err(|e| e.with_location(&meta.path, pos as u64))? {
+                    RecordPayload::Node(sub) => out.nodes.push(sub),
+                    RecordPayload::Edge(edge) => out.edges.push(edge),
+                }
+                pos += 8 + len;
             }
         }
         Ok(out)
@@ -649,14 +1371,26 @@ impl SpillStore {
         self.current_len = 0;
         self.bytes_written = 0;
         self.nodes_spilled = 0;
+        self.thread_counts.clear();
         Ok(drained)
     }
 
-    /// Best-effort deletion of this shard's segment files.
+    /// Closes the writer and forgets the segment list *without* deleting
+    /// anything on disk — the detach path for crashed/retained runs.
+    pub fn detach_keeping_files(&mut self) {
+        self.retain = true;
+        self.current = None;
+    }
+
+    /// Best-effort deletion of this shard's segment files. Retained
+    /// stores only close the writer — forensic material is never deleted.
     fn remove_files(&mut self) {
         self.current = None;
-        for path in self.segments.drain(..) {
-            let _ = std::fs::remove_file(path);
+        if self.retain {
+            return;
+        }
+        for meta in self.segments.drain(..) {
+            let _ = std::fs::remove_file(meta.path);
         }
     }
 }
@@ -664,9 +1398,12 @@ impl SpillStore {
 impl Drop for SpillStore {
     fn drop(&mut self) {
         self.remove_files();
+        if self.retain {
+            return;
+        }
         // The directory is shared by all shards of one builder; removing it
-        // succeeds only for the last store standing, which is exactly the
-        // clean-up we want.
+        // succeeds only for the last store standing (and only once the
+        // manifest, if any, is gone), which is exactly the clean-up we want.
         let _ = std::fs::remove_dir(&self.dir);
     }
 }
@@ -843,10 +1580,10 @@ mod tests {
         for sub in &subs {
             store.append_node(sub).unwrap();
         }
-        // Flush, then chop the file mid-way through the last record's
-        // payload (and separately inside its length prefix).
+        // Flush, then chop the file inside the last record's CRC trailer
+        // (and separately mid-payload).
         store.current = None;
-        let path = store.segments.last().unwrap().clone();
+        let path = store.segments.last().unwrap().path.clone();
         let full = std::fs::read(&path).unwrap();
         for chop in [3u64, 9] {
             let file = OpenOptions::new().write(true).open(&path).unwrap();
@@ -879,12 +1616,257 @@ mod tests {
         let mut store = SpillStore::create(&dir, 0, DEFAULT_SEGMENT_BYTES).unwrap();
         store.append_node(&subs[0]).unwrap();
         store.current = None;
-        let path = store.segments.last().unwrap().clone();
+        let path = store.segments.last().unwrap().path.clone();
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes[4] = 0xFF; // clobber the record tag
+        // Clobber the record tag (first payload byte after the segment
+        // header and length prefix): the CRC trailer catches the flip and
+        // the error names the file and record offset.
+        let tag_at = SEGMENT_HEADER_BYTES as usize + 4;
+        bytes[tag_at] = 0xFF;
         std::fs::write(&path, &bytes).unwrap();
         let err = store.replay().unwrap_err();
-        assert!(matches!(err, SpillError::Corrupt(_)), "{err}");
-        assert!(err.to_string().contains("corrupt"));
+        assert!(matches!(err, SpillError::CrcMismatch { .. }), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("crc mismatch"), "{msg}");
+        assert!(msg.contains("shard-0-seg-0.spill"), "{msg}");
+        assert!(
+            msg.contains(&format!("offset {SEGMENT_HEADER_BYTES}")),
+            "{msg}"
+        );
+        // Fault-in sees the same typed error.
+        let err = store.fault_node(subs[0].id).unwrap_err();
+        assert!(matches!(err, SpillError::CrcMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_tag_with_valid_crc_is_a_located_corrupt_error() {
+        let dir = unique_dir("badtag");
+        let subs = recorded_subs();
+        let mut store = SpillStore::create(&dir, 0, DEFAULT_SEGMENT_BYTES).unwrap();
+        store.append_node(&subs[0]).unwrap();
+        store.current = None;
+        let path = store.segments.last().unwrap().path.clone();
+        // Hand-craft a framed record with an unknown tag but a *valid*
+        // CRC, so the decode (not the checksum) rejects it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offset = bytes.len() as u64;
+        let payload = [9u8];
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = store.replay().unwrap_err();
+        match &err {
+            SpillError::CorruptAt {
+                what,
+                path: at,
+                offset: o,
+            } => {
+                assert!(what.contains("tag 9"), "{what}");
+                assert_eq!(at, &path);
+                assert_eq!(*o, offset);
+            }
+            other => panic!("expected CorruptAt, got {other}"),
+        }
+        assert!(err.to_string().contains("tag 9"), "{err}");
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The canonical IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn segment_header_is_stamped_and_validated() {
+        let dir = unique_dir("header");
+        let subs = recorded_subs();
+        let mut store = SpillStore::create(&dir, 5, DEFAULT_SEGMENT_BYTES).unwrap();
+        store.set_session_id(0xDEAD_BEEF);
+        store.append_node(&subs[0]).unwrap();
+        store.current = None;
+        let path = store.segments.last().unwrap().path.clone();
+        let bytes = std::fs::read(&path).unwrap();
+        let header = parse_segment_header(&bytes, &path).unwrap();
+        assert_eq!(header.shard, 5);
+        assert_eq!(header.session_id, 0xDEAD_BEEF);
+        // A clobbered magic is a typed BadHeader naming the file.
+        let mut clobbered = bytes.clone();
+        clobbered[0] = b'X';
+        let err = parse_segment_header(&clobbered, &path).unwrap_err();
+        assert!(matches!(err, SpillError::BadHeader { .. }), "{err}");
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        // An unsupported version is rejected too.
+        let mut newer = bytes;
+        newer[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let err = parse_segment_header(&newer, &path).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn torn_append_simulates_a_mid_write_crash() {
+        let dir = unique_dir("tornappend");
+        let subs = recorded_subs();
+        let mut store = SpillStore::create(&dir, 0, DEFAULT_SEGMENT_BYTES).unwrap();
+        store.append_node(&subs[0]).unwrap();
+        store.append_node(&subs[1]).unwrap();
+        let before = store.manifest_snapshot();
+        store.append_torn_node(&subs[2]).unwrap();
+        // The torn record never becomes durable state: counters, index,
+        // and the manifest snapshot are unchanged.
+        assert_eq!(store.spilled_nodes(), 2);
+        assert!(!store.contains(subs[2].id));
+        assert_eq!(store.manifest_snapshot(), before);
+        // Replay skips and counts it.
+        store.current = None;
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.nodes, subs[..2]);
+        assert_eq!(replay.torn_tails, 1);
+    }
+
+    #[test]
+    fn retained_store_keeps_files_on_drop() {
+        let dir = unique_dir("retain");
+        let subs = recorded_subs();
+        let mut store = SpillStore::create(&dir, 0, DEFAULT_SEGMENT_BYTES).unwrap();
+        store.append_node(&subs[0]).unwrap();
+        let path = store.segments.last().unwrap().path.clone();
+        store.detach_keeping_files();
+        drop(store);
+        assert!(path.exists(), "retained segment must survive drop");
+        assert!(dir.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_durability_syncs_without_changing_contents() {
+        let dir = unique_dir("flush");
+        let subs = recorded_subs();
+        let mut store = SpillStore::create(&dir, 0, 64).unwrap();
+        store.set_durability(SpillDurability::Flush);
+        for sub in &subs {
+            store.append_node(sub).unwrap();
+        }
+        store.sync_for_cut().unwrap();
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.nodes, subs);
+        let snapshot = store.manifest_snapshot();
+        assert_eq!(
+            snapshot.segments.iter().map(|(r, _)| r).sum::<u64>(),
+            subs.len() as u64
+        );
+        assert_eq!(
+            snapshot.thread_counts,
+            BTreeMap::from([(2u32, subs.len() as u64)])
+        );
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_renames_atomically() {
+        let dir = unique_dir("manifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let writer = ManifestWriter::new(&dir, 77, SpillDurability::None);
+        let mut shard0 = ShardManifest::default();
+        shard0.segments.push((3, 120));
+        shard0.segments.push((1, 60));
+        shard0.thread_counts.insert(0, 4);
+        writer.update_shard(0, shard0.clone()).unwrap();
+        let mut shard1 = ShardManifest::default();
+        shard1.segments.push((2, 90));
+        shard1.thread_counts.insert(1, 2);
+        writer.update_shard(1, shard1).unwrap();
+        // No tmp file lingers after a successful publish.
+        assert!(dir.join(MANIFEST_FILE).exists());
+        assert!(!dir.join(MANIFEST_TMP_FILE).exists());
+        let parsed = read_manifest(&dir).unwrap().unwrap();
+        assert_eq!(parsed.session_id, 77);
+        assert!(!parsed.clean);
+        assert_eq!(parsed.thread_counts, BTreeMap::from([(0, 4), (1, 2)]));
+        assert_eq!(
+            parsed.segments,
+            vec![
+                ManifestSegment {
+                    shard: 0,
+                    index: 0,
+                    records: 3,
+                    bytes: 120
+                },
+                ManifestSegment {
+                    shard: 0,
+                    index: 1,
+                    records: 1,
+                    bytes: 60
+                },
+                ManifestSegment {
+                    shard: 1,
+                    index: 0,
+                    records: 2,
+                    bytes: 90
+                },
+            ]
+        );
+        writer.mark_clean().unwrap();
+        assert!(read_manifest(&dir).unwrap().unwrap().clean);
+        // A frozen writer (simulated crash) publishes nothing further.
+        writer.freeze();
+        writer.update_shard(0, ShardManifest::default()).unwrap();
+        let after_freeze = read_manifest(&dir).unwrap().unwrap();
+        assert_eq!(after_freeze.segments.len(), 3);
+        writer.cleanup();
+        // cleanup() removed the manifest but freeze() keeps future writes
+        // suppressed; only the state was reset.
+        assert!(read_manifest(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_manifest_is_ignored_by_readers() {
+        let dir = unique_dir("staletmp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let writer = ManifestWriter::new(&dir, 9, SpillDurability::None);
+        let mut shard = ShardManifest::default();
+        shard.segments.push((1, 50));
+        writer.update_shard(0, shard).unwrap();
+        // Simulate an interrupted update: garbage landed in the tmp file
+        // but the rename never happened.
+        std::fs::write(dir.join(MANIFEST_TMP_FILE), b"half-written garbage").unwrap();
+        let parsed = read_manifest(&dir).unwrap().unwrap();
+        assert_eq!(parsed.session_id, 9);
+        assert_eq!(parsed.segments.len(), 1);
+        // With no published manifest at all, a stale tmp must not count.
+        std::fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+        assert!(read_manifest(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_manifests_are_typed_errors() {
+        assert!(parse_manifest("not a manifest\n").is_err());
+        assert!(parse_manifest("inspector-spill-manifest v2\nbogus line\n").is_err());
+        assert!(parse_manifest("inspector-spill-manifest v2\nsession abc\n").is_err());
+        let ok = parse_manifest("inspector-spill-manifest v2\nsession 1\nclean 0\n").unwrap();
+        assert_eq!(ok.session_id, 1);
+    }
+
+    #[test]
+    fn durability_parse_accepts_known_spellings_only() {
+        assert_eq!(SpillDurability::parse("none"), Some(SpillDurability::None));
+        assert_eq!(
+            SpillDurability::parse(" FLUSH "),
+            Some(SpillDurability::Flush)
+        );
+        assert_eq!(
+            SpillDurability::parse("Fsync"),
+            Some(SpillDurability::Fsync)
+        );
+        assert_eq!(SpillDurability::parse("sometimes"), None);
+        for d in [
+            SpillDurability::None,
+            SpillDurability::Flush,
+            SpillDurability::Fsync,
+        ] {
+            assert_eq!(SpillDurability::parse(d.as_str()), Some(d));
+        }
     }
 }

@@ -10,6 +10,7 @@ use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
 
+use inspector_core::spill::SpillDurability;
 use inspector_pt::aux::AuxMode;
 
 /// Whether a run is a plain pthreads baseline or a full INSPECTOR run.
@@ -49,6 +50,14 @@ pub struct FaultPlan {
     /// retries with bounded backoff, then falls back to in-memory
     /// retention (`spill_fallbacks`).
     pub fail_spill_write: u64,
+    /// Simulate a whole-process crash after the Nth (1-based) spilled
+    /// record: the append that would write record N+1 writes only a torn
+    /// frame prefix (exactly what a killed process leaves behind), the
+    /// manifest freezes at its last published cut, and the session
+    /// degrades to in-memory retention with the on-disk artifacts kept
+    /// for [`inspector_core::recover::recover_session`] to examine
+    /// (`spill_fallbacks` counts the episode).
+    pub crash_at_spill: u64,
     /// Panic this ingest worker (1-based lane index; `0` = none) …
     pub panic_worker: u64,
     /// … when it receives its Nth (1-based) sub-computation batch. The
@@ -146,6 +155,21 @@ pub struct SessionConfig {
     /// either way each session uses its own subdirectory and removes it
     /// with the builder.
     pub spill_dir: Option<PathBuf>,
+    /// Durability policy for the spill tier's segment files and per-session
+    /// `MANIFEST`: [`SpillDurability::None`] (default) leaves writes in the
+    /// page cache — free, and sufficient to survive a *process* crash;
+    /// `Flush` fdatasyncs segments at cut boundaries before the manifest
+    /// names them; `Fsync` additionally fsyncs the manifest and directory,
+    /// extending the guarantee to power loss. The manifest never names
+    /// bytes that are not durable at the configured tier.
+    pub spill_durability: SpillDurability,
+    /// Keep the session's spill directory after a successful seal: the
+    /// in-memory residue is appended to the segments, the manifest is
+    /// marked clean, and the directory becomes a complete on-disk image
+    /// that [`inspector_core::recover::recover_session`] reproduces
+    /// exactly. Off by default (a clean seal removes its directory);
+    /// degraded runs always keep their artifacts for forensics regardless.
+    pub spill_retain: bool,
     /// Deterministic fault-injection plan. Empty by default — see
     /// [`FaultPlan`].
     pub fault_plan: FaultPlan,
@@ -180,6 +204,8 @@ impl SessionConfig {
             decode_windows: 0,
             spill_threshold: 0,
             spill_dir: None,
+            spill_durability: SpillDurability::None,
+            spill_retain: false,
             fault_plan: FaultPlan::default(),
         }
     }
@@ -255,6 +281,19 @@ impl SessionConfig {
         self
     }
 
+    /// Returns a copy with the given spill durability policy.
+    pub fn with_spill_durability(mut self, durability: SpillDurability) -> Self {
+        self.spill_durability = durability;
+        self
+    }
+
+    /// Returns a copy that keeps (or removes) the spill directory after a
+    /// successful seal.
+    pub fn with_spill_retain(mut self, retain: bool) -> Self {
+        self.spill_retain = retain;
+        self
+    }
+
     /// Returns a copy with the given fault-injection plan.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
@@ -279,8 +318,14 @@ impl SessionConfig {
     ///   spilling — unlike the knobs above, zero is this knob's documented
     ///   "off" value and is applied),
     /// * `INSPECTOR_SPILL_DIR` — directory for the spill segment files,
+    /// * `INSPECTOR_SPILL_DURABILITY` — `none`/`flush`/`fsync` selects the
+    ///   spill tier's durability policy (unrecognized spellings keep the
+    ///   configured default),
+    /// * `INSPECTOR_SPILL_RETAIN` — `1`/`true` keeps the sealed on-disk
+    ///   image (segments + clean manifest) after a successful seal,
     /// * `INSPECTOR_FAULT_CORRUPT_AT`, `INSPECTOR_FAULT_OVERFLOW_BYTES`,
-    ///   `INSPECTOR_FAULT_SPILL_WRITE`, `INSPECTOR_FAULT_PANIC_WORKER`,
+    ///   `INSPECTOR_FAULT_SPILL_WRITE`, `INSPECTOR_FAULT_CRASH_AT_SPILL`,
+    ///   `INSPECTOR_FAULT_PANIC_WORKER`,
     ///   `INSPECTOR_FAULT_PANIC_AT_BATCH` — the [`FaultPlan`] triggers,
     ///   for exercising the degraded paths from CI without recompiling.
     ///   Like the structural knobs, zero means "disarmed" and is exactly
@@ -336,6 +381,14 @@ impl SessionConfig {
         if let Some(dir) = lookup("INSPECTOR_SPILL_DIR").filter(|d| !d.trim().is_empty()) {
             self = self.with_spill_dir(dir.trim());
         }
+        if let Some(durability) =
+            lookup("INSPECTOR_SPILL_DURABILITY").and_then(|raw| SpillDurability::parse(&raw))
+        {
+            self = self.with_spill_durability(durability);
+        }
+        if let Some(retain) = lookup("INSPECTOR_SPILL_RETAIN").and_then(|raw| parse_bool(&raw)) {
+            self = self.with_spill_retain(retain);
+        }
         // Fault triggers: 0 is the disarmed default, so — like the
         // structural knobs — parse failures and zero leave the plan field
         // untouched.
@@ -354,6 +407,9 @@ impl SessionConfig {
         }
         if let Some(nth) = fault("INSPECTOR_FAULT_SPILL_WRITE") {
             self.fault_plan.fail_spill_write = nth;
+        }
+        if let Some(nth) = fault("INSPECTOR_FAULT_CRASH_AT_SPILL") {
+            self.fault_plan.crash_at_spill = nth;
         }
         if let Some(worker) = fault("INSPECTOR_FAULT_PANIC_WORKER") {
             self.fault_plan.panic_worker = worker;
@@ -565,6 +621,7 @@ mod tests {
             "INSPECTOR_FAULT_CORRUPT_AT" => Some(" 17 ".into()),
             "INSPECTOR_FAULT_OVERFLOW_BYTES" => Some("512".into()),
             "INSPECTOR_FAULT_SPILL_WRITE" => Some("3".into()),
+            "INSPECTOR_FAULT_CRASH_AT_SPILL" => Some("11".into()),
             "INSPECTOR_FAULT_PANIC_WORKER" => Some("2".into()),
             "INSPECTOR_FAULT_PANIC_AT_BATCH" => Some("5".into()),
             _ => None,
@@ -575,6 +632,7 @@ mod tests {
                 corrupt_aux_at: 17,
                 overflow_bytes: 512,
                 fail_spill_write: 3,
+                crash_at_spill: 11,
                 panic_worker: 2,
                 panic_at_batch: 5,
             }
@@ -590,6 +648,7 @@ mod tests {
             corrupt_aux_at: 9,
             overflow_bytes: 64,
             fail_spill_write: 1,
+            crash_at_spill: 4,
             panic_worker: 1,
             panic_at_batch: 2,
         });
@@ -620,5 +679,29 @@ mod tests {
         let parsed =
             base.apply_env_with(|name| (name == "INSPECTOR_SPILL_DIR").then(|| "  ".into()));
         assert_eq!(parsed.spill_dir, None);
+    }
+
+    #[test]
+    fn spill_durability_and_retain_env_knobs() {
+        let base = SessionConfig::inspector();
+        assert_eq!(base.spill_durability, SpillDurability::None);
+        assert!(!base.spill_retain);
+        let parsed = base.clone().apply_env_with(|name| match name {
+            "INSPECTOR_SPILL_DURABILITY" => Some(" Fsync ".into()),
+            "INSPECTOR_SPILL_RETAIN" => Some("true".into()),
+            _ => None,
+        });
+        assert_eq!(parsed.spill_durability, SpillDurability::Fsync);
+        assert!(parsed.spill_retain);
+        // Unrecognized spellings keep the configured default rather than
+        // silently disabling a requested durability tier.
+        let configured = base.with_spill_durability(SpillDurability::Flush);
+        let parsed = configured.clone().apply_env_with(|name| {
+            (name == "INSPECTOR_SPILL_DURABILITY").then(|| "paranoid".into())
+        });
+        assert_eq!(parsed.spill_durability, SpillDurability::Flush);
+        let parsed = configured
+            .apply_env_with(|name| (name == "INSPECTOR_SPILL_DURABILITY").then(|| "none".into()));
+        assert_eq!(parsed.spill_durability, SpillDurability::None);
     }
 }

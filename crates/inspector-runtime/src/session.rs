@@ -97,15 +97,22 @@ fn spill_settings_for(config: &SessionConfig) -> Option<inspector_core::spill::S
         return None;
     }
     let base = config.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+    let sequence = NEXT_SPILL_DIR.fetch_add(1, Ordering::Relaxed);
     let unique = base.join(format!(
         "inspector-spill-{}-{}",
         std::process::id(),
-        NEXT_SPILL_DIR.fetch_add(1, Ordering::Relaxed)
+        sequence
     ));
-    Some(inspector_core::spill::SpillSettings::new(
-        config.spill_threshold,
-        unique,
-    ))
+    // The session id stamped into every segment header and the manifest:
+    // unique per (process, session) so recovery can reject segments that
+    // leaked in from another run sharing the directory.
+    let session_id = ((std::process::id() as u64) << 32) | (sequence & 0xFFFF_FFFF);
+    Some(
+        inspector_core::spill::SpillSettings::new(config.spill_threshold, unique)
+            .with_durability(config.spill_durability)
+            .with_session_id(session_id)
+            .with_retain_on_seal(config.spill_retain),
+    )
 }
 
 /// Everything a thread reports when it exits (its sub-computations have
@@ -847,6 +854,14 @@ impl InspectorSession {
     /// normally, and the provenance ingested before the failure is still
     /// sealed. On failure the returned [`SessionError`] carries every dead
     /// worker's panic message plus that partial report.
+    /// Directory holding this session's spill artifacts (segments +
+    /// `MANIFEST`), when spilling is configured. After a crashed or
+    /// retained run the directory outlives the session and can be handed
+    /// to [`inspector_core::recover::recover_session`].
+    pub fn spill_directory(&self) -> Option<std::path::PathBuf> {
+        self.shared.builder.spill_directory().map(Into::into)
+    }
+
     pub fn try_run<F>(&self, f: F) -> Result<RunReport, SessionError>
     where
         F: FnOnce(&mut ThreadCtx),
@@ -857,6 +872,9 @@ impl InspectorSession {
             self.shared
                 .builder
                 .inject_spill_write_failure(plan.fail_spill_write);
+        }
+        if plan.crash_at_spill > 0 {
+            self.shared.builder.inject_spill_crash(plan.crash_at_spill);
         }
         let depth = self.shared.config.ingest_queue_depth.max(1);
         let lanes = self.shared.config.ingest_threads.max(1);
@@ -990,6 +1008,18 @@ impl InspectorSession {
         stats.gaps = stats.pt.gaps;
         stats.lost_bytes = stats.pt.bytes_lost;
         let cpg = if self.shared.config.mode == ExecutionMode::Inspector {
+            // Forensics contract: a run already known to be degraded keeps
+            // its spill directory and manifest through the seal, whatever
+            // the configured retain policy says — damaged runs are exactly
+            // the ones whose on-disk record matters.
+            let keep_forensics = stats.gaps != 0
+                || stats.lost_bytes != 0
+                || stats.decode_errors != 0
+                || stats.decode_degraded != 0
+                || stats.worker_failures != 0;
+            if keep_forensics {
+                self.shared.builder.set_seal_retain(true);
+            }
             let seal_start = Instant::now();
             let cpg = self.shared.builder.seal();
             let seal = seal_start.elapsed();

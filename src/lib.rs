@@ -61,6 +61,8 @@ pub mod prelude {
     pub use inspector_core::graph::{Cpg, EdgeKind};
     pub use inspector_core::ids::{PageId, SubId, SyncObjectId, ThreadId};
     pub use inspector_core::query::{EdgeFilter, ProvenanceQuery};
+    pub use inspector_core::recover::{recover_session, Recovery, RecoveryReport};
+    pub use inspector_core::spill::SpillDurability;
     pub use inspector_core::taint::{TaintLabel, TaintTracker};
     pub use inspector_mem::addr::VirtAddr;
     pub use inspector_runtime::sync::{

@@ -1,0 +1,396 @@
+//! Crash-consistency property suite: for any schedule × spill threshold ×
+//! injected crash point, offline recovery of the surviving spill directory
+//!
+//! 1. **terminates** and never panics on damaged input,
+//! 2. rebuilds a CPG **node- and edge-identical to the batch oracle** over
+//!    the recovered consistent prefix (which is a true prefix of the
+//!    sealed graph — the in-process session lost nothing, so the sealed
+//!    graph doubles as ground truth),
+//! 3. **accounts every byte**: `total = headers + recovered + lost`, with
+//!    `total` equal to what is actually on disk,
+//!
+//! and recovering a cleanly sealed, retained directory reproduces the
+//! sealed graph *exactly*. Torn tails (truncation at a random offset) and
+//! bit rot (a flipped byte, caught by the per-record CRC) degrade the
+//! recovered graph to a smaller consistent prefix, never to an error.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use std::sync::Arc;
+
+use inspector::core::graph::{Cpg, CpgBuilder};
+use inspector::core::subcomputation::SubComputation;
+use inspector::prelude::*;
+use proptest::prelude::*;
+
+/// splitmix64, so each proptest case expands one seed into a full random
+/// schedule + crash plan deterministically.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A test-unique spill directory so concurrent cases never collide.
+fn spill_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "inspector-crash-rec-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn edge_fingerprint(cpg: &Cpg) -> BTreeSet<String> {
+    cpg.edges().map(|e| format!("{e:?}")).collect()
+}
+
+/// The batch oracle over a frontier-truncated slice of a sealed graph:
+/// each thread's sequence cut at the recovered consistent frontier, re-fed
+/// to the offline builder. Whatever recovery reconstructed from disk must
+/// be node- and edge-identical to this.
+fn oracle_prefix(sealed: &Cpg, frontier: &BTreeMap<u32, u64>) -> Cpg {
+    let mut builder = CpgBuilder::new();
+    for thread in sealed.threads() {
+        let keep = *frontier.get(&(thread.index() as u32)).unwrap_or(&0) as usize;
+        if keep == 0 {
+            continue;
+        }
+        let seq: Vec<SubComputation> = sealed
+            .thread_sequence(thread)
+            .into_iter()
+            .take(keep)
+            .map(|id| sealed.node(id).expect("listed node exists").clone())
+            .collect();
+        builder.add_thread(seq);
+    }
+    builder.build()
+}
+
+/// Sum of the `*.spill` segment files in a directory — what "on disk"
+/// means for the byte-accounting equation.
+fn disk_spill_bytes(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".spill"))
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum()
+}
+
+fn spill_files(dir: &Path) -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("spill dir readable")
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".spill"))
+        .map(|e| e.path())
+        .collect();
+    files.sort();
+    files
+}
+
+/// Runs a mutex-contended multithreaded workload sized by the rng and
+/// returns the report; every lock/unlock closes a sub-computation, so the
+/// shards fill and spill.
+fn run_shaped(session: &InspectorSession, rng: &mut Rng) -> RunReport {
+    let workers = 1 + rng.below(3);
+    let iterations = 5 + rng.below(16);
+    let region = session.map_region("counter", 8);
+    let base = region.base();
+    let lock = Arc::new(InspMutex::new());
+    session.run(move |ctx| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let lock = Arc::clone(&lock);
+            handles.push(ctx.spawn(move |ctx| {
+                for i in 0..iterations {
+                    ctx.branch((i + w) % 2 == 0);
+                    lock.lock(ctx);
+                    let v = ctx.read_u64(base);
+                    ctx.write_u64(base, v + 1);
+                    lock.unlock(ctx);
+                }
+            }));
+        }
+        for h in handles {
+            ctx.join(h);
+        }
+    })
+}
+
+/// The full recovery contract against a sealed ground truth: consistent
+/// frontier within the durable one, graph ≡ oracle prefix, every byte
+/// accounted, and `degraded()` exactly when something was left behind.
+fn assert_recovery_contract(dir: &Path, sealed: &Cpg) -> Recovery {
+    let on_disk = disk_spill_bytes(dir);
+    let recovery = inspector::core::recover::recover_session(dir).expect("recovery I/O");
+    let r = &recovery.report;
+
+    // Byte accounting is exact, and "total" means the actual disk image.
+    assert_eq!(r.total_bytes, on_disk, "{r:?}");
+    assert_eq!(
+        r.total_bytes,
+        r.header_bytes + r.recovered_bytes + r.lost_bytes,
+        "{r:?}"
+    );
+
+    // The consistent cut never exceeds what the manifest promised durable.
+    for (thread, &kept) in &r.consistent_frontier {
+        let durable = r.durable_frontier.get(thread).copied().unwrap_or(0);
+        assert!(kept <= durable, "thread {thread}: {kept} > {durable}");
+    }
+
+    // The recovered per-thread sequences are literal prefixes of the
+    // sealed graph's, and the edges re-derived over them equal the batch
+    // oracle over the same prefix.
+    for thread in recovery.cpg.threads() {
+        let recovered_seq = recovery.cpg.thread_sequence(thread);
+        let sealed_seq = sealed.thread_sequence(thread);
+        assert!(recovered_seq.len() <= sealed_seq.len());
+        assert_eq!(recovered_seq[..], sealed_seq[..recovered_seq.len()]);
+    }
+    let reference = oracle_prefix(sealed, &r.consistent_frontier);
+    assert_eq!(recovery.cpg.node_count(), reference.node_count());
+    assert_eq!(
+        edge_fingerprint(&recovery.cpg),
+        edge_fingerprint(&reference)
+    );
+    assert_eq!(recovery.cpg.node_count() as u64, r.recovered_nodes);
+    recovery
+}
+
+proptest! {
+    /// Tentpole property: schedule × threshold × crash point. The armed
+    /// crash tears a record mid-append and freezes the manifest; the
+    /// session itself survives (in-memory fallback, `spill_fallbacks`) so
+    /// its sealed graph is the ground truth the recovered prefix is
+    /// checked against. When the crash point lies past the run, the
+    /// retained directory must instead recover *exactly*.
+    #[test]
+    fn any_crash_point_recovers_the_maximal_consistent_prefix(seed in any::<u64>()) {
+        let mut rng = Rng(seed);
+        let threshold = 1 + rng.below(6) as usize;
+        let crash_at = 1 + rng.below(120);
+        let durability = match rng.below(3) {
+            0 => SpillDurability::None,
+            1 => SpillDurability::Flush,
+            _ => SpillDurability::Fsync,
+        };
+        let config = SessionConfig::inspector()
+            .with_spill_threshold(threshold)
+            .with_spill_dir(spill_dir())
+            .with_spill_durability(durability)
+            .with_spill_retain(true) // keep the image even if the crash never fires
+            .with_fault_plan(FaultPlan { crash_at_spill: crash_at, ..FaultPlan::default() });
+        let session = InspectorSession::new(config);
+        let report = run_shaped(&session, &mut rng);
+        let dir = session.spill_directory().expect("spilling session has a directory");
+        prop_assert!(dir.is_dir(), "artifacts must outlive the seal");
+
+        let crashed = report.stats.spill_fallbacks > 0;
+        prop_assert_eq!(report.stats.degraded, crashed, "{:?}", report.stats);
+        let recovery = assert_recovery_contract(&dir, &report.cpg);
+        if crashed {
+            prop_assert!(!recovery.report.manifest_clean);
+            prop_assert!(recovery.report.degraded(), "{:?}", recovery.report);
+        } else {
+            // Crash point past the run: a clean retained image must
+            // reproduce the sealed graph exactly, with zero loss.
+            prop_assert!(recovery.report.manifest_clean);
+            prop_assert!(!recovery.report.degraded(), "{:?}", recovery.report);
+            prop_assert_eq!(recovery.cpg.node_count(), report.cpg.node_count());
+            prop_assert_eq!(edge_fingerprint(&recovery.cpg), edge_fingerprint(&report.cpg));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite property: truncate a cleanly sealed image at a random
+    /// byte offset — a torn tail. Recovery must degrade to a (possibly
+    /// empty) consistent prefix with the chopped bytes accounted, never
+    /// error or over-recover.
+    #[test]
+    fn truncation_at_any_offset_recovers_an_accounted_prefix(seed in any::<u64>()) {
+        let mut rng = Rng(seed ^ 0x7A93);
+        let config = SessionConfig::inspector()
+            .with_spill_threshold(1 + rng.below(4) as usize)
+            .with_spill_dir(spill_dir())
+            .with_spill_retain(true);
+        let session = InspectorSession::new(config);
+        let report = run_shaped(&session, &mut rng);
+        let dir = session.spill_directory().expect("spill directory");
+
+        let files = spill_files(&dir);
+        prop_assert!(!files.is_empty(), "retained seal leaves segments behind");
+        let victim = &files[rng.below(files.len() as u64) as usize];
+        let len = std::fs::metadata(victim).unwrap().len();
+        let cut = rng.below(len + 1);
+        let mut bytes = std::fs::read(victim).unwrap();
+        bytes.truncate(cut as usize);
+        std::fs::write(victim, &bytes).unwrap();
+
+        let recovery = assert_recovery_contract(&dir, &report.cpg);
+        if cut < len {
+            // Something was chopped: the manifest names bytes that are no
+            // longer on disk, so the report must say so.
+            let r = &recovery.report;
+            prop_assert!(r.missing_bytes > 0 || r.lost_bytes > 0, "{:?}", r);
+            prop_assert!(r.degraded(), "{:?}", r);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite property: flip one byte anywhere in a cleanly sealed
+    /// image — bit rot. The segment header check or the per-record CRC
+    /// must catch it; recovery degrades to a consistent prefix with the
+    /// poisoned bytes accounted.
+    #[test]
+    fn a_flipped_byte_is_caught_and_accounted(seed in any::<u64>()) {
+        let mut rng = Rng(seed ^ 0xC4C1);
+        let config = SessionConfig::inspector()
+            .with_spill_threshold(1 + rng.below(4) as usize)
+            .with_spill_dir(spill_dir())
+            .with_spill_retain(true);
+        let session = InspectorSession::new(config);
+        let report = run_shaped(&session, &mut rng);
+        let dir = session.spill_directory().expect("spill directory");
+
+        let files = spill_files(&dir);
+        prop_assert!(!files.is_empty());
+        let victim = &files[rng.below(files.len() as u64) as usize];
+        let mut bytes = std::fs::read(victim).unwrap();
+        let at = rng.below(bytes.len() as u64) as usize;
+        bytes[at] ^= 0xFF;
+        std::fs::write(victim, &bytes).unwrap();
+
+        let recovery = assert_recovery_contract(&dir, &report.cpg);
+        let r = &recovery.report;
+        prop_assert!(r.degraded(), "a flipped byte must be observable: {:?}", r);
+        prop_assert!(
+            r.bad_headers + r.crc_failures + r.torn_records + r.decode_failures > 0,
+            "{:?}",
+            r
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A cleanly sealed, retained directory reproduces the sealed graph
+/// exactly — nodes, edges, zero loss, `degraded()` false.
+#[test]
+fn clean_retained_directory_recovers_the_sealed_graph_exactly() {
+    let config = SessionConfig::inspector()
+        .with_spill_threshold(2)
+        .with_spill_dir(spill_dir())
+        .with_spill_retain(true);
+    let session = InspectorSession::new(config);
+    let report = run_shaped(&session, &mut Rng(42));
+    assert!(!report.stats.degraded, "{:?}", report.stats);
+    let dir = session.spill_directory().expect("spill directory");
+
+    let recovery = assert_recovery_contract(&dir, &report.cpg);
+    let r = &recovery.report;
+    assert!(r.manifest_found && r.manifest_clean, "{r:?}");
+    assert!(!r.degraded(), "{r:?}");
+    assert_eq!(r.lost_bytes, 0);
+    assert_eq!(r.excluded_nodes, 0);
+    assert_eq!(recovery.cpg.node_count(), report.cpg.node_count());
+    assert_eq!(
+        edge_fingerprint(&recovery.cpg),
+        edge_fingerprint(&report.cpg)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A stale `MANIFEST.tmp` left by an interrupted atomic rename is ignored:
+/// recovery reads the last published manifest and still reproduces the
+/// sealed graph exactly.
+#[test]
+fn stale_tmp_manifest_does_not_perturb_recovery() {
+    let config = SessionConfig::inspector()
+        .with_spill_threshold(2)
+        .with_spill_dir(spill_dir())
+        .with_spill_retain(true);
+    let session = InspectorSession::new(config);
+    let report = run_shaped(&session, &mut Rng(7));
+    let dir = session.spill_directory().expect("spill directory");
+    std::fs::write(dir.join("MANIFEST.tmp"), b"garbage from a dying writer").unwrap();
+
+    let recovery = assert_recovery_contract(&dir, &report.cpg);
+    assert!(!recovery.report.degraded(), "{:?}", recovery.report);
+    assert_eq!(recovery.cpg.node_count(), report.cpg.node_count());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite contract: a clean, non-retained seal removes its
+/// session-unique spill directory; a crashed run keeps it — with the
+/// manifest — for forensics.
+#[test]
+fn clean_seal_removes_the_directory_and_a_crash_keeps_it() {
+    // Clean run, no retain: the directory is gone after the seal.
+    let clean = InspectorSession::new(
+        SessionConfig::inspector()
+            .with_spill_threshold(1)
+            .with_spill_dir(spill_dir()),
+    );
+    let report = run_shaped(&clean, &mut Rng(3));
+    assert!(report.stats.spilled_subs > 0, "{:?}", report.stats);
+    let dir = clean.spill_directory().expect("spill directory");
+    assert!(!dir.exists(), "clean seal must not leak {}", dir.display());
+
+    // Crashed run: directory, segments, and manifest survive.
+    let crashed = InspectorSession::new(
+        SessionConfig::inspector()
+            .with_spill_threshold(1)
+            .with_spill_dir(spill_dir())
+            .with_fault_plan(FaultPlan {
+                crash_at_spill: 3,
+                ..FaultPlan::default()
+            }),
+    );
+    let report = run_shaped(&crashed, &mut Rng(4));
+    assert!(report.stats.spill_fallbacks > 0, "{:?}", report.stats);
+    assert!(report.stats.degraded);
+    let dir = crashed.spill_directory().expect("spill directory");
+    assert!(dir.is_dir(), "forensics material must never be deleted");
+    assert!(dir.join("MANIFEST").is_file(), "manifest kept for recovery");
+    let recovery = inspector::core::recover::recover_session(&dir).expect("recovery I/O");
+    assert!(recovery.report.manifest_found);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The crash knob reaches the session through the same env path as every
+/// other fault trigger.
+#[test]
+fn crash_env_knob_reaches_the_session() {
+    let config = SessionConfig::inspector().apply_env_with(|name| match name {
+        "INSPECTOR_FAULT_CRASH_AT_SPILL" => Some("2".into()),
+        "INSPECTOR_SPILL_THRESHOLD" => Some("1".into()),
+        "INSPECTOR_SPILL_DURABILITY" => Some("flush".into()),
+        _ => None,
+    });
+    assert_eq!(config.fault_plan.crash_at_spill, 2);
+    assert_eq!(config.spill_durability, SpillDurability::Flush);
+    let config = config.with_spill_dir(spill_dir());
+    let session = InspectorSession::new(config);
+    let report = run_shaped(&session, &mut Rng(11));
+    assert!(report.stats.spill_fallbacks > 0, "{:?}", report.stats);
+    assert!(report.stats.degraded);
+    let dir = session.spill_directory().expect("spill directory");
+    let recovery = inspector::core::recover::recover_session(&dir).expect("recovery I/O");
+    assert!(recovery.report.degraded());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -152,6 +152,7 @@ proptest! {
             fail_spill_write,
             panic_worker,
             panic_at_batch: if panic_worker > 0 { panic_at_batch } else { 0 },
+            ..FaultPlan::default()
         };
         let mut config = SessionConfig::inspector()
             .with_decode_online(decode_online)

@@ -125,9 +125,8 @@ fn spill_settings(threshold: usize) -> SpillSettings {
         NEXT.fetch_add(1, Ordering::Relaxed)
     ));
     SpillSettings {
-        threshold,
-        dir,
         segment_bytes: 256,
+        ..SpillSettings::new(threshold, dir)
     }
 }
 
